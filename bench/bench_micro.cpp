@@ -1,0 +1,73 @@
+// E13 — substrate micro-benchmarks (google-benchmark): graph squaring,
+// generators, exact solvers, and simulator round overhead.  These are the
+// operations every experiment binary leans on.
+#include <benchmark/benchmark.h>
+
+#include "congest/network.hpp"
+#include "graph/generators.hpp"
+#include "graph/power.hpp"
+#include "solvers/exact_ds.hpp"
+#include "solvers/exact_vc.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pg;
+using graph::Graph;
+
+void BM_SquarePath(benchmark::State& state) {
+  const Graph g = graph::path_graph(static_cast<graph::VertexId>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(graph::square(g));
+}
+BENCHMARK(BM_SquarePath)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SquareGnp(benchmark::State& state) {
+  Rng rng(1);
+  const Graph g = graph::connected_gnp(
+      static_cast<graph::VertexId>(state.range(0)), 8.0 / static_cast<double>(state.range(0)), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(graph::square(g));
+}
+BENCHMARK(BM_SquareGnp)->Arg(256)->Arg(1024);
+
+void BM_GnpGenerate(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(graph::gnp(
+        static_cast<graph::VertexId>(state.range(0)), 0.05, rng));
+}
+BENCHMARK(BM_GnpGenerate)->Arg(128)->Arg(512);
+
+void BM_ExactMvcOnSquare(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = graph::connected_gnp(
+      static_cast<graph::VertexId>(state.range(0)), 0.15, rng);
+  const Graph sq = graph::square(g);
+  for (auto _ : state) benchmark::DoNotOptimize(solvers::solve_mvc(sq));
+}
+BENCHMARK(BM_ExactMvcOnSquare)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_ExactMdsOnSquare(benchmark::State& state) {
+  Rng rng(4);
+  const Graph g = graph::connected_gnp(
+      static_cast<graph::VertexId>(state.range(0)), 0.15, rng);
+  const Graph sq = graph::square(g);
+  for (auto _ : state) benchmark::DoNotOptimize(solvers::solve_mds(sq));
+}
+BENCHMARK(BM_ExactMdsOnSquare)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_CongestBroadcastRound(benchmark::State& state) {
+  Rng rng(5);
+  const Graph g = graph::connected_gnp(
+      static_cast<graph::VertexId>(state.range(0)), 8.0 / static_cast<double>(state.range(0)), rng);
+  congest::Network net(g);
+  for (auto _ : state) {
+    net.round([](congest::NodeView& node) {
+      node.broadcast(congest::Message{1, {node.id()}});
+    });
+  }
+}
+BENCHMARK(BM_CongestBroadcastRound)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Synchronous simulator for the CONGESTED CLIQUE model [LPPP03]: in every
+// round, each node may send a distinct O(log n)-bit message to *every*
+// other node (not only its neighbors in the input graph G).  The input
+// graph is carried alongside as data: algorithms read their incident edges
+// of G locally, as in the model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "graph/graph.hpp"
+
+namespace pg::clique {
+
+using NodeId = graph::VertexId;
+using congest::Message;
+
+struct Incoming {
+  NodeId from = -1;
+  Message msg;
+};
+
+struct RoundStats {
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t total_bits = 0;
+};
+
+class CliqueNetwork;
+
+class NodeView {
+ public:
+  NodeId id() const { return id_; }
+  std::size_t n() const;
+  /// Neighbors in the *input graph* G (local knowledge, not a message).
+  std::span<const NodeId> graph_neighbors() const;
+  std::span<const Incoming> inbox() const;
+
+  /// Sends to any other node (the communication graph is complete).
+  void send(NodeId to, const Message& m);
+  /// Sends the same message to all neighbors in the input graph G.
+  void send_to_graph_neighbors(const Message& m);
+  /// Sends the same message to every other node.
+  void send_to_all(const Message& m);
+
+ private:
+  friend class CliqueNetwork;
+  NodeView(CliqueNetwork* net, NodeId id) : net_(net), id_(id) {}
+  CliqueNetwork* net_;
+  NodeId id_;
+};
+
+class CliqueNetwork {
+ public:
+  /// The input graph is copied: the network owns it, so callers may pass
+  /// temporaries safely.
+  explicit CliqueNetwork(graph::Graph input_graph);
+
+  const graph::Graph& input_graph() const { return graph_; }
+  std::size_t n() const { return static_cast<std::size_t>(graph_.num_vertices()); }
+  int bandwidth() const { return bandwidth_; }
+  const RoundStats& stats() const { return stats_; }
+
+  void round(const std::function<void(NodeView&)>& step);
+  bool last_round_sent_messages() const { return last_round_messages_ > 0; }
+
+ private:
+  friend class NodeView;
+  void do_send(NodeId from, NodeId to, const Message& m);
+
+  graph::Graph graph_;
+  int bandwidth_;
+  RoundStats stats_;
+  std::int64_t last_round_messages_ = 0;
+
+  std::vector<std::vector<Incoming>> inbox_;
+  std::vector<std::vector<Incoming>> outbox_;
+  // last round in which (from, to) carried a message, addressed from*n+to.
+  std::vector<std::int64_t> pair_last_sent_;
+};
+
+}  // namespace pg::clique

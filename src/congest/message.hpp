@@ -1,0 +1,57 @@
+// CONGEST-model messages.
+//
+// In the CONGEST model a node may send one O(log n)-bit message per incident
+// edge per synchronous round.  We make the bound concrete and *enforced*:
+// a message carries a small tag plus up to four integer fields, and its
+// logical size — 8 tag bits plus the significant bits of each field — must
+// not exceed the network's bandwidth B(n) = 16·⌈log₂ n⌉ bits.  Algorithms
+// that try to smuggle wide values through an edge throw instead of
+// silently breaking the model.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+
+#include "util/check.hpp"
+
+namespace pg::congest {
+
+struct Message {
+  std::uint8_t kind = 0;
+  std::uint8_t num_fields = 0;
+  std::array<std::int64_t, 4> fields{};
+
+  Message() = default;
+  Message(std::uint8_t k, std::initializer_list<std::int64_t> fs) : kind(k) {
+    PG_REQUIRE(fs.size() <= fields.size(), "too many message fields");
+    for (std::int64_t f : fs) fields[num_fields++] = f;
+  }
+
+  std::int64_t at(std::size_t i) const {
+    PG_REQUIRE(i < num_fields, "message field index out of range");
+    return fields[i];
+  }
+
+  /// Significant bits of a signed value (two's-complement width incl. sign).
+  static int significant_bits(std::int64_t value) {
+    const auto magnitude =
+        static_cast<std::uint64_t>(value < 0 ? ~value : value);
+    return std::bit_width(magnitude) + 1;
+  }
+
+  /// Logical size used for bandwidth accounting.
+  int logical_bits() const {
+    int bits = 8;  // tag
+    for (std::size_t i = 0; i < num_fields; ++i)
+      bits += significant_bits(fields[i]);
+    return bits;
+  }
+};
+
+/// Bandwidth available per edge per round in an n-node network:
+/// B(n) = 16·⌈log₂ n⌉ bits (the constant instantiates the model's O(log n)).
+int bandwidth_bits(std::size_t n);
+
+}  // namespace pg::congest

@@ -1,0 +1,88 @@
+#include "congest/network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace pg::congest {
+
+int bandwidth_bits(std::size_t n) {
+  std::size_t width = 1;
+  while ((std::size_t{1} << width) < std::max<std::size_t>(n, 2)) ++width;
+  return static_cast<int>(16 * width);
+}
+
+Network::Network(graph::Graph topology)
+    : graph_(std::move(topology)),
+      bandwidth_(bandwidth_bits(
+          static_cast<std::size_t>(graph_.num_vertices()))) {
+  const std::size_t n = this->n();
+  inbox_.resize(n);
+  outbox_.resize(n);
+  edge_last_sent_.resize(n);
+  for (std::size_t v = 0; v < n; ++v)
+    edge_last_sent_[v].assign(graph_.degree(static_cast<NodeId>(v)), -1);
+}
+
+void Network::round(const std::function<void(NodeView&)>& step) {
+  last_round_messages_ = 0;
+  for (NodeId v = 0; v < static_cast<NodeId>(n()); ++v) {
+    NodeView view(this, v);
+    step(view);
+  }
+  // Deliver: this round's outboxes become next round's inboxes.
+  for (std::size_t v = 0; v < n(); ++v) {
+    inbox_[v].clear();
+  }
+  for (std::size_t v = 0; v < n(); ++v) {
+    for (Incoming& out : outbox_[v]) {
+      // `out.from` currently holds the *destination*; rewrite as sender.
+      const auto dst = static_cast<std::size_t>(out.from);
+      inbox_[dst].push_back(Incoming{static_cast<NodeId>(v), out.msg});
+    }
+    outbox_[v].clear();
+  }
+  ++stats_.rounds;
+}
+
+void Network::do_send(NodeId from, NodeId to, const Message& m) {
+  const auto nbrs = graph_.neighbors(from);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), to);
+  PG_REQUIRE(it != nbrs.end() && *it == to,
+             "CONGEST: can only send to a direct neighbor");
+  const auto edge_index =
+      static_cast<std::size_t>(std::distance(nbrs.begin(), it));
+
+  auto& last = edge_last_sent_[static_cast<std::size_t>(from)][edge_index];
+  PG_REQUIRE(last != stats_.rounds,
+             "CONGEST: one message per edge per direction per round");
+  last = stats_.rounds;
+
+  const int bits = m.logical_bits();
+  PG_REQUIRE(bits <= bandwidth_,
+             "CONGEST: message exceeds O(log n) bandwidth");
+
+  outbox_[static_cast<std::size_t>(from)].push_back(Incoming{to, m});
+  ++stats_.messages;
+  ++last_round_messages_;
+  stats_.total_bits += bits;
+}
+
+std::size_t NodeView::n() const { return net_->n(); }
+
+std::span<const NodeId> NodeView::neighbors() const {
+  return net_->topology().neighbors(id_);
+}
+
+std::span<const Incoming> NodeView::inbox() const {
+  return net_->inbox_[static_cast<std::size_t>(id_)];
+}
+
+void NodeView::send(NodeId neighbor, const Message& m) {
+  net_->do_send(id_, neighbor, m);
+}
+
+void NodeView::broadcast(const Message& m) {
+  for (NodeId nbr : neighbors()) net_->do_send(id_, nbr, m);
+}
+
+}  // namespace pg::congest

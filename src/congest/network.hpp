@@ -1,0 +1,98 @@
+// Synchronous message-passing simulator for the CONGEST model.
+//
+// Execution is round-based and lock-step: the driver calls
+// `net.round(step)`, the step callable runs once per node against a
+// `NodeView` that exposes only what a node may legally see (its id, its
+// neighbor list, n, and the messages delivered this round), and the
+// simulator then delivers all sent messages for the next round.  The
+// simulator enforces, per round:
+//   * at most one message per (node, incident edge, direction);
+//   * each message's logical size <= B(n) bits.
+//
+// Algorithms in src/core are written against this interface; their reported
+// complexity is the simulator's round counter, which includes every
+// primitive they invoke (leader election, BFS-tree building, pipelining).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "graph/graph.hpp"
+
+namespace pg::congest {
+
+using NodeId = graph::VertexId;
+
+struct Incoming {
+  NodeId from = -1;
+  Message msg;
+};
+
+struct RoundStats {
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t total_bits = 0;
+};
+
+class Network;
+
+/// The per-node façade handed to step callables.
+class NodeView {
+ public:
+  NodeId id() const { return id_; }
+  std::size_t n() const;
+  std::span<const NodeId> neighbors() const;
+  std::size_t degree() const { return neighbors().size(); }
+  std::span<const Incoming> inbox() const;
+
+  /// Sends to one neighbor (delivered next round).
+  void send(NodeId neighbor, const Message& m);
+  /// Sends the same message along every incident edge.
+  void broadcast(const Message& m);
+
+ private:
+  friend class Network;
+  NodeView(Network* net, NodeId id) : net_(net), id_(id) {}
+  Network* net_;
+  NodeId id_;
+};
+
+class Network {
+ public:
+  /// The topology is copied: the network owns its graph, so callers may
+  /// pass temporaries safely.
+  explicit Network(graph::Graph topology);
+
+  const graph::Graph& topology() const { return graph_; }
+  std::size_t n() const { return static_cast<std::size_t>(graph_.num_vertices()); }
+  int bandwidth() const { return bandwidth_; }
+  const RoundStats& stats() const { return stats_; }
+
+  /// Executes one synchronous round.  `step(NodeView&)` is called for every
+  /// node; messages sent become visible in inboxes next round.
+  void round(const std::function<void(NodeView&)>& step);
+
+  /// True iff the previous round sent at least one message.
+  bool last_round_sent_messages() const { return last_round_messages_ > 0; }
+
+ private:
+  friend class NodeView;
+  void do_send(NodeId from, NodeId to, const Message& m);
+
+  graph::Graph graph_;
+  int bandwidth_;
+  RoundStats stats_;
+  std::int64_t last_round_messages_ = 0;
+
+  std::vector<std::vector<Incoming>> inbox_;       // delivered this round
+  std::vector<std::vector<Incoming>> outbox_;      // being sent this round
+  // For each directed edge (indexed as adjacency position of `to` within
+  // `from`'s neighbor list), the round in which it last carried a message;
+  // used to enforce the one-message-per-edge rule.
+  std::vector<std::vector<std::int64_t>> edge_last_sent_;
+};
+
+}  // namespace pg::congest

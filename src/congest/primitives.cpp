@@ -1,0 +1,182 @@
+#include "congest/primitives.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace pg::congest {
+
+namespace {
+// Message tags local to the primitives.
+constexpr std::uint8_t kMinId = 201;
+constexpr std::uint8_t kBfsJoin = 202;   // field 0: depth of sender
+constexpr std::uint8_t kBfsAdopt = 203;  // child -> parent
+constexpr std::uint8_t kToken = 204;     // field 0: token payload
+}  // namespace
+
+NodeId elect_min_id_leader(Network& net) {
+  const std::size_t n = net.n();
+  PG_REQUIRE(n > 0, "cannot elect a leader in an empty network");
+  std::vector<NodeId> best(n);
+  for (std::size_t v = 0; v < n; ++v) best[v] = static_cast<NodeId>(v);
+  // Sentinel forcing everyone to broadcast in the first round.
+  std::vector<NodeId> last_broadcast(n, std::numeric_limits<NodeId>::max());
+
+  // Flood the minimum: whenever a node's known minimum improves on what it
+  // last announced, it re-broadcasts.  Stabilizes after diameter+1 rounds;
+  // the trailing quiet round is the (counted) termination check.
+  do {
+    net.round([&](NodeView& node) {
+      const auto me = static_cast<std::size_t>(node.id());
+      for (const Incoming& in : node.inbox())
+        if (in.msg.kind == kMinId)
+          best[me] = std::min(best[me], static_cast<NodeId>(in.msg.at(0)));
+      if (best[me] != last_broadcast[me]) {
+        node.broadcast(Message{kMinId, {best[me]}});
+        last_broadcast[me] = best[me];
+      }
+    });
+  } while (net.last_round_sent_messages());
+
+  const NodeId leader = best[0];
+  for (std::size_t v = 0; v < n; ++v)
+    PG_CHECK(best[v] == leader,
+             "leader flood did not converge (disconnected topology?)");
+  return leader;
+}
+
+BfsTree build_bfs_tree(Network& net, NodeId root) {
+  const std::size_t n = net.n();
+  net.topology().check_vertex(root);
+  BfsTree tree;
+  tree.root = root;
+  tree.parent.assign(n, -1);
+  tree.depth.assign(n, -1);
+  tree.children.resize(n);
+  tree.depth[static_cast<std::size_t>(root)] = 0;
+
+  std::vector<bool> announce(n, false);
+  announce[static_cast<std::size_t>(root)] = true;
+  do {
+    net.round([&](NodeView& node) {
+      const auto me = static_cast<std::size_t>(node.id());
+      // Collect adoption notices from children.
+      for (const Incoming& in : node.inbox())
+        if (in.msg.kind == kBfsAdopt) tree.children[me].push_back(in.from);
+      // Join the tree under the smallest-id announcer heard.
+      if (tree.depth[me] == -1) {
+        NodeId best_parent = -1;
+        int parent_depth = 0;
+        for (const Incoming& in : node.inbox()) {
+          if (in.msg.kind != kBfsJoin) continue;
+          if (best_parent == -1 || in.from < best_parent) {
+            best_parent = in.from;
+            parent_depth = static_cast<int>(in.msg.at(0));
+          }
+        }
+        if (best_parent != -1) {
+          tree.parent[me] = best_parent;
+          tree.depth[me] = parent_depth + 1;
+          node.send(best_parent, Message{kBfsAdopt, {}});
+          announce[me] = true;
+          return;  // announce own depth next round
+        }
+      }
+      if (announce[me]) {
+        node.broadcast(Message{kBfsJoin, {tree.depth[me]}});
+        announce[me] = false;
+      }
+    });
+  } while (net.last_round_sent_messages());
+
+  for (std::size_t v = 0; v < n; ++v) {
+    PG_CHECK(tree.depth[v] >= 0, "BFS tree did not reach every node");
+    tree.height = std::max(tree.height, tree.depth[v]);
+  }
+  return tree;
+}
+
+std::vector<std::uint64_t> upcast_tokens(
+    Network& net, const BfsTree& tree,
+    std::vector<std::vector<std::uint64_t>> tokens_per_node) {
+  const std::size_t n = net.n();
+  PG_REQUIRE(tokens_per_node.size() == n, "token list size mismatch");
+  const auto max_token_bits = net.bandwidth() - 8;
+  std::vector<std::deque<std::uint64_t>> queue(n);
+  std::size_t pending = 0;  // tokens not yet received by the root
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::uint64_t token : tokens_per_node[v])
+      PG_REQUIRE(Message::significant_bits(static_cast<std::int64_t>(token)) <=
+                     max_token_bits,
+                 "token too wide for CONGEST bandwidth");
+    queue[v].assign(tokens_per_node[v].begin(), tokens_per_node[v].end());
+    if (v != static_cast<std::size_t>(tree.root)) pending += queue[v].size();
+  }
+
+  std::vector<std::uint64_t> collected(
+      tokens_per_node[static_cast<std::size_t>(tree.root)]);
+  while (pending > 0) {
+    net.round([&](NodeView& node) {
+      const auto me = static_cast<std::size_t>(node.id());
+      for (const Incoming& in : node.inbox()) {
+        if (in.msg.kind != kToken) continue;
+        const auto token = static_cast<std::uint64_t>(in.msg.at(0));
+        if (node.id() == tree.root) {
+          collected.push_back(token);
+          --pending;
+        } else {
+          queue[me].push_back(token);
+        }
+      }
+      if (node.id() != tree.root && !queue[me].empty()) {
+        const auto token = queue[me].front();
+        queue[me].pop_front();
+        node.send(tree.parent[me],
+                  Message{kToken, {static_cast<std::int64_t>(token)}});
+      }
+    });
+  }
+  return collected;
+}
+
+std::vector<std::vector<std::uint64_t>> downcast_tokens(
+    Network& net, const BfsTree& tree,
+    const std::vector<std::uint64_t>& tokens) {
+  const std::size_t n = net.n();
+  const auto max_token_bits = net.bandwidth() - 8;
+  for (std::uint64_t token : tokens)
+    PG_REQUIRE(Message::significant_bits(static_cast<std::int64_t>(token)) <=
+                   max_token_bits,
+               "token too wide for CONGEST bandwidth");
+
+  std::vector<std::deque<std::uint64_t>> queue(n);
+  std::vector<std::vector<std::uint64_t>> received(n);
+  queue[static_cast<std::size_t>(tree.root)].assign(tokens.begin(),
+                                                    tokens.end());
+  received[static_cast<std::size_t>(tree.root)] = tokens;
+
+  do {
+    net.round([&](NodeView& node) {
+      const auto me = static_cast<std::size_t>(node.id());
+      for (const Incoming& in : node.inbox()) {
+        if (in.msg.kind != kToken) continue;
+        const auto token = static_cast<std::uint64_t>(in.msg.at(0));
+        received[me].push_back(token);
+        queue[me].push_back(token);
+      }
+      if (!queue[me].empty()) {
+        const auto token = queue[me].front();
+        queue[me].pop_front();
+        for (NodeId child : tree.children[me])
+          node.send(child, Message{kToken, {static_cast<std::int64_t>(token)}});
+      }
+    });
+  } while (net.last_round_sent_messages());
+
+  for (std::size_t v = 0; v < n; ++v)
+    PG_CHECK(received[v].size() == tokens.size(),
+             "downcast did not deliver all tokens");
+  return received;
+}
+
+}  // namespace pg::congest

@@ -1,0 +1,93 @@
+#include "core/gr_mvc.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "graph/ops.hpp"
+#include "graph/power.hpp"
+#include "solvers/exact_vc.hpp"
+
+namespace pg::core {
+
+using graph::Graph;
+using graph::VertexId;
+using graph::VertexSet;
+
+namespace {
+
+/// Vertices within distance `radius` of `center`, excluding it.
+std::vector<VertexId> ball_around(const Graph& g, VertexId center,
+                                  int radius) {
+  std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::deque<VertexId> queue{center};
+  dist[static_cast<std::size_t>(center)] = 0;
+  std::vector<VertexId> ball;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    if (dist[static_cast<std::size_t>(u)] == radius) continue;
+    for (VertexId w : g.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(w)] != -1) continue;
+      dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(u)] + 1;
+      ball.push_back(w);
+      queue.push_back(w);
+    }
+  }
+  return ball;
+}
+
+}  // namespace
+
+GrMvcResult solve_gr_mvc(const Graph& g, int r, double epsilon,
+                         std::int64_t exact_node_budget) {
+  PG_REQUIRE(r >= 2, "the ball structure needs r >= 2");
+  PG_REQUIRE(epsilon > 0 && epsilon <= 1, "epsilon must lie in (0, 1]");
+  const int l = static_cast<int>(std::ceil(1.0 / epsilon));
+  const int radius = r / 2;
+
+  GrMvcResult result;
+  result.cover = VertexSet(g.num_vertices());
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<bool> in_r(n, true);
+
+  // Phase 1: while some ball B_⌊r/2⌋(c) holds more than l uncovered
+  // vertices, cover the whole ball.  It is a clique of G^r, so any optimal
+  // solution pays at least |ball ∩ R| - 1 there (the Lemma 5 charge).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (VertexId c = 0; c < g.num_vertices(); ++c) {
+      const auto ball = ball_around(g, c, radius);
+      std::vector<VertexId> active;
+      for (VertexId v : ball)
+        if (in_r[static_cast<std::size_t>(v)]) active.push_back(v);
+      if (static_cast<int>(active.size()) <= l) continue;
+      for (VertexId v : active) {
+        in_r[static_cast<std::size_t>(v)] = false;
+        result.cover.insert(v);
+      }
+      ++result.centers;
+      progress = true;
+    }
+  }
+  result.phase1_size = result.cover.size();
+
+  // Phase 2: solve the remainder exactly.  Every ball now holds at most l
+  // uncovered vertices, so the remainder of G^r is sparse.
+  const Graph power = graph::power(g, r);
+  std::vector<VertexId> remainder;
+  for (std::size_t v = 0; v < n; ++v)
+    if (in_r[v]) remainder.push_back(static_cast<VertexId>(v));
+  result.remainder_size = remainder.size();
+  const auto induced = graph::induced_subgraph(power, remainder);
+  const auto exact = solvers::solve_mvc(induced.graph, exact_node_budget);
+  result.remainder_optimal = exact.optimal;
+  for (VertexId local : exact.solution.to_vector())
+    result.cover.insert(induced.to_original[static_cast<std::size_t>(local)]);
+
+  PG_CHECK(graph::is_vertex_cover(power, result.cover),
+           "G^r ball cover is not a vertex cover");
+  return result;
+}
+
+}  // namespace pg::core

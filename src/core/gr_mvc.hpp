@@ -1,0 +1,35 @@
+// Extension: Algorithm 1's structural idea lifted to arbitrary powers G^r.
+//
+// The engine behind Theorem 1 is that neighborhoods of G are cliques of
+// G^2, so covering a whole neighborhood overpays by at most one vertex.
+// The same holds for any r >= 2 with balls of radius ⌊r/2⌋: two vertices
+// within such a ball are at distance <= 2⌊r/2⌋ <= r, i.e. adjacent in G^r.
+// Repeatedly taking balls that still contain more than 1/ε uncovered
+// vertices, then solving the sparse remainder exactly, yields a
+// centralized (1+ε)-approximation for MVC on G^r for every r >= 2 — the
+// natural generalization the paper's Lemma 6 gestures at (its trivial
+// cover is the ε -> 1 endpoint of this algorithm).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/cover.hpp"
+#include "graph/graph.hpp"
+
+namespace pg::core {
+
+struct GrMvcResult {
+  graph::VertexSet cover;     // vertex cover of G^r
+  int centers = 0;            // balls taken in the first phase
+  std::size_t phase1_size = 0;
+  std::size_t remainder_size = 0;  // vertices left for the exact phase
+  bool remainder_optimal = true;
+};
+
+/// (1+ε)-approximate minimum vertex cover of G^r (r >= 2, ε in (0, 1]).
+/// Runs in polynomial time plus an exact solve on the remainder, which the
+/// ball phase has thinned to max ⌊1/ε⌋ uncovered vertices per ball.
+GrMvcResult solve_gr_mvc(const graph::Graph& g, int r, double epsilon,
+                         std::int64_t exact_node_budget = 50'000'000);
+
+}  // namespace pg::core

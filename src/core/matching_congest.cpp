@@ -1,0 +1,92 @@
+#include "core/matching_congest.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace pg::core {
+
+using congest::Incoming;
+using congest::Message;
+using congest::Network;
+using congest::NodeId;
+using congest::NodeView;
+using graph::Graph;
+using graph::VertexId;
+using graph::VertexSet;
+
+namespace {
+constexpr std::uint8_t kPropose = 51;
+constexpr std::uint8_t kMatched = 52;
+}  // namespace
+
+MatchingCongestResult solve_maximal_matching_congest(const Graph& g) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  MatchingCongestResult result;
+  result.cover = VertexSet(g.num_vertices());
+
+  Network net(g);
+  std::vector<bool> matched(n, false);
+  std::vector<NodeId> partner(n, -1);
+  std::vector<std::map<NodeId, bool>> nbr_matched(n);
+  std::vector<NodeId> proposed_to(n, -1);
+
+  // Termination: once no unmatched vertex has an unmatched neighbor, no
+  // proposals are sent and the loop exits (checked globally, as usual).
+  bool any_proposal = true;
+  while (any_proposal) {
+    // Round A: absorb match announcements, then propose to the smallest
+    // unmatched neighbor.
+    any_proposal = false;
+    net.round([&](NodeView& node) {
+      const auto me = static_cast<std::size_t>(node.id());
+      for (const Incoming& in : node.inbox())
+        if (in.msg.kind == kMatched) nbr_matched[me][in.from] = true;
+      proposed_to[me] = -1;
+      if (matched[me]) return;
+      for (NodeId nbr : node.neighbors()) {  // ids are sorted ascending
+        if (!nbr_matched[me].count(nbr)) {
+          proposed_to[me] = nbr;
+          break;
+        }
+      }
+      if (proposed_to[me] != -1) {
+        any_proposal = true;
+        node.send(proposed_to[me], Message{kPropose, {}});
+      }
+    });
+    if (!any_proposal) break;
+
+    // Round B: mutual proposals match; newly matched announce it.
+    net.round([&](NodeView& node) {
+      const auto me = static_cast<std::size_t>(node.id());
+      if (matched[me]) return;
+      bool mutual = false;
+      for (const Incoming& in : node.inbox())
+        if (in.msg.kind == kPropose && in.from == proposed_to[me])
+          mutual = true;
+      if (mutual) {
+        matched[me] = true;
+        partner[me] = proposed_to[me];
+        node.broadcast(Message{kMatched, {}});
+      }
+    });
+    ++result.proposal_rounds;
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!matched[v]) continue;
+    PG_CHECK(partner[static_cast<std::size_t>(partner[v])] ==
+                 static_cast<NodeId>(v),
+             "matching partners disagree");
+    result.cover.insert(static_cast<VertexId>(v));
+    if (static_cast<NodeId>(v) < partner[v])
+      result.matching.emplace_back(static_cast<VertexId>(v), partner[v]);
+  }
+  result.stats = net.stats();
+
+  PG_CHECK(graph::is_vertex_cover(g, result.cover),
+           "matching endpoints failed to cover G");
+  return result;
+}
+
+}  // namespace pg::core

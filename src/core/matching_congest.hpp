@@ -1,0 +1,31 @@
+// Distributed maximal matching in CONGEST — the classic 2-approximation
+// for MVC on the communication graph G itself (Gavril).  Serves as the
+// "rough constant-factor approximation" stage of the Theorem 26 pipeline
+// in distributed form, and as the baseline the paper's related-work
+// section measures G-MVC algorithms against.
+//
+// Protocol (proposal rounds): every unmatched vertex proposes to its
+// smallest-id unmatched neighbor; mutual proposals (or accepted one-sided
+// proposals, resolved by id) create matched pairs, which announce
+// themselves.  Each round matches at least one vertex pair incident to
+// every "locally minimal" edge, so the loop terminates after at most n/2
+// selecting rounds with a maximal matching.
+#pragma once
+
+#include "congest/network.hpp"
+#include "graph/cover.hpp"
+#include "graph/graph.hpp"
+#include "graph/matching.hpp"
+
+namespace pg::core {
+
+struct MatchingCongestResult {
+  std::vector<graph::Edge> matching;  // maximal in G
+  graph::VertexSet cover;             // both endpoints: 2-approx G-MVC
+  congest::RoundStats stats;
+  int proposal_rounds = 0;
+};
+
+MatchingCongestResult solve_maximal_matching_congest(const graph::Graph& g);
+
+}  // namespace pg::core

@@ -1,0 +1,260 @@
+#include "core/mds_congest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "core/estimator.hpp"
+#include "graph/ops.hpp"
+
+namespace pg::core {
+
+using congest::Incoming;
+using congest::Message;
+using congest::Network;
+using congest::NodeId;
+using congest::NodeView;
+using graph::Graph;
+using graph::VertexId;
+using graph::VertexSet;
+
+namespace {
+
+constexpr std::uint8_t kRho = 41;      // field 0: rounded density
+constexpr std::uint8_t kCandDraw = 42; // fields: r_v
+constexpr std::uint8_t kMinCand = 43;  // fields: best (r, id) within 1 hop
+constexpr std::uint8_t kVoteW = 44;    // fields: candidate id, quantized draw
+constexpr std::uint8_t kVoteMin = 45;  // fields: quantized min (to candidate)
+constexpr std::uint8_t kJoined = 46;   // sender joined the dominating set
+constexpr std::uint8_t kCovered1 = 47; // sender is within 1 hop of the set
+
+std::int64_t round_up_to_power_of_two(double x) {
+  if (x < 0.75) return 0;
+  std::int64_t p = 1;
+  while (static_cast<double>(p) < x) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+MdsCongestResult solve_g2_mds_congest(const Graph& g, Rng& rng,
+                                      const MdsCongestConfig& config) {
+  PG_REQUIRE(graph::is_connected(g), "Theorem 28 assumes a connected network");
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  MdsCongestResult result;
+  result.dominating_set = VertexSet(g.num_vertices());
+  if (n == 0) return result;
+  if (n == 1) {
+    result.dominating_set.insert(0);
+    return result;
+  }
+
+  const int log_n =
+      static_cast<int>(std::ceil(std::log2(static_cast<double>(n))));
+  const int max_phases =
+      config.max_phases > 0 ? config.max_phases : 40 * (log_n + 1);
+  const std::uint64_t r_range = static_cast<std::uint64_t>(n) * n * n * n;
+
+  Network net(g);
+
+  std::vector<bool> covered(n, false);
+  std::vector<std::int64_t> rho(n, 0);
+  std::vector<NodeId> vote_of(n, -1);
+
+  // Fixed-point quantizer settings mirrored from the estimator: the voting
+  // minima reuse the same idea but carry an explicit candidate id.
+  // The voting message carries a candidate id (≈ bandwidth/16 bits) next
+  // to the sample, so its fixed-point payload is a little narrower.
+  const int qbits =
+      std::clamp(net.bandwidth() - 9 - net.bandwidth() / 16 - 1, 6, 32);
+  const std::int64_t qscale = std::int64_t{1} << (qbits - 4);
+  const std::int64_t qinf = (std::int64_t{1} << qbits) - 1;
+  auto qencode = [&](double w) {
+    const double scaled = w * static_cast<double>(qscale);
+    if (scaled >= static_cast<double>(qinf)) return qinf;
+    return std::max<std::int64_t>(1, static_cast<std::int64_t>(scaled));
+  };
+  auto qdecode = [&](std::int64_t q) {
+    return static_cast<double>(q) / static_cast<double>(qscale);
+  };
+  const int samples =
+      config.estimator_samples > 0 ? config.estimator_samples : 3 * log_n + 8;
+
+  auto all_covered = [&]() {
+    return std::all_of(covered.begin(), covered.end(),
+                       [](bool c) { return c; });
+  };
+
+  while (!all_covered() && result.phases < max_phases) {
+    ++result.phases;
+
+    // --- step 1: estimate densities --------------------------------------
+    std::vector<bool> uncovered(n);
+    for (std::size_t v = 0; v < n; ++v) uncovered[v] = !covered[v];
+    const EstimateResult density =
+        estimate_two_hop_counts(net, uncovered, rng, config.estimator_samples);
+    for (std::size_t v = 0; v < n; ++v)
+      rho[v] = round_up_to_power_of_two(density.estimate[v]);
+
+    // --- step 2: candidates = 4-hop maxima of ρ ---------------------------
+    std::vector<std::int64_t> best_rho(rho.begin(), rho.end());
+    for (int hop = 0; hop < 4; ++hop) {
+      net.round([&](NodeView& node) {
+        const auto me = static_cast<std::size_t>(node.id());
+        for (const Incoming& in : node.inbox())
+          if (in.msg.kind == kRho)
+            best_rho[me] = std::max(best_rho[me], in.msg.at(0));
+        node.broadcast(Message{kRho, {best_rho[me]}});
+      });
+    }
+    net.round([&](NodeView& node) {  // absorb the last hop
+      const auto me = static_cast<std::size_t>(node.id());
+      for (const Incoming& in : node.inbox())
+        if (in.msg.kind == kRho)
+          best_rho[me] = std::max(best_rho[me], in.msg.at(0));
+    });
+    std::vector<bool> is_candidate(n, false);
+    for (std::size_t v = 0; v < n; ++v)
+      is_candidate[v] = rho[v] >= 1 && rho[v] >= best_rho[v];
+
+    // --- step 3: voting ----------------------------------------------------
+    std::vector<std::int64_t> draw(n, -1);
+    std::vector<std::vector<NodeId>> candidate_neighbors(n);
+    net.round([&](NodeView& node) {
+      const auto me = static_cast<std::size_t>(node.id());
+      candidate_neighbors[me].clear();
+      if (is_candidate[me]) {
+        draw[me] = static_cast<std::int64_t>(rng.next_below(r_range));
+        node.broadcast(Message{kCandDraw, {draw[me]}});
+      }
+    });
+    // best (r, id) seen within 1 hop, then spread one more hop.
+    std::vector<std::pair<std::int64_t, NodeId>> best1(
+        n, {std::numeric_limits<std::int64_t>::max(), -1});
+    net.round([&](NodeView& node) {
+      const auto me = static_cast<std::size_t>(node.id());
+      auto& best = best1[me];
+      if (is_candidate[me]) best = {draw[me], node.id()};
+      for (const Incoming& in : node.inbox())
+        if (in.msg.kind == kCandDraw) {
+          candidate_neighbors[me].push_back(in.from);
+          best = std::min(best, {in.msg.at(0), in.from});
+        }
+      if (best.second != -1)
+        node.broadcast(Message{kMinCand, {best.first, best.second}});
+    });
+    net.round([&](NodeView& node) {
+      const auto me = static_cast<std::size_t>(node.id());
+      auto best = best1[me];
+      for (const Incoming& in : node.inbox())
+        if (in.msg.kind == kMinCand)
+          best = std::min(best, {in.msg.at(0),
+                                 static_cast<NodeId>(in.msg.at(1))});
+      vote_of[me] = covered[me] ? -1 : best.second;
+    });
+
+    // --- step 4: estimate votes per candidate (3-round cadence) -----------
+    std::vector<double> vote_sum(n, 0.0);
+    std::vector<int> vote_samples_seen(n, 0);
+    std::vector<std::int64_t> voter_draw(n, qinf);
+    std::vector<std::map<NodeId, std::int64_t>> forward_min(n);
+    for (int j = 0; j < samples; ++j) {
+      // r1: voters broadcast (candidate, draw).
+      net.round([&](NodeView& node) {
+        const auto me = static_cast<std::size_t>(node.id());
+        voter_draw[me] = qinf;
+        if (vote_of[me] == -1) return;
+        voter_draw[me] = qencode(rng.next_exponential());
+        node.broadcast(Message{kVoteW, {vote_of[me], voter_draw[me]}});
+      });
+      // r2: forwarders compute per-candidate minima; candidates absorb
+      // direct votes.
+      net.round([&](NodeView& node) {
+        const auto me = static_cast<std::size_t>(node.id());
+        auto& mins = forward_min[me];
+        mins.clear();
+        std::int64_t direct = qinf;
+        if (vote_of[me] == static_cast<NodeId>(node.id()) &&
+            vote_of[me] != -1)
+          direct = std::min(direct, voter_draw[me]);
+        for (const Incoming& in : node.inbox()) {
+          if (in.msg.kind != kVoteW) continue;
+          const auto cand = static_cast<NodeId>(in.msg.at(0));
+          const std::int64_t q = in.msg.at(1);
+          if (cand == node.id()) {
+            direct = std::min(direct, q);
+            continue;
+          }
+          auto [it, inserted] = mins.try_emplace(cand, q);
+          if (!inserted) it->second = std::min(it->second, q);
+        }
+        // Stash the direct minimum under our own id for round 3.
+        if (is_candidate[me]) mins[node.id()] = direct;
+        for (NodeId cand : candidate_neighbors[me]) {
+          auto it = mins.find(cand);
+          if (it != mins.end())
+            node.send(cand, Message{kVoteMin, {it->second}});
+        }
+      });
+      // r3: candidates fold direct + forwarded minima into the estimate.
+      net.round([&](NodeView& node) {
+        const auto me = static_cast<std::size_t>(node.id());
+        if (!is_candidate[me]) return;
+        std::int64_t best = forward_min[me].count(node.id())
+                                ? forward_min[me][node.id()]
+                                : qinf;
+        for (const Incoming& in : node.inbox())
+          if (in.msg.kind == kVoteMin) best = std::min(best, in.msg.at(0));
+        if (best < qinf) {
+          vote_sum[me] += qdecode(best);
+          ++vote_samples_seen[me];
+        }
+      });
+    }
+
+    // --- step 5: join and flood coverage ----------------------------------
+    net.round([&](NodeView& node) {
+      const auto me = static_cast<std::size_t>(node.id());
+      if (!is_candidate[me]) return;
+      const double votes = vote_sum[me] > 0
+                               ? static_cast<double>(samples) / vote_sum[me]
+                               : 0.0;
+      if (votes + 1e-12 >= density.estimate[me] / 8.0 && votes > 0) {
+        result.dominating_set.insert(node.id());
+        covered[me] = true;
+        node.broadcast(Message{kJoined, {}});
+      }
+    });
+    net.round([&](NodeView& node) {
+      const auto me = static_cast<std::size_t>(node.id());
+      bool near = result.dominating_set.contains(node.id());
+      for (const Incoming& in : node.inbox())
+        if (in.msg.kind == kJoined) near = true;
+      if (near) {
+        covered[me] = true;
+        node.broadcast(Message{kCovered1, {}});
+      }
+    });
+    net.round([&](NodeView& node) {
+      const auto me = static_cast<std::size_t>(node.id());
+      for (const Incoming& in : node.inbox())
+        if (in.msg.kind == kCovered1) covered[me] = true;
+    });
+  }
+
+  if (!all_covered()) {
+    // Deterministic safety net: uncovered vertices dominate themselves.
+    result.used_fallback = true;
+    for (std::size_t v = 0; v < n; ++v)
+      if (!covered[v]) {
+        result.dominating_set.insert(static_cast<VertexId>(v));
+        covered[v] = true;
+      }
+  }
+
+  result.stats = net.stats();
+  return result;
+}
+
+}  // namespace pg::core

@@ -1,0 +1,45 @@
+// Theorem 28: a randomized CONGEST algorithm computing an O(log Δ)-approx
+// minimum dominating set of G^2 in poly log n rounds, by simulating the
+// [CD18] MDS algorithm on G^2 with only constant-factor slowdown.
+//
+// Each phase (Section 6.1):
+//  1. every vertex estimates its density C_v = |uncovered ∩ N^2[v]| with the
+//     Lemma 29 estimator and rounds it up to a power of two (ρ_v);
+//  2. vertices whose ρ is maximal in their 4-hop neighborhood (= 2 hops in
+//     G^2) become candidates;
+//  3. candidates draw r_v ∈ [n^4]; every uncovered vertex votes for the
+//     (r, id)-minimal candidate within 2 hops;
+//  4. vote counts are estimated per candidate (the candidates partition the
+//     voters, so the estimator runs for all candidates in parallel, with
+//     per-candidate minima forwarded point-to-point);
+//  5. a candidate with ≥ C̃_v/8 estimated votes joins the dominating set;
+//     coverage floods 2 hops.
+// A deterministic safety net caps the number of phases and lets any still
+// uncovered vertex join the set itself (keeps the output always valid).
+#pragma once
+
+#include <cstdint>
+
+#include "congest/network.hpp"
+#include "graph/cover.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace pg::core {
+
+struct MdsCongestConfig {
+  int estimator_samples = 0;  // <=0: default 3⌈log2 n⌉+8
+  int max_phases = 0;         // <=0: default 40·(⌈log2 n⌉+1)
+};
+
+struct MdsCongestResult {
+  graph::VertexSet dominating_set;
+  congest::RoundStats stats;
+  int phases = 0;
+  bool used_fallback = false;  // some vertices self-joined at the cap
+};
+
+MdsCongestResult solve_g2_mds_congest(const graph::Graph& g, Rng& rng,
+                                      const MdsCongestConfig& config = {});
+
+}  // namespace pg::core

@@ -1,0 +1,175 @@
+#include "core/mvc_centralized.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/power.hpp"
+
+namespace pg::core {
+
+using graph::Graph;
+using graph::VertexId;
+using graph::VertexSet;
+
+namespace {
+
+/// Mutable working copy of the graph with vertex/edge deletion.
+class WorkGraph {
+ public:
+  explicit WorkGraph(const Graph& g)
+      : adj_(static_cast<std::size_t>(g.num_vertices())),
+        alive_(static_cast<std::size_t>(g.num_vertices()), true) {
+    g.for_each_edge([&](VertexId u, VertexId v) {
+      adj_[static_cast<std::size_t>(u)].insert(v);
+      adj_[static_cast<std::size_t>(v)].insert(u);
+    });
+  }
+
+  VertexId n() const { return static_cast<VertexId>(adj_.size()); }
+  bool alive(VertexId v) const { return alive_[static_cast<std::size_t>(v)]; }
+  const std::set<VertexId>& neighbors(VertexId v) const {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+  std::size_t degree(VertexId v) const {
+    return adj_[static_cast<std::size_t>(v)].size();
+  }
+
+  void remove_vertex(VertexId v) {
+    if (!alive_[static_cast<std::size_t>(v)]) return;
+    alive_[static_cast<std::size_t>(v)] = false;
+    for (VertexId u : adj_[static_cast<std::size_t>(v)])
+      adj_[static_cast<std::size_t>(u)].erase(v);
+    adj_[static_cast<std::size_t>(v)].clear();
+  }
+
+  bool has_edge(VertexId u, VertexId v) const {
+    return adj_[static_cast<std::size_t>(u)].count(v) > 0;
+  }
+
+ private:
+  std::vector<std::set<VertexId>> adj_;
+  std::vector<bool> alive_;
+};
+
+/// Finds one triangle (u < v < w by scan order) or returns false.
+bool find_triangle(const WorkGraph& g, VertexId& a, VertexId& b, VertexId& c) {
+  for (VertexId u = 0; u < g.n(); ++u) {
+    if (!g.alive(u)) continue;
+    const auto& nbrs = g.neighbors(u);
+    for (auto it = nbrs.begin(); it != nbrs.end(); ++it)
+      for (auto jt = std::next(it); jt != nbrs.end(); ++jt)
+        if (g.has_edge(*it, *jt)) {
+          a = u;
+          b = *it;
+          c = *jt;
+          return true;
+        }
+  }
+  return false;
+}
+
+/// Lowest-degree alive vertex with degree <= 3, preferring lower degree
+/// (the paper's rule precedence: degree 1 before 2 before 3); degree-0
+/// vertices are removed on sight.
+VertexId find_low_degree_vertex(WorkGraph& g) {
+  for (std::size_t want = 1; want <= 3; ++want) {
+    for (VertexId v = 0; v < g.n(); ++v) {
+      if (!g.alive(v)) continue;
+      if (g.degree(v) == 0) {
+        g.remove_vertex(v);
+        continue;
+      }
+      if (g.degree(v) == want) return v;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+VertexSet five_thirds_cover(const Graph& h, LocalRatioParts* parts) {
+  WorkGraph work(h);
+  VertexSet cover(h.num_vertices());
+  LocalRatioParts sizes;
+
+  auto take = [&](VertexId v, std::size_t& counter) {
+    PG_CHECK(work.alive(v), "taking a removed vertex into the cover");
+    cover.insert(v);
+    ++counter;
+    work.remove_vertex(v);
+  };
+
+  // --- part 1: triangles -------------------------------------------------
+  VertexId a = -1, b = -1, c = -1;
+  while (find_triangle(work, a, b, c)) {
+    take(a, sizes.s1);
+    take(b, sizes.s1);
+    take(c, sizes.s1);
+  }
+
+  // --- part 2: degrees 1..3 ----------------------------------------------
+  for (;;) {
+    const VertexId x = find_low_degree_vertex(work);
+    if (x == -1) break;
+    const std::size_t deg = work.degree(x);
+    std::vector<VertexId> nbrs(work.neighbors(x).begin(),
+                               work.neighbors(x).end());
+    if (deg == 1) {
+      take(nbrs[0], sizes.s2);
+    } else if (deg == 2) {
+      const VertexId y1 = nbrs[0], y2 = nbrs[1];
+      // No degree-1 vertices exist, so y1 has a neighbor z != x; z != y2
+      // because the graph is triangle-free after part 1.
+      VertexId z = -1;
+      for (VertexId cand : work.neighbors(y1))
+        if (cand != x) {
+          z = cand;
+          break;
+        }
+      PG_CHECK(z != -1 && z != y2, "part-2 degree-2 witness missing");
+      take(z, sizes.s2);
+      if (work.alive(y1)) take(y1, sizes.s2);
+      if (work.alive(y2)) take(y2, sizes.s2);
+    } else {  // deg == 3
+      const VertexId y1 = nbrs[0], y2 = nbrs[1], y3 = nbrs[2];
+      // All degrees are >= 3 here, so y1 and y2 have spare neighbors; z1,z2
+      // avoid {x, y1, y2, y3} by triangle-freeness, and can be made distinct.
+      VertexId z1 = -1;
+      for (VertexId cand : work.neighbors(y1))
+        if (cand != x) {
+          z1 = cand;
+          break;
+        }
+      VertexId z2 = -1;
+      for (VertexId cand : work.neighbors(y2))
+        if (cand != x && cand != z1) {
+          z2 = cand;
+          break;
+        }
+      PG_CHECK(z1 != -1 && z2 != -1, "part-2 degree-3 witnesses missing");
+      take(y1, sizes.s2);
+      if (work.alive(y2)) take(y2, sizes.s2);
+      if (work.alive(y3)) take(y3, sizes.s2);
+      if (work.alive(z1)) take(z1, sizes.s2);
+      if (work.alive(z2)) take(z2, sizes.s2);
+    }
+  }
+
+  // --- part 3: maximal matching on the min-degree-4 remainder -------------
+  for (VertexId u = 0; u < work.n(); ++u) {
+    if (!work.alive(u) || work.degree(u) == 0) continue;
+    const VertexId v = *work.neighbors(u).begin();
+    take(u, sizes.s3);
+    if (work.alive(v)) take(v, sizes.s3);
+  }
+
+  if (parts != nullptr) *parts = sizes;
+  return cover;
+}
+
+VertexSet five_thirds_mvc_of_square(const Graph& g, LocalRatioParts* parts) {
+  return five_thirds_cover(graph::square(g), parts);
+}
+
+}  // namespace pg::core

@@ -1,0 +1,38 @@
+// Theorem 12 / Algorithm 2: a centralized polynomial-time 5/3-approximation
+// for minimum vertex cover on G^2.
+//
+// Three local-ratio parts:
+//   part 1 — repeatedly take whole triangles (pay 3, OPT pays >= 2);
+//   part 2 — resolve vertices of degree <= 3 with the hand-crafted rules of
+//            the paper (pay {1,3,5}, OPT pays {1,2,3});
+//   part 3 — 2-approximate the (now min-degree-4, triangle-free) rest via a
+//            maximal matching.
+// The 5/3 bound follows because part 1 is large relative to part 3
+// (Lemma 14: s1 >= (3/2)|V_R'|), letting the sloppy part-3 factor be
+// amortized (proof of Theorem 12).
+#pragma once
+
+#include "graph/cover.hpp"
+#include "graph/graph.hpp"
+
+namespace pg::core {
+
+struct LocalRatioParts {
+  std::size_t s1 = 0;  // vertices taken by the triangle part
+  std::size_t s2 = 0;  // vertices taken by the low-degree part
+  std::size_t s3 = 0;  // vertices taken by the matching part
+};
+
+/// Runs Algorithm 2 on `h` — the graph whose edges must be covered.  The
+/// 5/3 guarantee of Theorem 12 is proven when `h` is the square of some
+/// graph; the algorithm itself is well-defined (and a valid <=2-approx) on
+/// any graph.
+graph::VertexSet five_thirds_cover(const graph::Graph& h,
+                                   LocalRatioParts* parts = nullptr);
+
+/// Convenience wrapper: squares `g` and covers the square (the Theorem 12
+/// setting; the returned set is a vertex cover of G^2).
+graph::VertexSet five_thirds_mvc_of_square(const graph::Graph& g,
+                                           LocalRatioParts* parts = nullptr);
+
+}  // namespace pg::core

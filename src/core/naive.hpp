@@ -1,0 +1,33 @@
+// The naive CONGEST baseline the paper repeatedly contrasts against: ship
+// the *entire* graph to a leader over a BFS tree (Θ(m + D) rounds, i.e.
+// Θ(n^2) on dense graphs), solve the problem locally, broadcast the
+// answer.  Exact and always applicable — just slow, which is precisely the
+// gap Theorems 1 and 28 close.
+#pragma once
+
+#include <cstdint>
+
+#include "congest/network.hpp"
+#include "graph/cover.hpp"
+#include "graph/graph.hpp"
+
+namespace pg::core {
+
+enum class NaiveProblem {
+  kMvcOnSquare,  // exact minimum vertex cover of G^2
+  kMdsOnSquare,  // exact minimum dominating set of G^2
+};
+
+struct NaiveResult {
+  graph::VertexSet solution;
+  congest::RoundStats stats;
+  bool optimal = true;  // false if the leader's solver ran out of budget
+};
+
+/// Gathers G at a leader, solves `problem` on G^2 exactly, and broadcasts
+/// the answer; every round is simulated and counted.
+NaiveResult solve_naively_in_congest(
+    const graph::Graph& g, NaiveProblem problem,
+    std::int64_t exact_node_budget = 50'000'000);
+
+}  // namespace pg::core

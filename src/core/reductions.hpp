@@ -1,0 +1,68 @@
+// Dangling-path reductions between problems on G and on squares, and the
+// Theorem 26 conditional-hardness pipeline.
+//
+//  * reduce_mvc_to_square (Theorems 26/44): every edge e = {u,v} of G is
+//    replaced by a 3-vertex dangling path p1-p2-p3 with p1 adjacent to both
+//    u and v.  Then VC(H^2) = VC(G) + 2|E(G)| and any VC of H^2 restricted
+//    to the original vertices covers G.
+//
+//  * reduce_mds_to_square (Theorem 45): same per-edge gadgets, but merged —
+//    each edge keeps private p1,p2 while all gadgets share one common tail
+//    3-4-5.  Then MDS(H^2) = MDS(G) + 1.
+//
+//  * conditional_mvc_approx (Theorem 26): converts any (1+ε)-approximation
+//    for G^2-MVC into a (1+δ)-approximation for G-MVC: take a rough
+//    2-approximation; if the optimum is small (γ < β) solve exactly with
+//    the parameterized solver ([BBiKS19] stand-in), otherwise run the G^2
+//    algorithm on the gadget graph H with ε = δ·n^β/(3m) and keep the
+//    original vertices of its cover.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/cover.hpp"
+#include "graph/graph.hpp"
+
+namespace pg::core {
+
+struct SquareReduction {
+  graph::Graph h;
+  graph::VertexId original_vertices = 0;  // ids [0, n) of h are V(G)
+  std::size_t num_gadgets = 0;            // = |E(G)| for both reductions
+};
+
+/// Theorem 26/44 gadget graph: VC(H^2) = VC(G) + 2|E(G)|.
+SquareReduction reduce_mvc_to_square(const graph::Graph& g);
+
+/// Theorem 45 gadget graph (merged tail): MDS(H^2) = MDS(G) + 1.
+/// Requires |E(G)| >= 1.
+SquareReduction reduce_mds_to_square(const graph::Graph& g);
+
+/// Restricts a vertex cover of H^2 to the original vertices; the result is
+/// always a vertex cover of G (every G-edge is an H^2-edge between
+/// originals whose gadget neighbors cover nothing across it).
+graph::VertexSet restrict_cover_to_original(const SquareReduction& reduction,
+                                            const graph::VertexSet& h2_cover);
+
+struct ConditionalResult {
+  graph::VertexSet cover;                // vertex cover of G
+  bool used_parameterized_branch = false;  // the γ < β branch
+  double gamma = 0;
+  double beta = 0;
+  double epsilon_used = 0;               // ε handed to the G^2 algorithm
+  std::size_t h_vertices = 0;            // size of the gadget graph (if used)
+  std::int64_t simulated_rounds = 0;     // measured rounds of ALG on H
+};
+
+/// The Theorem 26 pipeline with our Theorem 1 algorithm playing ALG.
+/// `alpha` is the exponent assumed for ALG's O(n^α/ε) running time (ours
+/// is 1); δ ∈ (0,1) is the target approximation slack for G.
+ConditionalResult conditional_mvc_approx(const graph::Graph& g, double delta,
+                                         double alpha = 1.0);
+
+/// Theorem 44's FPTAS-refutation experiment: runs the (1+ε) G^2 algorithm
+/// on the gadget graph with ε = 1/(3|E|); the restricted cover is an
+/// *exact* minimum vertex cover of G.
+graph::VertexSet exact_mvc_via_g2_fptas(const graph::Graph& g);
+
+}  // namespace pg::core

@@ -1,0 +1,93 @@
+#include "graph/cover.hpp"
+
+#include "graph/power.hpp"
+
+namespace pg::graph {
+
+std::vector<VertexId> VertexSet::to_vector() const {
+  std::vector<VertexId> out;
+  out.reserve(size_);
+  for (std::size_t v = 0; v < member_.size(); ++v)
+    if (member_[v]) out.push_back(static_cast<VertexId>(v));
+  return out;
+}
+
+Weight VertexSet::weight(const VertexWeights& w) const {
+  PG_REQUIRE(w.size() == universe_size(), "weights/universe size mismatch");
+  Weight sum = 0;
+  for (std::size_t v = 0; v < member_.size(); ++v)
+    if (member_[v]) sum += w[static_cast<VertexId>(v)];
+  return sum;
+}
+
+bool is_vertex_cover(const Graph& g, const VertexSet& s) {
+  PG_REQUIRE(s.universe_size() == g.num_vertices(), "set/graph size mismatch");
+  bool ok = true;
+  g.for_each_edge([&](VertexId u, VertexId v) {
+    if (!s.contains(u) && !s.contains(v)) ok = false;
+  });
+  return ok;
+}
+
+bool is_independent_set(const Graph& g, const VertexSet& s) {
+  PG_REQUIRE(s.universe_size() == g.num_vertices(), "set/graph size mismatch");
+  bool ok = true;
+  g.for_each_edge([&](VertexId u, VertexId v) {
+    if (s.contains(u) && s.contains(v)) ok = false;
+  });
+  return ok;
+}
+
+bool is_dominating_set(const Graph& g, const VertexSet& s) {
+  PG_REQUIRE(s.universe_size() == g.num_vertices(), "set/graph size mismatch");
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (s.contains(v)) continue;
+    bool dominated = false;
+    for (VertexId w : g.neighbors(v))
+      if (s.contains(w)) {
+        dominated = true;
+        break;
+      }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+bool is_vertex_cover_of_square(const Graph& g, const VertexSet& s) {
+  PG_REQUIRE(s.universe_size() == g.num_vertices(), "set/graph size mismatch");
+  // An uncovered G^2-edge is a pair u,v not in s with dist(u,v) <= 2.  It is
+  // enough to check, for every vertex w, that the set of non-members in
+  // N[w] has at most one element that is... simpler: check directly.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (s.contains(u)) continue;
+    // Direct neighbors.
+    for (VertexId v : g.neighbors(u))
+      if (v > u && !s.contains(v)) return false;
+    // Two-hop neighbors.
+    for (VertexId mid : g.neighbors(u))
+      for (VertexId v : g.neighbors(mid))
+        if (v > u && v != u && !s.contains(v)) return false;
+  }
+  return true;
+}
+
+bool is_dominating_set_of_square(const Graph& g, const VertexSet& s) {
+  PG_REQUIRE(s.universe_size() == g.num_vertices(), "set/graph size mismatch");
+  // Mark everything within distance 2 of a member.
+  std::vector<bool> dominated(static_cast<std::size_t>(g.num_vertices()),
+                              false);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!s.contains(v)) continue;
+    dominated[static_cast<std::size_t>(v)] = true;
+    for (VertexId u : g.neighbors(v)) {
+      dominated[static_cast<std::size_t>(u)] = true;
+      for (VertexId w : g.neighbors(u))
+        dominated[static_cast<std::size_t>(w)] = true;
+    }
+  }
+  for (bool d : dominated)
+    if (!d) return false;
+  return true;
+}
+
+}  // namespace pg::graph

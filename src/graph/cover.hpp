@@ -1,0 +1,58 @@
+// Validity checkers for vertex covers, independent sets, and dominating
+// sets, both on a graph and on its (non-materialized) square/power.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pg::graph {
+
+/// A vertex subset as a membership vector plus convenience accessors.
+class VertexSet {
+ public:
+  VertexSet() = default;
+  explicit VertexSet(VertexId n) : member_(static_cast<std::size_t>(n), false) {}
+  VertexSet(VertexId n, std::span<const VertexId> vertices) : VertexSet(n) {
+    for (VertexId v : vertices) insert(v);
+  }
+
+  VertexId universe_size() const { return static_cast<VertexId>(member_.size()); }
+  bool contains(VertexId v) const {
+    PG_REQUIRE(v >= 0 && v < universe_size(), "vertex out of range");
+    return member_[static_cast<std::size_t>(v)];
+  }
+  void insert(VertexId v) {
+    PG_REQUIRE(v >= 0 && v < universe_size(), "vertex out of range");
+    if (!member_[static_cast<std::size_t>(v)]) {
+      member_[static_cast<std::size_t>(v)] = true;
+      ++size_;
+    }
+  }
+  void erase(VertexId v) {
+    PG_REQUIRE(v >= 0 && v < universe_size(), "vertex out of range");
+    if (member_[static_cast<std::size_t>(v)]) {
+      member_[static_cast<std::size_t>(v)] = false;
+      --size_;
+    }
+  }
+  std::size_t size() const { return size_; }
+  std::vector<VertexId> to_vector() const;
+  Weight weight(const VertexWeights& w) const;
+
+ private:
+  std::vector<bool> member_;
+  std::size_t size_ = 0;
+};
+
+bool is_vertex_cover(const Graph& g, const VertexSet& s);
+bool is_independent_set(const Graph& g, const VertexSet& s);
+bool is_dominating_set(const Graph& g, const VertexSet& s);
+
+/// Checks that `s` covers every edge of G^2 without materializing G^2.
+bool is_vertex_cover_of_square(const Graph& g, const VertexSet& s);
+
+/// Checks that every vertex is within distance 2 (in G) of a member of `s`.
+bool is_dominating_set_of_square(const Graph& g, const VertexSet& s);
+
+}  // namespace pg::graph

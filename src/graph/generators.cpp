@@ -1,0 +1,146 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "graph/ops.hpp"
+
+namespace pg::graph {
+
+Graph path_graph(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return std::move(b).build();
+}
+
+Graph cycle_graph(VertexId n) {
+  PG_REQUIRE(n >= 3, "cycle needs at least 3 vertices");
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  return std::move(b).build();
+}
+
+Graph complete_graph(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+Graph star_graph(VertexId leaves) {
+  GraphBuilder b(leaves + 1);
+  for (VertexId v = 1; v <= leaves; ++v) b.add_edge(0, v);
+  return std::move(b).build();
+}
+
+Graph grid_graph(VertexId rows, VertexId cols) {
+  PG_REQUIRE(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r)
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  return std::move(b).build();
+}
+
+Graph gnp(VertexId n, double p, Rng& rng) {
+  PG_REQUIRE(p >= 0.0 && p <= 1.0, "edge probability must be in [0,1]");
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v)
+      if (rng.next_bool(p)) b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+namespace {
+
+/// Adds one edge between consecutive components (by smallest member) so the
+/// result is connected while changing the graph as little as possible.
+Graph connect_components(const Graph& g) {
+  const auto comp = connected_components(g);
+  if (comp.count <= 1) return g;
+  std::vector<VertexId> representative(static_cast<std::size_t>(comp.count),
+                                       -1);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto c = static_cast<std::size_t>(comp.component[static_cast<std::size_t>(v)]);
+    if (representative[c] == -1) representative[c] = v;
+  }
+  GraphBuilder b(g.num_vertices());
+  g.for_each_edge([&](VertexId u, VertexId v) { b.add_edge(u, v); });
+  for (std::size_t c = 0; c + 1 < representative.size(); ++c)
+    b.add_edge(representative[c], representative[c + 1]);
+  return std::move(b).build();
+}
+
+}  // namespace
+
+Graph connected_gnp(VertexId n, double p, Rng& rng) {
+  return connect_components(gnp(n, p, rng));
+}
+
+Graph random_tree(VertexId n, Rng& rng) {
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v)
+    b.add_edge(v, static_cast<VertexId>(rng.next_below(
+                      static_cast<std::uint64_t>(v))));
+  return std::move(b).build();
+}
+
+Graph unit_disk(VertexId n, double radius, Rng& rng) {
+  PG_REQUIRE(radius > 0.0, "disk radius must be positive");
+  std::vector<double> x(static_cast<std::size_t>(n)),
+      y(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+    x[i] = rng.next_double();
+    y[i] = rng.next_double();
+  }
+  const double r2 = radius * radius;
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) {
+      const double dx = x[static_cast<std::size_t>(u)] - x[static_cast<std::size_t>(v)];
+      const double dy = y[static_cast<std::size_t>(u)] - y[static_cast<std::size_t>(v)];
+      if (dx * dx + dy * dy <= r2) b.add_edge(u, v);
+    }
+  return std::move(b).build();
+}
+
+Graph connected_unit_disk(VertexId n, double radius, Rng& rng) {
+  return connect_components(unit_disk(n, radius, rng));
+}
+
+Graph caterpillar(VertexId spine, VertexId legs) {
+  PG_REQUIRE(spine >= 1 && legs >= 0, "invalid caterpillar parameters");
+  GraphBuilder b(spine + spine * legs);
+  for (VertexId s = 0; s + 1 < spine; ++s) b.add_edge(s, s + 1);
+  VertexId next = spine;
+  for (VertexId s = 0; s < spine; ++s)
+    for (VertexId leg = 0; leg < legs; ++leg) b.add_edge(s, next++);
+  return std::move(b).build();
+}
+
+Graph barbell(VertexId k, VertexId bridge) {
+  PG_REQUIRE(k >= 1 && bridge >= 1, "invalid barbell parameters");
+  // Vertices: [0,k) left clique, [k, k+bridge-1) path interior,
+  // [k+bridge-1, 2k+bridge-1) right clique.
+  const VertexId n = 2 * k + bridge - 1;
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < k; ++u)
+    for (VertexId v = u + 1; v < k; ++v) b.add_edge(u, v);
+  const VertexId right = k + bridge - 1;
+  for (VertexId u = right; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  // Path from vertex k-1 (left clique) to vertex `right` (right clique).
+  VertexId prev = k - 1;
+  for (VertexId p = k; p <= right; ++p) {
+    b.add_edge(prev, p);
+    prev = p;
+  }
+  return std::move(b).build();
+}
+
+}  // namespace pg::graph

@@ -1,0 +1,38 @@
+// Deterministic graph generators used by tests, examples, and benches.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace pg::graph {
+
+Graph path_graph(VertexId n);
+Graph cycle_graph(VertexId n);
+Graph complete_graph(VertexId n);
+Graph star_graph(VertexId leaves);            // n = leaves + 1, center is 0
+Graph grid_graph(VertexId rows, VertexId cols);
+
+/// Erdős–Rényi G(n, p).
+Graph gnp(VertexId n, double p, Rng& rng);
+
+/// G(n, p) conditioned on connectivity: samples components and then links
+/// consecutive components with one edge (adds < n extra edges).
+Graph connected_gnp(VertexId n, double p, Rng& rng);
+
+/// Uniform random spanning tree (random attachment).
+Graph random_tree(VertexId n, Rng& rng);
+
+/// Unit-disk graph: n points uniform in the unit square, edge iff distance
+/// <= radius.  Models the radio networks of the paper's motivation.
+Graph unit_disk(VertexId n, double radius, Rng& rng);
+
+/// Unit-disk graph conditioned on connectivity (links nearest components).
+Graph connected_unit_disk(VertexId n, double radius, Rng& rng);
+
+/// Caterpillar: a spine path of `spine` vertices, each with `legs` leaves.
+Graph caterpillar(VertexId spine, VertexId legs);
+
+/// Two cliques of size k joined by a path of `bridge` edges.
+Graph barbell(VertexId k, VertexId bridge);
+
+}  // namespace pg::graph

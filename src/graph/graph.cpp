@@ -1,0 +1,73 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace pg::graph {
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  PG_REQUIRE(has_vertex(u) && has_vertex(v), "edge endpoint out of range");
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::build() && {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  const auto n = static_cast<std::size_t>(n_);
+  std::vector<std::size_t> degree(n, 0);
+  for (const Edge& e : edges_) {
+    ++degree[static_cast<std::size_t>(e.u)];
+    ++degree[static_cast<std::size_t>(e.v)];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v)
+    g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+  g.adjacency_.resize(g.offsets_[n]);
+
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    g.adjacency_[cursor[static_cast<std::size_t>(e.u)]++] = e.v;
+    g.adjacency_[cursor[static_cast<std::size_t>(e.v)]++] = e.u;
+  }
+  for (std::size_t v = 0; v < n; ++v)
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  return g;
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v)
+    best = std::max(best, degree(v));
+  return best;
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  check_vertex(u);
+  check_vertex(v);
+  if (u == v) return false;
+  auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for_each_edge([&](VertexId u, VertexId v) { out.emplace_back(u, v); });
+  return out;
+}
+
+Weight VertexWeights::total() const {
+  Weight sum = 0;
+  for (Weight w : weights_) sum += w;
+  return sum;
+}
+
+Weight VertexWeights::total_of(std::span<const VertexId> vertices) const {
+  Weight sum = 0;
+  for (VertexId v : vertices) sum += (*this)[v];
+  return sum;
+}
+
+}  // namespace pg::graph

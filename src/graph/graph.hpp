@@ -1,0 +1,124 @@
+// Simple undirected graph with dense vertex ids 0..n-1.
+//
+// The representation is an immutable sorted adjacency list built through
+// `GraphBuilder`; algorithms that mutate graphs (the centralized solvers)
+// keep their own mutable working copies, so the shared representation can
+// stay cheap to query and safe to share.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pg::graph {
+
+using VertexId = std::int32_t;
+using Weight = std::int64_t;
+
+/// An undirected edge with u < v (normalized on construction).
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+
+  Edge() = default;
+  Edge(VertexId a, VertexId b) : u(a < b ? a : b), v(a < b ? b : a) {
+    PG_REQUIRE(a != b, "self loops are not supported");
+  }
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+class Graph;
+
+/// Incrementally collects edges, then freezes into a Graph.  Duplicate edges
+/// are tolerated and deduplicated.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId n) : n_(n) {
+    PG_REQUIRE(n >= 0, "vertex count must be non-negative");
+  }
+
+  VertexId num_vertices() const { return n_; }
+
+  /// Adds a fresh vertex and returns its id.
+  VertexId add_vertex() { return n_++; }
+
+  void add_edge(VertexId u, VertexId v);
+  bool has_vertex(VertexId v) const { return v >= 0 && v < n_; }
+
+  Graph build() &&;
+
+ private:
+  VertexId n_;
+  std::vector<Edge> edges_;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  VertexId num_vertices() const { return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1); }
+  std::size_t num_edges() const { return adjacency_.size() / 2; }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    check_vertex(v);
+    return {adjacency_.data() + offsets_[static_cast<std::size_t>(v)],
+            adjacency_.data() + offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  std::size_t degree(VertexId v) const { return neighbors(v).size(); }
+  std::size_t max_degree() const;
+
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// All edges, each once, with u < v, sorted.
+  std::vector<Edge> edges() const;
+
+  /// Calls fn(u, v) once per edge with u < v.
+  template <typename Fn>
+  void for_each_edge(Fn&& fn) const {
+    for (VertexId u = 0; u < num_vertices(); ++u)
+      for (VertexId v : neighbors(u))
+        if (u < v) fn(u, v);
+  }
+
+  void check_vertex(VertexId v) const {
+    PG_REQUIRE(v >= 0 && v < num_vertices(), "vertex id out of range");
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::size_t> offsets_;  // n+1 entries
+  std::vector<VertexId> adjacency_;   // sorted within each vertex range
+};
+
+/// Vertex weights for the weighted problem variants.  Kept separate from
+/// Graph so the same topology can carry different weightings.
+class VertexWeights {
+ public:
+  VertexWeights() = default;
+  explicit VertexWeights(VertexId n, Weight uniform = 1)
+      : weights_(static_cast<std::size_t>(n), uniform) {}
+  explicit VertexWeights(std::vector<Weight> weights)
+      : weights_(std::move(weights)) {}
+
+  VertexId size() const { return static_cast<VertexId>(weights_.size()); }
+  Weight operator[](VertexId v) const {
+    PG_REQUIRE(v >= 0 && v < size(), "weight index out of range");
+    return weights_[static_cast<std::size_t>(v)];
+  }
+  void set(VertexId v, Weight w) {
+    PG_REQUIRE(v >= 0 && v < size(), "weight index out of range");
+    weights_[static_cast<std::size_t>(v)] = w;
+  }
+  Weight total() const;
+  Weight total_of(std::span<const VertexId> vertices) const;
+
+ private:
+  std::vector<Weight> weights_;
+};
+
+}  // namespace pg::graph

@@ -1,0 +1,44 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace pg::graph {
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  g.for_each_edge([&](VertexId u, VertexId v) { out << u << ' ' << v << '\n'; });
+}
+
+Graph read_edge_list(std::istream& in) {
+  VertexId n = 0;
+  std::size_t m = 0;
+  PG_REQUIRE(static_cast<bool>(in >> n >> m), "malformed edge list header");
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    VertexId u = 0, v = 0;
+    PG_REQUIRE(static_cast<bool>(in >> u >> v), "malformed edge list entry");
+    b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+std::string to_dot(const Graph& g, const std::vector<std::string>* labels) {
+  PG_REQUIRE(labels == nullptr ||
+                 static_cast<VertexId>(labels->size()) == g.num_vertices(),
+             "label count must match vertex count");
+  std::ostringstream out;
+  out << "graph G {\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out << "  " << v;
+    if (labels != nullptr) out << " [label=\"" << (*labels)[static_cast<std::size_t>(v)] << "\"]";
+    out << ";\n";
+  }
+  g.for_each_edge(
+      [&](VertexId u, VertexId v) { out << "  " << u << " -- " << v << ";\n"; });
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace pg::graph

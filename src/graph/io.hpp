@@ -1,0 +1,20 @@
+// Plain-text graph serialization: a compact edge-list format and DOT export
+// for visual inspection of the lower-bound gadget constructions.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace pg::graph {
+
+/// Format: first line "n m", then m lines "u v".
+void write_edge_list(const Graph& g, std::ostream& out);
+Graph read_edge_list(std::istream& in);
+
+/// Graphviz DOT.  `labels` (optional, size n) names the vertices.
+std::string to_dot(const Graph& g,
+                   const std::vector<std::string>* labels = nullptr);
+
+}  // namespace pg::graph

@@ -1,0 +1,43 @@
+#include "graph/matching.hpp"
+
+namespace pg::graph {
+
+std::vector<Edge> maximal_matching(const Graph& g) {
+  std::vector<bool> matched(static_cast<std::size_t>(g.num_vertices()), false);
+  std::vector<Edge> matching;
+  g.for_each_edge([&](VertexId u, VertexId v) {
+    if (matched[static_cast<std::size_t>(u)] ||
+        matched[static_cast<std::size_t>(v)])
+      return;
+    matched[static_cast<std::size_t>(u)] = true;
+    matched[static_cast<std::size_t>(v)] = true;
+    matching.emplace_back(u, v);
+  });
+  return matching;
+}
+
+VertexSet matching_vertex_cover(const Graph& g) {
+  VertexSet cover(g.num_vertices());
+  for (const Edge& e : maximal_matching(g)) {
+    cover.insert(e.u);
+    cover.insert(e.v);
+  }
+  return cover;
+}
+
+Weight matching_weighted_vc_lower_bound(const Graph& g,
+                                        const VertexWeights& w) {
+  PG_REQUIRE(w.size() == g.num_vertices(), "weights/graph size mismatch");
+  std::vector<bool> used(static_cast<std::size_t>(g.num_vertices()), false);
+  Weight bound = 0;
+  g.for_each_edge([&](VertexId u, VertexId v) {
+    if (used[static_cast<std::size_t>(u)] || used[static_cast<std::size_t>(v)])
+      return;
+    used[static_cast<std::size_t>(u)] = true;
+    used[static_cast<std::size_t>(v)] = true;
+    bound += std::min(w[u], w[v]);
+  });
+  return bound;
+}
+
+}  // namespace pg::graph

@@ -1,0 +1,24 @@
+// Matchings: used as a 2-approximation for MVC (Gavril) and as a lower
+// bound inside the exact branch-and-bound solvers.
+#pragma once
+
+#include <vector>
+
+#include "graph/cover.hpp"
+#include "graph/graph.hpp"
+
+namespace pg::graph {
+
+/// Greedy maximal matching (first-fit over edges in id order).
+std::vector<Edge> maximal_matching(const Graph& g);
+
+/// Both endpoints of a maximal matching: the classic 2-approximation for
+/// minimum vertex cover.
+VertexSet matching_vertex_cover(const Graph& g);
+
+/// Lower bound on MWVC: greedily picks vertex-disjoint edges, each
+/// contributing min(w(u), w(v)); any cover must pay at least that per edge.
+Weight matching_weighted_vc_lower_bound(const Graph& g,
+                                        const VertexWeights& w);
+
+}  // namespace pg::graph

@@ -1,0 +1,125 @@
+#include "graph/ops.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace pg::graph {
+
+std::vector<int> bfs_distances(const Graph& g, VertexId source) {
+  g.check_vertex(source);
+  std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::deque<VertexId> queue;
+  dist[static_cast<std::size_t>(source)] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId w : g.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(w)] != -1) continue;
+      dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(u)] + 1;
+      queue.push_back(w);
+    }
+  }
+  return dist;
+}
+
+Components connected_components(const Graph& g) {
+  Components result;
+  result.component.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (result.component[static_cast<std::size_t>(v)] != -1) continue;
+    const int id = result.count++;
+    std::deque<VertexId> queue{v};
+    result.component[static_cast<std::size_t>(v)] = id;
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      for (VertexId w : g.neighbors(u)) {
+        if (result.component[static_cast<std::size_t>(w)] != -1) continue;
+        result.component[static_cast<std::size_t>(w)] = id;
+        queue.push_back(w);
+      }
+    }
+  }
+  return result;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  return connected_components(g).count == 1;
+}
+
+int diameter(const Graph& g) {
+  if (g.num_vertices() == 0 || !is_connected(g)) return -1;
+  int best = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    best = std::max(best, *std::max_element(dist.begin(), dist.end()));
+  }
+  return best;
+}
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 std::span<const VertexId> vertices) {
+  InducedSubgraph out;
+  out.to_new.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  out.to_original.assign(vertices.begin(), vertices.end());
+  for (std::size_t i = 0; i < out.to_original.size(); ++i) {
+    const VertexId v = out.to_original[i];
+    g.check_vertex(v);
+    PG_REQUIRE(out.to_new[static_cast<std::size_t>(v)] == -1,
+               "induced_subgraph vertices must be distinct");
+    out.to_new[static_cast<std::size_t>(v)] = static_cast<VertexId>(i);
+  }
+  GraphBuilder b(static_cast<VertexId>(out.to_original.size()));
+  for (std::size_t i = 0; i < out.to_original.size(); ++i)
+    for (VertexId w : g.neighbors(out.to_original[i])) {
+      const VertexId j = out.to_new[static_cast<std::size_t>(w)];
+      if (j != -1 && static_cast<VertexId>(i) < j)
+        b.add_edge(static_cast<VertexId>(i), j);
+    }
+  out.graph = std::move(b).build();
+  return out;
+}
+
+int degeneracy(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<int> deg(n);
+  std::size_t max_deg = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    deg[v] = static_cast<int>(g.degree(static_cast<VertexId>(v)));
+    max_deg = std::max(max_deg, static_cast<std::size_t>(deg[v]));
+  }
+  std::vector<std::vector<VertexId>> buckets(max_deg + 1);
+  for (std::size_t v = 0; v < n; ++v)
+    buckets[static_cast<std::size_t>(deg[v])].push_back(
+        static_cast<VertexId>(v));
+  std::vector<bool> removed(n, false);
+  int result = 0;
+  for (std::size_t processed = 0; processed < n;) {
+    for (std::size_t d = 0; d <= max_deg; ++d) {
+      while (!buckets[d].empty()) {
+        const VertexId v = buckets[d].back();
+        buckets[d].pop_back();
+        if (removed[static_cast<std::size_t>(v)] ||
+            deg[static_cast<std::size_t>(v)] != static_cast<int>(d))
+          continue;
+        removed[static_cast<std::size_t>(v)] = true;
+        ++processed;
+        result = std::max(result, static_cast<int>(d));
+        for (VertexId w : g.neighbors(v)) {
+          auto wi = static_cast<std::size_t>(w);
+          if (!removed[wi]) {
+            --deg[wi];
+            buckets[static_cast<std::size_t>(deg[wi])].push_back(w);
+          }
+        }
+        goto next_vertex;  // restart the bucket scan from degree 0
+      }
+    }
+  next_vertex:;
+  }
+  return result;
+}
+
+}  // namespace pg::graph

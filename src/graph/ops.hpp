@@ -1,0 +1,37 @@
+// Basic graph operations: BFS, components, diameter, induced subgraphs.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pg::graph {
+
+/// BFS distances from `source`; unreachable vertices get -1.
+std::vector<int> bfs_distances(const Graph& g, VertexId source);
+
+struct Components {
+  int count = 0;
+  std::vector<int> component;  // component id per vertex
+};
+Components connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// Exact diameter via BFS from every vertex; -1 if disconnected or empty.
+int diameter(const Graph& g);
+
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<VertexId> to_original;  // new id -> original id
+  std::vector<VertexId> to_new;       // original id -> new id or -1
+};
+
+/// Subgraph induced by `vertices` (need not be sorted; must be distinct).
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 std::span<const VertexId> vertices);
+
+/// Degeneracy (max over the degeneracy ordering of min remaining degree).
+int degeneracy(const Graph& g);
+
+}  // namespace pg::graph

@@ -1,0 +1,68 @@
+#include "graph/power.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace pg::graph {
+
+Graph square(const Graph& g) { return power(g, 2); }
+
+Graph power(const Graph& g, int r) {
+  PG_REQUIRE(r >= 1, "graph power exponent must be >= 1");
+  const VertexId n = g.num_vertices();
+  GraphBuilder builder(n);
+
+  std::vector<int> dist(static_cast<std::size_t>(n), -1);
+  std::vector<VertexId> touched;
+  for (VertexId source = 0; source < n; ++source) {
+    // Truncated BFS to depth r.
+    touched.clear();
+    std::deque<VertexId> queue;
+    dist[static_cast<std::size_t>(source)] = 0;
+    touched.push_back(source);
+    queue.push_back(source);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      const int du = dist[static_cast<std::size_t>(u)];
+      if (du == r) continue;
+      for (VertexId w : g.neighbors(u)) {
+        if (dist[static_cast<std::size_t>(w)] != -1) continue;
+        dist[static_cast<std::size_t>(w)] = du + 1;
+        touched.push_back(w);
+        queue.push_back(w);
+      }
+    }
+    for (VertexId w : touched) {
+      if (w > source) builder.add_edge(source, w);
+      dist[static_cast<std::size_t>(w)] = -1;
+    }
+  }
+  return std::move(builder).build();
+}
+
+std::vector<VertexId> two_hop_neighbors(const Graph& g, VertexId v) {
+  g.check_vertex(v);
+  std::vector<VertexId> out;
+  for (VertexId u : g.neighbors(v)) {
+    out.push_back(u);
+    for (VertexId w : g.neighbors(u))
+      if (w != v) out.push_back(w);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool within_two_hops(const Graph& g, VertexId u, VertexId v) {
+  if (u == v) return false;
+  if (g.has_edge(u, v)) return true;
+  // Iterate over the smaller neighborhood and test adjacency to the other.
+  const VertexId a = g.degree(u) <= g.degree(v) ? u : v;
+  const VertexId b = a == u ? v : u;
+  for (VertexId w : g.neighbors(a))
+    if (g.has_edge(w, b)) return true;
+  return false;
+}
+
+}  // namespace pg::graph

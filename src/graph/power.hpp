@@ -1,0 +1,26 @@
+// Graph powers.  The paper's problems are posed on G^2 (and Lemma 6 on G^r):
+// the graph on the same vertex set with an edge between every pair of
+// vertices at distance <= r in G.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pg::graph {
+
+/// Materializes G^2.  Quadratic in the neighborhood sizes; fine for the
+/// instance sizes used by solvers and tests.
+Graph square(const Graph& g);
+
+/// Materializes G^r via truncated BFS from every vertex (r >= 1).
+Graph power(const Graph& g, int r);
+
+/// The distinct vertices at distance exactly 1 or 2 from v in G
+/// (non-inclusive two-hop neighborhood), without materializing G^2.
+std::vector<VertexId> two_hop_neighbors(const Graph& g, VertexId v);
+
+/// True iff dist_G(u, v) <= 2 and u != v.
+bool within_two_hops(const Graph& g, VertexId u, VertexId v);
+
+}  // namespace pg::graph

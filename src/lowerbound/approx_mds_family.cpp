@@ -1,0 +1,211 @@
+#include "lowerbound/approx_mds_family.hpp"
+
+#include <string>
+
+namespace pg::lowerbound {
+
+using graph::Edge;
+using graph::GraphBuilder;
+using graph::VertexId;
+using graph::VertexWeights;
+using graph::Weight;
+
+namespace {
+
+/// Builder shared by the weighted and unweighted variants.
+ApproxMdsFamilyMember build_family(const SetFamily& sets,
+                                   const DisjInstance& disj, bool weighted,
+                                   Weight heavy) {
+  const int t = sets.num_sets;
+  const int ell = sets.universe;
+  PG_REQUIRE(disj.k() == t, "DISJ dimension must match the set family");
+  PG_REQUIRE(!weighted || heavy >= 7,
+             "the heavy weight must exceed the NO threshold of 7");
+
+  ApproxMdsFamilyMember member;
+  auto& ids = member.ids;
+
+  std::vector<std::string> labels;
+  std::vector<Weight> weights;
+  std::vector<bool> alice;
+  std::vector<Edge> edges;
+  VertexId next = 0;
+  auto fresh = [&](std::string label, Weight w, bool on_alice) {
+    labels.push_back(std::move(label));
+    weights.push_back(w);
+    alice.push_back(on_alice);
+    return next++;
+  };
+
+  // ---- rows --------------------------------------------------------------
+  for (int i = 0; i < t; ++i) {
+    ids.row_a.push_back(fresh("a[" + std::to_string(i) + "]", 1, true));
+    ids.row_ap.push_back(fresh("a'[" + std::to_string(i) + "]", 1, true));
+    ids.row_b.push_back(fresh("b[" + std::to_string(i) + "]", 1, false));
+    ids.row_bp.push_back(fresh("b'[" + std::to_string(i) + "]", 1, false));
+  }
+
+  // ---- set gadgets (unprimed serves rows a/b, primed serves a'/b') -------
+  struct SetGadget {
+    std::vector<VertexId> s, sbar, alpha_e, beta_e;
+    VertexId alpha = -1, beta = -1;
+  };
+  auto build_set_gadget = [&](const std::string& prefix) {
+    SetGadget gadget;
+    for (int j = 0; j < t; ++j) {
+      gadget.s.push_back(fresh(prefix + "S[" + std::to_string(j) + "]", 1, true));
+      gadget.sbar.push_back(
+          fresh(prefix + "S~[" + std::to_string(j) + "]", 1, false));
+    }
+    for (int e = 0; e < ell; ++e) {
+      gadget.alpha_e.push_back(fresh(
+          prefix + "alpha[" + std::to_string(e) + "]", weighted ? heavy : 1,
+          true));
+      gadget.beta_e.push_back(fresh(
+          prefix + "beta[" + std::to_string(e) + "]", weighted ? heavy : 1,
+          false));
+      edges.emplace_back(gadget.alpha_e.back(), gadget.beta_e.back());
+    }
+    for (int j = 0; j < t; ++j)
+      for (int e = 0; e < ell; ++e) {
+        if (sets.contains(j, e))
+          edges.emplace_back(gadget.s[static_cast<std::size_t>(j)],
+                             gadget.alpha_e[static_cast<std::size_t>(e)]);
+        else
+          edges.emplace_back(gadget.sbar[static_cast<std::size_t>(j)],
+                             gadget.beta_e[static_cast<std::size_t>(e)]);
+      }
+    if (weighted) {
+      gadget.alpha = fresh(prefix + "alpha", heavy, true);
+      gadget.beta = fresh(prefix + "beta", heavy, false);
+      for (int j = 0; j < t; ++j) {
+        edges.emplace_back(gadget.alpha, gadget.s[static_cast<std::size_t>(j)]);
+        edges.emplace_back(gadget.beta,
+                           gadget.sbar[static_cast<std::size_t>(j)]);
+      }
+    }
+    return gadget;
+  };
+  const SetGadget gmds = build_set_gadget("");
+  const SetGadget gmds_p = build_set_gadget("'");
+  ids.s = gmds.s;
+  ids.sbar = gmds.sbar;
+  ids.sp = gmds_p.s;
+  ids.sbarp = gmds_p.sbar;
+
+  // ---- merged path gadgets A*, B* ----------------------------------------
+  ids.astar3 = fresh("A*[3]", weighted ? 0 : 1, true);
+  const VertexId astar4 = fresh("A*[4]", 1, true);
+  const VertexId astar5 = fresh("A*[5]", 1, true);
+  edges.emplace_back(ids.astar3, astar4);
+  edges.emplace_back(astar4, astar5);
+  ids.bstar3 = fresh("B*[3]", weighted ? 0 : 1, false);
+  const VertexId bstar4 = fresh("B*[4]", 1, false);
+  const VertexId bstar5 = fresh("B*[5]", 1, false);
+  edges.emplace_back(ids.bstar3, bstar4);
+  edges.emplace_back(bstar4, bstar5);
+
+  auto sub_gadget = [&](const std::string& name, bool on_alice,
+                        VertexId attach_row, VertexId merged3) {
+    const VertexId head = fresh(name + "[1]", 1, on_alice);
+    const VertexId second = fresh(name + "[2]", 1, on_alice);
+    edges.emplace_back(head, second);
+    edges.emplace_back(second, merged3);
+    edges.emplace_back(head, attach_row);
+    return head;
+  };
+
+  for (int i = 0; i < t; ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    const std::string idx = "[" + std::to_string(i) + "]";
+    ids.head_aa.push_back(
+        sub_gadget("Aa" + idx, true, ids.row_a[si], ids.astar3));
+    ids.head_as.push_back(
+        sub_gadget("AS" + idx, true, ids.row_a[si], ids.astar3));
+    ids.head_aap.push_back(
+        sub_gadget("Aa'" + idx, true, ids.row_ap[si], ids.astar3));
+    ids.head_asp.push_back(
+        sub_gadget("AS'" + idx, true, ids.row_ap[si], ids.astar3));
+    ids.head_bb.push_back(
+        sub_gadget("Bb" + idx, false, ids.row_b[si], ids.bstar3));
+    ids.head_bs.push_back(
+        sub_gadget("BS" + idx, false, ids.row_b[si], ids.bstar3));
+    ids.head_bbp.push_back(
+        sub_gadget("Bb'" + idx, false, ids.row_bp[si], ids.bstar3));
+    ids.head_bsp.push_back(
+        sub_gadget("BS'" + idx, false, ids.row_bp[si], ids.bstar3));
+  }
+
+  // Set-side connections: AS_i[1] — S_j for j != i (and primed/Bob copies).
+  for (int i = 0; i < t; ++i)
+    for (int j = 0; j < t; ++j) {
+      if (i == j) continue;
+      edges.emplace_back(ids.head_as[static_cast<std::size_t>(i)],
+                         gmds.s[static_cast<std::size_t>(j)]);
+      edges.emplace_back(ids.head_asp[static_cast<std::size_t>(i)],
+                         gmds_p.s[static_cast<std::size_t>(j)]);
+      edges.emplace_back(ids.head_bs[static_cast<std::size_t>(i)],
+                         gmds.sbar[static_cast<std::size_t>(j)]);
+      edges.emplace_back(ids.head_bsp[static_cast<std::size_t>(i)],
+                         gmds_p.sbar[static_cast<std::size_t>(j)]);
+    }
+
+  // The unweighted variant's q pendants: S_j — q_j — A*[3] etc. (Thm. 41).
+  if (!weighted) {
+    for (int j = 0; j < t; ++j) {
+      const std::string idx = "[" + std::to_string(j) + "]";
+      const VertexId q = fresh("q" + idx, 1, true);
+      edges.emplace_back(q, gmds.s[static_cast<std::size_t>(j)]);
+      edges.emplace_back(q, ids.astar3);
+      const VertexId qp = fresh("q'" + idx, 1, true);
+      edges.emplace_back(qp, gmds_p.s[static_cast<std::size_t>(j)]);
+      edges.emplace_back(qp, ids.astar3);
+      const VertexId qbar = fresh("q~" + idx, 1, false);
+      edges.emplace_back(qbar, gmds.sbar[static_cast<std::size_t>(j)]);
+      edges.emplace_back(qbar, ids.bstar3);
+      const VertexId qbarp = fresh("q~'" + idx, 1, false);
+      edges.emplace_back(qbarp, gmds_p.sbar[static_cast<std::size_t>(j)]);
+      edges.emplace_back(qbarp, ids.bstar3);
+    }
+  }
+
+  // ---- x / y edges between sub-gadget heads -------------------------------
+  for (int i = 0; i < t; ++i)
+    for (int j = 0; j < t; ++j) {
+      if (disj.x(i, j))
+        edges.emplace_back(ids.head_aa[static_cast<std::size_t>(i)],
+                           ids.head_aap[static_cast<std::size_t>(j)]);
+      if (disj.y(i, j))
+        edges.emplace_back(ids.head_bb[static_cast<std::size_t>(i)],
+                           ids.head_bbp[static_cast<std::size_t>(j)]);
+    }
+
+  GraphBuilder b(next);
+  for (const Edge& e : edges) b.add_edge(e.u, e.v);
+  member.lb.graph = std::move(b).build();
+  member.lb.weights = VertexWeights(std::move(weights));
+  member.lb.weighted = weighted;
+  member.lb.alice = std::move(alice);
+  member.lb.labels = std::move(labels);
+  member.yes_value = weighted ? 6 : 8;
+  member.no_value = member.yes_value + 1;
+  member.lb.threshold = member.yes_value;
+  member.lb.family = weighted ? "G2-MWDS approx (Thm. 35 / Fig. 7)"
+                              : "G2-MDS approx (Thm. 41 / Fig. 7)";
+  return member;
+}
+
+}  // namespace
+
+ApproxMdsFamilyMember build_approx_wmds_family(const SetFamily& sets,
+                                               const DisjInstance& disj,
+                                               Weight heavy) {
+  return build_family(sets, disj, /*weighted=*/true, heavy);
+}
+
+ApproxMdsFamilyMember build_approx_mds_family(const SetFamily& sets,
+                                              const DisjInstance& disj) {
+  return build_family(sets, disj, /*weighted=*/false, /*heavy=*/0);
+}
+
+}  // namespace pg::lowerbound

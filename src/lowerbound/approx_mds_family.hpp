@@ -1,0 +1,48 @@
+// Figure 7 / Theorems 35 & 41: the lower-bound families showing that even
+// *approximating* MDS on G^2 needs Ω̃(n^2) rounds — below factor 7/6
+// weighted, below 9/8 unweighted.
+//
+// Construction (Section 7.2–7.3): four rows of T vertices, two set gadgets
+// built from an r-covering family (Figure 6), and "extreme" merged path
+// gadgets A*/B* whose single middle vertex serves all 4T sub-gadgets of a
+// side.  Crossing x/y bits join sub-gadget heads, so
+//   DISJ(x,y) = false  ⟹  a dominating set of weight 6 (size 8) exists:
+//       {A*[3], B*[3], S_i, S̄_i, S'_j, S̄'_j, Aa_i[1], Bb_i[1]};
+//   DISJ(x,y) = true   ⟹  every dominating set has weight >= 7 (size >= 9),
+// because without a complementary set pair the r-covering property forces
+// >= r set vertices, and the four escaper rows need three more vertices.
+#pragma once
+
+#include "lowerbound/disj.hpp"
+#include "lowerbound/framework.hpp"
+#include "lowerbound/set_family.hpp"
+
+namespace pg::lowerbound {
+
+struct ApproxMdsFamilyMember {
+  LowerBoundGraph lb;
+  graph::Weight yes_value = 0;  // 6 weighted, 8 unweighted
+  graph::Weight no_value = 0;   // 7 weighted, 9 unweighted
+
+  // Named vertices, exposed so tests can build the YES certificate.
+  struct Ids {
+    std::vector<graph::VertexId> row_a, row_ap, row_b, row_bp;
+    std::vector<graph::VertexId> s, sbar, sp, sbarp;
+    std::vector<graph::VertexId> head_aa, head_as, head_aap, head_asp;
+    std::vector<graph::VertexId> head_bb, head_bs, head_bbp, head_bsp;
+    graph::VertexId astar3 = -1, bstar3 = -1;
+  } ids;
+};
+
+/// Weighted variant (Theorem 35).  `heavy` is the weight r put on the α/β
+/// vertices; it must exceed the NO threshold (>= 7; the asymptotic claim
+/// takes it as a large constant).  Requires disj.k() == sets.num_sets.
+ApproxMdsFamilyMember build_approx_wmds_family(const SetFamily& sets,
+                                               const DisjInstance& disj,
+                                               graph::Weight heavy = 9);
+
+/// Unweighted variant (Theorem 41): α/β replaced by the q/q̄ pendants.
+ApproxMdsFamilyMember build_approx_mds_family(const SetFamily& sets,
+                                              const DisjInstance& disj);
+
+}  // namespace pg::lowerbound

@@ -1,0 +1,30 @@
+#include "lowerbound/disj.hpp"
+
+namespace pg::lowerbound {
+
+DisjInstance DisjInstance::random(int k, bool force_intersecting, Rng& rng) {
+  PG_REQUIRE(k >= 1, "k must be positive");
+  const std::size_t bits = static_cast<std::size_t>(k) * k;
+  std::vector<bool> x(bits), y(bits);
+  for (std::size_t b = 0; b < bits; ++b) {
+    x[b] = rng.next_bool(0.5);
+    y[b] = rng.next_bool(0.5);
+  }
+  if (force_intersecting) {
+    const std::size_t planted = rng.next_below(bits);
+    x[planted] = true;
+    y[planted] = true;
+  } else {
+    for (std::size_t b = 0; b < bits; ++b)
+      if (x[b] && y[b]) y[b] = false;
+  }
+  return DisjInstance(k, std::move(x), std::move(y));
+}
+
+bool DisjInstance::intersects() const {
+  for (std::size_t b = 0; b < x_.size(); ++b)
+    if (x_[b] && y_[b]) return true;
+  return false;
+}
+
+}  // namespace pg::lowerbound

@@ -1,0 +1,50 @@
+// Two-party set disjointness, the source of hardness in every reduction of
+// Sections 5 and 7.  DISJ_{k^2}(x, y) = false iff some index (i, j) has
+// x_{ij} = y_{ij} = 1; its randomized communication complexity is Θ(k^2)
+// [KN97], which the Alice-Bob framework converts into round lower bounds.
+#pragma once
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pg::lowerbound {
+
+/// A DISJ instance over the k×k index grid.
+class DisjInstance {
+ public:
+  DisjInstance(int k, std::vector<bool> x, std::vector<bool> y)
+      : k_(k), x_(std::move(x)), y_(std::move(y)) {
+    PG_REQUIRE(k >= 1, "k must be positive");
+    PG_REQUIRE(x_.size() == static_cast<std::size_t>(k) * k &&
+                   y_.size() == x_.size(),
+               "bit vectors must have k^2 entries");
+  }
+
+  /// Uniformly random bits; if `force_intersecting`, one shared (i,j) pair
+  /// is planted, otherwise all intersections are removed.
+  static DisjInstance random(int k, bool force_intersecting, Rng& rng);
+
+  int k() const { return k_; }
+  bool x(int i, int j) const { return x_[index(i, j)]; }
+  bool y(int i, int j) const { return y_[index(i, j)]; }
+
+  /// true iff some (i,j) has x=y=1, i.e., DISJ(x,y) = false.
+  bool intersects() const;
+
+  /// Number of bits per player (the communication-complexity parameter).
+  std::size_t num_bits() const { return x_.size(); }
+
+ private:
+  std::size_t index(int i, int j) const {
+    PG_REQUIRE(i >= 0 && i < k_ && j >= 0 && j < k_, "index out of range");
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(k_) +
+           static_cast<std::size_t>(j);
+  }
+
+  int k_;
+  std::vector<bool> x_, y_;
+};
+
+}  // namespace pg::lowerbound

@@ -1,0 +1,69 @@
+#include "lowerbound/framework.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pg::lowerbound {
+
+using graph::Edge;
+using graph::VertexId;
+
+std::size_t cut_size(const LowerBoundGraph& lb) {
+  PG_REQUIRE(lb.alice.size() ==
+                 static_cast<std::size_t>(lb.graph.num_vertices()),
+             "partition size mismatch");
+  std::size_t cut = 0;
+  lb.graph.for_each_edge([&](VertexId u, VertexId v) {
+    if (lb.alice[static_cast<std::size_t>(u)] !=
+        lb.alice[static_cast<std::size_t>(v)])
+      ++cut;
+  });
+  return cut;
+}
+
+double implied_round_lower_bound(std::size_t cc_bits, std::size_t cut,
+                                 std::size_t n) {
+  PG_REQUIRE(cut > 0 && n >= 2, "cut and n must be positive");
+  const double log_n = std::ceil(std::log2(static_cast<double>(n)));
+  return static_cast<double>(cc_bits) /
+         (static_cast<double>(cut) * log_n);
+}
+
+namespace {
+
+/// Edges present in exactly one of the two graphs.
+std::vector<Edge> symmetric_difference(const graph::Graph& a,
+                                       const graph::Graph& b) {
+  const auto ea = a.edges();
+  const auto eb = b.edges();
+  std::vector<Edge> diff;
+  std::set_symmetric_difference(ea.begin(), ea.end(), eb.begin(), eb.end(),
+                                std::back_inserter(diff));
+  return diff;
+}
+
+}  // namespace
+
+bool x_edges_confined_to_alice(const LowerBoundGraph& base,
+                               const LowerBoundGraph& x_variant) {
+  PG_REQUIRE(base.alice == x_variant.alice,
+             "families must share the vertex partition");
+  for (const Edge& e : symmetric_difference(base.graph, x_variant.graph))
+    if (!base.alice[static_cast<std::size_t>(e.u)] ||
+        !base.alice[static_cast<std::size_t>(e.v)])
+      return false;
+  return true;
+}
+
+bool y_edges_confined_to_bob(const LowerBoundGraph& base,
+                             const LowerBoundGraph& y_variant) {
+  PG_REQUIRE(base.alice == y_variant.alice,
+             "families must share the vertex partition");
+  for (const Edge& e : symmetric_difference(base.graph, y_variant.graph))
+    if (base.alice[static_cast<std::size_t>(e.u)] ||
+        base.alice[static_cast<std::size_t>(e.v)])
+      return false;
+  return true;
+}
+
+}  // namespace pg::lowerbound

@@ -1,0 +1,81 @@
+#include "lowerbound/limitations.hpp"
+
+#include <cmath>
+
+#include "graph/ops.hpp"
+#include "graph/power.hpp"
+#include "solvers/exact_vc.hpp"
+
+namespace pg::lowerbound {
+
+using graph::VertexId;
+using graph::VertexSet;
+
+TwoPartyVcResult two_party_vc_protocol(const LowerBoundGraph& lb,
+                                       std::int64_t node_budget) {
+  const graph::Graph& g = lb.graph;
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  PG_REQUIRE(lb.alice.size() == n, "partition size mismatch");
+
+  TwoPartyVcResult result;
+  result.cover = VertexSet(g.num_vertices());
+
+  // Cut vertices: endpoints of crossing edges, taken by their owner.
+  std::vector<bool> is_cut(n, false);
+  g.for_each_edge([&](VertexId u, VertexId v) {
+    if (lb.alice[static_cast<std::size_t>(u)] !=
+        lb.alice[static_cast<std::size_t>(v)]) {
+      is_cut[static_cast<std::size_t>(u)] = true;
+      is_cut[static_cast<std::size_t>(v)] = true;
+    }
+  });
+  for (std::size_t v = 0; v < n; ++v)
+    if (is_cut[v]) {
+      result.cover.insert(static_cast<VertexId>(v));
+      ++result.cut_vertices;
+    }
+
+  // Each player covers the square edges induced by its interior optimally.
+  // No G^2-edge joins the two interiors: a 2-path between them would pass
+  // a crossing edge, making an endpoint a cut vertex.
+  for (bool side : {true, false}) {
+    std::vector<VertexId> interior;
+    for (std::size_t v = 0; v < n; ++v)
+      if (lb.alice[v] == side && !is_cut[v])
+        interior.push_back(static_cast<VertexId>(v));
+    if (interior.empty()) continue;
+    // The player knows all of G incident to its side, so it can compute the
+    // square edges among its interior vertices: pairs at distance <= 2 in
+    // the *full* graph whose connecting paths stay incident to its side.
+    graph::GraphBuilder interior_square(
+        static_cast<VertexId>(interior.size()));
+    std::vector<VertexId> to_local(n, -1);
+    for (std::size_t i = 0; i < interior.size(); ++i)
+      to_local[static_cast<std::size_t>(interior[i])] =
+          static_cast<VertexId>(i);
+    for (std::size_t i = 0; i < interior.size(); ++i)
+      for (std::size_t j = i + 1; j < interior.size(); ++j)
+        if (graph::within_two_hops(g, interior[i], interior[j]))
+          interior_square.add_edge(static_cast<VertexId>(i),
+                                   static_cast<VertexId>(j));
+    const auto exact =
+        solvers::solve_mvc(std::move(interior_square).build(), node_budget);
+    PG_CHECK(exact.optimal, "interior solve exhausted its budget");
+    for (VertexId local : exact.solution.to_vector())
+      result.cover.insert(interior[static_cast<std::size_t>(local)]);
+  }
+
+  // The players exchange only the sizes of their parts: O(log n) bits.
+  const auto log_n = static_cast<std::size_t>(
+      std::ceil(std::log2(static_cast<double>(std::max<std::size_t>(n, 2)))));
+  result.bits_exchanged = 2 * (log_n + 1);
+  result.factor_bound =
+      1.0 + static_cast<double>(result.cut_vertices) /
+                (static_cast<double>(n) / 2.0);
+
+  PG_CHECK(graph::is_vertex_cover_of_square(g, result.cover),
+           "Lemma 25 protocol produced a non-cover");
+  return result;
+}
+
+}  // namespace pg::lowerbound

@@ -1,0 +1,33 @@
+// Section 5.4 / Lemma 25: why the Alice-Bob framework cannot give
+// super-constant lower bounds for (1+ε)-approximate G^2-MVC.
+//
+// Given any lower-bound family with a small cut, the two players can build
+// a near-optimal vertex cover of G^2 while exchanging only O(log n) bits:
+// each player takes all of its cut vertices plus an *optimal* cover of the
+// G^2-edges induced by its interior (no G^2-edge crosses between the two
+// interiors, because any 2-path between them passes through a cut vertex),
+// and the players exchange just their counts.  Since |OPT| >= n/2
+// (Lemma 6), a cut of size o(n) inflates the factor by only 1 + o(1).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/cover.hpp"
+#include "lowerbound/framework.hpp"
+
+namespace pg::lowerbound {
+
+struct TwoPartyVcResult {
+  graph::VertexSet cover;        // valid vertex cover of G^2
+  std::size_t cut_vertices = 0;  // |C_A ∪ C_B| taken unconditionally
+  std::size_t bits_exchanged = 0;  // the protocol's communication
+  double factor_bound = 0;       // 1 + |C|/(n/2), the Lemma 25 guarantee
+};
+
+/// Runs the Lemma 25 protocol on a family member.  The topology must be
+/// connected (so Lemma 6 applies).  Interior optima are computed with the
+/// exact solver under `node_budget`.
+TwoPartyVcResult two_party_vc_protocol(
+    const LowerBoundGraph& lb, std::int64_t node_budget = 50'000'000);
+
+}  // namespace pg::lowerbound

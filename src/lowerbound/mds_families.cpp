@@ -1,0 +1,223 @@
+#include "lowerbound/mds_families.hpp"
+
+#include <string>
+
+namespace pg::lowerbound {
+
+using graph::Edge;
+using graph::GraphBuilder;
+using graph::VertexId;
+using graph::VertexWeights;
+using graph::Weight;
+
+namespace {
+
+int checked_log2(int k) {
+  PG_REQUIRE(k >= 2 && (k & (k - 1)) == 0, "k must be a power of two, >= 2");
+  int log_k = 0;
+  while ((1 << log_k) < k) ++log_k;
+  return log_k;
+}
+
+bool bit_of(int value, int position) { return (value >> position) & 1; }
+
+/// Shared skeleton of the two MDS families: rows, 6-cycle bit gadgets, and
+/// the edge categories.  Rows are *not* cliques here.
+struct MdsSkeleton {
+  int k = 0;
+  int log_k = 0;
+  std::vector<VertexId> a1, a2, b1, b2;
+  // Per group (0: rows A1/B1, 1: rows A2/B2) and position p.
+  std::vector<VertexId> t_a[2], f_a[2], u_a[2], t_b[2], f_b[2], u_b[2];
+
+  std::vector<Edge> bit_edges;  // 6-cycle edges + row-bit encoding edges
+  std::vector<std::string> labels;
+  VertexId next = 0;
+
+  VertexId fresh(std::string label) {
+    labels.push_back(std::move(label));
+    return next++;
+  }
+
+  explicit MdsSkeleton(const DisjInstance& disj) {
+    k = disj.k();
+    log_k = checked_log2(k);
+    for (int i = 0; i < k; ++i) {
+      a1.push_back(fresh("a1[" + std::to_string(i) + "]"));
+      a2.push_back(fresh("a2[" + std::to_string(i) + "]"));
+      b1.push_back(fresh("b1[" + std::to_string(i) + "]"));
+      b2.push_back(fresh("b2[" + std::to_string(i) + "]"));
+    }
+    for (int group = 0; group < 2; ++group)
+      for (int p = 0; p < log_k; ++p) {
+        const std::string suffix =
+            std::to_string(group + 1) + "," + std::to_string(p);
+        t_a[group].push_back(fresh("tA" + suffix));
+        f_a[group].push_back(fresh("fA" + suffix));
+        u_a[group].push_back(fresh("uA" + suffix));
+        t_b[group].push_back(fresh("tB" + suffix));
+        f_b[group].push_back(fresh("fB" + suffix));
+        u_b[group].push_back(fresh("uB" + suffix));
+      }
+
+    for (int group = 0; group < 2; ++group)
+      for (int p = 0; p < log_k; ++p) {
+        const auto sp = static_cast<std::size_t>(p);
+        // 6-cycle t_A — f_A — u_A — t_B — f_B — u_B — t_A: the antipodal
+        // (and hence only 2-vertex dominating) pairs are exactly the
+        // aligned {t_A,t_B}, {f_A,f_B}, {u_A,u_B}.  Among the cyclic
+        // orders consistent with Figure 4 this one (verified exhaustively
+        // for k=2) makes the predicate exact; interleaved orders admit
+        // size-W dominating sets even for disjoint inputs because row
+        // vertices can stand in for cycle vertices.
+        const VertexId cycle[6] = {t_a[group][sp], f_a[group][sp],
+                                   u_a[group][sp], t_b[group][sp],
+                                   f_b[group][sp], u_b[group][sp]};
+        for (int e = 0; e < 6; ++e)
+          bit_edges.emplace_back(cycle[e], cycle[(e + 1) % 6]);
+      }
+
+    // Row-bit encoding: row i attaches to the *complement* of its bits
+    // (bit 0 -> t, bit 1 -> f), as in [BCD+19].
+    for (int i = 0; i < k; ++i)
+      for (int p = 0; p < log_k; ++p) {
+        const auto sp = static_cast<std::size_t>(p);
+        bit_edges.emplace_back(a1[static_cast<std::size_t>(i)],
+                               bit_of(i, p) ? f_a[0][sp] : t_a[0][sp]);
+        bit_edges.emplace_back(b1[static_cast<std::size_t>(i)],
+                               bit_of(i, p) ? f_b[0][sp] : t_b[0][sp]);
+        bit_edges.emplace_back(a2[static_cast<std::size_t>(i)],
+                               bit_of(i, p) ? f_a[1][sp] : t_a[1][sp]);
+        bit_edges.emplace_back(b2[static_cast<std::size_t>(i)],
+                               bit_of(i, p) ? f_b[1][sp] : t_b[1][sp]);
+      }
+  }
+
+  std::vector<bool> alice_partition(VertexId total) const {
+    std::vector<bool> alice(static_cast<std::size_t>(total), false);
+    auto mark = [&](const std::vector<VertexId>& ids) {
+      for (VertexId v : ids) alice[static_cast<std::size_t>(v)] = true;
+    };
+    mark(a1);
+    mark(a2);
+    for (int group = 0; group < 2; ++group) {
+      mark(t_a[group]);
+      mark(f_a[group]);
+      mark(u_a[group]);
+    }
+    return alice;
+  }
+
+  Weight base_threshold() const {
+    return 4 * static_cast<Weight>(log_k) + 2;
+  }
+};
+
+}  // namespace
+
+MdsFamilyMember build_bcd19_mds(const DisjInstance& disj) {
+  MdsSkeleton skel(disj);
+  GraphBuilder b(skel.next);
+  for (const Edge& e : skel.bit_edges) b.add_edge(e.u, e.v);
+  for (int i = 0; i < skel.k; ++i)
+    for (int j = 0; j < skel.k; ++j) {
+      if (disj.x(i, j))
+        b.add_edge(skel.a1[static_cast<std::size_t>(i)],
+                   skel.a2[static_cast<std::size_t>(j)]);
+      if (disj.y(i, j))
+        b.add_edge(skel.b1[static_cast<std::size_t>(i)],
+                   skel.b2[static_cast<std::size_t>(j)]);
+    }
+
+  MdsFamilyMember member;
+  member.base_threshold = skel.base_threshold();
+  member.lb.graph = std::move(b).build();
+  member.lb.weights = VertexWeights(member.lb.graph.num_vertices(), 1);
+  member.lb.weighted = false;
+  member.lb.alice = skel.alice_partition(member.lb.graph.num_vertices());
+  member.lb.threshold = member.base_threshold;
+  member.lb.family = "BCD19-MDS (Fig. 4)";
+  member.lb.labels = std::move(skel.labels);
+  return member;
+}
+
+MdsFamilyMember build_g2_mds_family(const DisjInstance& disj) {
+  MdsSkeleton skel(disj);
+  std::vector<bool> alice = skel.alice_partition(skel.next);
+  auto& labels = skel.labels;
+
+  std::vector<Edge> edges;
+  std::size_t gadgets = 0;
+  auto add_vertex = [&](std::string label, bool on_alice) {
+    labels.push_back(std::move(label));
+    alice.push_back(on_alice);
+    return skel.next++;
+  };
+  // Five-vertex path gadget; returns the head ([1]).
+  auto add_five_path = [&](const std::string& name, bool on_alice) {
+    VertexId prev = add_vertex(name + "[1]", on_alice);
+    const VertexId head = prev;
+    for (int t = 2; t <= 5; ++t) {
+      const VertexId v =
+          add_vertex(name + "[" + std::to_string(t) + "]", on_alice);
+      edges.emplace_back(prev, v);
+      prev = v;
+    }
+    ++gadgets;
+    return head;
+  };
+
+  // Dangling 5-paths replace every bit-incident edge (Figure 5, left).
+  for (const Edge& e : skel.bit_edges) {
+    const bool both_alice = alice[static_cast<std::size_t>(e.u)] &&
+                            alice[static_cast<std::size_t>(e.v)];
+    const VertexId head =
+        add_five_path("DP" + std::to_string(gadgets), both_alice);
+    edges.emplace_back(head, e.u);
+    edges.emplace_back(head, e.v);
+  }
+
+  // Shared 5-paths on all four rows; x/y edges join the heads (Fig. 5).
+  std::vector<VertexId> head_a1(static_cast<std::size_t>(skel.k));
+  std::vector<VertexId> head_a2(static_cast<std::size_t>(skel.k));
+  std::vector<VertexId> head_b1(static_cast<std::size_t>(skel.k));
+  std::vector<VertexId> head_b2(static_cast<std::size_t>(skel.k));
+  for (int i = 0; i < skel.k; ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    head_a1[si] = add_five_path("A1g[" + std::to_string(i) + "]", true);
+    edges.emplace_back(head_a1[si], skel.a1[si]);
+    head_a2[si] = add_five_path("A2g[" + std::to_string(i) + "]", true);
+    edges.emplace_back(head_a2[si], skel.a2[si]);
+    head_b1[si] = add_five_path("B1g[" + std::to_string(i) + "]", false);
+    edges.emplace_back(head_b1[si], skel.b1[si]);
+    head_b2[si] = add_five_path("B2g[" + std::to_string(i) + "]", false);
+    edges.emplace_back(head_b2[si], skel.b2[si]);
+  }
+  for (int i = 0; i < skel.k; ++i)
+    for (int j = 0; j < skel.k; ++j) {
+      if (disj.x(i, j))
+        edges.emplace_back(head_a1[static_cast<std::size_t>(i)],
+                           head_a2[static_cast<std::size_t>(j)]);
+      if (disj.y(i, j))
+        edges.emplace_back(head_b1[static_cast<std::size_t>(i)],
+                           head_b2[static_cast<std::size_t>(j)]);
+    }
+
+  GraphBuilder b(skel.next);
+  for (const Edge& e : edges) b.add_edge(e.u, e.v);
+
+  MdsFamilyMember member;
+  member.base_threshold = skel.base_threshold();
+  member.num_gadgets = gadgets;
+  member.lb.graph = std::move(b).build();
+  member.lb.weights = VertexWeights(member.lb.graph.num_vertices(), 1);
+  member.lb.weighted = false;
+  member.lb.alice = std::move(alice);
+  member.lb.threshold =
+      member.base_threshold + static_cast<Weight>(gadgets);  // Lemma 34
+  member.lb.family = "G2-MDS (Thm. 31 / Fig. 5)";
+  member.lb.labels = std::move(labels);
+  return member;
+}
+
+}  // namespace pg::lowerbound

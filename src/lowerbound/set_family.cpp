@@ -1,0 +1,99 @@
+#include "lowerbound/set_family.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/bitset.hpp"
+
+namespace pg::lowerbound {
+
+SetFamily parity_coordinate_family(int num_sets) {
+  PG_REQUIRE(num_sets >= 2 && num_sets <= 20,
+             "parity family supports 2 <= T <= 20");
+  SetFamily family;
+  family.num_sets = num_sets;
+  // Universe: even-weight vectors of {0,1}^T.
+  std::vector<unsigned> elements;
+  for (unsigned v = 0; v < (1u << num_sets); ++v)
+    if (std::popcount(v) % 2 == 0) elements.push_back(v);
+  family.universe = static_cast<int>(elements.size());
+  family.membership.assign(
+      static_cast<std::size_t>(num_sets),
+      std::vector<bool>(elements.size(), false));
+  for (int i = 0; i < num_sets; ++i)
+    for (std::size_t e = 0; e < elements.size(); ++e)
+      family.membership[static_cast<std::size_t>(i)][e] =
+          (elements[e] >> i) & 1u;
+  return family;
+}
+
+SetFamily random_r_covering_family(int num_sets, int r, Rng& rng) {
+  PG_REQUIRE(num_sets >= 2 && r >= 1 && r <= num_sets,
+             "need 1 <= r <= T and T >= 2");
+  const double t = static_cast<double>(num_sets);
+  const int universe = static_cast<int>(
+      std::ceil(static_cast<double>(r) * std::pow(2.0, r) *
+                (std::log(t) + 2.0)));
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    SetFamily family;
+    family.num_sets = num_sets;
+    family.universe = universe;
+    family.membership.assign(
+        static_cast<std::size_t>(num_sets),
+        std::vector<bool>(static_cast<std::size_t>(universe), false));
+    for (auto& row : family.membership)
+      for (std::size_t e = 0; e < row.size(); ++e) row[e] = rng.next_bool(0.5);
+    if (verify_r_covering(family, r)) return family;
+  }
+  PG_CHECK(false, "random r-covering construction failed repeatedly");
+}
+
+namespace {
+
+/// Recursively enumerates index subsets of size `want` and orientations.
+bool subsets_all_miss(const SetFamily& family, int next_index, int want,
+                      std::vector<int>& chosen, std::vector<bool>& coverage,
+                      int covered_count) {
+  const int remaining = family.num_sets - next_index;
+  if (want == 0) return covered_count < family.universe;
+  if (remaining < want) return true;  // nothing to extend with
+  // Skip next_index.
+  if (!subsets_all_miss(family, next_index + 1, want, chosen, coverage,
+                        covered_count))
+    return false;
+  // Take next_index with each orientation.
+  for (int orientation = 0; orientation < 2; ++orientation) {
+    std::vector<bool> saved = coverage;
+    int count = covered_count;
+    for (int e = 0; e < family.universe; ++e) {
+      const bool member = family.contains(next_index, e);
+      const bool covers = orientation == 0 ? member : !member;
+      if (covers && !coverage[static_cast<std::size_t>(e)]) {
+        coverage[static_cast<std::size_t>(e)] = true;
+        ++count;
+      }
+    }
+    chosen.push_back(next_index);
+    const bool ok = subsets_all_miss(family, next_index + 1, want - 1, chosen,
+                                     coverage, count);
+    chosen.pop_back();
+    coverage = std::move(saved);
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool verify_r_covering(const SetFamily& family, int r) {
+  PG_REQUIRE(r >= 1, "r must be positive");
+  const int size = std::min(r, family.num_sets);
+  std::vector<int> chosen;
+  std::vector<bool> coverage(static_cast<std::size_t>(family.universe), false);
+  // Checking subfamilies of size exactly `size` implies all smaller ones:
+  // a subfamily covers a subset of what any extension covers.
+  return subsets_all_miss(family, 0, size, chosen, coverage, 0);
+}
+
+}  // namespace pg::lowerbound

@@ -1,0 +1,47 @@
+// r-covering set families (Definition 37 / Lemma 38) that power the set
+// gadgets of Figure 6.
+//
+// A collection S_1..S_T over universe [ℓ] is r-covering when every
+// "consistent" subfamily of r sets (never both S_i and its complement)
+// misses at least one universe element.  Lemma 38 ([Nis02]) shows such
+// families exist with ℓ = O(r·2^r·log T); we provide
+//  * an explicit parity family (universe = even-weight vectors of {0,1}^T,
+//    S_i = {u : u_i = 1}) which is r-covering for every r <= T-1 and is
+//    what the gap tests use, and
+//  * a randomized construction with ℓ = O(r·2^r·ln T) matching Lemma 38's
+//    asymptotics, verified by the brute-force checker.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pg::lowerbound {
+
+struct SetFamily {
+  int num_sets = 0;   // T
+  int universe = 0;   // ℓ
+  // membership[i][e] — does element e belong to S_i?
+  std::vector<std::vector<bool>> membership;
+
+  bool contains(int set_index, int element) const {
+    return membership[static_cast<std::size_t>(set_index)]
+                     [static_cast<std::size_t>(element)];
+  }
+};
+
+/// Universe = even-weight vectors of {0,1}^T (ℓ = 2^{T-1}); S_i = bit i.
+/// r-covering for all r <= T-1.  Requires 2 <= T <= 20.
+SetFamily parity_coordinate_family(int num_sets);
+
+/// Random density-1/2 sets with ℓ = ⌈r·2^r·(ln T + 2)⌉, resampled until the
+/// verifier accepts (Lemma 38 guarantees quick success).
+SetFamily random_r_covering_family(int num_sets, int r, Rng& rng);
+
+/// Brute-force Definition 37 check: every consistent subfamily of size
+/// exactly min(r, T) — and hence any smaller one — misses an element.
+bool verify_r_covering(const SetFamily& family, int r);
+
+}  // namespace pg::lowerbound

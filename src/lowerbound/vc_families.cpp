@@ -1,0 +1,275 @@
+#include "lowerbound/vc_families.hpp"
+
+#include <string>
+
+namespace pg::lowerbound {
+
+using graph::Edge;
+using graph::GraphBuilder;
+using graph::VertexId;
+using graph::VertexWeights;
+using graph::Weight;
+
+namespace {
+
+int checked_log2(int k) {
+  PG_REQUIRE(k >= 2 && (k & (k - 1)) == 0, "k must be a power of two, >= 2");
+  int log_k = 0;
+  while ((1 << log_k) < k) ++log_k;
+  return log_k;
+}
+
+bool bit_of(int value, int position) { return (value >> position) & 1; }
+
+/// The shared skeleton of all three families: ids of rows and 4-cycle bit
+/// gadgets plus the edge lists, kept in categories so the derived families
+/// can gadgetize selectively.
+struct Skeleton {
+  int k = 0;
+  int log_k = 0;
+  std::vector<VertexId> a1, a2, b1, b2;
+  // Bit gadget vertices per group (1 = rows A1/B1, 2 = rows A2/B2) and
+  // position p: true/false vertices on each player's side.
+  std::vector<VertexId> t_a[2], f_a[2], t_b[2], f_b[2];
+
+  std::vector<Edge> clique_edges;
+  std::vector<Edge> bit_edges;  // row-bit encoding edges + 4-cycle edges
+  std::vector<std::string> labels;
+  VertexId next = 0;
+
+  VertexId fresh(std::string label) {
+    labels.push_back(std::move(label));
+    return next++;
+  }
+
+  explicit Skeleton(const DisjInstance& disj) {
+    k = disj.k();
+    log_k = checked_log2(k);
+    for (int i = 0; i < k; ++i) {
+      a1.push_back(fresh("a1[" + std::to_string(i) + "]"));
+      a2.push_back(fresh("a2[" + std::to_string(i) + "]"));
+      b1.push_back(fresh("b1[" + std::to_string(i) + "]"));
+      b2.push_back(fresh("b2[" + std::to_string(i) + "]"));
+    }
+    for (int group = 0; group < 2; ++group)
+      for (int p = 0; p < log_k; ++p) {
+        const std::string suffix =
+            std::to_string(group + 1) + "," + std::to_string(p);
+        t_a[group].push_back(fresh("tA" + suffix));
+        f_a[group].push_back(fresh("fA" + suffix));
+        t_b[group].push_back(fresh("tB" + suffix));
+        f_b[group].push_back(fresh("fB" + suffix));
+      }
+
+    auto clique = [&](const std::vector<VertexId>& row) {
+      for (std::size_t i = 0; i < row.size(); ++i)
+        for (std::size_t j = i + 1; j < row.size(); ++j)
+          clique_edges.emplace_back(row[i], row[j]);
+    };
+    clique(a1);
+    clique(a2);
+    clique(b1);
+    clique(b2);
+
+    for (int group = 0; group < 2; ++group)
+      for (int p = 0; p < log_k; ++p) {
+        // 4-cycle t_A — f_A — t_B — f_B — t_A: minimum covers of size two
+        // are exactly the aligned pairs {t_A,t_B} and {f_A,f_B}.
+        bit_edges.emplace_back(t_a[group][static_cast<std::size_t>(p)],
+                               f_a[group][static_cast<std::size_t>(p)]);
+        bit_edges.emplace_back(f_a[group][static_cast<std::size_t>(p)],
+                               t_b[group][static_cast<std::size_t>(p)]);
+        bit_edges.emplace_back(t_b[group][static_cast<std::size_t>(p)],
+                               f_b[group][static_cast<std::size_t>(p)]);
+        bit_edges.emplace_back(f_b[group][static_cast<std::size_t>(p)],
+                               t_a[group][static_cast<std::size_t>(p)]);
+      }
+
+    // Row-bit encoding: row i is wired to the binary representation of i.
+    for (int i = 0; i < k; ++i)
+      for (int p = 0; p < log_k; ++p) {
+        const auto sp = static_cast<std::size_t>(p);
+        bit_edges.emplace_back(a1[static_cast<std::size_t>(i)],
+                               bit_of(i, p) ? t_a[0][sp] : f_a[0][sp]);
+        bit_edges.emplace_back(b1[static_cast<std::size_t>(i)],
+                               bit_of(i, p) ? t_b[0][sp] : f_b[0][sp]);
+        bit_edges.emplace_back(a2[static_cast<std::size_t>(i)],
+                               bit_of(i, p) ? t_a[1][sp] : f_a[1][sp]);
+        bit_edges.emplace_back(b2[static_cast<std::size_t>(i)],
+                               bit_of(i, p) ? t_b[1][sp] : f_b[1][sp]);
+      }
+  }
+
+  /// Alice hosts rows a1, a2 and the A-side bit vertices.
+  std::vector<bool> alice_partition(VertexId total) const {
+    std::vector<bool> alice(static_cast<std::size_t>(total), false);
+    auto mark = [&](const std::vector<VertexId>& ids) {
+      for (VertexId v : ids) alice[static_cast<std::size_t>(v)] = true;
+    };
+    mark(a1);
+    mark(a2);
+    for (int group = 0; group < 2; ++group) {
+      mark(t_a[group]);
+      mark(f_a[group]);
+    }
+    return alice;
+  }
+
+  Weight base_threshold() const {
+    return 4 * (static_cast<Weight>(k) - 1) + 4 * static_cast<Weight>(log_k);
+  }
+};
+
+}  // namespace
+
+VcFamilyMember build_ckp17_mvc(const DisjInstance& disj) {
+  Skeleton skel(disj);
+  GraphBuilder b(skel.next);
+  for (const Edge& e : skel.clique_edges) b.add_edge(e.u, e.v);
+  for (const Edge& e : skel.bit_edges) b.add_edge(e.u, e.v);
+  for (int i = 0; i < skel.k; ++i)
+    for (int j = 0; j < skel.k; ++j) {
+      if (!disj.x(i, j))
+        b.add_edge(skel.a1[static_cast<std::size_t>(i)],
+                   skel.a2[static_cast<std::size_t>(j)]);
+      if (!disj.y(i, j))
+        b.add_edge(skel.b1[static_cast<std::size_t>(i)],
+                   skel.b2[static_cast<std::size_t>(j)]);
+    }
+
+  VcFamilyMember member;
+  member.base_threshold = skel.base_threshold();
+  member.lb.graph = std::move(b).build();
+  member.lb.weights = VertexWeights(member.lb.graph.num_vertices(), 1);
+  member.lb.weighted = false;
+  member.lb.alice = skel.alice_partition(member.lb.graph.num_vertices());
+  member.lb.threshold = member.base_threshold;
+  member.lb.family = "CKP17-MVC (Fig. 1)";
+  member.lb.labels = std::move(skel.labels);
+  return member;
+}
+
+VcFamilyMember build_g2_mwvc_family(const DisjInstance& disj) {
+  Skeleton skel(disj);
+  std::vector<Weight> weights(static_cast<std::size_t>(skel.next), 1);
+  std::vector<bool> alice = skel.alice_partition(skel.next);
+  auto& labels = skel.labels;
+
+  std::vector<Edge> edges(skel.clique_edges);
+  std::size_t gadgets = 0;
+  auto add_vertex = [&](std::string label, Weight w, bool on_alice) {
+    labels.push_back(std::move(label));
+    weights.push_back(w);
+    alice.push_back(on_alice);
+    return skel.next++;
+  };
+
+  // Weight-0 path vertex per bit-gadget edge (Figure 2, left).
+  for (const Edge& e : skel.bit_edges) {
+    const bool both_alice = alice[static_cast<std::size_t>(e.u)] &&
+                            alice[static_cast<std::size_t>(e.v)];
+    const VertexId p = add_vertex("p_e" + std::to_string(gadgets), 0,
+                                  both_alice);  // crossing gadgets go to Bob
+    edges.emplace_back(p, e.u);
+    edges.emplace_back(p, e.v);
+    ++gadgets;
+  }
+
+  // Shared weight-0 vertices route the x/y edges (Figure 2, right).
+  for (int i = 0; i < skel.k; ++i) {
+    const VertexId pa =
+        add_vertex("p_a[" + std::to_string(i) + "]", 0, true);
+    edges.emplace_back(pa, skel.a1[static_cast<std::size_t>(i)]);
+    ++gadgets;
+    for (int j = 0; j < skel.k; ++j)
+      if (!disj.x(i, j))
+        edges.emplace_back(pa, skel.a2[static_cast<std::size_t>(j)]);
+    const VertexId pb =
+        add_vertex("p_b[" + std::to_string(i) + "]", 0, false);
+    edges.emplace_back(pb, skel.b1[static_cast<std::size_t>(i)]);
+    ++gadgets;
+    for (int j = 0; j < skel.k; ++j)
+      if (!disj.y(i, j))
+        edges.emplace_back(pb, skel.b2[static_cast<std::size_t>(j)]);
+  }
+
+  GraphBuilder b(skel.next);
+  for (const Edge& e : edges) b.add_edge(e.u, e.v);
+
+  VcFamilyMember member;
+  member.base_threshold = skel.base_threshold();
+  member.num_gadgets = gadgets;
+  member.lb.graph = std::move(b).build();
+  member.lb.weights = VertexWeights(std::move(weights));
+  member.lb.weighted = true;
+  member.lb.alice = std::move(alice);
+  member.lb.threshold = member.base_threshold;  // Lemma 21: equal weight
+  member.lb.family = "G2-MWVC (Thm. 20 / Fig. 2)";
+  member.lb.labels = std::move(labels);
+  return member;
+}
+
+VcFamilyMember build_g2_mvc_family(const DisjInstance& disj) {
+  Skeleton skel(disj);
+  std::vector<bool> alice = skel.alice_partition(skel.next);
+  auto& labels = skel.labels;
+
+  std::vector<Edge> edges(skel.clique_edges);
+  std::size_t gadgets = 0;
+  auto add_vertex = [&](std::string label, bool on_alice) {
+    labels.push_back(std::move(label));
+    alice.push_back(on_alice);
+    return skel.next++;
+  };
+  auto add_three_path = [&](const std::string& name, bool on_alice) {
+    const VertexId v1 = add_vertex(name + "[1]", on_alice);
+    const VertexId v2 = add_vertex(name + "[2]", on_alice);
+    const VertexId v3 = add_vertex(name + "[3]", on_alice);
+    edges.emplace_back(v1, v2);
+    edges.emplace_back(v2, v3);
+    ++gadgets;
+    return v1;
+  };
+
+  // Dangling 3-paths replace the bit-gadget edges (Figure 3, left).
+  for (const Edge& e : skel.bit_edges) {
+    const bool both_alice = alice[static_cast<std::size_t>(e.u)] &&
+                            alice[static_cast<std::size_t>(e.v)];
+    const VertexId head =
+        add_three_path("DP" + std::to_string(gadgets), both_alice);
+    edges.emplace_back(head, e.u);
+    edges.emplace_back(head, e.v);
+  }
+
+  // Shared 3-paths route the x/y edges (Figure 3, right).
+  for (int i = 0; i < skel.k; ++i) {
+    const VertexId ha = add_three_path("A1g[" + std::to_string(i) + "]", true);
+    edges.emplace_back(ha, skel.a1[static_cast<std::size_t>(i)]);
+    for (int j = 0; j < skel.k; ++j)
+      if (!disj.x(i, j))
+        edges.emplace_back(ha, skel.a2[static_cast<std::size_t>(j)]);
+    const VertexId hb = add_three_path("B1g[" + std::to_string(i) + "]", false);
+    edges.emplace_back(hb, skel.b1[static_cast<std::size_t>(i)]);
+    for (int j = 0; j < skel.k; ++j)
+      if (!disj.y(i, j))
+        edges.emplace_back(hb, skel.b2[static_cast<std::size_t>(j)]);
+  }
+
+  GraphBuilder b(skel.next);
+  for (const Edge& e : edges) b.add_edge(e.u, e.v);
+
+  VcFamilyMember member;
+  member.base_threshold = skel.base_threshold();
+  member.num_gadgets = gadgets;
+  member.lb.graph = std::move(b).build();
+  member.lb.weights = VertexWeights(member.lb.graph.num_vertices(), 1);
+  member.lb.weighted = false;
+  member.lb.alice = std::move(alice);
+  member.lb.threshold =
+      member.base_threshold + 2 * static_cast<Weight>(gadgets);  // Lemma 24
+  member.lb.family = "G2-MVC (Thm. 22 / Fig. 3)";
+  member.lb.labels = std::move(labels);
+  return member;
+}
+
+}  // namespace pg::lowerbound

@@ -1,0 +1,35 @@
+// Vertex-cover lower-bound graph families (Section 5).
+//
+//  * build_ckp17_mvc — Figure 1, the [CKP17] family for exact MVC on G:
+//    four k-cliques of row vertices plus 2·log k bit-gadget 4-cycles; x/y
+//    bits toggle edges between the clique pairs.  Predicate: G has a vertex
+//    cover of size W = 4(k−1) + 4·log k  ⟺  DISJ(x,y) = false.
+//
+//  * build_g2_mwvc_family — Figure 2 / Theorem 20: every bit-gadget edge is
+//    replaced by a weight-0 path vertex, the k^2 potential x/y edges are
+//    routed through k shared weight-0 vertices per side.  Predicate on the
+//    *square*: weighted VC of H^2 of weight W ⟺ DISJ = false (Lemma 21).
+//
+//  * build_g2_mvc_family — Figure 3 / Theorem 22: same skeleton with
+//    unweighted 3-vertex dangling paths (each forcing exactly 2 cover
+//    vertices).  Predicate: VC(H^2) = W + 2·(#gadgets) ⟺ DISJ = false
+//    (Lemma 24).
+#pragma once
+
+#include "lowerbound/disj.hpp"
+#include "lowerbound/framework.hpp"
+
+namespace pg::lowerbound {
+
+struct VcFamilyMember {
+  LowerBoundGraph lb;
+  graph::Weight base_threshold = 0;  // W of the underlying G_{x,y}
+  std::size_t num_gadgets = 0;       // path gadgets added (0 for the base)
+};
+
+/// Requires k = disj.k() to be a power of two, k >= 2.
+VcFamilyMember build_ckp17_mvc(const DisjInstance& disj);
+VcFamilyMember build_g2_mwvc_family(const DisjInstance& disj);
+VcFamilyMember build_g2_mvc_family(const DisjInstance& disj);
+
+}  // namespace pg::lowerbound

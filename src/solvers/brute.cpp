@@ -1,0 +1,84 @@
+#include "solvers/brute.hpp"
+
+#include <bit>
+#include <limits>
+
+namespace pg::solvers {
+
+using graph::Graph;
+using graph::VertexId;
+using graph::VertexWeights;
+using graph::Weight;
+
+namespace {
+
+constexpr int kMaxBruteVertices = 24;
+
+std::vector<std::uint32_t> adjacency_masks(const Graph& g) {
+  PG_REQUIRE(g.num_vertices() <= kMaxBruteVertices,
+             "brute-force solvers are limited to 24 vertices");
+  std::vector<std::uint32_t> adj(static_cast<std::size_t>(g.num_vertices()), 0);
+  g.for_each_edge([&](VertexId u, VertexId v) {
+    adj[static_cast<std::size_t>(u)] |= 1u << v;
+    adj[static_cast<std::size_t>(v)] |= 1u << u;
+  });
+  return adj;
+}
+
+Weight subset_weight(std::uint32_t subset, const VertexWeights* w, int n) {
+  if (w == nullptr)
+    return static_cast<Weight>(std::popcount(subset));
+  Weight total = 0;
+  for (int v = 0; v < n; ++v)
+    if (subset & (1u << v)) total += (*w)[v];
+  return total;
+}
+
+Weight brute_vc(const Graph& g, const VertexWeights* w) {
+  const int n = g.num_vertices();
+  const auto adj = adjacency_masks(g);
+  Weight best = std::numeric_limits<Weight>::max() / 4;
+  for (std::uint32_t subset = 0; subset < (1u << n); ++subset) {
+    bool is_cover = true;
+    for (int v = 0; v < n && is_cover; ++v)
+      if (!(subset & (1u << v)) &&
+          (adj[static_cast<std::size_t>(v)] & ~subset) != 0)
+        is_cover = false;
+    if (is_cover) best = std::min(best, subset_weight(subset, w, n));
+  }
+  return best;
+}
+
+Weight brute_ds(const Graph& g, const VertexWeights* w) {
+  const int n = g.num_vertices();
+  const auto adj = adjacency_masks(g);
+  std::vector<std::uint32_t> closed(adj);
+  for (int v = 0; v < n; ++v) closed[static_cast<std::size_t>(v)] |= 1u << v;
+  const std::uint32_t all = n == 32 ? ~0u : (1u << n) - 1;
+  Weight best = std::numeric_limits<Weight>::max() / 4;
+  for (std::uint32_t subset = 0; subset < (1u << n); ++subset) {
+    std::uint32_t dominated = 0;
+    for (int v = 0; v < n; ++v)
+      if (subset & (1u << v)) dominated |= closed[static_cast<std::size_t>(v)];
+    if (dominated == all) best = std::min(best, subset_weight(subset, w, n));
+  }
+  return best;
+}
+
+}  // namespace
+
+Weight brute_force_mvc_size(const Graph& g) { return brute_vc(g, nullptr); }
+
+Weight brute_force_mwvc_weight(const Graph& g, const VertexWeights& w) {
+  PG_REQUIRE(w.size() == g.num_vertices(), "weights/graph size mismatch");
+  return brute_vc(g, &w);
+}
+
+Weight brute_force_mds_size(const Graph& g) { return brute_ds(g, nullptr); }
+
+Weight brute_force_mwds_weight(const Graph& g, const VertexWeights& w) {
+  PG_REQUIRE(w.size() == g.num_vertices(), "weights/graph size mismatch");
+  return brute_ds(g, &w);
+}
+
+}  // namespace pg::solvers

@@ -1,0 +1,24 @@
+// Exhaustive solvers for tiny graphs (n <= ~20).  Used only by tests to
+// cross-check the branch-and-bound solvers.
+#pragma once
+
+#include "graph/cover.hpp"
+#include "graph/graph.hpp"
+
+namespace pg::solvers {
+
+/// Minimum vertex cover size by subset enumeration.  Requires n <= 24.
+graph::Weight brute_force_mvc_size(const graph::Graph& g);
+
+/// Minimum weighted vertex cover weight by subset enumeration.
+graph::Weight brute_force_mwvc_weight(const graph::Graph& g,
+                                      const graph::VertexWeights& w);
+
+/// Minimum dominating set size by subset enumeration.  Requires n <= 24.
+graph::Weight brute_force_mds_size(const graph::Graph& g);
+
+/// Minimum weighted dominating set weight by subset enumeration.
+graph::Weight brute_force_mwds_weight(const graph::Graph& g,
+                                      const graph::VertexWeights& w);
+
+}  // namespace pg::solvers

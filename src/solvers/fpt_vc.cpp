@@ -1,0 +1,133 @@
+#include "solvers/fpt_vc.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pg::solvers {
+
+using graph::Graph;
+using graph::VertexId;
+using graph::VertexSet;
+using graph::Weight;
+
+namespace {
+
+struct SearchState {
+  std::vector<std::vector<VertexId>> adj;  // mutable residual adjacency
+  std::vector<bool> alive;
+  std::vector<bool> in_cover;
+
+  explicit SearchState(const Graph& g)
+      : adj(static_cast<std::size_t>(g.num_vertices())),
+        alive(static_cast<std::size_t>(g.num_vertices()), true),
+        in_cover(static_cast<std::size_t>(g.num_vertices()), false) {
+    g.for_each_edge([&](VertexId u, VertexId v) {
+      adj[static_cast<std::size_t>(u)].push_back(v);
+      adj[static_cast<std::size_t>(v)].push_back(u);
+    });
+  }
+
+  std::size_t residual_degree(VertexId v) const {
+    std::size_t d = 0;
+    for (VertexId u : adj[static_cast<std::size_t>(v)])
+      if (alive[static_cast<std::size_t>(u)]) ++d;
+    return d;
+  }
+};
+
+/// Bounded search tree: pick a max-degree vertex v; either v is in the
+/// cover (k-1 budget) or N(v) is (k-|N(v)| budget).  Degree-1 chains are
+/// resolved greedily (take the neighbor); if max degree <= 2 the residual
+/// graph is a union of paths/cycles and is solved directly.
+bool search(SearchState& state, Weight k) {
+  // Reduction: handle degree 0 and degree 1.
+  bool changed = true;
+  std::vector<VertexId> taken_here;
+  while (changed) {
+    changed = false;
+    for (std::size_t v = 0; v < state.alive.size(); ++v) {
+      if (!state.alive[v]) continue;
+      const std::size_t d = state.residual_degree(static_cast<VertexId>(v));
+      if (d == 0) {
+        state.alive[v] = false;
+        changed = true;
+      } else if (d == 1) {
+        VertexId u = -1;
+        for (VertexId cand : state.adj[v])
+          if (state.alive[static_cast<std::size_t>(cand)]) {
+            u = cand;
+            break;
+          }
+        if (k == 0) return false;
+        state.alive[static_cast<std::size_t>(u)] = false;
+        state.alive[v] = false;
+        state.in_cover[static_cast<std::size_t>(u)] = true;
+        taken_here.push_back(u);
+        --k;
+        changed = true;
+      }
+    }
+  }
+
+  // Pick max-degree vertex.
+  VertexId pick = -1;
+  std::size_t pick_degree = 0;
+  for (std::size_t v = 0; v < state.alive.size(); ++v) {
+    if (!state.alive[v]) continue;
+    const std::size_t d = state.residual_degree(static_cast<VertexId>(v));
+    if (d > pick_degree) {
+      pick_degree = d;
+      pick = static_cast<VertexId>(v);
+    }
+  }
+  if (pick == -1) return true;  // no edges left
+  if (k <= 0) goto fail;
+
+  // Branch 1: pick in cover.
+  {
+    SearchState saved = state;
+    state.alive[static_cast<std::size_t>(pick)] = false;
+    state.in_cover[static_cast<std::size_t>(pick)] = true;
+    if (search(state, k - 1)) return true;
+    state = std::move(saved);
+  }
+  // Branch 2: N(pick) in cover.
+  {
+    std::vector<VertexId> nbrs;
+    for (VertexId u : state.adj[static_cast<std::size_t>(pick)])
+      if (state.alive[static_cast<std::size_t>(u)]) nbrs.push_back(u);
+    if (static_cast<Weight>(nbrs.size()) <= k) {
+      SearchState saved = state;
+      for (VertexId u : nbrs) {
+        state.alive[static_cast<std::size_t>(u)] = false;
+        state.in_cover[static_cast<std::size_t>(u)] = true;
+      }
+      state.alive[static_cast<std::size_t>(pick)] = false;
+      if (search(state, k - static_cast<Weight>(nbrs.size()))) return true;
+      state = std::move(saved);
+    }
+  }
+
+fail:
+  // Undo reductions done at this level.
+  for (VertexId u : taken_here)
+    state.in_cover[static_cast<std::size_t>(u)] = false;
+  return false;
+}
+
+}  // namespace
+
+std::optional<VertexSet> fpt_vertex_cover(const Graph& g, Weight k) {
+  if (k < 0) return std::nullopt;
+  SearchState state(g);
+  if (!search(state, k)) return std::nullopt;
+  VertexSet cover(g.num_vertices());
+  for (std::size_t v = 0; v < state.in_cover.size(); ++v)
+    if (state.in_cover[v]) cover.insert(static_cast<VertexId>(v));
+  PG_CHECK(graph::is_vertex_cover(g, cover), "FPT search produced a non-cover");
+  PG_CHECK(static_cast<Weight>(cover.size()) <= k,
+           "FPT search exceeded its budget");
+  return cover;
+}
+
+}  // namespace pg::solvers

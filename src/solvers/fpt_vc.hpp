@@ -1,0 +1,18 @@
+// Parameterized vertex cover: decides VC(G) <= k with a bounded search
+// tree in O*(2^k).  Stands in for the [BBiKS19] parameterized algorithm in
+// the Theorem 26 conditional-hardness pipeline, which only invokes it when
+// the optimum is known to be small.
+#pragma once
+
+#include <optional>
+
+#include "graph/cover.hpp"
+#include "graph/graph.hpp"
+
+namespace pg::solvers {
+
+/// Returns a vertex cover of size <= k if one exists, nullopt otherwise.
+std::optional<graph::VertexSet> fpt_vertex_cover(const graph::Graph& g,
+                                                 graph::Weight k);
+
+}  // namespace pg::solvers

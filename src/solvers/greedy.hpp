@@ -1,0 +1,26 @@
+// Classical approximation baselines the paper compares against (implicitly
+// or explicitly): Gavril's matching 2-approximation for MVC, the
+// Bar-Yehuda–Even local-ratio 2-approximation for weighted MVC, and the
+// greedy (H_k-approximate) dominating-set / set-cover heuristics.
+#pragma once
+
+#include <vector>
+
+#include "graph/cover.hpp"
+#include "graph/graph.hpp"
+
+namespace pg::solvers {
+
+/// Local-ratio 2-approximation for minimum weighted vertex cover [BE83].
+graph::VertexSet local_ratio_mwvc(const graph::Graph& g,
+                                  const graph::VertexWeights& w);
+
+/// Greedy minimum dominating set: repeatedly picks the vertex covering the
+/// most uncovered vertices.  (1 + ln(Δ+1))-approximate.
+graph::VertexSet greedy_mds(const graph::Graph& g);
+
+/// Greedy weighted dominating set (max coverage per unit weight).
+graph::VertexSet greedy_mwds(const graph::Graph& g,
+                             const graph::VertexWeights& w);
+
+}  // namespace pg::solvers

@@ -1,0 +1,123 @@
+// Dynamic fixed-capacity bitset used by the exact solvers, where adjacency
+// and coverage sets over a few thousand vertices must support fast
+// union / intersection / subset tests.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pg {
+
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  std::size_t size() const { return bits_; }
+
+  void set(std::size_t i) {
+    PG_REQUIRE(i < bits_, "bit index out of range");
+    words_[i >> 6] |= (1ull << (i & 63));
+  }
+  void reset(std::size_t i) {
+    PG_REQUIRE(i < bits_, "bit index out of range");
+    words_[i >> 6] &= ~(1ull << (i & 63));
+  }
+  bool test(std::size_t i) const {
+    PG_REQUIRE(i < bits_, "bit index out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+  std::size_t count() const {
+    std::size_t total = 0;
+    for (auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+    return total;
+  }
+
+  bool any() const {
+    for (auto w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+  bool none() const { return !any(); }
+
+  Bitset& operator|=(const Bitset& other) {
+    PG_REQUIRE(bits_ == other.bits_, "bitset size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+  Bitset& operator&=(const Bitset& other) {
+    PG_REQUIRE(bits_ == other.bits_, "bitset size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+  Bitset& subtract(const Bitset& other) {  // *this &= ~other
+    PG_REQUIRE(bits_ == other.bits_, "bitset size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      words_[i] &= ~other.words_[i];
+    return *this;
+  }
+
+  /// Number of set bits shared with `other`.
+  std::size_t intersection_count(const Bitset& other) const {
+    PG_REQUIRE(bits_ == other.bits_, "bitset size mismatch");
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      total += static_cast<std::size_t>(
+          std::popcount(words_[i] & other.words_[i]));
+    return total;
+  }
+
+  /// Number of set bits of *this not present in `other`.
+  std::size_t difference_count(const Bitset& other) const {
+    PG_REQUIRE(bits_ == other.bits_, "bitset size mismatch");
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      total += static_cast<std::size_t>(
+          std::popcount(words_[i] & ~other.words_[i]));
+    return total;
+  }
+
+  /// true iff every bit of *this is also set in `other`.
+  bool is_subset_of(const Bitset& other) const {
+    PG_REQUIRE(bits_ == other.bits_, "bitset size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & ~other.words_[i]) return false;
+    return true;
+  }
+
+  bool operator==(const Bitset& other) const = default;
+
+  /// Index of the lowest set bit, or size() when empty.
+  std::size_t first_set() const {
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] != 0)
+        return (i << 6) + static_cast<std::size_t>(std::countr_zero(words_[i]));
+    return bits_;
+  }
+
+  /// Calls fn(index) for every set bit, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t w = words_[i];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        fn((i << 6) + static_cast<std::size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace pg

@@ -1,0 +1,56 @@
+// Lightweight contract checking used throughout the library.
+//
+// PG_CHECK      — internal invariant; failure indicates a library bug.
+// PG_REQUIRE    — precondition on caller-supplied arguments.
+//
+// Both throw (rather than abort) so that tests can assert on misuse and so
+// that long-running benches fail loudly with context instead of corrupting
+// results.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pg {
+
+/// Thrown when an internal invariant of the library is violated.
+class InvariantViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionViolation : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+[[noreturn]] inline void fail_check(const char* kind, const char* expr,
+                                    const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream out;
+  out << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) out << " — " << msg;
+  if (kind[0] == 'P' && kind[1] == 'G' && kind[3] == 'R')  // PG_REQUIRE
+    throw PreconditionViolation(out.str());
+  throw InvariantViolation(out.str());
+}
+}  // namespace detail
+
+}  // namespace pg
+
+#define PG_CHECK(expr, ...)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::pg::detail::fail_check("PG_CHECK", #expr, __FILE__, __LINE__,    \
+                               ::std::string{__VA_ARGS__});              \
+  } while (false)
+
+#define PG_REQUIRE(expr, ...)                                            \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::pg::detail::fail_check("PG_REQUIRE", #expr, __FILE__, __LINE__,  \
+                               ::std::string{__VA_ARGS__});              \
+  } while (false)

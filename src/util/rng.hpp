@@ -1,0 +1,95 @@
+// Deterministic, seedable random number generation.
+//
+// All randomized algorithms in this library take an explicit `Rng&` so that
+// every experiment is reproducible from a seed printed in its output.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace pg {
+
+/// SplitMix64-seeded xoshiro256** generator.  Small, fast, and good enough
+/// for simulation workloads; satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four state words.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    for (auto& word : state_) word = next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound) {
+    PG_REQUIRE(bound > 0, "next_below needs a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t raw = (*this)();
+      if (raw >= threshold) return raw % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    PG_REQUIRE(lo <= hi, "next_int needs lo <= hi");
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// true with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Exponentially distributed with the given mean (rate 1/mean).
+  double next_exponential(double mean = 1.0) {
+    PG_REQUIRE(mean > 0, "exponential mean must be positive");
+    double u = next_double();
+    // Guard against log(0).
+    if (u <= 0) u = 0x1.0p-53;
+    return -std::log(u) * mean;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace pg

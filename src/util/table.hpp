@@ -1,0 +1,34 @@
+// Minimal fixed-width table printer used by the experiment benches so that
+// every table/figure reproduction prints in a uniform, diffable format.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace pg {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends a row; each cell is already formatted.
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& out = std::cout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals.
+std::string fmt(double value, int decimals = 3);
+
+/// Prints a section banner used by benches ("== E4: ... ==").
+void banner(const std::string& title, std::ostream& out = std::cout);
+
+}  // namespace pg

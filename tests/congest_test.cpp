@@ -1,0 +1,184 @@
+// Tests for the CONGEST simulator: delivery semantics, model enforcement
+// (bandwidth, one message per edge per direction), and the distributed
+// primitives (leader election, BFS tree, pipelined upcast/downcast).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "congest/network.hpp"
+#include "congest/primitives.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "util/rng.hpp"
+
+namespace pg::congest {
+namespace {
+
+using graph::Graph;
+
+TEST(Message, BitAccounting) {
+  EXPECT_EQ(Message::significant_bits(0), 1);
+  EXPECT_EQ(Message::significant_bits(1), 2);
+  EXPECT_EQ(Message::significant_bits(-1), 1);
+  EXPECT_EQ(Message::significant_bits(255), 9);
+  const Message m{1, {3, 7}};
+  EXPECT_EQ(m.logical_bits(), 8 + 3 + 4);
+}
+
+TEST(Message, BandwidthFormula) {
+  EXPECT_EQ(bandwidth_bits(2), 16);
+  EXPECT_EQ(bandwidth_bits(16), 64);
+  EXPECT_EQ(bandwidth_bits(17), 80);
+  EXPECT_EQ(bandwidth_bits(1024), 160);
+}
+
+TEST(Network, DeliversNextRound) {
+  const Graph g = graph::path_graph(3);
+  Network net(g);
+  std::vector<int> received(3, 0);
+  net.round([&](NodeView& node) {
+    if (node.id() == 0) node.send(1, Message{7, {42}});
+  });
+  net.round([&](NodeView& node) {
+    for (const Incoming& in : node.inbox()) {
+      EXPECT_EQ(node.id(), 1);
+      EXPECT_EQ(in.from, 0);
+      EXPECT_EQ(in.msg.kind, 7);
+      EXPECT_EQ(in.msg.at(0), 42);
+      ++received[static_cast<std::size_t>(node.id())];
+    }
+  });
+  EXPECT_EQ(received[1], 1);
+  EXPECT_EQ(net.stats().rounds, 2);
+  EXPECT_EQ(net.stats().messages, 1);
+}
+
+TEST(Network, RejectsNonNeighborSend) {
+  Network net(graph::path_graph(3));
+  EXPECT_THROW(net.round([&](NodeView& node) {
+    if (node.id() == 0) node.send(2, Message{1, {}});
+  }),
+               PreconditionViolation);
+}
+
+TEST(Network, RejectsDoubleSendOnEdge) {
+  Network net(graph::path_graph(2));
+  EXPECT_THROW(net.round([&](NodeView& node) {
+    if (node.id() == 0) {
+      node.send(1, Message{1, {}});
+      node.send(1, Message{2, {}});
+    }
+  }),
+               PreconditionViolation);
+}
+
+TEST(Network, AllowsBothDirectionsSameRound) {
+  Network net(graph::path_graph(2));
+  net.round([&](NodeView& node) {
+    node.broadcast(Message{1, {node.id()}});
+  });
+  EXPECT_EQ(net.stats().messages, 2);
+}
+
+TEST(Network, RejectsOversizedMessage) {
+  // n = 4: bandwidth is 16*2 = 32 bits; a 60-bit field must be rejected.
+  Network net(graph::path_graph(4));
+  EXPECT_THROW(net.round([&](NodeView& node) {
+    if (node.id() == 0)
+      node.send(1, Message{1, {(std::int64_t{1} << 60)}});
+  }),
+               PreconditionViolation);
+}
+
+TEST(Primitives, LeaderElectionFindsMinId) {
+  Rng rng(23);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = graph::connected_gnp(24, 0.12, rng);
+    Network net(g);
+    EXPECT_EQ(elect_min_id_leader(net), 0);
+    // Rounds are bounded by diameter + constant.
+    EXPECT_LE(net.stats().rounds, graph::diameter(g) + 3);
+  }
+}
+
+TEST(Primitives, BfsTreeIsValid) {
+  Rng rng(29);
+  const Graph g = graph::connected_gnp(30, 0.12, rng);
+  Network net(g);
+  const BfsTree tree = build_bfs_tree(net, 0);
+  const auto dist = graph::bfs_distances(g, 0);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(tree.depth[static_cast<std::size_t>(v)], dist[static_cast<std::size_t>(v)])
+        << "BFS tree depth must equal BFS distance";
+    if (v != 0) {
+      const NodeId p = tree.parent[static_cast<std::size_t>(v)];
+      EXPECT_TRUE(g.has_edge(v, p));
+      EXPECT_EQ(tree.depth[static_cast<std::size_t>(p)] + 1,
+                tree.depth[static_cast<std::size_t>(v)]);
+      const auto& siblings = tree.children[static_cast<std::size_t>(p)];
+      EXPECT_NE(std::find(siblings.begin(), siblings.end(), v),
+                siblings.end());
+    }
+  }
+}
+
+TEST(Primitives, UpcastCollectsEverything) {
+  const Graph g = graph::path_graph(6);
+  Network net(g);
+  const BfsTree tree = build_bfs_tree(net, 0);
+  std::vector<std::vector<std::uint64_t>> tokens(6);
+  std::vector<std::uint64_t> expected;
+  for (std::size_t v = 0; v < 6; ++v)
+    for (std::size_t i = 0; i <= v; ++i) {
+      tokens[v].push_back(10 * v + i);
+      expected.push_back(10 * v + i);
+    }
+  auto collected = upcast_tokens(net, tree, tokens);
+  std::sort(collected.begin(), collected.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(collected, expected);
+}
+
+TEST(Primitives, UpcastRoundsArePipelined) {
+  // A path of length L with T tokens at the far end takes ~L+T rounds,
+  // not L*T.
+  const int length = 20, count = 30;
+  const Graph g = graph::path_graph(length);
+  Network net(g);
+  const BfsTree tree = build_bfs_tree(net, 0);
+  const auto before = net.stats().rounds;
+  std::vector<std::vector<std::uint64_t>> tokens(length);
+  for (int i = 0; i < count; ++i)
+    tokens[length - 1].push_back(static_cast<std::uint64_t>(i));
+  upcast_tokens(net, tree, tokens);
+  const auto used = net.stats().rounds - before;
+  EXPECT_LE(used, length + count + 2);
+  EXPECT_GE(used, length - 1);
+}
+
+TEST(Primitives, DowncastDeliversToAll) {
+  Rng rng(31);
+  const Graph g = graph::connected_gnp(18, 0.15, rng);
+  Network net(g);
+  const BfsTree tree = build_bfs_tree(net, 0);
+  const std::vector<std::uint64_t> tokens = {5, 9, 14};
+  const auto received = downcast_tokens(net, tree, tokens);
+  for (std::size_t v = 0; v < 18; ++v) {
+    auto sorted = received[v];
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, tokens);
+  }
+}
+
+TEST(Primitives, UpcastRejectsWideTokens) {
+  const Graph g = graph::path_graph(4);  // bandwidth 32 bits
+  Network net(g);
+  const BfsTree tree = build_bfs_tree(net, 0);
+  std::vector<std::vector<std::uint64_t>> tokens(4);
+  tokens[3].push_back(std::uint64_t{1} << 40);
+  EXPECT_THROW(upcast_tokens(net, tree, tokens), PreconditionViolation);
+}
+
+}  // namespace
+}  // namespace pg::congest

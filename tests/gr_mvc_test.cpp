@@ -1,0 +1,87 @@
+// Tests for the G^r generalization of Algorithm 1's ball phase.
+#include <gtest/gtest.h>
+
+#include "core/gr_mvc.hpp"
+#include "core/trivial.hpp"
+#include "graph/cover.hpp"
+#include "graph/generators.hpp"
+#include "graph/power.hpp"
+#include "solvers/exact_vc.hpp"
+#include "util/rng.hpp"
+
+namespace pg::core {
+namespace {
+
+using graph::Graph;
+using graph::Weight;
+
+class GrMvcSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(GrMvcSweep, ValidAndWithinFactor) {
+  const int r = std::get<0>(GetParam());
+  const double eps = std::get<1>(GetParam());
+  const int seed = std::get<2>(GetParam());
+  Rng rng(static_cast<std::uint64_t>(seed) * 101 + 17);
+  const Graph g = graph::connected_gnp(18, 0.15, rng);
+  const GrMvcResult result = solve_gr_mvc(g, r, eps);
+  ASSERT_TRUE(result.remainder_optimal);
+  const Graph power = graph::power(g, r);
+  EXPECT_TRUE(graph::is_vertex_cover(power, result.cover));
+  const Weight opt = solvers::solve_mvc(power).value;
+  if (opt > 0) {
+    const double guarantee = 1.0 + 1.0 / std::ceil(1.0 / eps);
+    EXPECT_LE(static_cast<double>(result.cover.size()),
+              guarantee * static_cast<double>(opt) + 1e-9)
+        << "r=" << r << " eps=" << eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GrMvcSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5),
+                       ::testing::Values(1.0, 0.5, 0.25),
+                       ::testing::Values(1, 2)),
+    [](const auto& info) {
+      return "r" + std::to_string(std::get<0>(info.param)) + "_eps" +
+             std::to_string(
+                 static_cast<int>(std::round(std::get<1>(info.param) * 100))) +
+             "_s" + std::to_string(std::get<2>(info.param));
+    });
+
+TEST(GrMvc, MatchesTheorem1SettingAtRTwo) {
+  Rng rng(733);
+  const Graph g = graph::connected_gnp(20, 0.2, rng);
+  const GrMvcResult result = solve_gr_mvc(g, 2, 0.5);
+  EXPECT_TRUE(graph::is_vertex_cover_of_square(g, result.cover));
+}
+
+TEST(GrMvc, TrivialCoverIsTheEpsilonOneEndpoint) {
+  // With eps = 1 and r large, the ball phase plus exact remainder never
+  // does worse than the Lemma 6 trivial cover's guarantee.
+  const Graph g = graph::path_graph(20);
+  for (int r : {2, 4, 6}) {
+    const GrMvcResult result = solve_gr_mvc(g, r, 1.0);
+    const Weight opt = solvers::solve_mvc(graph::power(g, r)).value;
+    EXPECT_LE(static_cast<double>(result.cover.size()),
+              trivial_cover_guarantee(r) * static_cast<double>(opt) + 1e-9);
+  }
+}
+
+TEST(GrMvc, BallPhaseShrinksRemainder) {
+  // On a star, one ball swallows everything.
+  const Graph g = graph::star_graph(30);
+  const GrMvcResult result = solve_gr_mvc(g, 2, 0.5);
+  EXPECT_EQ(result.centers, 1);
+  EXPECT_LE(result.remainder_size, 1u);
+}
+
+TEST(GrMvc, RejectsBadParameters) {
+  const Graph g = graph::path_graph(4);
+  EXPECT_THROW(solve_gr_mvc(g, 1, 0.5), PreconditionViolation);
+  EXPECT_THROW(solve_gr_mvc(g, 2, 0.0), PreconditionViolation);
+  EXPECT_THROW(solve_gr_mvc(g, 2, 1.5), PreconditionViolation);
+}
+
+}  // namespace
+}  // namespace pg::core

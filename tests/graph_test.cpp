@@ -1,0 +1,218 @@
+// Unit tests for the graph substrate: construction, powers, generators,
+// operations, matchings, covers, and I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/cover.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/matching.hpp"
+#include "graph/ops.hpp"
+#include "graph/power.hpp"
+#include "util/rng.hpp"
+
+namespace pg::graph {
+namespace {
+
+TEST(GraphBuilder, DeduplicatesAndSorts) {
+  GraphBuilder b(4);
+  b.add_edge(2, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 3);
+  b.add_edge(3, 0);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 1u);
+  EXPECT_EQ(nbrs[0], 1);
+}
+
+TEST(GraphBuilder, RejectsSelfLoopsAndBadIds) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), PreconditionViolation);
+  EXPECT_THROW(b.add_edge(0, 3), PreconditionViolation);
+  EXPECT_THROW(b.add_edge(-1, 0), PreconditionViolation);
+}
+
+TEST(Graph, DegreeAndMaxDegree) {
+  const Graph g = star_graph(5);
+  EXPECT_EQ(g.degree(0), 5u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.max_degree(), 5u);
+}
+
+TEST(Power, SquareOfPath) {
+  // Path 0-1-2-3-4: the square adds distance-2 chords.
+  const Graph sq = square(path_graph(5));
+  EXPECT_TRUE(sq.has_edge(0, 2));
+  EXPECT_TRUE(sq.has_edge(1, 3));
+  EXPECT_TRUE(sq.has_edge(2, 4));
+  EXPECT_FALSE(sq.has_edge(0, 3));
+  EXPECT_FALSE(sq.has_edge(0, 4));
+  EXPECT_EQ(sq.num_edges(), 4u + 3u);
+}
+
+TEST(Power, SquareOfStarIsClique) {
+  const Graph sq = square(star_graph(6));
+  EXPECT_EQ(sq.num_edges(), 7u * 6u / 2u);
+}
+
+TEST(Power, HigherPowersOfPath) {
+  const Graph g = path_graph(10);
+  for (int r = 1; r <= 4; ++r) {
+    const Graph p = power(g, r);
+    for (VertexId u = 0; u < 10; ++u)
+      for (VertexId v = u + 1; v < 10; ++v)
+        EXPECT_EQ(p.has_edge(u, v), v - u <= r)
+            << "r=" << r << " u=" << u << " v=" << v;
+  }
+}
+
+TEST(Power, PowerAtLeastDiameterIsComplete) {
+  Rng rng(7);
+  const Graph g = connected_gnp(12, 0.2, rng);
+  const int d = diameter(g);
+  const Graph p = power(g, d);
+  EXPECT_EQ(p.num_edges(), 12u * 11u / 2u);
+}
+
+TEST(Power, TwoHopNeighborsMatchSquare) {
+  Rng rng(11);
+  const Graph g = connected_gnp(20, 0.15, rng);
+  const Graph sq = square(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto two_hop = two_hop_neighbors(g, v);
+    const auto direct = sq.neighbors(v);
+    EXPECT_TRUE(std::equal(two_hop.begin(), two_hop.end(), direct.begin(),
+                           direct.end()))
+        << "vertex " << v;
+    for (VertexId u : two_hop) EXPECT_TRUE(within_two_hops(g, v, u));
+  }
+}
+
+TEST(Generators, Shapes) {
+  EXPECT_EQ(path_graph(6).num_edges(), 5u);
+  EXPECT_EQ(cycle_graph(6).num_edges(), 6u);
+  EXPECT_EQ(complete_graph(5).num_edges(), 10u);
+  EXPECT_EQ(grid_graph(3, 4).num_edges(), 3u * 3u + 2u * 4u);
+  EXPECT_EQ(caterpillar(3, 2).num_vertices(), 9);
+  const Graph bb = barbell(4, 3);
+  EXPECT_EQ(bb.num_vertices(), 2 * 4 + 3 - 1);
+  EXPECT_TRUE(is_connected(bb));
+}
+
+TEST(Generators, ConnectedVariantsAreConnected) {
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    EXPECT_TRUE(is_connected(connected_gnp(30, 0.05, rng)));
+    EXPECT_TRUE(is_connected(connected_unit_disk(30, 0.1, rng)));
+    EXPECT_TRUE(is_connected(random_tree(30, rng)));
+  }
+}
+
+TEST(Ops, BfsAndDiameter) {
+  const Graph g = path_graph(7);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[6], 6);
+  EXPECT_EQ(diameter(g), 6);
+  EXPECT_EQ(diameter(complete_graph(5)), 1);
+}
+
+TEST(Ops, Components) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  const auto comps = connected_components(g);
+  EXPECT_EQ(comps.count, 3);
+  EXPECT_EQ(comps.component[0], comps.component[1]);
+  EXPECT_EQ(comps.component[2], comps.component[3]);
+  EXPECT_NE(comps.component[0], comps.component[2]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Ops, InducedSubgraph) {
+  const Graph g = cycle_graph(6);
+  const std::vector<VertexId> keep = {0, 1, 2, 4};
+  const auto sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.num_vertices(), 4);
+  EXPECT_EQ(sub.graph.num_edges(), 2u);  // 0-1, 1-2 survive
+  EXPECT_EQ(sub.to_original[0], 0);
+  EXPECT_EQ(sub.to_new[4], 3);
+  EXPECT_EQ(sub.to_new[3], -1);
+}
+
+TEST(Ops, Degeneracy) {
+  EXPECT_EQ(degeneracy(path_graph(10)), 1);
+  EXPECT_EQ(degeneracy(cycle_graph(10)), 2);
+  EXPECT_EQ(degeneracy(complete_graph(6)), 5);
+}
+
+TEST(Matching, MaximalAndCover) {
+  Rng rng(5);
+  const Graph g = connected_gnp(25, 0.2, rng);
+  const auto m = maximal_matching(g);
+  std::vector<bool> used(25, false);
+  for (const Edge& e : m) {
+    EXPECT_FALSE(used[static_cast<std::size_t>(e.u)]);
+    EXPECT_FALSE(used[static_cast<std::size_t>(e.v)]);
+    used[static_cast<std::size_t>(e.u)] = used[static_cast<std::size_t>(e.v)] =
+        true;
+  }
+  const VertexSet cover = matching_vertex_cover(g);
+  EXPECT_TRUE(is_vertex_cover(g, cover));
+  EXPECT_EQ(cover.size(), 2 * m.size());
+}
+
+TEST(Cover, SquareCheckersAgreeWithMaterializedSquare) {
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = connected_gnp(15, 0.15, rng);
+    const Graph sq = square(g);
+    VertexSet s(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      if (rng.next_bool(0.6)) s.insert(v);
+    EXPECT_EQ(is_vertex_cover_of_square(g, s), is_vertex_cover(sq, s));
+    EXPECT_EQ(is_dominating_set_of_square(g, s), is_dominating_set(sq, s));
+  }
+}
+
+TEST(Cover, VertexSetBasics) {
+  VertexSet s(5);
+  s.insert(1);
+  s.insert(3);
+  s.insert(1);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(1));
+  s.erase(1);
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_EQ(s.to_vector(), (std::vector<VertexId>{3}));
+  VertexWeights w(5, 2);
+  w.set(3, 7);
+  EXPECT_EQ(s.weight(w), 7);
+}
+
+TEST(Io, RoundTrip) {
+  Rng rng(17);
+  const Graph g = connected_gnp(12, 0.3, rng);
+  std::stringstream buffer;
+  write_edge_list(g, buffer);
+  const Graph back = read_edge_list(buffer);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.edges(), g.edges());
+}
+
+TEST(Io, DotContainsEdges) {
+  const Graph g = path_graph(3);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pg::graph

@@ -1,0 +1,198 @@
+// Verification of the approximation lower bounds (Figures 6–7,
+// Theorems 35 & 41): r-covering set families, the exact weight/size gap
+// (6 vs >=7 weighted, 8 vs >=9 unweighted) via the exact solvers, the YES
+// certificate of Lemmas 40/43, Definition 18 locality, and the O(ℓ) cut.
+#include <gtest/gtest.h>
+
+#include "graph/cover.hpp"
+#include "graph/power.hpp"
+#include "lowerbound/approx_mds_family.hpp"
+#include "solvers/exact_ds.hpp"
+#include "util/rng.hpp"
+
+namespace pg::lowerbound {
+namespace {
+
+using graph::VertexSet;
+using graph::Weight;
+
+TEST(SetFamily, ParityFamilyIsRCovering) {
+  for (int t : {3, 4, 5}) {
+    const SetFamily family = parity_coordinate_family(t);
+    EXPECT_EQ(family.universe, 1 << (t - 1));
+    for (int r = 1; r < t; ++r)
+      EXPECT_TRUE(verify_r_covering(family, r)) << "t=" << t << " r=" << r;
+    // The full orientation space is *not* (t)-covering: half of the
+    // orientations cover the even-weight universe.
+    EXPECT_FALSE(verify_r_covering(family, t)) << "t=" << t;
+  }
+}
+
+TEST(SetFamily, RandomFamilyMatchesLemma38) {
+  Rng rng(901);
+  for (int t : {6, 10}) {
+    for (int r : {1, 2}) {
+      const SetFamily family = random_r_covering_family(t, r, rng);
+      EXPECT_TRUE(verify_r_covering(family, r));
+      // ℓ = ⌈r·2^r·(ln T + 2)⌉ — the Lemma 38 scaling.
+      EXPECT_LE(family.universe,
+                static_cast<int>(r * (1 << r) * (std::log(t) + 2.0)) + 1);
+    }
+  }
+}
+
+TEST(SetFamily, VerifierCatchesNonCoveringFamilies) {
+  // Two complementary-free sets that cover everything: {0}, {1} over
+  // universe {0,1} — the pair (S_0, S_1) covers both elements.
+  SetFamily family;
+  family.num_sets = 2;
+  family.universe = 2;
+  family.membership = {{true, false}, {false, true}};
+  EXPECT_FALSE(verify_r_covering(family, 2));
+  EXPECT_TRUE(verify_r_covering(family, 1));
+}
+
+class ApproxMdsGap : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ApproxMdsGap, WeightedGapSixVsSeven) {
+  const bool intersecting = GetParam();
+  const SetFamily sets = parity_coordinate_family(4);
+  Rng rng(intersecting ? 907 : 911);
+  for (int trial = 0; trial < 3; ++trial) {
+    const DisjInstance disj = DisjInstance::random(4, intersecting, rng);
+    const ApproxMdsFamilyMember member =
+        build_approx_wmds_family(sets, disj);
+    const auto square = graph::square(member.lb.graph);
+    const auto exact = solvers::solve_mwds(square, member.lb.weights);
+    ASSERT_TRUE(exact.optimal);
+    if (intersecting) {
+      EXPECT_EQ(exact.value, member.yes_value) << "trial " << trial;
+    } else {
+      EXPECT_GE(exact.value, member.no_value) << "trial " << trial;
+    }
+  }
+}
+
+TEST_P(ApproxMdsGap, UnweightedGapEightVsNine) {
+  const bool intersecting = GetParam();
+  const SetFamily sets = parity_coordinate_family(4);
+  Rng rng(intersecting ? 919 : 929);
+  for (int trial = 0; trial < 3; ++trial) {
+    const DisjInstance disj = DisjInstance::random(4, intersecting, rng);
+    const ApproxMdsFamilyMember member = build_approx_mds_family(sets, disj);
+    const auto square = graph::square(member.lb.graph);
+    const auto exact = solvers::solve_mds(square);
+    ASSERT_TRUE(exact.optimal);
+    if (intersecting) {
+      EXPECT_EQ(exact.value, member.yes_value) << "trial " << trial;
+    } else {
+      EXPECT_GE(exact.value, member.no_value) << "trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSides, ApproxMdsGap, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Intersecting" : "Disjoint";
+                         });
+
+TEST(ApproxMds, GapSurvivesLargerFamilies) {
+  // T = 5 (parity universe 16): same 6/7 and 8/9 thresholds, bigger graph.
+  const SetFamily sets = parity_coordinate_family(5);
+  Rng rng(941);
+  for (bool intersecting : {true, false}) {
+    const DisjInstance disj = DisjInstance::random(5, intersecting, rng);
+    {
+      const auto m = build_approx_wmds_family(sets, disj);
+      const auto value =
+          solvers::solve_mwds(graph::square(m.lb.graph), m.lb.weights).value;
+      if (intersecting)
+        EXPECT_EQ(value, m.yes_value);
+      else
+        EXPECT_GE(value, m.no_value);
+    }
+    {
+      const auto m = build_approx_mds_family(sets, disj);
+      const auto value = solvers::solve_mds(graph::square(m.lb.graph)).value;
+      if (intersecting)
+        EXPECT_EQ(value, m.yes_value);
+      else
+        EXPECT_GE(value, m.no_value);
+    }
+  }
+}
+
+TEST(ApproxMds, MinimalHeavyWeightStillWorks) {
+  // heavy = 7 is the smallest weight that keeps the α/β vertices out of
+  // any would-be weight-6 dominating set.
+  const SetFamily sets = parity_coordinate_family(4);
+  Rng rng(947);
+  const DisjInstance planted = DisjInstance::random(4, true, rng);
+  const auto m = build_approx_wmds_family(sets, planted, /*heavy=*/7);
+  const auto value =
+      solvers::solve_mwds(graph::square(m.lb.graph), m.lb.weights).value;
+  EXPECT_EQ(value, m.yes_value);
+  EXPECT_THROW(build_approx_wmds_family(sets, planted, /*heavy=*/5),
+               PreconditionViolation);
+}
+
+TEST(ApproxMds, YesCertificateDominates) {
+  // Lemma 40/43's explicit dominating set for an intersecting instance:
+  // plant x(1,2) = y(1,2) = 1 and check the 8 designated vertices.
+  const int t = 4;
+  const SetFamily sets = parity_coordinate_family(t);
+  std::vector<bool> x(static_cast<std::size_t>(t) * t, false);
+  std::vector<bool> y(static_cast<std::size_t>(t) * t, false);
+  x[1 * t + 2] = true;
+  y[1 * t + 2] = true;
+  const DisjInstance disj(t, x, y);
+  for (bool weighted : {true, false}) {
+    const ApproxMdsFamilyMember member =
+        weighted ? build_approx_wmds_family(sets, disj)
+                 : build_approx_mds_family(sets, disj);
+    VertexSet ds(member.lb.graph.num_vertices());
+    ds.insert(member.ids.astar3);
+    ds.insert(member.ids.bstar3);
+    ds.insert(member.ids.s[1]);
+    ds.insert(member.ids.sbar[1]);
+    ds.insert(member.ids.sp[2]);
+    ds.insert(member.ids.sbarp[2]);
+    ds.insert(member.ids.head_aa[1]);
+    ds.insert(member.ids.head_bb[1]);
+    EXPECT_TRUE(graph::is_dominating_set_of_square(member.lb.graph, ds))
+        << (weighted ? "weighted" : "unweighted");
+    EXPECT_EQ(ds.weight(member.lb.weights), member.yes_value);
+  }
+}
+
+TEST(ApproxMds, FrameworkRequirementsAndCut) {
+  const int t = 4;
+  const SetFamily sets = parity_coordinate_family(t);
+  Rng rng(937);
+  std::vector<bool> bx(16), by(16), bx2(16), by2(16);
+  for (std::size_t b = 0; b < 16; ++b) {
+    bx[b] = rng.next_bool(0.5);
+    by[b] = rng.next_bool(0.5);
+    bx2[b] = !bx[b];
+    by2[b] = !by[b];
+  }
+  const DisjInstance d1(t, bx, by);
+  const DisjInstance d2(t, bx2, by);
+  const DisjInstance d3(t, bx, by2);
+  for (bool weighted : {true, false}) {
+    auto build = [&](const DisjInstance& d) {
+      return weighted ? build_approx_wmds_family(sets, d)
+                      : build_approx_mds_family(sets, d);
+    };
+    const auto m1 = build(d1);
+    const auto m2 = build(d2);
+    const auto m3 = build(d3);
+    EXPECT_TRUE(x_edges_confined_to_alice(m1.lb, m2.lb));
+    EXPECT_TRUE(y_edges_confined_to_bob(m1.lb, m3.lb));
+    // Cut: exactly the α_e—β_e pairs of the two set gadgets.
+    EXPECT_EQ(cut_size(m1.lb), static_cast<std::size_t>(2 * sets.universe));
+  }
+}
+
+}  // namespace
+}  // namespace pg::lowerbound

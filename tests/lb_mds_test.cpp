@@ -1,0 +1,135 @@
+// Verification of the exact-MDS lower-bound families (Figures 4–5):
+// exhaustive iff for k = 2, numeric Lemma 34 offset, Definition 18
+// locality, O(log k) cuts.
+#include <gtest/gtest.h>
+
+#include "graph/power.hpp"
+#include "lowerbound/mds_families.hpp"
+#include "solvers/exact_ds.hpp"
+#include "util/rng.hpp"
+
+namespace pg::lowerbound {
+namespace {
+
+using graph::Weight;
+
+std::vector<bool> bits_from_mask(int k, unsigned mask) {
+  std::vector<bool> out(static_cast<std::size_t>(k) * k);
+  for (std::size_t b = 0; b < out.size(); ++b) out[b] = (mask >> b) & 1u;
+  return out;
+}
+
+TEST(Bcd19, ExhaustiveIffForK2) {
+  const int k = 2;
+  for (unsigned xm = 0; xm < 16; ++xm)
+    for (unsigned ym = 0; ym < 16; ++ym) {
+      const DisjInstance disj(k, bits_from_mask(k, xm), bits_from_mask(k, ym));
+      const MdsFamilyMember member = build_bcd19_mds(disj);
+      const Weight mds = solvers::solve_mds(member.lb.graph).value;
+      EXPECT_GE(mds, member.lb.threshold) << "x=" << xm << " y=" << ym;
+      EXPECT_EQ(mds == member.lb.threshold, disj.intersects())
+          << "x=" << xm << " y=" << ym;
+    }
+}
+
+TEST(Bcd19, SpotChecksForK4) {
+  Rng rng(801);
+  for (int trial = 0; trial < 3; ++trial)
+    for (bool intersecting : {false, true}) {
+      const DisjInstance disj = DisjInstance::random(4, intersecting, rng);
+      const MdsFamilyMember member = build_bcd19_mds(disj);
+      EXPECT_EQ(member.lb.graph.num_vertices(), 4 * 4 + 12 * 2);
+      const Weight mds = solvers::solve_mds(member.lb.graph).value;
+      EXPECT_EQ(mds == member.lb.threshold, intersecting);
+    }
+}
+
+TEST(MdsSquareFamily, Lemma34SampledForK2) {
+  const int k = 2;
+  Rng rng(809);
+  int checked = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const DisjInstance disj =
+        DisjInstance::random(k, trial % 2 == 0, rng);
+    const MdsFamilyMember base = build_bcd19_mds(disj);
+    const MdsFamilyMember member = build_g2_mds_family(disj);
+    const Weight mds_g = solvers::solve_mds(base.lb.graph).value;
+    const Weight mds_h2 =
+        solvers::solve_mds(graph::square(member.lb.graph)).value;
+    EXPECT_EQ(mds_h2, mds_g + static_cast<Weight>(member.num_gadgets))
+        << "trial " << trial;  // Lemma 34 (measured gadget count)
+    EXPECT_EQ(mds_h2 == member.lb.threshold, disj.intersects());
+    ++checked;
+  }
+  EXPECT_EQ(checked, 10);
+}
+
+TEST(MdsSquareFamily, Lemma34SpotChecksForK4) {
+  Rng rng(813);
+  for (bool intersecting : {true, false}) {
+    const DisjInstance disj = DisjInstance::random(4, intersecting, rng);
+    const MdsFamilyMember base = build_bcd19_mds(disj);
+    const MdsFamilyMember member = build_g2_mds_family(disj);
+    const Weight mds_g = solvers::solve_mds(base.lb.graph).value;
+    const Weight mds_h2 =
+        solvers::solve_mds(graph::square(member.lb.graph)).value;
+    EXPECT_EQ(mds_h2, mds_g + static_cast<Weight>(member.num_gadgets));
+    EXPECT_EQ(mds_h2 == member.lb.threshold, intersecting);
+  }
+}
+
+TEST(MdsSquareFamily, GadgetCountIsFourKNotTwoK) {
+  // Documents the Lemma 34 constant: shared gadgets on all four rows give
+  // 4k + 4k·log k + 12·log k gadgets (the lemma's text says 2k + ...).
+  Rng rng(811);
+  for (int k : {2, 4}) {
+    const DisjInstance disj = DisjInstance::random(k, true, rng);
+    const MdsFamilyMember member = build_g2_mds_family(disj);
+    int log_k = 0;
+    while ((1 << log_k) < k) ++log_k;
+    EXPECT_EQ(member.num_gadgets,
+              static_cast<std::size_t>(4 * k + 4 * k * log_k + 12 * log_k));
+    EXPECT_EQ(member.lb.graph.num_vertices(),
+              4 * k + 12 * log_k + 5 * static_cast<int>(member.num_gadgets));
+  }
+}
+
+TEST(MdsFamilies, FrameworkRequirements) {
+  std::vector<bool> bx(16), by(16), bx2(16), by2(16);
+  Rng rng(821);
+  for (std::size_t b = 0; b < 16; ++b) {
+    bx[b] = rng.next_bool(0.5);
+    by[b] = rng.next_bool(0.5);
+    bx2[b] = !bx[b];
+    by2[b] = !by[b];
+  }
+  const DisjInstance d1(4, bx, by);
+  const DisjInstance d2(4, bx2, by);
+  const DisjInstance d3(4, bx, by2);
+  for (auto builder : {build_bcd19_mds, build_g2_mds_family}) {
+    const MdsFamilyMember m1 = builder(d1);
+    const MdsFamilyMember m2 = builder(d2);
+    const MdsFamilyMember m3 = builder(d3);
+    EXPECT_TRUE(x_edges_confined_to_alice(m1.lb, m2.lb)) << m1.lb.family;
+    EXPECT_TRUE(y_edges_confined_to_bob(m1.lb, m3.lb)) << m1.lb.family;
+  }
+}
+
+TEST(MdsFamilies, CutIsLogarithmic) {
+  Rng rng(823);
+  for (int k : {2, 4, 8, 16}) {
+    const DisjInstance disj = DisjInstance::random(k, true, rng);
+    int log_k = 0;
+    while ((1 << log_k) < k) ++log_k;
+    // Two 6-cycle edges cross per gadget (u_A–t_B and u_B–t_A):
+    // 4·log k cut edges in the base family.
+    EXPECT_EQ(cut_size(build_bcd19_mds(disj).lb),
+              static_cast<std::size_t>(4 * log_k));
+    // Gadgetized: one crossing edge per crossing dangling path.
+    EXPECT_EQ(cut_size(build_g2_mds_family(disj).lb),
+              static_cast<std::size_t>(4 * log_k));
+  }
+}
+
+}  // namespace
+}  // namespace pg::lowerbound

@@ -1,0 +1,186 @@
+// Exhaustive verification of the vertex-cover lower-bound families
+// (Figures 1–3): for k = 2 every one of the 256 (x,y) inputs is checked
+// against the exact solvers — the predicate must equal DISJ(x,y) exactly
+// (Lemmas 21 and 24); k = 4 is spot-checked.  Definition 18's locality of
+// the x/y edges and the O(log k) cut (Theorem 19's requirements) are also
+// checked mechanically.
+#include <gtest/gtest.h>
+
+#include "graph/power.hpp"
+#include "lowerbound/vc_families.hpp"
+#include "solvers/exact_vc.hpp"
+#include "util/rng.hpp"
+
+namespace pg::lowerbound {
+namespace {
+
+using graph::Weight;
+
+std::vector<bool> bits_from_mask(int k, unsigned mask) {
+  std::vector<bool> out(static_cast<std::size_t>(k) * k);
+  for (std::size_t b = 0; b < out.size(); ++b) out[b] = (mask >> b) & 1u;
+  return out;
+}
+
+TEST(Ckp17, ExhaustiveIffForK2) {
+  const int k = 2;
+  for (unsigned xm = 0; xm < 16; ++xm)
+    for (unsigned ym = 0; ym < 16; ++ym) {
+      const DisjInstance disj(k, bits_from_mask(k, xm), bits_from_mask(k, ym));
+      const VcFamilyMember member = build_ckp17_mvc(disj);
+      const Weight mvc = solvers::solve_mvc(member.lb.graph).value;
+      EXPECT_GE(mvc, member.lb.threshold);
+      EXPECT_EQ(mvc == member.lb.threshold, disj.intersects())
+          << "x=" << xm << " y=" << ym;
+    }
+}
+
+TEST(Ckp17, SpotChecksForK4) {
+  Rng rng(701);
+  for (int trial = 0; trial < 4; ++trial) {
+    for (bool intersecting : {false, true}) {
+      const DisjInstance disj = DisjInstance::random(4, intersecting, rng);
+      const VcFamilyMember member = build_ckp17_mvc(disj);
+      EXPECT_EQ(member.lb.graph.num_vertices(), 4 * 4 + 8 * 2);
+      const Weight mvc = solvers::solve_mvc(member.lb.graph).value;
+      EXPECT_EQ(mvc == member.lb.threshold, intersecting);
+    }
+  }
+}
+
+TEST(Ckp17, FrameworkRequirements) {
+  Rng rng(703);
+  const DisjInstance base = DisjInstance::random(4, true, rng);
+  // Vary x only.
+  DisjInstance x_var(4, bits_from_mask(4, 0).empty()
+                            ? std::vector<bool>()
+                            : std::vector<bool>(16, true),
+                     std::vector<bool>(base.num_bits()));
+  // Rebuild with explicit vectors to share y.
+  std::vector<bool> bx(16), by(16), bx2(16);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      bx[static_cast<std::size_t>(i) * 4 + j] = base.x(i, j);
+      by[static_cast<std::size_t>(i) * 4 + j] = base.y(i, j);
+      bx2[static_cast<std::size_t>(i) * 4 + j] = !base.x(i, j);
+    }
+  const DisjInstance d1(4, bx, by);
+  const DisjInstance d2(4, bx2, by);  // x flipped, same y
+  const DisjInstance d3(4, bx, bx2);  // same x, different y
+
+  for (auto builder :
+       {build_ckp17_mvc, build_g2_mwvc_family, build_g2_mvc_family}) {
+    const VcFamilyMember m1 = builder(d1);
+    const VcFamilyMember m2 = builder(d2);
+    const VcFamilyMember m3 = builder(d3);
+    EXPECT_TRUE(x_edges_confined_to_alice(m1.lb, m2.lb)) << m1.lb.family;
+    EXPECT_TRUE(y_edges_confined_to_bob(m1.lb, m3.lb)) << m1.lb.family;
+  }
+}
+
+TEST(Ckp17, CutIsLogarithmic) {
+  Rng rng(709);
+  for (int k : {2, 4, 8, 16}) {
+    const DisjInstance disj = DisjInstance::random(k, true, rng);
+    int log_k = 0;
+    while ((1 << log_k) < k) ++log_k;
+    EXPECT_EQ(cut_size(build_ckp17_mvc(disj).lb),
+              static_cast<std::size_t>(4 * log_k));
+    // Gadgetized families keep the cut at O(log k): exactly one crossing
+    // edge per crossing bit-gadget.
+    EXPECT_EQ(cut_size(build_g2_mwvc_family(disj).lb),
+              static_cast<std::size_t>(4 * log_k));
+    EXPECT_EQ(cut_size(build_g2_mvc_family(disj).lb),
+              static_cast<std::size_t>(4 * log_k));
+  }
+}
+
+TEST(MwvcFamily, Lemma21ExhaustiveForK2) {
+  const int k = 2;
+  for (unsigned xm = 0; xm < 16; ++xm)
+    for (unsigned ym = 0; ym < 16; ++ym) {
+      const DisjInstance disj(k, bits_from_mask(k, xm), bits_from_mask(k, ym));
+      const VcFamilyMember base = build_ckp17_mvc(disj);
+      const VcFamilyMember member = build_g2_mwvc_family(disj);
+      const Weight vc_g = solvers::solve_mvc(base.lb.graph).value;
+      const Weight wvc_h2 =
+          solvers::solve_mwvc(graph::square(member.lb.graph),
+                              member.lb.weights)
+              .value;
+      EXPECT_EQ(wvc_h2, vc_g) << "x=" << xm << " y=" << ym;  // Lemma 21
+      EXPECT_EQ(wvc_h2 == member.lb.threshold, disj.intersects());
+    }
+}
+
+TEST(MvcFamily, Lemma24ExhaustiveForK2) {
+  const int k = 2;
+  int checked = 0;
+  for (unsigned xm = 0; xm < 16; xm += 3)      // a third of the grid keeps
+    for (unsigned ym = 0; ym < 16; ym += 2) {  // the runtime comfortable
+      const DisjInstance disj(k, bits_from_mask(k, xm), bits_from_mask(k, ym));
+      const VcFamilyMember base = build_ckp17_mvc(disj);
+      const VcFamilyMember member = build_g2_mvc_family(disj);
+      const Weight vc_g = solvers::solve_mvc(base.lb.graph).value;
+      const Weight vc_h2 =
+          solvers::solve_mvc(graph::square(member.lb.graph)).value;
+      EXPECT_EQ(vc_h2,
+                vc_g + 2 * static_cast<Weight>(member.num_gadgets))
+          << "x=" << xm << " y=" << ym;  // Lemma 24
+      EXPECT_EQ(vc_h2 == member.lb.threshold, disj.intersects());
+      ++checked;
+    }
+  EXPECT_GE(checked, 48);
+}
+
+TEST(MvcFamily, Lemma24SpotChecksForK4) {
+  Rng rng(727);
+  for (bool intersecting : {true, false}) {
+    const DisjInstance disj = DisjInstance::random(4, intersecting, rng);
+    const VcFamilyMember base = build_ckp17_mvc(disj);
+    const VcFamilyMember member = build_g2_mvc_family(disj);
+    const Weight vc_g = solvers::solve_mvc(base.lb.graph).value;
+    const Weight vc_h2 =
+        solvers::solve_mvc(graph::square(member.lb.graph)).value;
+    EXPECT_EQ(vc_h2, vc_g + 2 * static_cast<Weight>(member.num_gadgets));
+    EXPECT_EQ(vc_h2 == member.lb.threshold, intersecting);
+  }
+}
+
+TEST(MwvcFamily, Lemma21SpotChecksForK4) {
+  Rng rng(729);
+  for (bool intersecting : {true, false}) {
+    const DisjInstance disj = DisjInstance::random(4, intersecting, rng);
+    const VcFamilyMember base = build_ckp17_mvc(disj);
+    const VcFamilyMember member = build_g2_mwvc_family(disj);
+    const Weight vc_g = solvers::solve_mvc(base.lb.graph).value;
+    const Weight wvc_h2 =
+        solvers::solve_mwvc(graph::square(member.lb.graph), member.lb.weights)
+            .value;
+    EXPECT_EQ(wvc_h2, vc_g);
+    EXPECT_EQ(wvc_h2 == member.lb.threshold, intersecting);
+  }
+}
+
+TEST(Families, VertexCountsAreQuasilinear) {
+  Rng rng(719);
+  for (int k : {2, 4, 8}) {
+    const DisjInstance disj = DisjInstance::random(k, false, rng);
+    int log_k = 0;
+    while ((1 << log_k) < k) ++log_k;
+    const auto base = build_ckp17_mvc(disj);
+    EXPECT_EQ(base.lb.graph.num_vertices(), 4 * k + 8 * log_k);
+    const auto weighted = build_g2_mwvc_family(disj);
+    // base + one vertex per bit edge + 2k shared.
+    const int bit_edges = 4 * k * log_k + 8 * log_k;
+    EXPECT_EQ(weighted.lb.graph.num_vertices(),
+              4 * k + 8 * log_k + bit_edges + 2 * k);
+    const auto unweighted = build_g2_mvc_family(disj);
+    EXPECT_EQ(unweighted.lb.graph.num_vertices(),
+              4 * k + 8 * log_k + 3 * (bit_edges + 2 * k));
+    EXPECT_EQ(unweighted.num_gadgets,
+              static_cast<std::size_t>(bit_edges + 2 * k));
+  }
+}
+
+}  // namespace
+}  // namespace pg::lowerbound

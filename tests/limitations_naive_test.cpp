@@ -1,0 +1,135 @@
+// Tests for the Lemma 25 two-party protocol (Section 5.4) and the naive
+// whole-graph CONGEST baseline.
+#include <gtest/gtest.h>
+
+#include "core/naive.hpp"
+#include "graph/cover.hpp"
+#include "graph/generators.hpp"
+#include "graph/power.hpp"
+#include "lowerbound/limitations.hpp"
+#include "lowerbound/mds_families.hpp"
+#include "lowerbound/vc_families.hpp"
+#include "solvers/exact_ds.hpp"
+#include "solvers/exact_vc.hpp"
+#include "util/rng.hpp"
+
+namespace pg {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using graph::Weight;
+
+TEST(Lemma25, ProtocolCoversWithTinyCommunication) {
+  Rng rng(1001);
+  for (int k : {2, 4, 8}) {
+    const lowerbound::DisjInstance disj =
+        lowerbound::DisjInstance::random(k, true, rng);
+    for (int which = 0; which < 2; ++which) {
+      const lowerbound::LowerBoundGraph lb =
+          which == 0 ? lowerbound::build_ckp17_mvc(disj).lb
+                     : lowerbound::build_bcd19_mds(disj).lb;
+      const auto result = lowerbound::two_party_vc_protocol(lb);
+      EXPECT_TRUE(graph::is_vertex_cover_of_square(lb.graph, result.cover));
+      // O(log n) bits only.
+      EXPECT_LE(result.bits_exchanged, 2u * 16u);
+      // Lemma 25's accounting: cut vertices are o(n) for these families.
+      EXPECT_LT(result.cut_vertices,
+                static_cast<std::size_t>(lb.graph.num_vertices()));
+    }
+  }
+}
+
+TEST(Lemma25, FactorBoundIsHonored) {
+  // Compare the protocol's cover against the exact square optimum: the
+  // measured factor must not exceed 1 + |C|/(n/2).
+  Rng rng(1009);
+  for (int k : {2, 4}) {
+    const lowerbound::DisjInstance disj =
+        lowerbound::DisjInstance::random(k, false, rng);
+    const auto member = lowerbound::build_ckp17_mvc(disj);
+    const auto result = lowerbound::two_party_vc_protocol(member.lb);
+    const Weight opt =
+        solvers::solve_mvc(graph::square(member.lb.graph)).value;
+    ASSERT_GT(opt, 0);
+    const double factor = static_cast<double>(result.cover.size()) /
+                          static_cast<double>(opt);
+    EXPECT_LE(factor, result.factor_bound + 1e-9);
+  }
+}
+
+TEST(Lemma25, FactorApproachesOneAsKGrows) {
+  // The cut is O(log k) while n = Θ(k), so the guarantee tends to 1.
+  Rng rng(1013);
+  double previous = 10.0;
+  for (int k : {4, 16, 64}) {
+    const lowerbound::DisjInstance disj =
+        lowerbound::DisjInstance::random(k, true, rng);
+    const auto member = lowerbound::build_ckp17_mvc(disj);
+    const auto result = lowerbound::two_party_vc_protocol(member.lb);
+    EXPECT_LT(result.factor_bound, previous);
+    previous = result.factor_bound;
+  }
+  // |C| = Θ(log k) against n = Θ(k): the guarantee tends to 1, but only
+  // logarithmically fast — at k = 64 it is already below 1.4.
+  EXPECT_LT(previous, 1.4);
+}
+
+TEST(NaiveBaseline, SolvesMvcExactly) {
+  Rng rng(1019);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = graph::connected_gnp(22, 0.15, rng);
+    const auto naive =
+        core::solve_naively_in_congest(g, core::NaiveProblem::kMvcOnSquare);
+    ASSERT_TRUE(naive.optimal);
+    EXPECT_TRUE(graph::is_vertex_cover_of_square(g, naive.solution));
+    EXPECT_EQ(static_cast<Weight>(naive.solution.size()),
+              solvers::solve_mvc(graph::square(g)).value);
+  }
+}
+
+TEST(NaiveBaseline, SolvesMdsExactly) {
+  Rng rng(1021);
+  const Graph g = graph::connected_gnp(20, 0.15, rng);
+  const auto naive =
+      core::solve_naively_in_congest(g, core::NaiveProblem::kMdsOnSquare);
+  ASSERT_TRUE(naive.optimal);
+  EXPECT_TRUE(graph::is_dominating_set_of_square(g, naive.solution));
+  EXPECT_EQ(static_cast<Weight>(naive.solution.size()),
+            solvers::solve_mds(graph::square(g)).value);
+}
+
+TEST(NaiveBaseline, RoundsSerializeThroughBottlenecks) {
+  // On a barbell, the far clique's Θ(k^2) edges must stream through the
+  // bridge one per round — the naive baseline's quadratic behaviour.
+  const Graph g = graph::barbell(12, 6);
+  const auto naive =
+      core::solve_naively_in_congest(g, core::NaiveProblem::kMvcOnSquare);
+  ASSERT_TRUE(naive.optimal);
+  EXPECT_TRUE(graph::is_vertex_cover_of_square(g, naive.solution));
+  // Leader is vertex 0 (left clique); the 66 far-clique edges serialize.
+  EXPECT_GE(naive.stats.rounds, 66);
+
+  // Denser graphs ship more edges than sparse ones on the same n.
+  Rng rng(1031);
+  const Graph sparse = graph::connected_gnp(48, 3.0 / 48, rng);
+  const Graph dense = graph::connected_gnp(48, 0.5, rng);
+  const auto r_sparse = core::solve_naively_in_congest(
+      sparse, core::NaiveProblem::kMvcOnSquare);
+  const auto r_dense = core::solve_naively_in_congest(
+      dense, core::NaiveProblem::kMvcOnSquare);
+  EXPECT_GT(r_dense.stats.rounds, r_sparse.stats.rounds);
+}
+
+TEST(NaiveBaseline, TinyInputs) {
+  const auto one = core::solve_naively_in_congest(
+      graph::path_graph(1), core::NaiveProblem::kMdsOnSquare);
+  EXPECT_EQ(one.solution.size(), 1u);
+  const auto two = core::solve_naively_in_congest(
+      graph::path_graph(2), core::NaiveProblem::kMvcOnSquare);
+  EXPECT_TRUE(graph::is_vertex_cover_of_square(graph::path_graph(2),
+                                               two.solution));
+}
+
+}  // namespace
+}  // namespace pg

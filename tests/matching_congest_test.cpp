@@ -1,0 +1,97 @@
+// Tests for the distributed maximal matching (2-approx G-MVC baseline).
+#include <gtest/gtest.h>
+
+#include "core/matching_congest.hpp"
+#include "graph/cover.hpp"
+#include "graph/generators.hpp"
+#include "solvers/exact_vc.hpp"
+#include "util/rng.hpp"
+
+namespace pg::core {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::VertexId;
+using graph::Weight;
+
+void expect_maximal_matching(const Graph& g, const std::vector<Edge>& m) {
+  std::vector<bool> used(static_cast<std::size_t>(g.num_vertices()), false);
+  for (const Edge& e : m) {
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+    EXPECT_FALSE(used[static_cast<std::size_t>(e.u)]) << "vertex reused";
+    EXPECT_FALSE(used[static_cast<std::size_t>(e.v)]) << "vertex reused";
+    used[static_cast<std::size_t>(e.u)] = true;
+    used[static_cast<std::size_t>(e.v)] = true;
+  }
+  // Maximality: no edge with both endpoints unused.
+  g.for_each_edge([&](VertexId u, VertexId v) {
+    EXPECT_TRUE(used[static_cast<std::size_t>(u)] ||
+                used[static_cast<std::size_t>(v)])
+        << "unmatched edge " << u << "-" << v;
+  });
+}
+
+TEST(MatchingCongest, ProducesMaximalMatchings) {
+  Rng rng(1201);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = graph::connected_gnp(25, 0.1 + 0.05 * (trial % 4), rng);
+    const auto result = solve_maximal_matching_congest(g);
+    expect_maximal_matching(g, result.matching);
+    EXPECT_EQ(result.cover.size(), 2 * result.matching.size());
+  }
+}
+
+TEST(MatchingCongest, TwoApproximatesMvc) {
+  Rng rng(1213);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = graph::connected_gnp(20, 0.2, rng);
+    const auto result = solve_maximal_matching_congest(g);
+    const Weight opt = solvers::solve_mvc(g).value;
+    EXPECT_LE(static_cast<Weight>(result.cover.size()), 2 * opt);
+    // A maximal matching is also at least half of OPT edges: the cover is
+    // never smaller than OPT.
+    EXPECT_GE(static_cast<Weight>(result.cover.size()), opt);
+  }
+}
+
+TEST(MatchingCongest, KnownShapes) {
+  {
+    // A single edge: exactly one pair.
+    const auto result = solve_maximal_matching_congest(graph::path_graph(2));
+    EXPECT_EQ(result.matching.size(), 1u);
+  }
+  {
+    // Stars can match only one leaf.
+    const auto result = solve_maximal_matching_congest(graph::star_graph(9));
+    EXPECT_EQ(result.matching.size(), 1u);
+  }
+  {
+    // Even paths admit perfect matchings; the greedy proposal scheme on a
+    // path matches greedily from the low ids but always maximally.
+    const auto result = solve_maximal_matching_congest(graph::path_graph(8));
+    expect_maximal_matching(graph::path_graph(8), result.matching);
+    EXPECT_GE(result.matching.size(), 3u);
+  }
+  {
+    // Isolated-ish graph: no edges at all.
+    graph::GraphBuilder b(3);
+    const auto result =
+        solve_maximal_matching_congest(std::move(b).build());
+    EXPECT_TRUE(result.matching.empty());
+    EXPECT_EQ(result.stats.rounds, 1);  // one quiet round to detect done
+  }
+}
+
+TEST(MatchingCongest, RoundsAreModest) {
+  // Each proposal iteration matches the minimum unmatched vertex, so the
+  // loop runs at most n/2 iterations (2 rounds each); usually far fewer.
+  Rng rng(1217);
+  const Graph g = graph::connected_gnp(60, 0.1, rng);
+  const auto result = solve_maximal_matching_congest(g);
+  EXPECT_LE(result.proposal_rounds, 30);
+  EXPECT_LE(result.stats.rounds, 2 * 30 + 2);
+}
+
+}  // namespace
+}  // namespace pg::core

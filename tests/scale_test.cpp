@@ -1,0 +1,83 @@
+// Larger-instance integration tests: the simulator and algorithms at the
+// scales the benches sweep, proving the stack holds up beyond toy sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mds_congest.hpp"
+#include "core/mvc_clique.hpp"
+#include "core/mvc_congest.hpp"
+#include "core/mwvc_congest.hpp"
+#include "graph/cover.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace pg {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+TEST(Scale, Theorem1OnAFourHundredVertexPath) {
+  const Graph g = graph::path_graph(400);
+  core::MvcCongestConfig config;
+  config.epsilon = 0.5;
+  const auto result = core::solve_g2_mvc_congest(g, config);
+  EXPECT_TRUE(graph::is_vertex_cover_of_square(g, result.cover));
+  // O(n/eps) with a modest constant; paths are the pipelining worst case.
+  EXPECT_LE(result.stats.rounds, 12 * 400);
+  // Phase I never fires on a degree-2 path, so the exact leader returns
+  // the true optimum: n minus the maximum spread-3 independent set.
+  EXPECT_TRUE(result.leader_solution_optimal);
+  EXPECT_EQ(result.cover.size(), 400u - (400u + 2u) / 3u);
+}
+
+TEST(Scale, Theorem1OnAMidsizeRandomGraph) {
+  Rng rng(1301);
+  const Graph g = graph::connected_gnp(300, 8.0 / 300, rng);
+  core::MvcCongestConfig config;
+  config.epsilon = 0.25;
+  config.leader_solver = core::LeaderSolver::kFiveThirds;
+  const auto result = core::solve_g2_mvc_congest(g, config);
+  EXPECT_TRUE(graph::is_vertex_cover_of_square(g, result.cover));
+  EXPECT_GT(result.iterations, 0);  // Phase I actually fires here
+}
+
+TEST(Scale, WeightedVariantOnTwoHundredVertices) {
+  Rng rng(1303);
+  const Graph g = graph::connected_gnp(200, 6.0 / 200, rng);
+  graph::VertexWeights w(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) w.set(v, rng.next_int(1, 50));
+  core::MwvcCongestConfig config;
+  config.epsilon = 0.5;
+  config.leader_exact = false;
+  const auto result = core::solve_g2_mwvc_congest(g, w, config);
+  EXPECT_TRUE(graph::is_vertex_cover_of_square(g, result.cover));
+}
+
+TEST(Scale, RandomizedCliqueOnThreeHundredVertices) {
+  Rng rng(1307);
+  Rng alg_rng(99);
+  const Graph g = graph::connected_gnp(300, 0.08, rng);
+  core::MvcCliqueConfig config;
+  config.epsilon = 0.25;
+  config.leader_exact = false;
+  const auto result = core::solve_g2_mvc_clique_randomized(g, alg_rng, config);
+  EXPECT_TRUE(graph::is_vertex_cover_of_square(g, result.cover));
+  EXPECT_LE(result.phases,
+            10 * static_cast<int>(std::log2(300.0)) + 10);
+}
+
+TEST(Scale, MdsOnATwentyByTwentyGrid) {
+  Rng alg_rng(101);
+  const Graph g = graph::grid_graph(20, 20);
+  const auto result = core::solve_g2_mds_congest(g, alg_rng);
+  EXPECT_TRUE(graph::is_dominating_set_of_square(g, result.dominating_set));
+  // A 2-hop ball in the grid covers <= 13 cells, so the set cannot be tiny;
+  // and O(log Δ)-approximation keeps it well below n.
+  EXPECT_GE(result.dominating_set.size(), 400u / 13u);
+  EXPECT_LE(result.dominating_set.size(), 200u);
+}
+
+}  // namespace
+}  // namespace pg

@@ -1,0 +1,195 @@
+// Tests for the exact solvers (branch and bound vs brute force), the FPT
+// solver, and the greedy baselines.
+#include <gtest/gtest.h>
+
+#include "graph/cover.hpp"
+#include "graph/generators.hpp"
+#include "graph/power.hpp"
+#include "solvers/brute.hpp"
+#include "solvers/exact_ds.hpp"
+#include "solvers/exact_vc.hpp"
+#include "solvers/fpt_vc.hpp"
+#include "solvers/greedy.hpp"
+#include "util/rng.hpp"
+
+namespace pg::solvers {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using graph::VertexSet;
+using graph::VertexWeights;
+using graph::Weight;
+
+TEST(ExactVc, KnownSmallGraphs) {
+  EXPECT_EQ(solve_mvc(graph::path_graph(5)).value, 2);
+  EXPECT_EQ(solve_mvc(graph::cycle_graph(5)).value, 3);
+  EXPECT_EQ(solve_mvc(graph::complete_graph(6)).value, 5);
+  EXPECT_EQ(solve_mvc(graph::star_graph(7)).value, 1);
+}
+
+TEST(ExactVc, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(41);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Graph g = graph::gnp(12, 0.25, rng);
+    const ExactResult result = solve_mvc(g);
+    ASSERT_TRUE(result.optimal);
+    EXPECT_EQ(result.value, brute_force_mvc_size(g));
+    EXPECT_TRUE(graph::is_vertex_cover(g, result.solution));
+    EXPECT_EQ(static_cast<Weight>(result.solution.size()), result.value);
+  }
+}
+
+TEST(ExactVc, WeightedMatchesBruteForce) {
+  Rng rng(43);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = graph::gnp(11, 0.3, rng);
+    VertexWeights w(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      w.set(v, rng.next_int(0, 9));
+    const ExactResult result = solve_mwvc(g, w);
+    ASSERT_TRUE(result.optimal);
+    EXPECT_EQ(result.value, brute_force_mwvc_weight(g, w));
+    EXPECT_TRUE(graph::is_vertex_cover(g, result.solution));
+    EXPECT_EQ(result.solution.weight(w), result.value);
+  }
+}
+
+TEST(ExactVc, DecisionVariant) {
+  const Graph g = graph::cycle_graph(7);  // MVC = 4
+  EXPECT_EQ(has_vc_of_size_at_most(g, 3), std::optional<bool>(false));
+  EXPECT_EQ(has_vc_of_size_at_most(g, 4), std::optional<bool>(true));
+  EXPECT_EQ(has_vc_of_size_at_most(g, -1), std::optional<bool>(false));
+}
+
+TEST(ExactVc, HandlesSquares) {
+  Rng rng(47);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::connected_gnp(13, 0.18, rng);
+    const Graph sq = graph::square(g);
+    const ExactResult result = solve_mvc(sq);
+    ASSERT_TRUE(result.optimal);
+    EXPECT_EQ(result.value, brute_force_mvc_size(sq));
+    EXPECT_TRUE(graph::is_vertex_cover_of_square(g, result.solution));
+  }
+}
+
+TEST(ExactDs, KnownSmallGraphs) {
+  EXPECT_EQ(solve_mds(graph::path_graph(6)).value, 2);
+  EXPECT_EQ(solve_mds(graph::cycle_graph(6)).value, 2);
+  EXPECT_EQ(solve_mds(graph::star_graph(9)).value, 1);
+  EXPECT_EQ(solve_mds(graph::complete_graph(4)).value, 1);
+}
+
+TEST(ExactDs, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(53);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Graph g = graph::gnp(12, 0.2, rng);
+    const ExactResult result = solve_mds(g);
+    ASSERT_TRUE(result.optimal);
+    EXPECT_EQ(result.value, brute_force_mds_size(g));
+    EXPECT_TRUE(graph::is_dominating_set(g, result.solution));
+  }
+}
+
+TEST(ExactDs, WeightedMatchesBruteForce) {
+  Rng rng(59);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = graph::gnp(11, 0.25, rng);
+    VertexWeights w(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      w.set(v, rng.next_int(0, 6));
+    const ExactResult result = solve_mwds(g, w);
+    ASSERT_TRUE(result.optimal);
+    EXPECT_EQ(result.value, brute_force_mwds_weight(g, w));
+    EXPECT_TRUE(graph::is_dominating_set(g, result.solution));
+  }
+}
+
+TEST(ExactDs, DecisionVariant) {
+  const Graph g = graph::path_graph(7);  // MDS = 3
+  EXPECT_EQ(has_ds_of_weight_at_most(g, nullptr, 2),
+            std::optional<bool>(false));
+  EXPECT_EQ(has_ds_of_weight_at_most(g, nullptr, 3), std::optional<bool>(true));
+}
+
+TEST(ExactDs, GenericSetCover) {
+  // Elements {0,1,2,3}; candidates: {0,1}, {2,3}, {0,1,2,3} costing 1,1,3.
+  SetCoverInstance instance;
+  instance.num_elements = 4;
+  instance.coverage.assign(3, Bitset(4));
+  instance.coverage[0].set(0);
+  instance.coverage[0].set(1);
+  instance.coverage[1].set(2);
+  instance.coverage[1].set(3);
+  for (int e = 0; e < 4; ++e) instance.coverage[2].set(static_cast<std::size_t>(e));
+  instance.costs = {1, 1, 3};
+  const ExactResult result = solve_set_cover(instance);
+  ASSERT_TRUE(result.optimal);
+  EXPECT_EQ(result.value, 2);
+  EXPECT_TRUE(result.solution.contains(0));
+  EXPECT_TRUE(result.solution.contains(1));
+}
+
+TEST(ExactDs, InfeasibleInstanceReported) {
+  SetCoverInstance instance;
+  instance.num_elements = 2;
+  instance.coverage.assign(1, Bitset(2));
+  instance.coverage[0].set(0);  // element 1 uncoverable
+  instance.costs = {1};
+  const ExactResult result = solve_set_cover(instance);
+  EXPECT_TRUE(result.optimal);
+  EXPECT_GT(result.value, 1'000'000);
+}
+
+TEST(FptVc, AgreesWithExact) {
+  Rng rng(61);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = graph::gnp(12, 0.25, rng);
+    const Weight opt = solve_mvc(g).value;
+    EXPECT_FALSE(fpt_vertex_cover(g, opt - 1).has_value());
+    const auto cover = fpt_vertex_cover(g, opt);
+    ASSERT_TRUE(cover.has_value());
+    EXPECT_TRUE(graph::is_vertex_cover(g, *cover));
+    EXPECT_LE(static_cast<Weight>(cover->size()), opt);
+  }
+}
+
+TEST(Greedy, LocalRatioIsTwoApproximate) {
+  Rng rng(67);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = graph::gnp(12, 0.3, rng);
+    VertexWeights w(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      w.set(v, rng.next_int(1, 8));
+    const VertexSet cover = local_ratio_mwvc(g, w);
+    EXPECT_TRUE(graph::is_vertex_cover(g, cover));
+    const Weight opt = brute_force_mwvc_weight(g, w);
+    EXPECT_LE(cover.weight(w), 2 * opt);
+  }
+}
+
+TEST(Greedy, MdsIsValidAndLogApproximate) {
+  Rng rng(71);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = graph::connected_gnp(14, 0.2, rng);
+    const VertexSet ds = greedy_mds(g);
+    EXPECT_TRUE(graph::is_dominating_set(g, ds));
+    const Weight opt = brute_force_mds_size(g);
+    const double bound =
+        1.0 + std::log(static_cast<double>(g.max_degree() + 1));
+    EXPECT_LE(static_cast<double>(ds.size()),
+              bound * static_cast<double>(opt) + 1e-9);
+  }
+}
+
+TEST(Greedy, WeightedMdsIsValid) {
+  Rng rng(73);
+  const Graph g = graph::connected_gnp(16, 0.2, rng);
+  VertexWeights w(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) w.set(v, rng.next_int(1, 5));
+  EXPECT_TRUE(graph::is_dominating_set(g, greedy_mwds(g, w)));
+}
+
+}  // namespace
+}  // namespace pg::solvers
