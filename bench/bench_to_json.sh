@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs one google-benchmark binary with JSON output.
+#
+#   bench/bench_to_json.sh <bench-binary> <out.json> [extra benchmark args...]
+#
+# Thin wrapper so every recorded benchmark run uses the same format and
+# repetition settings, keeping JSON snapshots comparable across PRs.
+set -euo pipefail
+
+if [[ $# -lt 2 ]]; then
+  echo "usage: $0 <bench-binary> <out.json> [extra benchmark args...]" >&2
+  exit 2
+fi
+
+binary=$1
+out=$2
+shift 2
+
+"${binary}" \
+  --benchmark_format=json \
+  --benchmark_out="${out}" \
+  --benchmark_out_format=json \
+  "$@" >/dev/null
+
+echo "wrote ${out}"

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds the bench targets and records the substrate micro-benchmarks as
+# BENCH_micro.json at the repo root — the perf trajectory file every PR
+# appends to (via git history) when it touches a hot path.
+#
+#   bench/run_benches.sh [build-dir]
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"${repo_root}/build"}
+
+cmake -B "${build_dir}" -S "${repo_root}" -DPG_BUILD_BENCH=ON
+cmake --build "${build_dir}" -j --target bench_micro
+
+"${repo_root}/bench/bench_to_json.sh" \
+  "${build_dir}/bench_micro" \
+  "${repo_root}/BENCH_micro.json" \
+  --benchmark_min_time=0.2

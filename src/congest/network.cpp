@@ -1,6 +1,7 @@
 #include "congest/network.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 namespace pg::congest {
@@ -16,73 +17,160 @@ Network::Network(graph::Graph topology)
       bandwidth_(bandwidth_bits(
           static_cast<std::size_t>(graph_.num_vertices()))) {
   const std::size_t n = this->n();
-  inbox_.resize(n);
-  outbox_.resize(n);
-  edge_last_sent_.resize(n);
-  for (std::size_t v = 0; v < n; ++v)
-    edge_last_sent_[v].assign(graph_.degree(static_cast<NodeId>(v)), -1);
+  const auto offsets = graph_.adjacency_offsets();
+  const std::size_t num_slots = offsets.empty() ? 0 : offsets[n];
+  PG_REQUIRE(num_slots <= std::numeric_limits<std::uint32_t>::max(),
+             "topology too large for 32-bit directed-edge slots");
+
+  first_slot_.resize(n + 1);
+  for (std::size_t v = 0; v <= n; ++v)
+    first_slot_[v] = offsets.empty() ? 0 : static_cast<std::uint32_t>(offsets[v]);
+
+  // For each directed edge (u, i-th neighbor v), the matching slot of the
+  // reverse edge (v -> u): u's position within v's sorted neighbor range.
+  // Sweeping u in ascending order visits each v's in-neighbors in exactly
+  // the order of v's sorted adjacency row, so a per-vertex cursor resolves
+  // every reverse position in one O(m) pass (no binary searches).
+  reverse_slot_.resize(num_slots);
+  std::vector<std::uint32_t> cursor(n, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto nbrs = graph_.neighbors(static_cast<NodeId>(u));
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const auto v = static_cast<std::size_t>(nbrs[i]);
+      const std::uint32_t rev = first_slot_[v] + cursor[v]++;
+      PG_CHECK(rev < first_slot_[v + 1], "adjacency is not symmetric");
+      reverse_slot_[first_slot_[u] + i] = rev;
+    }
+  }
+  // Definitive symmetry check: the reverse slot of (u -> v) must hold u
+  // (guards hand-built from_csr graphs that break their symmetry promise).
+  const NodeId* adj = graph_.adjacency_array().data();
+  for (std::size_t u = 0; u < n; ++u)
+    for (std::uint32_t e = first_slot_[u]; e < first_slot_[u + 1]; ++e)
+      PG_CHECK(adj[reverse_slot_[e]] == static_cast<NodeId>(u),
+               "adjacency is not symmetric");
+
+  // slot_round_/slot_msg_ stay unallocated until the first unicast (see
+  // init_unicast_buffers): broadcast-only algorithms never pay for them.
+  unicast_round_.assign(n, -1);
+  bcast_round_.assign(n, -1);
+  bcast_msg_.resize(n);
+  inbox_offset_.assign(n + 1, 0);
+  // The arena is sized for the worst case (every directed edge delivers) and
+  // written by index; entries beyond inbox_offset_[n] are stale and unread.
+  inbox_arena_.resize(num_slots);
+}
+
+void Network::init_unicast_buffers() {
+  slot_round_.assign(reverse_slot_.size(), -1);
+  slot_msg_.resize(reverse_slot_.size());
 }
 
 void Network::round(const std::function<void(NodeView&)>& step) {
-  last_round_messages_ = 0;
-  for (NodeId v = 0; v < static_cast<NodeId>(n()); ++v) {
-    NodeView view(this, v);
-    step(view);
+  round<const std::function<void(NodeView&)>&>(step);
+}
+
+void Network::deliver() {
+  const std::int64_t now = stats_.rounds;
+  const NodeId* adj = graph_.adjacency_array().data();
+  const std::size_t n = this->n();
+  Incoming* out = inbox_arena_.data();
+  std::uint32_t k = 0;
+  if (last_round_messages_ == 0) {
+    // Quiet round (every quiescence loop's final round): nothing to sweep.
+    std::fill(inbox_offset_.begin(), inbox_offset_.end(), 0);
+    ++stats_.rounds;
+    return;
   }
-  // Deliver: this round's outboxes become next round's inboxes.
-  for (std::size_t v = 0; v < n(); ++v) {
-    inbox_[v].clear();
+  // The deliverable slots are exactly the recorded unicast slots plus every
+  // broadcaster's incident reverse slots; when that set is small relative
+  // to 2m, gather it directly instead of sweeping every slot.
+  std::size_t candidates = round_slots_.size();
+  for (NodeId b : round_bcasters_) {
+    const auto u = static_cast<std::size_t>(b);
+    candidates += first_slot_[u + 1] - first_slot_[u];
   }
-  for (std::size_t v = 0; v < n(); ++v) {
-    for (Incoming& out : outbox_[v]) {
-      // `out.from` currently holds the *destination*; rewrite as sender.
-      const auto dst = static_cast<std::size_t>(out.from);
-      inbox_[dst].push_back(Incoming{static_cast<NodeId>(v), out.msg});
+  if (4 * candidates <= reverse_slot_.size()) {
+    // Sparse round: materialize the slot set and sort it.  Ascending slot
+    // order yields both receiver order and per-receiver sender order,
+    // since each receiver owns a contiguous slot range sorted by sender.
+    for (NodeId b : round_bcasters_) {
+      const auto u = static_cast<std::size_t>(b);
+      for (std::uint32_t e = first_slot_[u]; e < first_slot_[u + 1]; ++e)
+        round_slots_.push_back(reverse_slot_[e]);
     }
-    outbox_[v].clear();
+    std::sort(round_slots_.begin(), round_slots_.end());
+    std::size_t idx = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::uint32_t begin = first_slot_[v];
+      const std::uint32_t end = first_slot_[v + 1];
+      while (idx < round_slots_.size() && round_slots_[idx] < end) {
+        const std::uint32_t e = round_slots_[idx++];
+        const NodeId u = adj[e];
+        out[k].from = u;
+        out[k].reply_slot = e - begin;
+        out[k].msg = bcast_round_[static_cast<std::size_t>(u)] == now
+                         ? bcast_msg_[static_cast<std::size_t>(u)]
+                         : slot_msg_[e];
+        ++k;
+      }
+      inbox_offset_[v + 1] = k;
+    }
+  } else if (round_unicasts_ == 0) {
+    // Broadcast-heavy round (the common case): gather straight from the
+    // per-sender buffers; the unicast slots were never touched.
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::uint32_t begin = first_slot_[v];
+      const std::uint32_t end = first_slot_[v + 1];
+      for (std::uint32_t e = begin; e < end; ++e) {
+        const NodeId u = adj[e];
+        if (bcast_round_[static_cast<std::size_t>(u)] == now) {
+          out[k].from = u;
+          out[k].reply_slot = e - begin;
+          out[k].msg = bcast_msg_[static_cast<std::size_t>(u)];
+          ++k;
+        }
+      }
+      inbox_offset_[v + 1] = k;
+    }
+  } else {
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::uint32_t begin = first_slot_[v];
+      const std::uint32_t end = first_slot_[v + 1];
+      for (std::uint32_t e = begin; e < end; ++e) {
+        const NodeId u = adj[e];
+        const Message* m = nullptr;
+        if (bcast_round_[static_cast<std::size_t>(u)] == now)
+          m = &bcast_msg_[static_cast<std::size_t>(u)];
+        else if (slot_round_[e] == now)
+          m = &slot_msg_[e];
+        if (m != nullptr) {
+          out[k].from = u;
+          out[k].reply_slot = e - begin;
+          out[k].msg = *m;
+          ++k;
+        }
+      }
+      inbox_offset_[v + 1] = k;
+    }
   }
+  round_slots_.clear();
+  round_bcasters_.clear();
+  round_unicasts_ = 0;
   ++stats_.rounds;
 }
 
-void Network::do_send(NodeId from, NodeId to, const Message& m) {
-  const auto nbrs = graph_.neighbors(from);
-  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), to);
-  PG_REQUIRE(it != nbrs.end() && *it == to,
-             "CONGEST: can only send to a direct neighbor");
-  const auto edge_index =
-      static_cast<std::size_t>(std::distance(nbrs.begin(), it));
-
-  auto& last = edge_last_sent_[static_cast<std::size_t>(from)][edge_index];
-  PG_REQUIRE(last != stats_.rounds,
-             "CONGEST: one message per edge per direction per round");
-  last = stats_.rounds;
-
-  const int bits = m.logical_bits();
-  PG_REQUIRE(bits <= bandwidth_,
-             "CONGEST: message exceeds O(log n) bandwidth");
-
-  outbox_[static_cast<std::size_t>(from)].push_back(Incoming{to, m});
-  ++stats_.messages;
-  ++last_round_messages_;
-  stats_.total_bits += bits;
-}
-
-std::size_t NodeView::n() const { return net_->n(); }
-
-std::span<const NodeId> NodeView::neighbors() const {
-  return net_->topology().neighbors(id_);
-}
-
-std::span<const Incoming> NodeView::inbox() const {
-  return net_->inbox_[static_cast<std::size_t>(id_)];
-}
-
-void NodeView::send(NodeId neighbor, const Message& m) {
-  net_->do_send(id_, neighbor, m);
-}
-
-void NodeView::broadcast(const Message& m) {
-  for (NodeId nbr : neighbors()) net_->do_send(id_, nbr, m);
+void Network::reset() {
+  stats_ = RoundStats{};
+  last_round_messages_ = 0;
+  round_unicasts_ = 0;
+  round_slots_.clear();
+  round_bcasters_.clear();
+  std::fill(slot_round_.begin(), slot_round_.end(), -1);
+  std::fill(unicast_round_.begin(), unicast_round_.end(), -1);
+  std::fill(bcast_round_.begin(), bcast_round_.end(), -1);
+  // Arena entries are stale-but-unread once the offsets are zeroed.
+  std::fill(inbox_offset_.begin(), inbox_offset_.end(), 0);
 }
 
 }  // namespace pg::congest

@@ -9,11 +9,29 @@
 //   * at most one message per (node, incident edge, direction);
 //   * each message's logical size <= B(n) bits.
 //
+// Internals are flat and CSR-indexed.  Every directed edge (u, i-th
+// neighbor of u) owns the adjacency slot `offsets[u] + i`; a precomputed
+// reverse-edge table maps it to the matching slot on the receiver's side.
+// A unicast is one store into a per-directed-edge message slot (stamped
+// with the current round number), so the one-message-per-edge-per-round
+// rule is enforced structurally — two sends on one edge hit the same slot
+// and the stamp betrays the second.  A broadcast stores its message *once*
+// in a per-sender buffer (O(1), not O(degree)); the delivery sweep — one
+// O(m) pass over each receiver's sorted adjacency range — gathers from
+// sender broadcast buffers and stamped unicast slots into a flat inbox
+// arena with per-node spans.  Rounds with no unicast at all (the common
+// case for the paper's algorithms) skip the unicast-slot checks entirely.
+//
+// Delivery order is deterministic and documented: each node's inbox is
+// sorted by sender id, ascending (the sweep walks the receiver's sorted
+// adjacency range).  Algorithms may rely on this; a regression test pins it.
+//
 // Algorithms in src/core are written against this interface; their reported
 // complexity is the simulator's round counter, which includes every
 // primitive they invoke (leader election, BFS-tree building, pipelining).
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -28,6 +46,10 @@ using NodeId = graph::VertexId;
 
 struct Incoming {
   NodeId from = -1;
+  /// Position of `from` in the *receiver's* neighbor list.  Lets a node
+  /// answer a message in O(1) via `NodeView::reply` / `send_slot`, without
+  /// re-deriving the slot from the sender id.
+  std::uint32_t reply_slot = 0;
   Message msg;
 };
 
@@ -35,6 +57,8 @@ struct RoundStats {
   std::int64_t rounds = 0;
   std::int64_t messages = 0;
   std::int64_t total_bits = 0;
+
+  friend bool operator==(const RoundStats&, const RoundStats&) = default;
 };
 
 class Network;
@@ -46,10 +70,16 @@ class NodeView {
   std::size_t n() const;
   std::span<const NodeId> neighbors() const;
   std::size_t degree() const { return neighbors().size(); }
+  /// This round's messages, sorted by sender id ascending.
   std::span<const Incoming> inbox() const;
 
-  /// Sends to one neighbor (delivered next round).
+  /// Sends to one neighbor (delivered next round).  Resolves the neighbor's
+  /// adjacency slot by binary search; prefer `send_slot`/`reply` in loops.
   void send(NodeId neighbor, const Message& m);
+  /// Sends to the i-th neighbor (as indexed by `neighbors()`) in O(1).
+  void send_slot(std::size_t i, const Message& m);
+  /// Answers an incoming message: sends to `in.from` in O(1).
+  void reply(const Incoming& in, const Message& m);
   /// Sends the same message along every incident edge.
   void broadcast(const Message& m);
 
@@ -72,27 +102,168 @@ class Network {
   const RoundStats& stats() const { return stats_; }
 
   /// Executes one synchronous round.  `step(NodeView&)` is called for every
-  /// node; messages sent become visible in inboxes next round.
+  /// node; messages sent become visible in inboxes next round.  The step
+  /// callable is invoked directly (no type erasure), so lambdas inline.
+  template <typename Step>
+    requires std::invocable<Step&, NodeView&>
+  void round(Step&& step) {
+    last_round_messages_ = 0;
+    const auto num_nodes = static_cast<NodeId>(n());
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      NodeView view(this, v);
+      step(view);
+    }
+    deliver();
+  }
+
+  /// Type-erased overload for ABI-stable callers (function pointers handed
+  /// across translation units); algorithm code should pass lambdas to the
+  /// templated overload instead.
   void round(const std::function<void(NodeView&)>& step);
 
   /// True iff the previous round sent at least one message.
   bool last_round_sent_messages() const { return last_round_messages_ > 0; }
 
+  /// Rewinds the network to its post-construction state (round counter,
+  /// stats, in-flight messages) without reallocating any buffer, so one
+  /// topology can serve many runs.
+  void reset();
+
  private:
   friend class NodeView;
-  void do_send(NodeId from, NodeId to, const Message& m);
+
+  /// One store into the receiver-side slot of directed edge
+  /// `first_slot_[from] + local_slot`; the round stamp enforces the
+  /// one-message-per-edge rule (against other unicasts via the slot stamp,
+  /// against a broadcast of the same sender via its broadcast stamp).
+  void do_send_slot(NodeId from, std::size_t local_slot, const Message& m) {
+    if (slot_round_.empty()) init_unicast_buffers();
+    const auto v = static_cast<std::size_t>(from);
+    const std::size_t e = first_slot_[v] + local_slot;
+    const std::uint32_t dst = reverse_slot_[e];
+    const std::int64_t now = stats_.rounds;
+    PG_REQUIRE(slot_round_[dst] != now && bcast_round_[v] != now,
+               "CONGEST: one message per edge per direction per round");
+    const int bits = m.logical_bits();
+    PG_REQUIRE(bits <= bandwidth_,
+               "CONGEST: message exceeds O(log n) bandwidth");
+    slot_round_[dst] = now;
+    slot_msg_[dst] = m;
+    unicast_round_[v] = now;
+    round_slots_.push_back(dst);
+    ++round_unicasts_;
+    ++stats_.messages;
+    ++last_round_messages_;
+    stats_.total_bits += bits;
+  }
+
+  /// One store into the sender's broadcast buffer — O(1) regardless of
+  /// degree; delivery fans the message out.  Collisions with unicasts the
+  /// sender already issued this round are rejected on the (rare) mixed path.
+  void do_broadcast(NodeId from, const Message& m) {
+    const int bits = m.logical_bits();
+    PG_REQUIRE(bits <= bandwidth_,
+               "CONGEST: message exceeds O(log n) bandwidth");
+    const auto v = static_cast<std::size_t>(from);
+    const std::int64_t now = stats_.rounds;
+    PG_REQUIRE(bcast_round_[v] != now,
+               "CONGEST: one message per edge per direction per round");
+    const std::uint32_t begin = first_slot_[v];
+    const std::uint32_t end = first_slot_[v + 1];
+    if (unicast_round_[v] == now) {
+      // Only a sender that already unicast this round can collide; keep
+      // everyone else's broadcast O(1).
+      for (std::uint32_t e = begin; e < end; ++e)
+        PG_REQUIRE(slot_round_[reverse_slot_[e]] != now,
+                   "CONGEST: one message per edge per direction per round");
+    }
+    bcast_round_[v] = now;
+    bcast_msg_[v] = m;
+    round_bcasters_.push_back(from);
+    const auto deg = static_cast<std::int64_t>(end - begin);
+    stats_.messages += deg;
+    last_round_messages_ += deg;
+    stats_.total_bits += bits * deg;
+  }
+
+  /// Gathers this round's messages into the inbox arena and advances the
+  /// round counter.  Output-sensitive: quiet rounds are O(n), rounds whose
+  /// delivered-slot count is small relative to 2m gather via a sorted slot
+  /// list, and only message-heavy rounds pay the full O(m) sweep.  Defined
+  /// in network.cpp (shared by all instantiations).
+  void deliver();
+
+  /// Allocates the per-directed-edge unicast buffers on first use, so
+  /// broadcast-only algorithms never pay their 2m-slot footprint.
+  void init_unicast_buffers();
 
   graph::Graph graph_;
   int bandwidth_;
   RoundStats stats_;
   std::int64_t last_round_messages_ = 0;
 
-  std::vector<std::vector<Incoming>> inbox_;       // delivered this round
-  std::vector<std::vector<Incoming>> outbox_;      // being sent this round
-  // For each directed edge (indexed as adjacency position of `to` within
-  // `from`'s neighbor list), the round in which it last carried a message;
-  // used to enforce the one-message-per-edge rule.
-  std::vector<std::vector<std::int64_t>> edge_last_sent_;
+  // CSR directed-edge index: node v's slots are [first_slot_[v],
+  // first_slot_[v+1]); reverse_slot_[e] is the matching slot of the same
+  // undirected edge on the other endpoint.
+  std::vector<std::uint32_t> first_slot_;   // n+1 entries
+  std::vector<std::uint32_t> reverse_slot_; // 2m entries
+
+  // Per-directed-edge unicast buffers, indexed by the *receiver-side* slot,
+  // allocated lazily on the first unicast.  slot_round_[e] records the
+  // round that last wrote slot e (-1 = never); only slots stamped with the
+  // current round are delivered.
+  std::vector<std::int64_t> slot_round_;    // 2m entries (lazy)
+  std::vector<Message> slot_msg_;           // 2m entries (lazy)
+  std::int64_t round_unicasts_ = 0;         // unicasts sent this round
+  std::vector<std::int64_t> unicast_round_; // last round each node unicast
+  // This round's senders: receiver-side slots of every unicast, and the
+  // nodes that broadcast.  Together they bound the deliverable slot set, so
+  // sparse rounds gather in O(k log k + n) instead of sweeping 2m slots.
+  std::vector<std::uint32_t> round_slots_;
+  std::vector<NodeId> round_bcasters_;
+
+  // Per-sender broadcast buffers (same stamping discipline).
+  std::vector<std::int64_t> bcast_round_;   // n entries
+  std::vector<Message> bcast_msg_;          // n entries
+
+  // Flat inbox arena: node v's inbox is inbox_arena_[inbox_offset_[v] ..
+  // inbox_offset_[v+1]), sorted by sender id.
+  std::vector<Incoming> inbox_arena_;
+  std::vector<std::uint32_t> inbox_offset_; // n+1 entries
 };
+
+inline std::size_t NodeView::n() const { return net_->n(); }
+
+inline std::span<const NodeId> NodeView::neighbors() const {
+  const auto v = static_cast<std::size_t>(id_);
+  const auto* adj = net_->graph_.adjacency_array().data();
+  return {adj + net_->first_slot_[v], adj + net_->first_slot_[v + 1]};
+}
+
+inline std::span<const Incoming> NodeView::inbox() const {
+  const auto v = static_cast<std::size_t>(id_);
+  return {net_->inbox_arena_.data() + net_->inbox_offset_[v],
+          net_->inbox_arena_.data() + net_->inbox_offset_[v + 1]};
+}
+
+inline void NodeView::send(NodeId neighbor, const Message& m) {
+  const std::size_t slot = net_->graph_.neighbor_index(id_, neighbor);
+  PG_REQUIRE(slot != graph::Graph::npos,
+             "CONGEST: can only send to a direct neighbor");
+  net_->do_send_slot(id_, slot, m);
+}
+
+inline void NodeView::send_slot(std::size_t i, const Message& m) {
+  PG_REQUIRE(i < degree(), "CONGEST: neighbor slot out of range");
+  net_->do_send_slot(id_, i, m);
+}
+
+inline void NodeView::reply(const Incoming& in, const Message& m) {
+  net_->do_send_slot(id_, in.reply_slot, m);
+}
+
+inline void NodeView::broadcast(const Message& m) {
+  net_->do_broadcast(id_, m);
+}
 
 }  // namespace pg::congest

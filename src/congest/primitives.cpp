@@ -12,6 +12,14 @@ constexpr std::uint8_t kMinId = 201;
 constexpr std::uint8_t kBfsJoin = 202;   // field 0: depth of sender
 constexpr std::uint8_t kBfsAdopt = 203;  // child -> parent
 constexpr std::uint8_t kToken = 204;     // field 0: token payload
+
+// Adjacency slot of `target` within `v`'s neighbor list.  Resolved once per
+// tree edge so the pipelined per-round sends below are O(1) slot sends.
+std::size_t slot_of(const graph::Graph& g, NodeId v, NodeId target) {
+  const std::size_t slot = g.neighbor_index(v, target);
+  PG_CHECK(slot != graph::Graph::npos, "tree edge missing from graph");
+  return slot;
+}
 }  // namespace
 
 NodeId elect_min_id_leader(Network& net) {
@@ -65,19 +73,15 @@ BfsTree build_bfs_tree(Network& net, NodeId root) {
         if (in.msg.kind == kBfsAdopt) tree.children[me].push_back(in.from);
       // Join the tree under the smallest-id announcer heard.
       if (tree.depth[me] == -1) {
-        NodeId best_parent = -1;
-        int parent_depth = 0;
+        const Incoming* best = nullptr;
         for (const Incoming& in : node.inbox()) {
           if (in.msg.kind != kBfsJoin) continue;
-          if (best_parent == -1 || in.from < best_parent) {
-            best_parent = in.from;
-            parent_depth = static_cast<int>(in.msg.at(0));
-          }
+          if (best == nullptr || in.from < best->from) best = &in;
         }
-        if (best_parent != -1) {
-          tree.parent[me] = best_parent;
-          tree.depth[me] = parent_depth + 1;
-          node.send(best_parent, Message{kBfsAdopt, {}});
+        if (best != nullptr) {
+          tree.parent[me] = best->from;
+          tree.depth[me] = static_cast<int>(best->msg.at(0)) + 1;
+          node.reply(*best, Message{kBfsAdopt, {}});
           announce[me] = true;
           return;  // announce own depth next round
         }
@@ -109,9 +113,23 @@ std::vector<std::uint64_t> upcast_tokens(
       PG_REQUIRE(Message::significant_bits(static_cast<std::int64_t>(token)) <=
                      max_token_bits,
                  "token too wide for CONGEST bandwidth");
+    PG_REQUIRE(tokens_per_node[v].empty() ||
+                   v == static_cast<std::size_t>(tree.root) ||
+                   tree.parent[v] != -1,
+               "tokens at a node the BFS tree did not reach");
     queue[v].assign(tokens_per_node[v].begin(), tokens_per_node[v].end());
     if (v != static_cast<std::size_t>(tree.root)) pending += queue[v].size();
   }
+
+  // Unreached nodes (parent == -1) are skipped: they may legally appear in a
+  // partial tree as long as they hold no tokens (`pending` counts theirs, so
+  // the loop below would spin forever on a violation — same contract as
+  // before the slot precompute).
+  std::vector<std::size_t> parent_slot(n, 0);
+  for (std::size_t v = 0; v < n; ++v)
+    if (static_cast<NodeId>(v) != tree.root && tree.parent[v] != -1)
+      parent_slot[v] = slot_of(net.topology(), static_cast<NodeId>(v),
+                               tree.parent[v]);
 
   std::vector<std::uint64_t> collected(
       tokens_per_node[static_cast<std::size_t>(tree.root)]);
@@ -131,8 +149,8 @@ std::vector<std::uint64_t> upcast_tokens(
       if (node.id() != tree.root && !queue[me].empty()) {
         const auto token = queue[me].front();
         queue[me].pop_front();
-        node.send(tree.parent[me],
-                  Message{kToken, {static_cast<std::int64_t>(token)}});
+        node.send_slot(parent_slot[me],
+                       Message{kToken, {static_cast<std::int64_t>(token)}});
       }
     });
   }
@@ -155,6 +173,12 @@ std::vector<std::vector<std::uint64_t>> downcast_tokens(
                                                     tokens.end());
   received[static_cast<std::size_t>(tree.root)] = tokens;
 
+  std::vector<std::vector<std::size_t>> child_slot(n);
+  for (std::size_t v = 0; v < n; ++v)
+    for (NodeId child : tree.children[v])
+      child_slot[v].push_back(
+          slot_of(net.topology(), static_cast<NodeId>(v), child));
+
   do {
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
@@ -167,8 +191,9 @@ std::vector<std::vector<std::uint64_t>> downcast_tokens(
       if (!queue[me].empty()) {
         const auto token = queue[me].front();
         queue[me].pop_front();
-        for (NodeId child : tree.children[me])
-          node.send(child, Message{kToken, {static_cast<std::int64_t>(token)}});
+        for (std::size_t slot : child_slot[me])
+          node.send_slot(slot,
+                         Message{kToken, {static_cast<std::int64_t>(token)}});
       }
     });
   } while (net.last_round_sent_messages());

@@ -29,6 +29,7 @@ MatchingCongestResult solve_maximal_matching_congest(const Graph& g) {
   std::vector<NodeId> partner(n, -1);
   std::vector<std::map<NodeId, bool>> nbr_matched(n);
   std::vector<NodeId> proposed_to(n, -1);
+  std::vector<std::size_t> proposed_slot(n, 0);
 
   // Termination: once no unmatched vertex has an unmatched neighbor, no
   // proposals are sent and the loop exits (checked globally, as usual).
@@ -43,15 +44,17 @@ MatchingCongestResult solve_maximal_matching_congest(const Graph& g) {
         if (in.msg.kind == kMatched) nbr_matched[me][in.from] = true;
       proposed_to[me] = -1;
       if (matched[me]) return;
-      for (NodeId nbr : node.neighbors()) {  // ids are sorted ascending
-        if (!nbr_matched[me].count(nbr)) {
-          proposed_to[me] = nbr;
+      const auto nbrs = node.neighbors();  // ids are sorted ascending
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (!nbr_matched[me].count(nbrs[i])) {
+          proposed_to[me] = nbrs[i];
+          proposed_slot[me] = i;
           break;
         }
       }
       if (proposed_to[me] != -1) {
         any_proposal = true;
-        node.send(proposed_to[me], Message{kPropose, {}});
+        node.send_slot(proposed_slot[me], Message{kPropose, {}});
       }
     });
     if (!any_proposal) break;

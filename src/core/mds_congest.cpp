@@ -120,7 +120,10 @@ MdsCongestResult solve_g2_mds_congest(const Graph& g, Rng& rng,
 
     // --- step 3: voting ----------------------------------------------------
     std::vector<std::int64_t> draw(n, -1);
-    std::vector<std::vector<NodeId>> candidate_neighbors(n);
+    // Candidate neighbors as (id, adjacency slot) so the per-sample vote
+    // forwarding below sends in O(1) per candidate.
+    std::vector<std::vector<std::pair<NodeId, std::uint32_t>>>
+        candidate_neighbors(n);
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       candidate_neighbors[me].clear();
@@ -138,7 +141,7 @@ MdsCongestResult solve_g2_mds_congest(const Graph& g, Rng& rng,
       if (is_candidate[me]) best = {draw[me], node.id()};
       for (const Incoming& in : node.inbox())
         if (in.msg.kind == kCandDraw) {
-          candidate_neighbors[me].push_back(in.from);
+          candidate_neighbors[me].emplace_back(in.from, in.reply_slot);
           best = std::min(best, {in.msg.at(0), in.from});
         }
       if (best.second != -1)
@@ -191,10 +194,10 @@ MdsCongestResult solve_g2_mds_congest(const Graph& g, Rng& rng,
         }
         // Stash the direct minimum under our own id for round 3.
         if (is_candidate[me]) mins[node.id()] = direct;
-        for (NodeId cand : candidate_neighbors[me]) {
+        for (const auto& [cand, slot] : candidate_neighbors[me]) {
           auto it = mins.find(cand);
           if (it != mins.end())
-            node.send(cand, Message{kVoteMin, {it->second}});
+            node.send_slot(slot, Message{kVoteMin, {it->second}});
         }
       });
       // r3: candidates fold direct + forwarded minima into the estimate.

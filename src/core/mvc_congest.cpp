@@ -183,17 +183,18 @@ void randomized_phase1(Network& net, double epsilon, Rng& rng,
       if (!in_r[me]) return;
       NodeId chosen = -1;
       std::int64_t chosen_draw = -1;
-      std::vector<NodeId> candidates;
+      std::vector<std::uint32_t> candidate_slots;
       for (const Incoming& in : node.inbox()) {
         if (in.msg.kind != kCandidate) continue;
-        candidates.push_back(in.from);
+        candidate_slots.push_back(in.reply_slot);
         if (in.msg.at(0) > chosen_draw ||
             (in.msg.at(0) == chosen_draw && in.from > chosen)) {
           chosen_draw = in.msg.at(0);
           chosen = in.from;
         }
       }
-      for (NodeId c : candidates) node.send(c, Message{kVote, {chosen}});
+      for (std::uint32_t c : candidate_slots)
+        node.send_slot(c, Message{kVote, {chosen}});
     });
 
     // Round 4: winners take their whole remaining neighborhood.

@@ -36,6 +36,28 @@ Graph GraphBuilder::build() && {
   return g;
 }
 
+Graph Graph::from_csr(std::vector<std::size_t> offsets,
+                      std::vector<VertexId> adjacency) {
+  PG_REQUIRE(!offsets.empty() && offsets.front() == 0 &&
+                 offsets.back() == adjacency.size(),
+             "CSR offsets must span the adjacency array");
+  const auto n = static_cast<VertexId>(offsets.size() - 1);
+  for (std::size_t v = 0; v + 1 < offsets.size(); ++v) {
+    PG_REQUIRE(offsets[v] <= offsets[v + 1], "CSR offsets must be ascending");
+    for (std::size_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const VertexId w = adjacency[i];
+      PG_REQUIRE(w >= 0 && w < n && w != static_cast<VertexId>(v),
+                 "CSR adjacency id out of range or self-loop");
+      PG_REQUIRE(i == offsets[v] || adjacency[i - 1] < w,
+                 "CSR adjacency rows must be strictly sorted");
+    }
+  }
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  return g;
+}
+
 std::size_t Graph::max_degree() const {
   std::size_t best = 0;
   for (VertexId v = 0; v < num_vertices(); ++v)
@@ -47,8 +69,7 @@ bool Graph::has_edge(VertexId u, VertexId v) const {
   check_vertex(u);
   check_vertex(v);
   if (u == v) return false;
-  auto nbrs = neighbors(u);
-  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+  return neighbor_index(u, v) != npos;
 }
 
 std::vector<Edge> Graph::edges() const {

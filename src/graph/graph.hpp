@@ -6,6 +6,7 @@
 // stay cheap to query and safe to share.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -59,6 +60,14 @@ class Graph {
  public:
   Graph() = default;
 
+  /// Constructs a graph directly from a CSR pair, bypassing GraphBuilder's
+  /// edge-list sort.  Validates cheap invariants (offset monotonicity,
+  /// per-row strict sortedness, no self-loops, ids in range); the caller
+  /// promises symmetry.  Used by performance-critical builders
+  /// (graph::power); prefer GraphBuilder elsewhere.
+  static Graph from_csr(std::vector<std::size_t> offsets,
+                        std::vector<VertexId> adjacency);
+
   VertexId num_vertices() const { return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1); }
   std::size_t num_edges() const { return adjacency_.size() / 2; }
 
@@ -70,6 +79,28 @@ class Graph {
 
   std::size_t degree(VertexId v) const { return neighbors(v).size(); }
   std::size_t max_degree() const;
+
+  /// Sentinel returned by neighbor_index when the edge does not exist.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Position of `w` within v's sorted neighbor list, or npos if (v, w) is
+  /// not an edge.  This is the canonical way to resolve an adjacency slot
+  /// (the CONGEST simulator's directed-edge ids are offsets[v] + index).
+  std::size_t neighbor_index(VertexId v, VertexId w) const {
+    const auto nbrs = neighbors(v);
+    const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), w);
+    if (it == nbrs.end() || *it != w) return npos;
+    return static_cast<std::size_t>(it - nbrs.begin());
+  }
+
+  /// The CSR offsets array (n+1 entries): vertex v's neighbors occupy
+  /// adjacency slots [offsets[v], offsets[v+1]).  Slot indices are stable
+  /// for the lifetime of the graph, so they can serve as directed-edge ids
+  /// (the CONGEST simulator's flat send buffers are indexed this way).
+  std::span<const std::size_t> adjacency_offsets() const { return offsets_; }
+
+  /// The flat adjacency array (2m entries, sorted within each vertex range).
+  std::span<const VertexId> adjacency_array() const { return adjacency_; }
 
   bool has_edge(VertexId u, VertexId v) const;
 

@@ -9,11 +9,14 @@
 
 namespace pg::graph {
 
-/// Materializes G^2.  Quadratic in the neighborhood sizes; fine for the
-/// instance sizes used by solvers and tests.
+/// Materializes G^2.  Equivalent to power(g, 2).
 Graph square(const Graph& g);
 
-/// Materializes G^r via truncated BFS from every vertex (r >= 1).
+/// Materializes G^r (r >= 1).  Chooses between a sparse frontier-array BFS
+/// that emits per-source sorted runs straight into CSR form, and a dense
+/// bitset-row sweep (one adjacency-matrix row per vertex) that wins once
+/// average degree is high; the m/n heuristic picks per call.  Both paths
+/// bypass GraphBuilder (no global edge sort, no dedup pass).
 Graph power(const Graph& g, int r);
 
 /// The distinct vertices at distance exactly 1 or 2 from v in G
@@ -22,5 +25,12 @@ std::vector<VertexId> two_hop_neighbors(const Graph& g, VertexId v);
 
 /// True iff dist_G(u, v) <= 2 and u != v.
 bool within_two_hops(const Graph& g, VertexId u, VertexId v);
+
+namespace detail {
+/// The two power(g, r) strategies, exposed so property tests can pin each
+/// against a reference implementation regardless of the dispatch heuristic.
+Graph power_sparse(const Graph& g, int r);
+Graph power_bitset(const Graph& g, int r);
+}  // namespace detail
 
 }  // namespace pg::graph

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <cstdint>
 #include <numeric>
 
 #include "congest/network.hpp"
@@ -87,6 +89,181 @@ TEST(Network, RejectsOversizedMessage) {
   EXPECT_THROW(net.round([&](NodeView& node) {
     if (node.id() == 0)
       node.send(1, Message{1, {(std::int64_t{1} << 60)}});
+  }),
+               PreconditionViolation);
+}
+
+// One inbox observation: (receiver, sender, kind, first field or -1).
+using InboxLog = std::vector<std::array<std::int64_t, 4>>;
+
+// Drives a fixed mixed unicast/broadcast schedule for `rounds` rounds and
+// returns every inbox observation in delivery order.
+InboxLog run_schedule(Network& net, int rounds) {
+  InboxLog log;
+  for (int i = 0; i < rounds; ++i) {
+    net.round([&](NodeView& node) {
+      for (const Incoming& in : node.inbox())
+        log.push_back({node.id(), in.from, in.msg.kind,
+                       in.msg.num_fields > 0 ? in.msg.at(0) : -1});
+      if (node.id() % 3 == 0) {
+        node.broadcast(Message{10, {node.id()}});
+      } else if (node.degree() > 0) {
+        const auto slot = static_cast<std::size_t>(node.id()) % node.degree();
+        node.send_slot(slot, Message{11, {node.id()}});
+      }
+    });
+  }
+  return log;
+}
+
+TEST(Network, InboxSortedBySenderId) {
+  Rng rng(41);
+  Network net(graph::connected_gnp(20, 0.3, rng));
+  net.round([&](NodeView& node) { node.broadcast(Message{1, {node.id()}}); });
+  bool saw_any = false;
+  net.round([&](NodeView& node) {
+    NodeId prev = -1;
+    for (const Incoming& in : node.inbox()) {
+      EXPECT_LT(prev, in.from) << "inbox must be sorted by sender id";
+      prev = in.from;
+      saw_any = true;
+    }
+  });
+  EXPECT_TRUE(saw_any);
+}
+
+TEST(Network, DeliveryIsDeterministic) {
+  Rng rng(43);
+  const Graph g = graph::connected_gnp(24, 0.2, rng);
+  Network first(g);
+  Network second(g);
+  const InboxLog log_a = run_schedule(first, 6);
+  const InboxLog log_b = run_schedule(second, 6);
+  EXPECT_EQ(log_a, log_b)
+      << "identical runs must produce identical inbox orderings";
+  EXPECT_EQ(first.stats(), second.stats());
+}
+
+TEST(Network, ResetRewindsForIdenticalReuse) {
+  Rng rng(47);
+  Network net(graph::connected_gnp(16, 0.25, rng));
+  const InboxLog log_a = run_schedule(net, 5);
+  const RoundStats stats_a = net.stats();
+  net.reset();
+  EXPECT_EQ(net.stats().rounds, 0);
+  EXPECT_EQ(net.stats().messages, 0);
+  EXPECT_FALSE(net.last_round_sent_messages());
+  const InboxLog log_b = run_schedule(net, 5);
+  EXPECT_EQ(log_a, log_b);
+  EXPECT_EQ(stats_a, net.stats());
+}
+
+TEST(Network, SendSlotAndReplyDeliver) {
+  Network net(graph::path_graph(3));
+  net.round([&](NodeView& node) {
+    if (node.id() == 1) {
+      // Node 1's neighbors are {0, 2}; slot 1 is node 2.
+      node.send_slot(1, Message{9, {77}});
+    }
+  });
+  int replies = 0;
+  net.round([&](NodeView& node) {
+    for (const Incoming& in : node.inbox()) {
+      EXPECT_EQ(node.id(), 2);
+      EXPECT_EQ(in.from, 1);
+      EXPECT_EQ(in.msg.at(0), 77);
+      node.reply(in, Message{12, {88}});
+    }
+  });
+  net.round([&](NodeView& node) {
+    for (const Incoming& in : node.inbox()) {
+      EXPECT_EQ(node.id(), 1);
+      EXPECT_EQ(in.from, 2);
+      EXPECT_EQ(in.msg.kind, 12);
+      EXPECT_EQ(in.msg.at(0), 88);
+      ++replies;
+    }
+  });
+  EXPECT_EQ(replies, 1);
+}
+
+TEST(Network, MixedUnicastAndBroadcastSameRound) {
+  // Different senders may mix strategies in one round; delivery must merge
+  // both, still sorted by sender id.
+  Network net(graph::path_graph(3));
+  net.round([&](NodeView& node) {
+    if (node.id() == 0) node.send(1, Message{5, {50}});
+    if (node.id() == 2) node.broadcast(Message{6, {60}});
+  });
+  net.round([&](NodeView& node) {
+    if (node.id() != 1) return;
+    ASSERT_EQ(node.inbox().size(), 2u);
+    EXPECT_EQ(node.inbox()[0].from, 0);
+    EXPECT_EQ(node.inbox()[0].msg.at(0), 50);
+    EXPECT_EQ(node.inbox()[1].from, 2);
+    EXPECT_EQ(node.inbox()[1].msg.at(0), 60);
+  });
+  EXPECT_EQ(net.stats().messages, 2);
+}
+
+TEST(Network, RejectsDoubleBroadcast) {
+  Network net(graph::path_graph(3));
+  EXPECT_THROW(net.round([&](NodeView& node) {
+    if (node.id() == 0) {
+      node.broadcast(Message{1, {}});
+      node.broadcast(Message{2, {}});
+    }
+  }),
+               PreconditionViolation);
+}
+
+TEST(Network, RejectsSendAfterBroadcastOnSameEdge) {
+  Network net(graph::path_graph(3));
+  EXPECT_THROW(net.round([&](NodeView& node) {
+    if (node.id() == 0) {
+      node.broadcast(Message{1, {}});
+      node.send(1, Message{2, {}});
+    }
+  }),
+               PreconditionViolation);
+}
+
+TEST(Network, RejectsBroadcastAfterSendOnSameEdge) {
+  Network net(graph::path_graph(3));
+  EXPECT_THROW(net.round([&](NodeView& node) {
+    if (node.id() == 0) {
+      node.send(1, Message{1, {}});
+      node.broadcast(Message{2, {}});
+    }
+  }),
+               PreconditionViolation);
+}
+
+TEST(Network, RejectsDoubleSendSlot) {
+  Network net(graph::path_graph(2));
+  EXPECT_THROW(net.round([&](NodeView& node) {
+    if (node.id() == 0) {
+      node.send_slot(0, Message{1, {}});
+      node.send_slot(0, Message{2, {}});
+    }
+  }),
+               PreconditionViolation);
+}
+
+TEST(Network, RejectsOutOfRangeSlot) {
+  Network net(graph::path_graph(2));
+  EXPECT_THROW(net.round([&](NodeView& node) {
+    node.send_slot(1, Message{1, {}});
+  }),
+               PreconditionViolation);
+}
+
+TEST(Network, RejectsOversizedBroadcast) {
+  // n = 4: bandwidth is 32 bits; the broadcast fast path must also reject.
+  Network net(graph::path_graph(4));
+  EXPECT_THROW(net.round([&](NodeView& node) {
+    if (node.id() == 0)
+      node.broadcast(Message{1, {(std::int64_t{1} << 60)}});
   }),
                PreconditionViolation);
 }

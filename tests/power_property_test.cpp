@@ -1,0 +1,132 @@
+// Property tests for graph::power: both production strategies (sparse
+// frontier BFS with counting transpose, dense bitset-row sweep) and the
+// dispatching front door must agree exactly with a naive reference BFS
+// power on random and structured instances for r in {1, 2, 3}.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/power.hpp"
+#include "util/rng.hpp"
+
+namespace pg::graph {
+namespace {
+
+/// Reference implementation: per-source truncated BFS (deque, distance
+/// array) feeding a GraphBuilder, mirroring the pre-optimization code.
+Graph naive_power(const Graph& g, int r) {
+  const VertexId n = g.num_vertices();
+  GraphBuilder builder(n);
+  std::vector<int> dist(static_cast<std::size_t>(n), -1);
+  std::vector<VertexId> touched;
+  for (VertexId source = 0; source < n; ++source) {
+    touched.clear();
+    std::deque<VertexId> queue;
+    dist[static_cast<std::size_t>(source)] = 0;
+    touched.push_back(source);
+    queue.push_back(source);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      const int du = dist[static_cast<std::size_t>(u)];
+      if (du == r) continue;
+      for (VertexId w : g.neighbors(u)) {
+        if (dist[static_cast<std::size_t>(w)] != -1) continue;
+        dist[static_cast<std::size_t>(w)] = du + 1;
+        touched.push_back(w);
+        queue.push_back(w);
+      }
+    }
+    for (VertexId w : touched) {
+      if (w > source) builder.add_edge(source, w);
+      dist[static_cast<std::size_t>(w)] = -1;
+    }
+  }
+  return std::move(builder).build();
+}
+
+void expect_same_graph(const Graph& expected, const Graph& actual,
+                       const std::string& label) {
+  ASSERT_EQ(expected.num_vertices(), actual.num_vertices()) << label;
+  ASSERT_EQ(expected.num_edges(), actual.num_edges()) << label;
+  for (VertexId v = 0; v < expected.num_vertices(); ++v) {
+    const auto want = expected.neighbors(v);
+    const auto got = actual.neighbors(v);
+    ASSERT_EQ(std::vector<VertexId>(want.begin(), want.end()),
+              std::vector<VertexId>(got.begin(), got.end()))
+        << label << ", vertex " << v;
+  }
+}
+
+void check_all_strategies(const Graph& g, const std::string& name) {
+  for (int r = 1; r <= 3; ++r) {
+    const Graph expected = naive_power(g, r);
+    const std::string label = name + ", r=" + std::to_string(r);
+    expect_same_graph(expected, detail::power_sparse(g, r),
+                      label + ", sparse");
+    expect_same_graph(expected, detail::power_bitset(g, r),
+                      label + ", bitset");
+    expect_same_graph(expected, power(g, r), label + ", dispatched");
+  }
+}
+
+TEST(PowerProperty, MatchesNaiveOnGnp) {
+  Rng rng(97);
+  for (int trial = 0; trial < 8; ++trial) {
+    const VertexId n = 20 + 15 * trial;
+    const double p = (trial % 2 == 0) ? 2.5 / n : 8.0 / n;
+    const Graph g = gnp(n, p, rng);  // possibly disconnected on purpose
+    check_all_strategies(g, "gnp trial " + std::to_string(trial));
+  }
+}
+
+TEST(PowerProperty, MatchesNaiveOnConnectedGnp) {
+  Rng rng(131);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = connected_gnp(40, 0.12, rng);
+    check_all_strategies(g, "connected_gnp trial " + std::to_string(trial));
+  }
+}
+
+TEST(PowerProperty, MatchesNaiveOnPaths) {
+  for (VertexId n : {2, 3, 7, 33, 128})
+    check_all_strategies(path_graph(n), "path n=" + std::to_string(n));
+}
+
+TEST(PowerProperty, MatchesNaiveOnStars) {
+  for (VertexId leaves : {1, 2, 9, 64})
+    check_all_strategies(star_graph(leaves),
+                         "star leaves=" + std::to_string(leaves));
+}
+
+TEST(PowerProperty, HandlesEdgelessAndTinyGraphs) {
+  check_all_strategies(Graph{}, "empty");
+  GraphBuilder lone(3);  // three isolated vertices
+  check_all_strategies(std::move(lone).build(), "isolated");
+}
+
+TEST(PowerProperty, DispatchUsesBothPathsAcrossDensities) {
+  // Not a correctness property per se, but pins that the heuristic keeps
+  // both strategies reachable: a sparse path graph and a dense random
+  // graph must both round-trip through power() exactly.
+  Rng rng(151);
+  const Graph sparse_instance = path_graph(300);
+  const Graph dense_instance = connected_gnp(128, 0.25, rng);
+  expect_same_graph(naive_power(sparse_instance, 2),
+                    power(sparse_instance, 2), "sparse dispatch");
+  expect_same_graph(naive_power(dense_instance, 2), power(dense_instance, 2),
+                    "dense dispatch");
+}
+
+TEST(PowerProperty, RejectsNonPositiveExponent) {
+  EXPECT_THROW(power(path_graph(4), 0), PreconditionViolation);
+  EXPECT_THROW(power(path_graph(4), -2), PreconditionViolation);
+}
+
+}  // namespace
+}  // namespace pg::graph
