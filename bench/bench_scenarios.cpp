@@ -1,0 +1,100 @@
+// Scenario-level benchmarks: generator cost for the realistic topology
+// families, the paper's algorithms on those topologies (not just gnp), and
+// the batch runner's end-to-end sweep throughput at 1 vs N workers.
+// Recorded as BENCH_scenarios.json via bench/run_scenarios.sh.
+#include <benchmark/benchmark.h>
+
+#include "core/matching_congest.hpp"
+#include "core/mds_congest.hpp"
+#include "core/mvc_congest.hpp"
+#include "graph/graph.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using pg::graph::Graph;
+
+Graph build(const char* scenario, pg::graph::VertexId n) {
+  return pg::scenario::scenario_or_throw(scenario).build(n, 1);
+}
+
+void BM_ScenarioBuildBa(benchmark::State& state) {
+  const auto n = static_cast<pg::graph::VertexId>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(build("ba", n));
+}
+BENCHMARK(BM_ScenarioBuildBa)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ScenarioBuildChungLu(benchmark::State& state) {
+  const auto n = static_cast<pg::graph::VertexId>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(build("chung-lu", n));
+}
+BENCHMARK(BM_ScenarioBuildChungLu)->Arg(256)->Arg(1024);
+
+void BM_ScenarioBuildGeoTorus(benchmark::State& state) {
+  const auto n = static_cast<pg::graph::VertexId>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(build("geo-torus", n));
+}
+BENCHMARK(BM_ScenarioBuildGeoTorus)->Arg(256)->Arg(1024);
+
+void BM_ScenarioBuildRegular4(benchmark::State& state) {
+  const auto n = static_cast<pg::graph::VertexId>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(build("regular-4", n));
+}
+BENCHMARK(BM_ScenarioBuildRegular4)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ScenarioBuildPlanted(benchmark::State& state) {
+  const auto n = static_cast<pg::graph::VertexId>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(build("planted", n));
+}
+BENCHMARK(BM_ScenarioBuildPlanted)->Arg(256)->Arg(1024);
+
+// Algorithms on realistic topologies, reusing one simulator across
+// iterations (the runner's hot path).
+void BM_MvcCongestOnBa(benchmark::State& state) {
+  const auto n = static_cast<pg::graph::VertexId>(state.range(0));
+  pg::congest::Network net(build("ba", n));
+  pg::core::MvcCongestConfig config;
+  config.epsilon = 0.25;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pg::core::solve_g2_mvc_congest(net, config));
+}
+BENCHMARK(BM_MvcCongestOnBa)->Arg(64)->Arg(128);
+
+void BM_MdsCongestOnGeoTorus(benchmark::State& state) {
+  const auto n = static_cast<pg::graph::VertexId>(state.range(0));
+  pg::congest::Network net(build("geo-torus", n));
+  for (auto _ : state) {
+    pg::Rng rng(7);
+    benchmark::DoNotOptimize(pg::core::solve_g2_mds_congest(net, rng));
+  }
+}
+BENCHMARK(BM_MdsCongestOnGeoTorus)->Arg(64)->Arg(128);
+
+void BM_MatchingCongestOnPlanted(benchmark::State& state) {
+  const auto n = static_cast<pg::graph::VertexId>(state.range(0));
+  pg::congest::Network net(build("planted", n));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pg::core::solve_maximal_matching_congest(net));
+}
+BENCHMARK(BM_MatchingCongestOnPlanted)->Arg(128)->Arg(256);
+
+// End-to-end sweep throughput; the thread count is the benchmark argument.
+void BM_SweepRunner(benchmark::State& state) {
+  pg::scenario::SweepSpec spec;
+  spec.scenarios = {"ba", "gnp-sparse", "geo-torus", "regular-4", "planted"};
+  spec.algorithms = {"mvc", "matching", "mds", "gr-mvc"};
+  spec.sizes = {16, 24};
+  spec.powers = {1, 2, 3};
+  spec.epsilons = {0.25};
+  spec.seeds = {1, 2};
+  spec.threads = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pg::scenario::run_sweep(spec));
+}
+BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

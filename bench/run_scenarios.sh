@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the bench targets and records the scenario-level benchmarks
+# (generators, algorithms on realistic topologies, sweep-runner
+# throughput) as BENCH_scenarios.json at the repo root — the perf
+# trajectory file for workload-shaped changes, next to BENCH_micro.json's
+# substrate view.
+#
+#   bench/run_scenarios.sh [build-dir]
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"${repo_root}/build"}
+
+cmake -B "${build_dir}" -S "${repo_root}" -DPG_BUILD_BENCH=ON
+cmake --build "${build_dir}" -j --target bench_scenarios
+
+"${repo_root}/bench/bench_to_json.sh" \
+  "${build_dir}/bench_scenarios" \
+  "${repo_root}/BENCH_scenarios.json" \
+  --benchmark_min_time=0.2

@@ -1,95 +1,21 @@
-// Command-line front end: run the paper's algorithms on your own graph.
+// Command-line front end over the scenario subsystem (src/scenario):
+// single runs, declarative sweeps, and registry listings.
 //
-//   ./example_powergraph_cli <algorithm> [epsilon] < edges.txt
+//   ./powergraph_cli run mvc --scenario ba --n 64 --epsilon 0.25
+//   ./powergraph_cli run mds < edges.txt
+//   ./powergraph_cli sweep --sizes 16,24 --powers 1,2,3 --csv out.csv
+//   ./powergraph_cli list-scenarios
 //
-// where <algorithm> is one of
-//   mvc     — Theorem 1  (CONGEST (1+eps)-approx G^2-MVC; default eps 0.25)
-//   mvc53   — Corollary 17 (5/3-approx leader, eps fixed at 1/2)
-//   clique  — Theorem 11 (randomized CONGESTED CLIQUE)
-//   mds     — Theorem 28 (randomized O(log Δ)-approx G^2-MDS)
-//   naive   — full-gather baseline (exact, Θ(m) rounds)
-// and stdin carries an edge list: first line "n m", then m lines "u v".
-//
-// Example:
-//   printf '4 3\n0 1\n1 2\n2 3\n' | ./example_powergraph_cli mvc 0.5
+// The legacy spelling `powergraph_cli mvc [epsilon] < edges.txt` still
+// works.  All the logic lives in scenario::run_cli so the test suite can
+// drive it; this file only adapts argv and the standard streams.
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "core/mds_congest.hpp"
-#include "core/mvc_clique.hpp"
-#include "core/mvc_congest.hpp"
-#include "core/naive.hpp"
-#include "graph/cover.hpp"
-#include "graph/io.hpp"
-#include "util/rng.hpp"
-
-namespace {
-
-void print_solution(const pg::graph::VertexSet& solution,
-                    std::int64_t rounds) {
-  std::cout << "solution size : " << solution.size() << "\n"
-            << "rounds        : " << rounds << "\n"
-            << "vertices      :";
-  for (pg::graph::VertexId v : solution.to_vector()) std::cout << ' ' << v;
-  std::cout << "\n";
-}
-
-}  // namespace
+#include "scenario/cli.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pg;
-  if (argc < 2) {
-    std::cerr << "usage: " << argv[0]
-              << " mvc|mvc53|clique|mds|naive [epsilon] < edges.txt\n";
-    return 2;
-  }
-  const std::string algorithm = argv[1];
-  const double eps = argc >= 3 ? std::stod(argv[2]) : 0.25;
-
-  graph::Graph g;
-  try {
-    g = graph::read_edge_list(std::cin);
-  } catch (const std::exception& error) {
-    std::cerr << "failed to read edge list from stdin: " << error.what()
-              << "\n";
-    return 2;
-  }
-  std::cout << "graph: n = " << g.num_vertices() << ", m = " << g.num_edges()
-            << "\n";
-
-  try {
-    if (algorithm == "mvc") {
-      core::MvcCongestConfig config;
-      config.epsilon = eps;
-      const auto result = core::solve_g2_mvc_congest(g, config);
-      print_solution(result.cover, result.stats.rounds);
-    } else if (algorithm == "mvc53") {
-      core::MvcCongestConfig config;
-      config.epsilon = 0.5;
-      config.leader_solver = core::LeaderSolver::kFiveThirds;
-      const auto result = core::solve_g2_mvc_congest(g, config);
-      print_solution(result.cover, result.stats.rounds);
-    } else if (algorithm == "clique") {
-      Rng rng(1);
-      core::MvcCliqueConfig config;
-      config.epsilon = eps;
-      const auto result = core::solve_g2_mvc_clique_randomized(g, rng, config);
-      print_solution(result.cover, result.stats.rounds);
-    } else if (algorithm == "mds") {
-      Rng rng(1);
-      const auto result = core::solve_g2_mds_congest(g, rng);
-      print_solution(result.dominating_set, result.stats.rounds);
-    } else if (algorithm == "naive") {
-      const auto result = core::solve_naively_in_congest(
-          g, core::NaiveProblem::kMvcOnSquare);
-      print_solution(result.solution, result.stats.rounds);
-    } else {
-      std::cerr << "unknown algorithm '" << algorithm << "'\n";
-      return 2;
-    }
-  } catch (const std::exception& error) {
-    std::cerr << "error: " << error.what() << "\n";
-    return 1;
-  }
-  return 0;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return pg::scenario::run_cli(args, std::cin, std::cout, std::cerr);
 }

@@ -20,11 +20,17 @@ constexpr std::uint8_t kMatched = 52;
 }  // namespace
 
 MatchingCongestResult solve_maximal_matching_congest(const Graph& g) {
+  Network net(g);
+  return solve_maximal_matching_congest(net);
+}
+
+MatchingCongestResult solve_maximal_matching_congest(Network& net) {
+  net.reset();
+  const Graph& g = net.topology();
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   MatchingCongestResult result;
   result.cover = VertexSet(g.num_vertices());
 
-  Network net(g);
   std::vector<bool> matched(n, false);
   std::vector<NodeId> partner(n, -1);
   std::vector<std::map<NodeId, bool>> nbr_matched(n);

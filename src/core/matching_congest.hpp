@@ -28,4 +28,8 @@ struct MatchingCongestResult {
 
 MatchingCongestResult solve_maximal_matching_congest(const graph::Graph& g);
 
+/// Caller-owned-simulator overload: rewinds `net` via Network::reset() and
+/// runs on its topology, so batch drivers reuse one simulator per worker.
+MatchingCongestResult solve_maximal_matching_congest(congest::Network& net);
+
 }  // namespace pg::core

@@ -40,6 +40,14 @@ std::int64_t round_up_to_power_of_two(double x) {
 
 MdsCongestResult solve_g2_mds_congest(const Graph& g, Rng& rng,
                                       const MdsCongestConfig& config) {
+  Network net(g);
+  return solve_g2_mds_congest(net, rng, config);
+}
+
+MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
+                                      const MdsCongestConfig& config) {
+  net.reset();
+  const Graph& g = net.topology();
   PG_REQUIRE(graph::is_connected(g), "Theorem 28 assumes a connected network");
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   MdsCongestResult result;
@@ -55,8 +63,6 @@ MdsCongestResult solve_g2_mds_congest(const Graph& g, Rng& rng,
   const int max_phases =
       config.max_phases > 0 ? config.max_phases : 40 * (log_n + 1);
   const std::uint64_t r_range = static_cast<std::uint64_t>(n) * n * n * n;
-
-  Network net(g);
 
   std::vector<bool> covered(n, false);
   std::vector<std::int64_t> rho(n, 0);

@@ -42,4 +42,9 @@ struct MdsCongestResult {
 MdsCongestResult solve_g2_mds_congest(const graph::Graph& g, Rng& rng,
                                       const MdsCongestConfig& config = {});
 
+/// Caller-owned-simulator overload: rewinds `net` via Network::reset() and
+/// runs on its topology, so batch drivers reuse one simulator per worker.
+MdsCongestResult solve_g2_mds_congest(congest::Network& net, Rng& rng,
+                                      const MdsCongestConfig& config = {});
+
 }  // namespace pg::core

@@ -333,9 +333,13 @@ void run_phase2(Network& net, const std::vector<bool>& in_u,
 }
 
 /// Common driver: trivial-cover early-outs, Phase I via `phase1`, Phase II.
+/// Runs on a caller-provided simulator (rewound first), so one Network can
+/// serve many runs.
 template <typename Phase1>
-MvcCongestResult run_algorithm1(const Graph& g, const MvcCongestConfig& config,
+MvcCongestResult run_algorithm1(Network& net, const MvcCongestConfig& config,
                                 Phase1&& phase1) {
+  net.reset();
+  const Graph& g = net.topology();
   PG_REQUIRE(config.epsilon > 0, "epsilon must be positive");
   PG_REQUIRE(graph::is_connected(g), "Theorem 1 assumes a connected network");
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
@@ -353,7 +357,6 @@ MvcCongestResult run_algorithm1(const Graph& g, const MvcCongestConfig& config,
   result.epsilon_inverse =
       static_cast<int>(std::ceil(1.0 / config.epsilon));
 
-  Network net(g);
   std::vector<bool> in_r(n, true);
   phase1(net, in_r, result);
   result.phase1_rounds = net.stats().rounds;
@@ -367,22 +370,34 @@ MvcCongestResult run_algorithm1(const Graph& g, const MvcCongestConfig& config,
 
 }  // namespace
 
-MvcCongestResult solve_g2_mvc_congest(const Graph& g,
+MvcCongestResult solve_g2_mvc_congest(Network& net,
                                       const MvcCongestConfig& config) {
   return run_algorithm1(
-      g, config,
-      [&](Network& net, std::vector<bool>& in_r, MvcCongestResult& result) {
-        deterministic_phase1(net, result.epsilon_inverse, in_r, result);
+      net, config,
+      [&](Network& inner, std::vector<bool>& in_r, MvcCongestResult& result) {
+        deterministic_phase1(inner, result.epsilon_inverse, in_r, result);
+      });
+}
+
+MvcCongestResult solve_g2_mvc_congest(const Graph& g,
+                                      const MvcCongestConfig& config) {
+  Network net(g);
+  return solve_g2_mvc_congest(net, config);
+}
+
+MvcCongestResult solve_g2_mvc_congest_randomized(
+    Network& net, Rng& rng, const MvcCongestConfig& config) {
+  return run_algorithm1(
+      net, config,
+      [&](Network& inner, std::vector<bool>& in_r, MvcCongestResult& result) {
+        randomized_phase1(inner, config.epsilon, rng, in_r, result);
       });
 }
 
 MvcCongestResult solve_g2_mvc_congest_randomized(
     const Graph& g, Rng& rng, const MvcCongestConfig& config) {
-  return run_algorithm1(
-      g, config,
-      [&](Network& net, std::vector<bool>& in_r, MvcCongestResult& result) {
-        randomized_phase1(net, config.epsilon, rng, in_r, result);
-      });
+  Network net(g);
+  return solve_g2_mvc_congest_randomized(net, rng, config);
 }
 
 }  // namespace pg::core

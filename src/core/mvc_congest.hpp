@@ -54,6 +54,12 @@ struct MvcCongestResult {
 MvcCongestResult solve_g2_mvc_congest(const graph::Graph& g,
                                       const MvcCongestConfig& config = {});
 
+/// Same, on a caller-owned simulator (rewound via Network::reset() first),
+/// so batch drivers can run many configurations on one topology without
+/// reallocating the simulator's buffers.
+MvcCongestResult solve_g2_mvc_congest(congest::Network& net,
+                                      const MvcCongestConfig& config = {});
+
 /// Section 3.3's randomized voting scheme run in plain CONGEST: Phase I
 /// finishes in O(log n) phases w.h.p. instead of O(εn) iterations (every
 /// message travels along G edges, so the clique is not needed), while
@@ -62,5 +68,9 @@ MvcCongestResult solve_g2_mvc_congest(const graph::Graph& g,
 /// phase-count speedup is measurable on its own.
 MvcCongestResult solve_g2_mvc_congest_randomized(
     const graph::Graph& g, Rng& rng, const MvcCongestConfig& config = {});
+
+/// Caller-owned-simulator overload (see solve_g2_mvc_congest above).
+MvcCongestResult solve_g2_mvc_congest_randomized(
+    congest::Network& net, Rng& rng, const MvcCongestConfig& config = {});
 
 }  // namespace pg::core

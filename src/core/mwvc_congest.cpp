@@ -48,6 +48,14 @@ int weight_class(Weight w_min, Weight w) {
 
 MwvcCongestResult solve_g2_mwvc_congest(const Graph& g, const VertexWeights& w,
                                         const MwvcCongestConfig& config) {
+  Network net(g);
+  return solve_g2_mwvc_congest(net, w, config);
+}
+
+MwvcCongestResult solve_g2_mwvc_congest(Network& net, const VertexWeights& w,
+                                        const MwvcCongestConfig& config) {
+  net.reset();
+  const Graph& g = net.topology();
   PG_REQUIRE(config.epsilon > 0, "epsilon must be positive");
   PG_REQUIRE(w.size() == g.num_vertices(), "weights/graph size mismatch");
   PG_REQUIRE(graph::is_connected(g), "Theorem 7 assumes a connected network");
@@ -63,8 +71,6 @@ MwvcCongestResult solve_g2_mwvc_congest(const Graph& g, const VertexWeights& w,
   MwvcCongestResult result;
   result.cover = VertexSet(g.num_vertices());
   result.epsilon_inverse = l;
-
-  Network net(g);
 
   std::vector<bool> in_r(n, true);
   // Zero-weight vertices enter the cover for free.

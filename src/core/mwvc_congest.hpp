@@ -44,4 +44,10 @@ MwvcCongestResult solve_g2_mwvc_congest(const graph::Graph& g,
                                         const graph::VertexWeights& w,
                                         const MwvcCongestConfig& config = {});
 
+/// Caller-owned-simulator overload: rewinds `net` via Network::reset() and
+/// runs on its topology, so batch drivers reuse one simulator per worker.
+MwvcCongestResult solve_g2_mwvc_congest(congest::Network& net,
+                                        const graph::VertexWeights& w,
+                                        const MwvcCongestConfig& config = {});
+
 }  // namespace pg::core

@@ -15,6 +15,14 @@ using graph::VertexSet;
 
 NaiveResult solve_naively_in_congest(const Graph& g, NaiveProblem problem,
                                      std::int64_t exact_node_budget) {
+  Network net(g);
+  return solve_naively_in_congest(net, problem, exact_node_budget);
+}
+
+NaiveResult solve_naively_in_congest(Network& net, NaiveProblem problem,
+                                     std::int64_t exact_node_budget) {
+  net.reset();
+  const Graph& g = net.topology();
   PG_REQUIRE(graph::is_connected(g), "the baseline assumes a connected graph");
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   NaiveResult result;
@@ -25,7 +33,6 @@ NaiveResult solve_naively_in_congest(const Graph& g, NaiveProblem problem,
     return result;
   }
 
-  Network net(g);
   const congest::NodeId leader = congest::elect_min_id_leader(net);
   const congest::BfsTree tree = congest::build_bfs_tree(net, leader);
 

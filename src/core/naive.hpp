@@ -30,4 +30,10 @@ NaiveResult solve_naively_in_congest(
     const graph::Graph& g, NaiveProblem problem,
     std::int64_t exact_node_budget = 50'000'000);
 
+/// Caller-owned-simulator overload: rewinds `net` via Network::reset() and
+/// runs on its topology, so batch drivers reuse one simulator per worker.
+NaiveResult solve_naively_in_congest(
+    congest::Network& net, NaiveProblem problem,
+    std::int64_t exact_node_budget = 50'000'000);
+
 }  // namespace pg::core

@@ -56,11 +56,7 @@ Graph gnp(VertexId n, double p, Rng& rng) {
   return std::move(b).build();
 }
 
-namespace {
-
-/// Adds one edge between consecutive components (by smallest member) so the
-/// result is connected while changing the graph as little as possible.
-Graph connect_components(const Graph& g) {
+Graph link_components(const Graph& g) {
   const auto comp = connected_components(g);
   if (comp.count <= 1) return g;
   std::vector<VertexId> representative(static_cast<std::size_t>(comp.count),
@@ -76,10 +72,8 @@ Graph connect_components(const Graph& g) {
   return std::move(b).build();
 }
 
-}  // namespace
-
 Graph connected_gnp(VertexId n, double p, Rng& rng) {
-  return connect_components(gnp(n, p, rng));
+  return link_components(gnp(n, p, rng));
 }
 
 Graph random_tree(VertexId n, Rng& rng) {
@@ -110,7 +104,7 @@ Graph unit_disk(VertexId n, double radius, Rng& rng) {
 }
 
 Graph connected_unit_disk(VertexId n, double radius, Rng& rng) {
-  return connect_components(unit_disk(n, radius, rng));
+  return link_components(unit_disk(n, radius, rng));
 }
 
 Graph caterpillar(VertexId spine, VertexId legs) {
@@ -140,6 +134,155 @@ Graph barbell(VertexId k, VertexId bridge) {
     b.add_edge(prev, p);
     prev = p;
   }
+  return std::move(b).build();
+}
+
+Graph barabasi_albert(VertexId n, VertexId attach, Rng& rng) {
+  PG_REQUIRE(attach >= 1, "attachment count must be positive");
+  GraphBuilder b(n);
+  const VertexId core = std::min<VertexId>(attach + 1, n);
+  for (VertexId u = 0; u < core; ++u)
+    for (VertexId v = u + 1; v < core; ++v) b.add_edge(u, v);
+  // `endpoints` lists every edge endpoint so far, so a uniform draw from it
+  // is degree-proportional (the classic repeated-vertex trick).
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n) *
+                    static_cast<std::size_t>(attach) * 2);
+  for (VertexId u = 0; u < core; ++u)
+    for (VertexId v = u + 1; v < core; ++v) {
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  std::vector<VertexId> chosen;
+  for (VertexId v = core; v < n; ++v) {
+    chosen.clear();
+    const VertexId want = std::min<VertexId>(attach, v);
+    while (static_cast<VertexId>(chosen.size()) < want) {
+      const VertexId t = endpoints[static_cast<std::size_t>(
+          rng.next_below(endpoints.size()))];
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end())
+        chosen.push_back(t);
+    }
+    for (VertexId t : chosen) {
+      b.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph chung_lu(VertexId n, double exponent, double avg_degree, Rng& rng) {
+  PG_REQUIRE(exponent > 2.0, "Chung-Lu exponent must exceed 2 (finite mean)");
+  PG_REQUIRE(avg_degree > 0.0, "average degree must be positive");
+  const auto size = static_cast<std::size_t>(n);
+  std::vector<double> w(size);
+  // w_i ∝ (i + i0)^{-1/(exponent-1)}; the offset i0 caps the maximum
+  // expected degree and keeps edge probabilities meaningful at small n.
+  const double power = -1.0 / (exponent - 1.0);
+  const double offset = 1.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < size; ++i) {
+    w[i] = std::pow(static_cast<double>(i) + offset, power);
+    sum += w[i];
+  }
+  if (sum > 0.0) {
+    const double scale = avg_degree * static_cast<double>(n) / sum;
+    for (double& wi : w) wi *= scale;
+    sum = avg_degree * static_cast<double>(n);
+  }
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) {
+      const double p = std::min(
+          1.0, w[static_cast<std::size_t>(u)] * w[static_cast<std::size_t>(v)] / sum);
+      if (rng.next_bool(p)) b.add_edge(u, v);
+    }
+  return std::move(b).build();
+}
+
+Graph geometric_torus(VertexId n, double radius, Rng& rng) {
+  PG_REQUIRE(radius > 0.0, "torus radius must be positive");
+  std::vector<double> x(static_cast<std::size_t>(n)),
+      y(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+    x[i] = rng.next_double();
+    y[i] = rng.next_double();
+  }
+  const double r2 = radius * radius;
+  auto wrap = [](double d) {
+    d = std::abs(d);
+    return std::min(d, 1.0 - d);
+  };
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) {
+      const double dx = wrap(x[static_cast<std::size_t>(u)] - x[static_cast<std::size_t>(v)]);
+      const double dy = wrap(y[static_cast<std::size_t>(u)] - y[static_cast<std::size_t>(v)]);
+      if (dx * dx + dy * dy <= r2) b.add_edge(u, v);
+    }
+  return std::move(b).build();
+}
+
+Graph random_regular(VertexId n, VertexId degree, Rng& rng) {
+  PG_REQUIRE(degree >= 0 && degree < n, "regular degree must be in [0, n)");
+  PG_REQUIRE((static_cast<std::int64_t>(n) * degree) % 2 == 0,
+             "n * degree must be even");
+  if (degree == 0) return std::move(GraphBuilder(n)).build();
+  // Configuration model: shuffle the 2m stubs and pair them consecutively;
+  // resample on self-loops or duplicates.  For fixed degree the success
+  // probability per attempt is bounded below by a constant (~e^{-(d²-1)/4}),
+  // so the loop terminates quickly with overwhelming probability; a
+  // deterministic circulant fallback guards the tail.
+  const std::size_t stubs_count =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(degree);
+  std::vector<VertexId> stubs(stubs_count);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    for (std::size_t i = 0; i < stubs_count; ++i)
+      stubs[i] = static_cast<VertexId>(i / static_cast<std::size_t>(degree));
+    for (std::size_t i = stubs_count - 1; i > 0; --i)
+      std::swap(stubs[i], stubs[rng.next_below(i + 1)]);
+    std::vector<Edge> edges;
+    edges.reserve(stubs_count / 2);
+    bool simple = true;
+    for (std::size_t i = 0; i + 1 < stubs_count && simple; i += 2) {
+      if (stubs[i] == stubs[i + 1]) simple = false;
+      else edges.emplace_back(stubs[i], stubs[i + 1]);
+    }
+    if (simple) {
+      std::sort(edges.begin(), edges.end());
+      simple = std::adjacent_find(edges.begin(), edges.end()) == edges.end();
+    }
+    if (!simple) continue;
+    GraphBuilder b(n);
+    for (const Edge& e : edges) b.add_edge(e.u, e.v);
+    return std::move(b).build();
+  }
+  // Circulant fallback: vertex v connects to v±1, …, v±⌊d/2⌋ (plus the
+  // antipode when d is odd, which requires even n — guaranteed by the
+  // parity precondition).
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v)
+    for (VertexId k = 1; k <= degree / 2; ++k) b.add_edge(v, (v + k) % n);
+  if (degree % 2 == 1)
+    for (VertexId v = 0; v < n / 2; ++v) b.add_edge(v, v + n / 2);
+  return std::move(b).build();
+}
+
+Graph planted_partition(VertexId n, VertexId communities, double p_in,
+                        double p_out, Rng& rng) {
+  PG_REQUIRE(communities >= 1 && communities <= std::max<VertexId>(n, 1),
+             "community count must be in [1, n]");
+  PG_REQUIRE(p_in >= 0.0 && p_in <= 1.0 && p_out >= 0.0 && p_out <= 1.0,
+             "edge probabilities must be in [0,1]");
+  // Contiguous near-equal blocks: community of v is v / ceil(n/k).
+  const VertexId block = (n + communities - 1) / communities;
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) {
+      const bool same = (u / block) == (v / block);
+      if (rng.next_bool(same ? p_in : p_out)) b.add_edge(u, v);
+    }
   return std::move(b).build();
 }
 

@@ -35,4 +35,36 @@ Graph caterpillar(VertexId spine, VertexId legs);
 /// Two cliques of size k joined by a path of `bridge` edges.
 Graph barbell(VertexId k, VertexId bridge);
 
+/// Adds one edge between consecutive components (joining each component's
+/// smallest vertex) so the result is connected; a no-op on connected
+/// inputs.  Adds at most components-1 edges.
+Graph link_components(const Graph& g);
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// min(attach+1, n) vertices; each later vertex attaches `attach` edges to
+/// existing vertices with probability proportional to their degree.
+/// Connected by construction; attach >= 1.
+Graph barabasi_albert(VertexId n, VertexId attach, Rng& rng);
+
+/// Chung–Lu random graph with power-law expected degrees: vertex i gets
+/// weight w_i ∝ (i+i0)^{-1/(exponent-1)}, scaled so the expected average
+/// degree is `avg_degree`, and edge {u,v} appears independently with
+/// probability min(1, w_u·w_v / Σw).  exponent > 2 (finite mean).
+Graph chung_lu(VertexId n, double exponent, double avg_degree, Rng& rng);
+
+/// Random geometric graph on the unit torus: n points uniform in [0,1)^2,
+/// edge iff wrap-around distance <= radius.  The wrap-around metric removes
+/// the boundary effects of `unit_disk`, so degrees are homogeneous.
+Graph geometric_torus(VertexId n, double radius, Rng& rng);
+
+/// Random d-regular graph via the configuration/pairing model with rejection
+/// of self-loops and duplicate edges.  Requires 0 <= degree < n and
+/// n*degree even.
+Graph random_regular(VertexId n, VertexId degree, Rng& rng);
+
+/// Planted-partition (clustered) graph: `communities` near-equal contiguous
+/// blocks, intra-block edge probability p_in, inter-block p_out.
+Graph planted_partition(VertexId n, VertexId communities, double p_in,
+                        double p_out, Rng& rng);
+
 }  // namespace pg::graph

@@ -1,0 +1,78 @@
+// Uniform adapters over the paper's algorithms, so the batch runner, CLI,
+// and conformance tests can grid over them by name.
+//
+// Cell semantics: the problem lives on G^r for the scenario graph G.  A
+// distributed algorithm natively targets the `native_power`-th power of
+// its *communication* network, so it is handed comm = G^{r/native_power}
+// (CONGEST on G^k is simulable on G with O(k) slowdown, so this is the
+// standard simulation argument; the runner records the comm power it
+// used).  An (algorithm, r) pair is expressible iff native_power divides
+// r; centralized algorithms (native_power 0) take (G, r) directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/cover.hpp"
+#include "graph/graph.hpp"
+
+namespace pg::scenario {
+
+enum class Problem { kVertexCover, kDominatingSet };
+
+std::string_view problem_name(Problem p);
+
+struct AlgorithmContext {
+  const graph::Graph* base = nullptr;  // scenario graph G
+  const graph::Graph* comm = nullptr;  // communication graph G^{comm_power}
+  congest::Network* net = nullptr;     // simulator over *comm; reset() by the callee
+  int r = 2;                           // the problem's power
+  double epsilon = 0.25;
+  std::uint64_t seed = 1;              // stream for the algorithm's coins
+};
+
+struct RunOutcome {
+  graph::VertexSet solution;
+  std::int64_t rounds = 0;      // simulator-measured (0 for centralized)
+  std::int64_t messages = 0;
+  std::int64_t total_bits = 0;
+  bool exact = false;           // the algorithm claims optimality
+};
+
+struct Algorithm {
+  std::string name;
+  std::string description;
+  Problem problem = Problem::kVertexCover;
+  // Power of the communication graph the algorithm natively solves on:
+  // 1 = on comm itself, 2 = on comm²; 0 = centralized (consumes r directly).
+  int native_power = 2;
+  bool uses_epsilon = false;
+  bool randomized = false;
+  bool needs_network = false;   // wants ctx.net over ctx.comm
+  std::function<RunOutcome(const AlgorithmContext&)> run;
+};
+
+/// The built-in registry, sorted by name.
+const std::vector<Algorithm>& all_algorithms();
+
+/// nullptr when the name is unknown.  Accepts the legacy CLI aliases
+/// ("clique" for clique-mvc, "naive" for naive-mvc).
+const Algorithm* find_algorithm(std::string_view name);
+
+/// Lookup that throws PreconditionViolation listing the valid names.
+const Algorithm& algorithm_or_throw(std::string_view name);
+
+std::vector<std::string> algorithm_names();
+
+/// True iff the algorithm can target G^r exactly (see file comment).
+bool supports_power(const Algorithm& alg, int r);
+
+/// The comm-graph power k with native target (G^k)^native = G^r; 1 for
+/// centralized algorithms (which receive G itself).  Requires support.
+int comm_power(const Algorithm& alg, int r);
+
+}  // namespace pg::scenario

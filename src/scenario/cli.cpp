@@ -1,0 +1,377 @@
+#include "scenario/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "graph/io.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "util/table.hpp"
+
+namespace pg::scenario {
+
+namespace {
+
+/// Thrown for malformed/out-of-range arguments; run_cli maps it to exit 2.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+std::int64_t parse_int(const std::string& text, const std::string& what) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    throw UsageError("invalid " + what + " '" + text + "': expected an integer");
+  return value;
+}
+
+std::uint64_t parse_uint(const std::string& text, const std::string& what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    throw UsageError("invalid " + what + " '" + text +
+                     "': expected a non-negative integer");
+  return value;
+}
+
+double parse_double(const std::string& text, const std::string& what) {
+  if (text.empty())
+    throw UsageError("invalid " + what + ": empty value");
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end != begin + text.size())
+    throw UsageError("invalid " + what + " '" + text + "': expected a number");
+  return value;
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : text) {
+    if (c == ',') {
+      if (!current.empty()) parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) parts.push_back(current);
+  return parts;
+}
+
+double checked_epsilon(double eps) {
+  if (!(eps > 0.0 && eps <= 1.0)) {
+    std::ostringstream msg;
+    msg << "epsilon " << eps << " out of range: must lie in (0, 1]";
+    throw UsageError(msg.str());
+  }
+  return eps;
+}
+
+int checked_r(std::int64_t r) {
+  if (r < 1)
+    throw UsageError("r must be >= 1 (got " + std::to_string(r) + ")");
+  if (r > 16)
+    throw UsageError("r must be <= 16 (got " + std::to_string(r) + ")");
+  return static_cast<int>(r);
+}
+
+graph::VertexId checked_n(std::int64_t n) {
+  if (n < 1)
+    throw UsageError("n must be >= 1 (got " + std::to_string(n) + ")");
+  if (n > 2'000'000)
+    throw UsageError("n must be <= 2000000 (got " + std::to_string(n) + ")");
+  return static_cast<graph::VertexId>(n);
+}
+
+/// Pops the value of a `--flag value` pair; throws when the value is missing.
+std::string take_value(const std::vector<std::string>& args, std::size_t& i) {
+  if (i + 1 >= args.size())
+    throw UsageError("flag '" + args[i] + "' needs a value");
+  return args[++i];
+}
+
+void print_usage(std::ostream& out) {
+  out << "usage: powergraph_cli <subcommand> [args]\n"
+         "\n"
+         "subcommands:\n"
+         "  run <algorithm> [epsilon]   run one algorithm; the graph comes\n"
+         "      [--scenario S --n N]    from the scenario registry, or an\n"
+         "      [--r R] [--epsilon E]   edge list on stdin (\"n m\" then m\n"
+         "      [--seed X]              lines \"u v\")\n"
+         "      [--exact-max-n M]\n"
+         "  sweep --sizes N,...         run a (scenario x algorithm x n x r\n"
+         "      [--scenarios a,b,...]   x epsilon x seed) grid; defaults to\n"
+         "      [--algorithms a,b,...]  every scenario and algorithm\n"
+         "      [--powers r,...] [--epsilons e,...] [--seeds s,...]\n"
+         "      [--threads K] [--csv FILE|-] [--json FILE|-] [--timing]\n"
+         "      [--exact-max-n M]\n"
+         "  list-scenarios              print the scenario registry\n"
+         "  list-algorithms             print the algorithm registry\n"
+         "  help                        this text\n";
+}
+
+void print_cell_human(const CellResult& cell, const graph::Graph* base,
+                      std::ostream& out) {
+  out << "graph         : n = " << (base ? base->num_vertices() : cell.spec.n)
+      << ", m = " << cell.base_edges << "\n"
+      << "target        : G^" << cell.spec.r
+      << " (m = " << cell.target_edges << "), comm power " << cell.comm_power
+      << "\n"
+      << "solution size : " << cell.solution_size << "\n"
+      << "feasible      : " << (cell.feasible ? "yes" : "NO") << "\n"
+      << "rounds        : " << cell.rounds << "\n"
+      << "messages      : " << cell.messages << "\n";
+  if (cell.baseline != BaselineKind::kNone) {
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.4f", cell.ratio);
+    out << "baseline      : " << baseline_kind_name(cell.baseline) << " "
+        << cell.baseline_size << " (ratio " << ratio << ")\n";
+  }
+  out << "vertices      :";
+  for (graph::VertexId v : cell.solution.to_vector()) out << ' ' << v;
+  out << "\n";
+}
+
+int cmd_list_scenarios(std::ostream& out) {
+  Table table({"name", "family", "description"});
+  for (const Scenario& s : all_scenarios())
+    table.add_row({s.name, s.family, s.description});
+  table.print(out);
+  return 0;
+}
+
+int cmd_list_algorithms(std::ostream& out) {
+  Table table({"name", "problem", "native-r", "eps", "rand", "description"});
+  for (const Algorithm& a : all_algorithms())
+    table.add_row({a.name, std::string(problem_name(a.problem)),
+                   a.native_power == 0 ? "any" : std::to_string(a.native_power),
+                   a.uses_epsilon ? "yes" : "-", a.randomized ? "yes" : "-",
+                   a.description});
+  table.print(out);
+  return 0;
+}
+
+int cmd_run(const std::vector<std::string>& args, std::istream& in,
+            std::ostream& out, std::ostream& err) {
+  if (args.empty()) throw UsageError("run needs an algorithm name");
+  const Algorithm& alg = algorithm_or_throw(args[0]);
+
+  CellSpec cell;
+  cell.algorithm = alg.name;
+  cell.scenario = "stdin";
+  cell.r = 2;
+  cell.epsilon = 0.25;
+  cell.seed = 1;
+  std::optional<std::string> scenario_name;
+  std::optional<graph::VertexId> n;
+  graph::VertexId exact_max_n = SweepSpec{}.exact_baseline_max_n;
+
+  std::size_t i = 1;
+  // Legacy positional epsilon: `run mvc 0.5 < edges.txt`.
+  if (i < args.size() && !args[i].empty() && args[i][0] != '-') {
+    cell.epsilon = checked_epsilon(parse_double(args[i], "epsilon"));
+    ++i;
+  }
+  for (; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--scenario") {
+      scenario_name = take_value(args, i);
+    } else if (flag == "--n") {
+      n = checked_n(parse_int(take_value(args, i), "n"));
+    } else if (flag == "--r") {
+      cell.r = checked_r(parse_int(take_value(args, i), "r"));
+    } else if (flag == "--epsilon") {
+      cell.epsilon = checked_epsilon(parse_double(take_value(args, i), "epsilon"));
+    } else if (flag == "--seed") {
+      cell.seed = parse_uint(take_value(args, i), "seed");
+    } else if (flag == "--exact-max-n") {
+      exact_max_n =
+          static_cast<graph::VertexId>(parse_int(take_value(args, i), "exact-max-n"));
+    } else {
+      throw UsageError("unknown flag '" + flag + "' for run");
+    }
+  }
+  cell.epsilon_used = alg.uses_epsilon;
+  if (!alg.uses_epsilon) cell.epsilon = 0.0;
+  if (!supports_power(alg, cell.r))
+    throw UsageError(
+        "algorithm '" + alg.name + "' cannot target r=" +
+        std::to_string(cell.r) +
+        (alg.native_power == 2 ? " (needs even r)" : " (needs r >= 2)"));
+
+  CellResult result;
+  graph::Graph base;
+  if (scenario_name) {
+    const Scenario& scenario = scenario_or_throw(*scenario_name);
+    if (!n) throw UsageError("--scenario requires --n");
+    cell.scenario = scenario.name;
+    cell.n = *n;
+    result = run_cell(cell, exact_max_n);
+  } else {
+    if (n) throw UsageError("--n requires --scenario");
+    try {
+      base = graph::read_edge_list(in);
+    } catch (const std::exception& error) {
+      err << "failed to read edge list from stdin: " << error.what() << "\n";
+      return 2;
+    }
+    cell.n = base.num_vertices();
+    result = run_cell_on(base, cell, exact_max_n);
+  }
+
+  if (result.status == CellStatus::kError) {
+    err << "error: " << result.error << "\n";
+    return 1;
+  }
+  print_cell_human(result, scenario_name ? nullptr : &base, out);
+  return result.feasible ? 0 : 1;
+}
+
+int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  SweepSpec spec;
+  spec.scenarios = scenario_names();
+  spec.algorithms = algorithm_names();
+  spec.sizes.clear();
+  std::optional<std::string> csv_path;
+  std::optional<std::string> json_path;
+  bool timing = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--scenarios") {
+      spec.scenarios = split_list(take_value(args, i));
+    } else if (flag == "--algorithms") {
+      spec.algorithms = split_list(take_value(args, i));
+    } else if (flag == "--sizes") {
+      spec.sizes.clear();
+      for (const std::string& s : split_list(take_value(args, i)))
+        spec.sizes.push_back(checked_n(parse_int(s, "size")));
+    } else if (flag == "--powers") {
+      spec.powers.clear();
+      for (const std::string& s : split_list(take_value(args, i)))
+        spec.powers.push_back(checked_r(parse_int(s, "power")));
+    } else if (flag == "--epsilons") {
+      spec.epsilons.clear();
+      for (const std::string& s : split_list(take_value(args, i)))
+        spec.epsilons.push_back(checked_epsilon(parse_double(s, "epsilon")));
+    } else if (flag == "--seeds") {
+      spec.seeds.clear();
+      for (const std::string& s : split_list(take_value(args, i)))
+        spec.seeds.push_back(parse_uint(s, "seed"));
+    } else if (flag == "--threads") {
+      const std::int64_t t = parse_int(take_value(args, i), "threads");
+      if (t < 1 || t > 1024)
+        throw UsageError("threads must be in [1, 1024] (got " +
+                         std::to_string(t) + ")");
+      spec.threads = static_cast<int>(t);
+    } else if (flag == "--exact-max-n") {
+      spec.exact_baseline_max_n = static_cast<graph::VertexId>(
+          parse_int(take_value(args, i), "exact-max-n"));
+    } else if (flag == "--csv") {
+      csv_path = take_value(args, i);
+    } else if (flag == "--json") {
+      json_path = take_value(args, i);
+    } else if (flag == "--timing") {
+      timing = true;
+    } else {
+      throw UsageError("unknown flag '" + flag + "' for sweep");
+    }
+  }
+  if (spec.sizes.empty())
+    throw UsageError("sweep needs --sizes (e.g. --sizes 16,24)");
+  // Re-validate names/values with the library's messages (also covers lists
+  // emptied by e.g. `--scenarios ,`).
+  try {
+    validate_spec(spec);
+  } catch (const std::exception& error) {
+    throw UsageError(error.what());
+  }
+  if (expand_grid(spec).empty())
+    throw UsageError(
+        "the grid expands to zero cells: no requested algorithm can express "
+        "any requested power r");
+
+  const SweepResult result = run_sweep(spec);
+
+  auto emit = [&](const std::string& path, bool json) {
+    if (path == "-") {
+      json ? write_json(out, result, timing) : write_csv(out, result, timing);
+      return;
+    }
+    std::ofstream file(path, std::ios::binary);
+    if (!file) throw UsageError("cannot open output file '" + path + "'");
+    json ? write_json(file, result, timing) : write_csv(file, result, timing);
+  };
+  if (csv_path) emit(*csv_path, false);
+  if (json_path) emit(*json_path, true);
+  if (!csv_path && !json_path) write_csv(out, result, timing);
+
+  std::size_t ok = 0, errors = 0, infeasible = 0;
+  for (const CellResult& cell : result.cells) {
+    if (cell.status == CellStatus::kError) ++errors;
+    else if (!cell.feasible) ++infeasible;
+    else ++ok;
+  }
+  char wall[32];
+  std::snprintf(wall, sizeof(wall), "%.0f", result.wall_ms_total);
+  err << "sweep: " << result.cells.size() << " cells, " << ok << " ok, "
+      << infeasible << " infeasible, " << errors << " errors, " << wall
+      << " ms, " << spec.threads << " thread(s)\n";
+  return errors == 0 && infeasible == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::istream& in,
+            std::ostream& out, std::ostream& err) {
+  if (args.empty()) {
+    print_usage(err);
+    return 2;
+  }
+  const std::string& command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    if (command == "help" || command == "--help" || command == "-h") {
+      print_usage(out);
+      return 0;
+    }
+    if (command == "list-scenarios") return cmd_list_scenarios(out);
+    if (command == "list-algorithms") return cmd_list_algorithms(out);
+    if (command == "run") return cmd_run(rest, in, out, err);
+    if (command == "sweep") return cmd_sweep(rest, out, err);
+    // Legacy spelling: `powergraph_cli mvc [epsilon] < edges.txt`.
+    if (find_algorithm(command)) {
+      std::vector<std::string> forwarded = {command};
+      forwarded.insert(forwarded.end(), rest.begin(), rest.end());
+      return cmd_run(forwarded, in, out, err);
+    }
+    err << "unknown subcommand '" << command << "'\n\n";
+    print_usage(err);
+    return 2;
+  } catch (const UsageError& error) {
+    err << "error: " << error.what() << "\n";
+    return 2;
+  } catch (const PreconditionViolation& error) {
+    err << "error: " << error.what() << "\n";
+    return 2;
+  } catch (const std::exception& error) {
+    err << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace pg::scenario

@@ -1,0 +1,31 @@
+// The powergraph CLI's engine: subcommand dispatch, strict argument
+// validation, and stream-based I/O, factored out of the example binary so
+// gtest can drive it end to end.
+//
+// Subcommands:
+//   run <algorithm> [epsilon] [--scenario S --n N] [--r R] [--epsilon E]
+//       [--seed X] [--exact-max-n M]     one cell; graph from the scenario
+//                                        registry or an edge list on stdin
+//   sweep --sizes N,... [--scenarios ...] [--algorithms ...] [--powers ...]
+//         [--epsilons ...] [--seeds ...] [--threads K] [--csv F] [--json F]
+//         [--timing] [--exact-max-n M]   grid run; CSV/JSON to file or "-"
+//   list-scenarios                       registry table
+//   list-algorithms                      registry table
+//   help                                 usage
+//
+// Exit codes: 0 success, 1 the requested run failed (infeasible input,
+// algorithm error), 2 usage error (unknown subcommand/algorithm/scenario,
+// malformed or out-of-range arguments).  All validation errors name the
+// offending value and the accepted range.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pg::scenario {
+
+int run_cli(const std::vector<std::string>& args, std::istream& in,
+            std::ostream& out, std::ostream& err);
+
+}  // namespace pg::scenario

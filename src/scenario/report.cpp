@@ -1,0 +1,178 @@
+#include "scenario/report.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace pg::scenario {
+
+namespace {
+
+/// std::to_chars-based double formatting: locale-independent by the
+/// standard's guarantee, so the emitted bytes never depend on the host
+/// environment (printf's %g would honor LC_NUMERIC's decimal point).
+std::string fmt_double(double value, std::chars_format format,
+                       int precision) {
+  char buffer[64];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer),
+                                       value, format, precision);
+  return std::string(buffer, ec == std::errc{} ? ptr : buffer);
+}
+
+/// Matches printf's %g: 6 significant digits, trailing zeros trimmed.
+std::string fmt_general(double value) {
+  return fmt_double(value, std::chars_format::general, 6);
+}
+
+std::string fmt_fixed(double value, int precision) {
+  return fmt_double(value, std::chars_format::fixed, precision);
+}
+
+std::string csv_sanitize(const std::string& text) {
+  std::string out = text;
+  for (char& c : out)
+    if (c == ',' || c == '\n' || c == '\r') c = ';';
+  return out;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const SweepResult& result,
+               bool include_timing) {
+  out << "scenario,algorithm,n,r,epsilon,seed,status,base_edges,comm_power,"
+         "comm_edges,target_edges,solution_size,feasible,exact,rounds,"
+         "messages,total_bits,baseline,baseline_size,ratio";
+  if (include_timing) out << ",wall_ms";
+  out << ",error\n";
+  for (const CellResult& cell : result.cells) {
+    const CellSpec& spec = cell.spec;
+    out << spec.scenario << ',' << spec.algorithm << ',' << spec.n << ','
+        << spec.r << ','
+        << (spec.epsilon_used ? fmt_general(spec.epsilon) : "-") << ','
+        << spec.seed << ',' << cell_status_name(cell.status) << ','
+        << cell.base_edges << ',' << cell.comm_power << ',' << cell.comm_edges
+        << ',' << cell.target_edges << ',' << cell.solution_size << ','
+        << (cell.feasible ? 1 : 0) << ',' << (cell.exact ? 1 : 0) << ','
+        << cell.rounds << ',' << cell.messages << ',' << cell.total_bits
+        << ',' << baseline_kind_name(cell.baseline) << ','
+        << cell.baseline_size << ','
+        << (cell.baseline == BaselineKind::kNone ? "-"
+                                                 : fmt_fixed(cell.ratio, 4));
+    if (include_timing) out << ',' << fmt_fixed(cell.wall_ms, 3);
+    out << ',' << csv_sanitize(cell.error) << '\n';
+  }
+}
+
+namespace {
+
+template <typename T, typename Fn>
+void write_json_list(std::ostream& out, const std::vector<T>& values, Fn fn) {
+  out << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out << ',';
+    fn(values[i]);
+  }
+  out << ']';
+}
+
+}  // namespace
+
+void write_json(std::ostream& out, const SweepResult& result,
+                bool include_timing) {
+  const SweepSpec& spec = result.spec;
+  out << "{\n  \"spec\": {";
+  out << "\"scenarios\": ";
+  write_json_list(out, spec.scenarios, [&](const std::string& s) {
+    out << '"' << json_escape(s) << '"';
+  });
+  out << ", \"algorithms\": ";
+  write_json_list(out, spec.algorithms, [&](const std::string& s) {
+    out << '"' << json_escape(s) << '"';
+  });
+  out << ", \"sizes\": ";
+  write_json_list(out, spec.sizes,
+                  [&](graph::VertexId n) { out << n; });
+  out << ", \"powers\": ";
+  write_json_list(out, spec.powers, [&](int r) { out << r; });
+  out << ", \"epsilons\": ";
+  write_json_list(out, spec.epsilons,
+                  [&](double e) { out << fmt_general(e); });
+  out << ", \"seeds\": ";
+  write_json_list(out, spec.seeds, [&](std::uint64_t s) { out << s; });
+  out << ", \"exact_baseline_max_n\": " << spec.exact_baseline_max_n;
+  out << "},\n  \"cells\": [";
+  bool first = true;
+  for (const CellResult& cell : result.cells) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    const CellSpec& cs = cell.spec;
+    out << "    {\"scenario\": \"" << json_escape(cs.scenario)
+        << "\", \"algorithm\": \"" << json_escape(cs.algorithm)
+        << "\", \"n\": " << cs.n << ", \"r\": " << cs.r << ", \"epsilon\": ";
+    if (cs.epsilon_used)
+      out << fmt_general(cs.epsilon);
+    else
+      out << "null";
+    out << ", \"seed\": " << cs.seed << ", \"status\": \""
+        << cell_status_name(cell.status) << "\", \"base_edges\": "
+        << cell.base_edges << ", \"comm_power\": " << cell.comm_power
+        << ", \"comm_edges\": " << cell.comm_edges
+        << ", \"target_edges\": " << cell.target_edges
+        << ", \"solution_size\": " << cell.solution_size << ", \"feasible\": "
+        << (cell.feasible ? "true" : "false")
+        << ", \"exact\": " << (cell.exact ? "true" : "false")
+        << ", \"rounds\": " << cell.rounds << ", \"messages\": "
+        << cell.messages << ", \"total_bits\": " << cell.total_bits
+        << ", \"baseline\": \"" << baseline_kind_name(cell.baseline)
+        << "\", \"baseline_size\": " << cell.baseline_size << ", \"ratio\": ";
+    if (cell.baseline == BaselineKind::kNone)
+      out << "null";
+    else
+      out << fmt_fixed(cell.ratio, 4);
+    if (include_timing)
+      out << ", \"wall_ms\": " << fmt_fixed(cell.wall_ms, 3);
+    if (cell.status == CellStatus::kError)
+      out << ", \"error\": \"" << json_escape(cell.error) << '"';
+    out << '}';
+  }
+  out << "\n  ]\n}\n";
+}
+
+std::string csv_string(const SweepResult& result, bool include_timing) {
+  std::ostringstream out;
+  write_csv(out, result, include_timing);
+  return out.str();
+}
+
+std::string json_string(const SweepResult& result, bool include_timing) {
+  std::ostringstream out;
+  write_json(out, result, include_timing);
+  return out.str();
+}
+
+}  // namespace pg::scenario

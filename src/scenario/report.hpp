@@ -1,0 +1,35 @@
+// Deterministic serialization of sweep results.
+//
+// Both formats are byte-stable: identical specs produce identical bytes
+// regardless of repetition, worker count, or host, because every emitted
+// field is a deterministic function of the spec (wall-clock measurements
+// and the thread count are excluded unless `include_timing` is set, which
+// is documented to break byte-stability).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "scenario/runner.hpp"
+
+namespace pg::scenario {
+
+/// One row per cell.  Columns: scenario,algorithm,n,r,epsilon,seed,status,
+/// base_edges,comm_power,comm_edges,target_edges,solution_size,feasible,
+/// exact,rounds,messages,total_bits,baseline,baseline_size,ratio[,wall_ms]
+/// ,error.  epsilon is "-" for algorithms that ignore it; ratio is "-"
+/// when no baseline was computed; feasible/exact are 0/1; error is empty
+/// on success (commas/newlines inside messages are replaced by ';').
+void write_csv(std::ostream& out, const SweepResult& result,
+               bool include_timing = false);
+
+/// {"spec": {...}, "cells": [...]} with the same fields as the CSV;
+/// epsilon/ratio are null where the CSV prints "-".
+void write_json(std::ostream& out, const SweepResult& result,
+                bool include_timing = false);
+
+std::string csv_string(const SweepResult& result, bool include_timing = false);
+std::string json_string(const SweepResult& result,
+                        bool include_timing = false);
+
+}  // namespace pg::scenario

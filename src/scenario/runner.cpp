@@ -1,0 +1,306 @@
+#include "scenario/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "graph/cover.hpp"
+#include "graph/power.hpp"
+#include "scenario/scenario.hpp"
+#include "solvers/exact_ds.hpp"
+#include "solvers/exact_vc.hpp"
+#include "solvers/greedy.hpp"
+
+namespace pg::scenario {
+
+using graph::Graph;
+using graph::VertexId;
+using graph::VertexSet;
+
+std::string_view cell_status_name(CellStatus s) {
+  return s == CellStatus::kOk ? "ok" : "error";
+}
+
+std::string_view baseline_kind_name(BaselineKind b) {
+  switch (b) {
+    case BaselineKind::kNone: return "none";
+    case BaselineKind::kExact: return "exact";
+    case BaselineKind::kGreedy: return "greedy";
+  }
+  return "none";
+}
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+/// Everything the cells of one (scenario, n, seed) group share: the base
+/// topology, its materialized powers, one simulator per communication
+/// graph, and the reference-solver baselines.  Owned by exactly one
+/// worker, so no synchronization is needed inside.
+class GroupContext {
+ public:
+  explicit GroupContext(Graph base) : base_(std::move(base)) {}
+
+  const Graph& base() const { return base_; }
+
+  const Graph& power_of(int k) {
+    PG_REQUIRE(k >= 1, "graph power must be positive");
+    if (k == 1) return base_;
+    auto it = powers_.find(k);
+    if (it == powers_.end())
+      it = powers_.emplace(k, graph::power(base_, k)).first;
+    return it->second;
+  }
+
+  congest::Network& net_of(int k) {
+    auto it = nets_.find(k);
+    if (it == nets_.end())
+      it = nets_.emplace(k, std::make_unique<congest::Network>(power_of(k)))
+               .first;
+    return *it->second;
+  }
+
+  struct Baseline {
+    BaselineKind kind = BaselineKind::kNone;
+    std::size_t size = 0;
+  };
+
+  const Baseline& baseline_of(Problem problem, int r, VertexId exact_max_n) {
+    const auto key = std::make_pair(static_cast<int>(problem), r);
+    auto it = baselines_.find(key);
+    if (it != baselines_.end()) return it->second;
+
+    Baseline b;
+    if (exact_max_n > 0) {
+      const Graph& target = power_of(r);
+      const VertexId n = target.num_vertices();
+      bool solved = false;
+      if (n <= exact_max_n) {
+        const auto exact = problem == Problem::kVertexCover
+                               ? solvers::solve_mvc(target)
+                               : solvers::solve_mds(target);
+        if (exact.optimal) {
+          b.kind = BaselineKind::kExact;
+          b.size = exact.solution.size();
+          solved = true;
+        }
+      }
+      if (!solved) {
+        if (problem == Problem::kVertexCover) {
+          const graph::VertexWeights unit(n, 1);
+          b.size = solvers::local_ratio_mwvc(target, unit).size();
+        } else {
+          b.size = solvers::greedy_mds(target).size();
+        }
+        b.kind = BaselineKind::kGreedy;
+      }
+    }
+    return baselines_.emplace(key, b).first->second;
+  }
+
+ private:
+  Graph base_;
+  std::map<int, Graph> powers_;
+  std::map<int, std::unique_ptr<congest::Network>> nets_;
+  std::map<std::pair<int, int>, Baseline> baselines_;
+};
+
+void execute_cell(const CellSpec& spec, GroupContext& group,
+                  VertexId exact_baseline_max_n, CellResult& out) {
+  out = CellResult{};
+  out.spec = spec;
+  try {
+    const Algorithm& alg = algorithm_or_throw(spec.algorithm);
+    PG_REQUIRE(supports_power(alg, spec.r),
+               "algorithm '" + alg.name + "' cannot target r=" +
+                   std::to_string(spec.r));
+    const int k = comm_power(alg, spec.r);
+    const Graph& comm = group.power_of(k);
+    const Graph& target = group.power_of(spec.r);
+    out.base_edges = group.base().num_edges();
+    out.comm_power = k;
+    out.comm_edges = comm.num_edges();
+    out.target_edges = target.num_edges();
+
+    AlgorithmContext ctx;
+    ctx.base = &group.base();
+    ctx.comm = &comm;
+    ctx.net = alg.needs_network ? &group.net_of(k) : nullptr;
+    ctx.r = spec.r;
+    ctx.epsilon = spec.epsilon;
+    // Decorrelate the algorithm's coins across cells: two cells share a
+    // stream only if they share (seed, scenario, n, r); the adapters mix
+    // the algorithm name in on top.
+    ctx.seed = mix_seed(spec.seed, spec.scenario + "/n" +
+                                       std::to_string(spec.n) + "/r" +
+                                       std::to_string(spec.r));
+
+    const auto started = std::chrono::steady_clock::now();
+    const RunOutcome outcome = alg.run(ctx);
+    out.wall_ms = elapsed_ms(started);
+
+    out.solution = outcome.solution;
+    out.solution_size = outcome.solution.size();
+    out.rounds = outcome.rounds;
+    out.messages = outcome.messages;
+    out.total_bits = outcome.total_bits;
+    out.exact = outcome.exact;
+    out.feasible = alg.problem == Problem::kVertexCover
+                       ? graph::is_vertex_cover(target, outcome.solution)
+                       : graph::is_dominating_set(target, outcome.solution);
+
+    const auto& baseline =
+        group.baseline_of(alg.problem, spec.r, exact_baseline_max_n);
+    out.baseline = baseline.kind;
+    out.baseline_size = baseline.size;
+    if (baseline.kind != BaselineKind::kNone) {
+      out.ratio = baseline.size == 0
+                      ? (out.solution_size == 0 ? 1.0 : 0.0)
+                      : static_cast<double>(out.solution_size) /
+                            static_cast<double>(baseline.size);
+    }
+  } catch (const std::exception& error) {
+    out.status = CellStatus::kError;
+    out.error = error.what();
+  }
+}
+
+struct Group {
+  std::size_t first = 0;  // index range [first, last) into the cell list
+  std::size_t last = 0;
+};
+
+bool same_topology(const CellSpec& a, const CellSpec& b) {
+  return a.scenario == b.scenario && a.n == b.n && a.seed == b.seed;
+}
+
+std::vector<Group> group_cells(const std::vector<CellSpec>& cells) {
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < cells.size();) {
+    std::size_t j = i + 1;
+    while (j < cells.size() && same_topology(cells[i], cells[j])) ++j;
+    groups.push_back({i, j});
+    i = j;
+  }
+  return groups;
+}
+
+void run_group(const std::vector<CellSpec>& cells, const Group& group,
+               VertexId exact_baseline_max_n,
+               std::vector<CellResult>& results) {
+  const CellSpec& head = cells[group.first];
+  try {
+    const Scenario& scenario = scenario_or_throw(head.scenario);
+    GroupContext context(scenario.build(head.n, head.seed));
+    for (std::size_t i = group.first; i < group.last; ++i)
+      execute_cell(cells[i], context, exact_baseline_max_n, results[i]);
+  } catch (const std::exception& error) {
+    // The topology itself failed to build: every cell of the group fails
+    // identically.
+    for (std::size_t i = group.first; i < group.last; ++i) {
+      results[i] = CellResult{};
+      results[i].spec = cells[i];
+      results[i].status = CellStatus::kError;
+      results[i].error = error.what();
+    }
+  }
+}
+
+}  // namespace
+
+void validate_spec(const SweepSpec& spec) {
+  PG_REQUIRE(!spec.scenarios.empty(), "sweep needs at least one scenario");
+  PG_REQUIRE(!spec.algorithms.empty(), "sweep needs at least one algorithm");
+  PG_REQUIRE(!spec.sizes.empty(), "sweep needs at least one size");
+  PG_REQUIRE(!spec.powers.empty(), "sweep needs at least one power r");
+  PG_REQUIRE(!spec.epsilons.empty(), "sweep needs at least one epsilon");
+  PG_REQUIRE(!spec.seeds.empty(), "sweep needs at least one seed");
+  PG_REQUIRE(spec.threads >= 1, "thread count must be >= 1");
+  for (const std::string& s : spec.scenarios) scenario_or_throw(s);
+  for (const std::string& a : spec.algorithms) algorithm_or_throw(a);
+  for (VertexId n : spec.sizes)
+    PG_REQUIRE(n >= 1, "scenario size must be >= 1");
+  for (int r : spec.powers) PG_REQUIRE(r >= 1, "power r must be >= 1");
+  for (double eps : spec.epsilons)
+    PG_REQUIRE(eps > 0.0 && eps <= 1.0, "epsilon must lie in (0, 1]");
+}
+
+std::vector<CellSpec> expand_grid(const SweepSpec& spec) {
+  validate_spec(spec);
+  std::vector<CellSpec> cells;
+  for (const std::string& scenario : spec.scenarios)
+    for (VertexId n : spec.sizes)
+      for (std::uint64_t seed : spec.seeds)
+        for (int r : spec.powers)
+          for (const std::string& name : spec.algorithms) {
+            const Algorithm& alg = algorithm_or_throw(name);
+            if (!supports_power(alg, r)) continue;
+            if (alg.uses_epsilon) {
+              for (double eps : spec.epsilons)
+                cells.push_back(
+                    {scenario, alg.name, n, r, eps, true, seed});
+            } else {
+              cells.push_back({scenario, alg.name, n, r, 0.0, false, seed});
+            }
+          }
+  return cells;
+}
+
+CellResult run_cell(const CellSpec& cell, VertexId exact_baseline_max_n) {
+  std::vector<CellResult> results(1);
+  const std::vector<CellSpec> cells = {cell};
+  run_group(cells, {0, 1}, exact_baseline_max_n, results);
+  return std::move(results[0]);
+}
+
+CellResult run_cell_on(const Graph& base, const CellSpec& cell,
+                       VertexId exact_baseline_max_n) {
+  CellResult result;
+  GroupContext context(base);
+  execute_cell(cell, context, exact_baseline_max_n, result);
+  return result;
+}
+
+SweepResult run_sweep(const SweepSpec& spec) {
+  const auto started = std::chrono::steady_clock::now();
+  SweepResult result;
+  result.spec = spec;
+
+  const std::vector<CellSpec> cells = expand_grid(spec);
+  result.cells.resize(cells.size());
+  const std::vector<Group> groups = group_cells(cells);
+
+  const std::size_t workers = std::min<std::size_t>(
+      static_cast<std::size_t>(spec.threads), groups.size());
+  if (workers <= 1) {
+    for (const Group& group : groups)
+      run_group(cells, group, spec.exact_baseline_max_n, result.cells);
+  } else {
+    std::atomic<std::size_t> cursor{0};
+    auto drain = [&]() {
+      for (;;) {
+        const std::size_t g = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (g >= groups.size()) return;
+        run_group(cells, groups[g], spec.exact_baseline_max_n, result.cells);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
+    drain();
+    for (std::thread& t : pool) t.join();
+  }
+
+  result.wall_ms_total = elapsed_ms(started);
+  return result;
+}
+
+}  // namespace pg::scenario

@@ -1,0 +1,115 @@
+// Batch experiment runner: expands a declarative (scenario × algorithm ×
+// size × power × epsilon × seed) grid into cells and executes them on a
+// thread pool.
+//
+// Determinism contract: a sweep's cell list and every per-cell result are
+// functions of the spec alone.  Cells draw their randomness from streams
+// derived by `mix_seed`, never from a shared generator, and results land
+// in pre-assigned slots, so the output is byte-identical across runs and
+// across worker counts (wall-clock fields are collected but excluded from
+// the deterministic reports by default).
+//
+// Scheduling: cells sharing (scenario, n, seed) form one work group — the
+// group builds its base graph once, materializes each needed power once,
+// and keeps one CONGEST simulator per communication graph, handing it to
+// every algorithm cell in turn (the solvers rewind it via
+// Network::reset()).  Workers claim whole groups off an atomic cursor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "scenario/algorithms.hpp"
+
+namespace pg::scenario {
+
+struct SweepSpec {
+  std::vector<std::string> scenarios;
+  std::vector<std::string> algorithms;
+  std::vector<graph::VertexId> sizes;
+  std::vector<int> powers = {2};
+  std::vector<double> epsilons = {0.25};
+  std::vector<std::uint64_t> seeds = {1};
+  int threads = 1;
+  // Cells with n <= this get an exact optimum as baseline; larger cells a
+  // greedy/2-approx one.  <= 0 disables baselines entirely.
+  graph::VertexId exact_baseline_max_n = 26;
+};
+
+struct CellSpec {
+  std::string scenario;
+  std::string algorithm;
+  graph::VertexId n = 0;
+  int r = 2;
+  double epsilon = 0.25;
+  bool epsilon_used = true;  // false for algorithms that ignore epsilon
+  std::uint64_t seed = 1;
+};
+
+enum class CellStatus { kOk, kError };
+enum class BaselineKind { kNone, kExact, kGreedy };
+
+std::string_view cell_status_name(CellStatus s);
+std::string_view baseline_kind_name(BaselineKind b);
+
+struct CellResult {
+  CellSpec spec;
+  CellStatus status = CellStatus::kOk;
+  std::string error;  // non-empty iff status == kError
+
+  // Instance facts.
+  std::size_t base_edges = 0;    // |E(G)|
+  int comm_power = 1;            // k: the algorithm ran on G^k
+  std::size_t comm_edges = 0;    // |E(G^k)|
+  std::size_t target_edges = 0;  // |E(G^r)| — the problem graph
+
+  // Outcome.  The solution itself is kept (n bits per cell) so single-cell
+  // callers (the CLI's `run`) can print it; reports only use its size.
+  graph::VertexSet solution;
+  std::size_t solution_size = 0;
+  bool feasible = false;  // checked against G^r
+  bool exact = false;     // the algorithm claims optimality
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t total_bits = 0;
+
+  // Quality vs. the reference solver.
+  BaselineKind baseline = BaselineKind::kNone;
+  std::size_t baseline_size = 0;
+  double ratio = 0.0;  // solution_size / baseline_size (0 when no baseline)
+
+  double wall_ms = 0.0;  // nondeterministic; reports omit it by default
+};
+
+struct SweepResult {
+  SweepSpec spec;
+  std::vector<CellResult> cells;  // in expand_grid order
+  double wall_ms_total = 0.0;
+};
+
+/// Expands the grid in deterministic order (scenario, size, seed outermost
+/// so cells of one topology are contiguous; then power, algorithm,
+/// epsilon).  Unknown scenario/algorithm names throw; (algorithm, r) pairs
+/// the algorithm cannot express are skipped; algorithms that ignore
+/// epsilon contribute one cell per (…, r) regardless of the epsilon list.
+std::vector<CellSpec> expand_grid(const SweepSpec& spec);
+
+/// Validates spec values (positive sizes, r >= 1, epsilon in (0, 1],
+/// threads >= 1, no empty dimension); throws PreconditionViolation.
+void validate_spec(const SweepSpec& spec);
+
+/// Runs one cell in isolation (builds the topology itself).  Exceptions
+/// from the scenario or algorithm are captured as status kError.
+CellResult run_cell(const CellSpec& cell, graph::VertexId exact_baseline_max_n);
+
+/// Runs one cell on a caller-supplied base graph instead of a registered
+/// scenario (cell.scenario is recorded verbatim, e.g. "stdin").
+CellResult run_cell_on(const graph::Graph& base, const CellSpec& cell,
+                       graph::VertexId exact_baseline_max_n);
+
+/// Runs the whole grid on `spec.threads` workers.
+SweepResult run_sweep(const SweepSpec& spec);
+
+}  // namespace pg::scenario

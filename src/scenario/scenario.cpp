@@ -1,0 +1,168 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "util/rng.hpp"
+
+namespace pg::scenario {
+
+using graph::Graph;
+using graph::VertexId;
+
+std::uint64_t mix_seed(std::uint64_t seed, std::string_view label) {
+  // FNV-1a over the label, then a SplitMix64 finalizer over the xor.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  std::uint64_t z = seed ^ h;
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+/// The connected row-major prefix of a slightly larger parent graph —
+/// lets near-rectangular families (grid, caterpillar) hit an exact n.
+Graph prefix_of(const Graph& parent, VertexId n) {
+  if (parent.num_vertices() == n) return parent;
+  std::vector<VertexId> keep(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) keep[static_cast<std::size_t>(v)] = v;
+  return graph::induced_subgraph(parent, keep).graph;
+}
+
+std::vector<Scenario> make_registry() {
+  std::vector<Scenario> s;
+  auto add = [&](std::string name, std::string family, std::string desc,
+                 std::function<Graph(VertexId, std::uint64_t)> build) {
+    s.push_back({std::move(name), std::move(family), std::move(desc),
+                 std::move(build)});
+  };
+
+  add("path", "structured", "path graph P_n",
+      [](VertexId n, std::uint64_t) { return graph::path_graph(n); });
+  add("cycle", "structured", "cycle graph C_n (n >= 3)",
+      [](VertexId n, std::uint64_t) { return graph::cycle_graph(n); });
+  add("star", "structured", "star K_{1,n-1} (heavy-tail endpoint)",
+      [](VertexId n, std::uint64_t) {
+        PG_REQUIRE(n >= 1, "star needs at least 1 vertex");
+        return graph::star_graph(n - 1);
+      });
+  add("grid", "structured", "2D grid, row-major prefix trimmed to exactly n",
+      [](VertexId n, std::uint64_t) {
+        PG_REQUIRE(n >= 1, "grid needs at least 1 vertex");
+        const auto rows = std::max<VertexId>(
+            1, static_cast<VertexId>(std::sqrt(static_cast<double>(n))));
+        const VertexId cols = (n + rows - 1) / rows;
+        return prefix_of(graph::grid_graph(rows, cols), n);
+      });
+  add("tree", "structured", "uniform random-attachment tree",
+      [](VertexId n, std::uint64_t seed) {
+        Rng rng(mix_seed(seed, "tree"));
+        return graph::random_tree(n, rng);
+      });
+  add("caterpillar", "structured", "spine path with 3 legs per spine vertex",
+      [](VertexId n, std::uint64_t) {
+        PG_REQUIRE(n >= 1, "caterpillar needs at least 1 vertex");
+        const VertexId spine = (n + 3) / 4;
+        return prefix_of(graph::caterpillar(spine, 3), n);
+      });
+  add("barbell", "structured", "two cliques joined by a path (n >= 4)",
+      [](VertexId n, std::uint64_t) {
+        PG_REQUIRE(n >= 4, "barbell needs at least 4 vertices");
+        const VertexId k = (n + 1) / 3;
+        const VertexId bridge = n + 1 - 2 * k;
+        return graph::barbell(k, bridge);
+      });
+  add("gnp-sparse", "gnp", "connected G(n, 3/n), constant average degree",
+      [](VertexId n, std::uint64_t seed) {
+        Rng rng(mix_seed(seed, "gnp-sparse"));
+        const double p = std::min(1.0, 3.0 / std::max<VertexId>(n, 1));
+        return graph::connected_gnp(n, p, rng);
+      });
+  add("gnp-dense", "gnp", "connected G(n, 0.3), linear average degree",
+      [](VertexId n, std::uint64_t seed) {
+        Rng rng(mix_seed(seed, "gnp-dense"));
+        return graph::connected_gnp(n, 0.3, rng);
+      });
+  add("ba", "power-law", "Barabasi-Albert preferential attachment, 2 edges",
+      [](VertexId n, std::uint64_t seed) {
+        Rng rng(mix_seed(seed, "ba"));
+        return graph::barabasi_albert(n, 2, rng);
+      });
+  add("ba-dense", "power-law", "Barabasi-Albert, 4 edges per new vertex",
+      [](VertexId n, std::uint64_t seed) {
+        Rng rng(mix_seed(seed, "ba-dense"));
+        return graph::barabasi_albert(n, 4, rng);
+      });
+  add("chung-lu", "power-law",
+      "Chung-Lu, exponent 2.5, average degree 4 (linked)",
+      [](VertexId n, std::uint64_t seed) {
+        Rng rng(mix_seed(seed, "chung-lu"));
+        return graph::link_components(graph::chung_lu(n, 2.5, 4.0, rng));
+      });
+  add("geo-torus", "geometric",
+      "random geometric on the unit torus, avg degree ~4.5 (linked)",
+      [](VertexId n, std::uint64_t seed) {
+        Rng rng(mix_seed(seed, "geo-torus"));
+        const double radius =
+            std::sqrt(4.5 / (3.14159265358979323846 *
+                             static_cast<double>(std::max<VertexId>(n, 1))));
+        return graph::link_components(
+            graph::geometric_torus(n, std::min(radius, 0.5), rng));
+      });
+  add("regular-4", "regular", "random 4-regular, pairing model (linked)",
+      [](VertexId n, std::uint64_t seed) {
+        PG_REQUIRE(n >= 5, "regular-4 needs at least 5 vertices");
+        Rng rng(mix_seed(seed, "regular-4"));
+        return graph::link_components(graph::random_regular(n, 4, rng));
+      });
+  add("planted", "clustered",
+      "planted partition: 4 blocks, p_in 0.5, p_out 0.05 (linked)",
+      [](VertexId n, std::uint64_t seed) {
+        Rng rng(mix_seed(seed, "planted"));
+        const VertexId k = std::min<VertexId>(4, std::max<VertexId>(n, 1));
+        return graph::link_components(
+            graph::planted_partition(n, k, 0.5, 0.05, rng));
+      });
+
+  std::sort(s.begin(), s.end(),
+            [](const Scenario& a, const Scenario& b) { return a.name < b.name; });
+  return s;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& all_scenarios() {
+  static const std::vector<Scenario> registry = make_registry();
+  return registry;
+}
+
+const Scenario* find_scenario(std::string_view name) {
+  for (const Scenario& s : all_scenarios())
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+const Scenario& scenario_or_throw(std::string_view name) {
+  if (const Scenario* s = find_scenario(name)) return *s;
+  std::ostringstream msg;
+  msg << "unknown scenario '" << name << "'; valid scenarios:";
+  for (const Scenario& s : all_scenarios()) msg << ' ' << s.name;
+  throw PreconditionViolation(msg.str());
+}
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  for (const Scenario& s : all_scenarios()) names.push_back(s.name);
+  return names;
+}
+
+}  // namespace pg::scenario

@@ -1,0 +1,287 @@
+// Property tests for the scenario-expansion generators (Barabási–Albert,
+// Chung–Lu, torus geometric, random regular, planted partition,
+// link_components) and the scenario registry's promises: exact vertex
+// counts, degree bounds, connectivity where promised, and determinism for
+// a fixed seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/ops.hpp"
+#include "scenario/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace pg::graph {
+namespace {
+
+bool same_graph(const Graph& a, const Graph& b) {
+  if (a.num_vertices() != b.num_vertices() || a.num_edges() != b.num_edges())
+    return false;
+  return a.edges() == b.edges();
+}
+
+// ------------------------------------------------------- link_components ---
+
+TEST(LinkComponents, ConnectsWithMinimalEdgeBudget) {
+  GraphBuilder b(9);  // three triangles
+  for (VertexId base : {0, 3, 6}) {
+    b.add_edge(base, base + 1);
+    b.add_edge(base + 1, base + 2);
+    b.add_edge(base, base + 2);
+  }
+  const Graph g = std::move(b).build();
+  const Graph linked = link_components(g);
+  EXPECT_TRUE(is_connected(linked));
+  EXPECT_EQ(linked.num_edges(), g.num_edges() + 2);
+  // Original edges survive.
+  g.for_each_edge([&](VertexId u, VertexId v) {
+    EXPECT_TRUE(linked.has_edge(u, v)) << u << "-" << v;
+  });
+}
+
+TEST(LinkComponents, NoOpOnConnectedInput) {
+  const Graph g = cycle_graph(7);
+  EXPECT_TRUE(same_graph(g, link_components(g)));
+}
+
+// ------------------------------------------------------- barabasi_albert ---
+
+TEST(BarabasiAlbert, ExactVertexAndEdgeCounts) {
+  Rng rng(11);
+  for (VertexId n : {1, 3, 8, 40}) {
+    for (VertexId attach : {1, 2, 4}) {
+      const Graph g = barabasi_albert(n, attach, rng);
+      ASSERT_EQ(g.num_vertices(), n);
+      const VertexId core = std::min<VertexId>(attach + 1, n);
+      std::size_t expected =
+          static_cast<std::size_t>(core) * (core - 1) / 2;
+      for (VertexId v = core; v < n; ++v)
+        expected += static_cast<std::size_t>(std::min(attach, v));
+      EXPECT_EQ(g.num_edges(), expected) << "n=" << n << " attach=" << attach;
+    }
+  }
+}
+
+TEST(BarabasiAlbert, ConnectedAndMinDegreeAtLeastAttach) {
+  Rng rng(13);
+  const Graph g = barabasi_albert(50, 3, rng);
+  EXPECT_TRUE(is_connected(g));
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_GE(g.degree(v), 3u) << "vertex " << v;
+}
+
+TEST(BarabasiAlbert, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  const Graph g1 = barabasi_albert(60, 2, a);
+  const Graph g2 = barabasi_albert(60, 2, b);
+  const Graph g3 = barabasi_albert(60, 2, c);
+  EXPECT_TRUE(same_graph(g1, g2));
+  EXPECT_FALSE(same_graph(g1, g3));
+}
+
+TEST(BarabasiAlbert, RejectsNonPositiveAttachment) {
+  Rng rng(1);
+  EXPECT_THROW(barabasi_albert(10, 0, rng), PreconditionViolation);
+}
+
+// -------------------------------------------------------------- chung_lu ---
+
+TEST(ChungLu, VertexCountAndSaneDensity) {
+  Rng rng(17);
+  const VertexId n = 200;
+  const Graph g = chung_lu(n, 2.5, 4.0, rng);
+  ASSERT_EQ(g.num_vertices(), n);
+  // Expected average degree 4 (capped probabilities only lower it); with a
+  // fixed seed the realized edge count sits comfortably in [n/2, 4n].
+  EXPECT_GE(g.num_edges(), static_cast<std::size_t>(n) / 2);
+  EXPECT_LE(g.num_edges(), static_cast<std::size_t>(n) * 4);
+}
+
+TEST(ChungLu, HeavyHeadLightTail) {
+  // Power-law expected degrees are monotone in the vertex index, so the
+  // first decile must out-degree the last decile on average.
+  Rng rng(19);
+  const VertexId n = 300;
+  const Graph g = chung_lu(n, 2.5, 4.0, rng);
+  std::size_t head = 0, tail = 0;
+  for (VertexId v = 0; v < n / 10; ++v) head += g.degree(v);
+  for (VertexId v = n - n / 10; v < n; ++v) tail += g.degree(v);
+  EXPECT_GT(head, tail);
+}
+
+TEST(ChungLu, DeterministicPerSeed) {
+  Rng a(5), b(5);
+  EXPECT_TRUE(same_graph(chung_lu(80, 2.5, 3.0, a), chung_lu(80, 2.5, 3.0, b)));
+}
+
+TEST(ChungLu, RejectsBadShape) {
+  Rng rng(1);
+  EXPECT_THROW(chung_lu(10, 2.0, 3.0, rng), PreconditionViolation);
+  EXPECT_THROW(chung_lu(10, 2.5, 0.0, rng), PreconditionViolation);
+}
+
+// ------------------------------------------------------- geometric_torus ---
+
+TEST(GeometricTorus, RadiusAboveDiagonalGivesCompleteGraph) {
+  Rng rng(23);
+  const VertexId n = 20;
+  // Max wrap-around distance on the unit torus is sqrt(2)/2 ≈ 0.7072.
+  const Graph g = geometric_torus(n, 0.7072, rng);
+  EXPECT_EQ(g.num_edges(), static_cast<std::size_t>(n) * (n - 1) / 2);
+}
+
+TEST(GeometricTorus, DenserThanBoundedUnitDiskAtEqualRadius) {
+  // The torus metric only shrinks distances relative to the square's
+  // boundary-clipped metric, so for the same point set the torus graph is a
+  // supergraph.  Same seed -> same points in both generators.
+  const VertexId n = 60;
+  Rng a(29), b(29);
+  const Graph disk = unit_disk(n, 0.2, a);
+  const Graph torus = geometric_torus(n, 0.2, b);
+  ASSERT_EQ(disk.num_vertices(), torus.num_vertices());
+  disk.for_each_edge([&](VertexId u, VertexId v) {
+    EXPECT_TRUE(torus.has_edge(u, v)) << u << "-" << v;
+  });
+  EXPECT_GE(torus.num_edges(), disk.num_edges());
+}
+
+TEST(GeometricTorus, DeterministicPerSeed) {
+  Rng a(31), b(31);
+  EXPECT_TRUE(
+      same_graph(geometric_torus(50, 0.2, a), geometric_torus(50, 0.2, b)));
+}
+
+// -------------------------------------------------------- random_regular ---
+
+TEST(RandomRegular, EveryDegreeExact) {
+  Rng rng(37);
+  struct Case {
+    VertexId n, d;
+  };
+  for (const Case c : {Case{10, 3}, Case{11, 4}, Case{24, 5}, Case{30, 2}}) {
+    const Graph g = random_regular(c.n, c.d, rng);
+    ASSERT_EQ(g.num_vertices(), c.n);
+    EXPECT_EQ(g.num_edges(),
+              static_cast<std::size_t>(c.n) * static_cast<std::size_t>(c.d) / 2);
+    for (VertexId v = 0; v < c.n; ++v)
+      EXPECT_EQ(g.degree(v), static_cast<std::size_t>(c.d))
+          << "n=" << c.n << " d=" << c.d << " v=" << v;
+  }
+}
+
+TEST(RandomRegular, ZeroDegreeIsEdgeless) {
+  Rng rng(41);
+  const Graph g = random_regular(6, 0, rng);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(RandomRegular, DeterministicPerSeed) {
+  Rng a(43), b(43);
+  EXPECT_TRUE(same_graph(random_regular(20, 3, a), random_regular(20, 3, b)));
+}
+
+TEST(RandomRegular, RejectsInfeasibleParameters) {
+  Rng rng(1);
+  EXPECT_THROW(random_regular(5, 3, rng), PreconditionViolation);  // odd n*d
+  EXPECT_THROW(random_regular(4, 4, rng), PreconditionViolation);  // d >= n
+}
+
+// ----------------------------------------------------- planted_partition ---
+
+TEST(PlantedPartition, ExtremeProbabilitiesGiveDisjointCliques) {
+  Rng rng(47);
+  const Graph g = planted_partition(12, 3, 1.0, 0.0, rng);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp.count, 3);
+  // Each block of 4 is a clique: 3 * C(4,2) edges.
+  EXPECT_EQ(g.num_edges(), 18u);
+}
+
+TEST(PlantedPartition, AllOutIsGnpAcrossBlocksOnly) {
+  Rng rng(53);
+  const Graph g = planted_partition(10, 2, 0.0, 1.0, rng);
+  // Complete bipartite between the two blocks of 5.
+  EXPECT_EQ(g.num_edges(), 25u);
+  for (VertexId u = 0; u < 5; ++u)
+    for (VertexId v = u + 1; v < 5; ++v) EXPECT_FALSE(g.has_edge(u, v));
+}
+
+TEST(PlantedPartition, DeterministicPerSeed) {
+  Rng a(59), b(59);
+  EXPECT_TRUE(same_graph(planted_partition(30, 4, 0.5, 0.05, a),
+                         planted_partition(30, 4, 0.5, 0.05, b)));
+}
+
+TEST(PlantedPartition, RejectsBadProbabilities) {
+  Rng rng(1);
+  EXPECT_THROW(planted_partition(10, 2, 1.5, 0.1, rng), PreconditionViolation);
+  EXPECT_THROW(planted_partition(10, 0, 0.5, 0.1, rng), PreconditionViolation);
+}
+
+}  // namespace
+}  // namespace pg::graph
+
+// ------------------------------------------------------ scenario registry ---
+
+namespace pg::scenario {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+TEST(ScenarioRegistry, CoversAtLeastFiveFamilies) {
+  std::vector<std::string> families;
+  for (const Scenario& s : all_scenarios()) families.push_back(s.family);
+  std::sort(families.begin(), families.end());
+  families.erase(std::unique(families.begin(), families.end()),
+                 families.end());
+  EXPECT_GE(families.size(), 5u) << "scenario families shrank";
+}
+
+TEST(ScenarioRegistry, EveryScenarioBuildsConnectedExactN) {
+  for (const Scenario& s : all_scenarios()) {
+    for (VertexId n : {12, 23}) {
+      const Graph g = s.build(n, 7);
+      EXPECT_EQ(g.num_vertices(), n) << s.name << " n=" << n;
+      EXPECT_TRUE(graph::is_connected(g)) << s.name << " n=" << n;
+    }
+  }
+}
+
+TEST(ScenarioRegistry, DeterministicPerSeedAndDecorrelatedAcrossSeeds) {
+  for (const Scenario& s : all_scenarios()) {
+    const Graph a = s.build(20, 1), b = s.build(20, 1);
+    ASSERT_EQ(a.num_vertices(), b.num_vertices()) << s.name;
+    EXPECT_EQ(a.edges(), b.edges()) << s.name << " not seed-deterministic";
+  }
+  // Random families actually vary with the seed.
+  for (const char* name : {"gnp-sparse", "ba", "geo-torus", "tree"}) {
+    const Scenario& s = scenario_or_throw(name);
+    EXPECT_NE(s.build(40, 1).edges(), s.build(40, 2).edges())
+        << name << " ignores its seed";
+  }
+}
+
+TEST(ScenarioRegistry, UnknownNameListsAlternatives) {
+  EXPECT_EQ(find_scenario("does-not-exist"), nullptr);
+  try {
+    scenario_or_throw("does-not-exist");
+    FAIL() << "expected PreconditionViolation";
+  } catch (const PreconditionViolation& error) {
+    EXPECT_NE(std::string(error.what()).find("valid scenarios"),
+              std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistry, MixSeedSeparatesLabelsAndSeeds) {
+  EXPECT_NE(mix_seed(1, "a"), mix_seed(1, "b"));
+  EXPECT_NE(mix_seed(1, "a"), mix_seed(2, "a"));
+  EXPECT_EQ(mix_seed(9, "ba"), mix_seed(9, "ba"));
+}
+
+}  // namespace
+}  // namespace pg::scenario

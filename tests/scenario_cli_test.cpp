@@ -1,0 +1,171 @@
+// End-to-end tests for the CLI engine (scenario::run_cli): subcommand
+// dispatch, the strict argument validation the old binary lacked (bad
+// algorithm/scenario names, r < 1, out-of-range epsilon must fail with a
+// clear message and exit code 2), and the run/sweep happy paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/cli.hpp"
+
+namespace pg::scenario {
+namespace {
+
+struct CliRun {
+  int exit_code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun cli(const std::vector<std::string>& args, const std::string& stdin_text = "") {
+  std::istringstream in(stdin_text);
+  std::ostringstream out, err;
+  CliRun result;
+  result.exit_code = run_cli(args, in, out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+constexpr const char* kPathGraph = "4 3\n0 1\n1 2\n2 3\n";
+
+// ----------------------------------------------------------- validation ---
+
+TEST(Cli, NoArgsPrintsUsageAndFails) {
+  const CliRun r = cli({});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownSubcommandRejected) {
+  const CliRun r = cli({"frobnicate"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("unknown subcommand 'frobnicate'"), std::string::npos);
+}
+
+TEST(Cli, UnknownAlgorithmRejectedWithAlternatives) {
+  const CliRun r = cli({"run", "quantum-mvc"}, kPathGraph);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("unknown algorithm 'quantum-mvc'"), std::string::npos);
+  EXPECT_NE(r.err.find("mvc"), std::string::npos);  // lists valid names
+}
+
+TEST(Cli, UnknownScenarioRejected) {
+  const CliRun r = cli({"run", "mvc", "--scenario", "moon", "--n", "8"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("unknown scenario 'moon'"), std::string::npos);
+}
+
+TEST(Cli, RejectsOutOfRangeArguments) {
+  EXPECT_EQ(cli({"run", "mvc", "--r", "0"}, kPathGraph).exit_code, 2);
+  EXPECT_EQ(cli({"run", "mvc", "--r", "-3"}, kPathGraph).exit_code, 2);
+  EXPECT_EQ(cli({"run", "mvc", "--epsilon", "0"}, kPathGraph).exit_code, 2);
+  EXPECT_EQ(cli({"run", "mvc", "--epsilon", "1.5"}, kPathGraph).exit_code, 2);
+  EXPECT_EQ(cli({"run", "mvc", "--epsilon", "-0.5"}, kPathGraph).exit_code, 2);
+  EXPECT_EQ(cli({"run", "mvc", "--n", "0", "--scenario", "path"}).exit_code, 2);
+  EXPECT_EQ(cli({"run", "mvc", "--bogus-flag", "1"}, kPathGraph).exit_code, 2);
+  EXPECT_EQ(cli({"run", "mvc", "--epsilon"}, kPathGraph).exit_code, 2);
+  // Malformed numbers are rejected outright, not silently truncated.
+  EXPECT_EQ(cli({"run", "mvc", "--r", "2x"}, kPathGraph).exit_code, 2);
+  EXPECT_EQ(cli({"run", "mvc", "--epsilon", "abc"}, kPathGraph).exit_code, 2);
+  // Legacy positional epsilon is validated too.
+  EXPECT_EQ(cli({"mvc", "7"}, kPathGraph).exit_code, 2);
+}
+
+TEST(Cli, RejectsPowersTheAlgorithmCannotExpress) {
+  const CliRun r = cli({"run", "mvc", "--r", "3"}, kPathGraph);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("cannot target r=3"), std::string::npos);
+}
+
+TEST(Cli, SweepValidatesItsLists) {
+  EXPECT_EQ(cli({"sweep"}).exit_code, 2);  // --sizes required
+  EXPECT_EQ(cli({"sweep", "--sizes", "8", "--algorithms", "nope"}).exit_code,
+            2);
+  EXPECT_EQ(cli({"sweep", "--sizes", "8", "--epsilons", "2"}).exit_code, 2);
+  EXPECT_EQ(cli({"sweep", "--sizes", "8", "--powers", "0"}).exit_code, 2);
+  EXPECT_EQ(cli({"sweep", "--sizes", "8", "--threads", "0"}).exit_code, 2);
+  EXPECT_EQ(cli({"sweep", "--sizes", "x"}).exit_code, 2);
+}
+
+TEST(Cli, SweepRejectsZeroCellGrids) {
+  // mvc needs even r, so this grid expands to nothing — an almost-certain
+  // typo that must not read as "all cells ok".
+  const CliRun r = cli({"sweep", "--sizes", "8", "--algorithms", "mvc",
+                        "--powers", "1,3"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("zero cells"), std::string::npos);
+}
+
+// ------------------------------------------------------------ happy path ---
+
+TEST(Cli, ListingsAndHelpSucceed) {
+  const CliRun scenarios = cli({"list-scenarios"});
+  EXPECT_EQ(scenarios.exit_code, 0);
+  EXPECT_NE(scenarios.out.find("gnp-sparse"), std::string::npos);
+  EXPECT_NE(scenarios.out.find("planted"), std::string::npos);
+
+  const CliRun algorithms = cli({"list-algorithms"});
+  EXPECT_EQ(algorithms.exit_code, 0);
+  EXPECT_NE(algorithms.out.find("mvc53"), std::string::npos);
+
+  EXPECT_EQ(cli({"help"}).exit_code, 0);
+}
+
+TEST(Cli, RunOnStdinGraph) {
+  const CliRun r = cli({"run", "mvc", "--epsilon", "0.5"}, kPathGraph);
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("solution size : 2"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("feasible      : yes"), std::string::npos);
+}
+
+TEST(Cli, LegacySpellingStillWorks) {
+  const CliRun r = cli({"mvc", "0.5"}, kPathGraph);
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("solution size : 2"), std::string::npos);
+  // Old aliases resolve to the registry names.
+  EXPECT_EQ(cli({"naive"}, kPathGraph).exit_code, 0);
+}
+
+TEST(Cli, RunOnScenario) {
+  const CliRun r = cli({"run", "matching", "--scenario", "ba", "--n", "16",
+                        "--r", "1", "--seed", "2"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("feasible      : yes"), std::string::npos);
+  EXPECT_NE(r.out.find("baseline      : exact"), std::string::npos);
+}
+
+TEST(Cli, SweepEmitsDeterministicCsv) {
+  const std::vector<std::string> args = {
+      "sweep",      "--scenarios", "path,ba",     "--algorithms",
+      "gr-mvc",     "--sizes",     "10",          "--powers",
+      "2",          "--epsilons",  "0.5",         "--seeds",
+      "1,2",        "--csv",       "-"};
+  const CliRun once = cli(args);
+  EXPECT_EQ(once.exit_code, 0) << once.err;
+  EXPECT_NE(once.out.find("scenario,algorithm,n,r,epsilon"),
+            std::string::npos);
+  EXPECT_EQ(4u + 1u, static_cast<std::size_t>(std::count(
+                         once.out.begin(), once.out.end(), '\n')))
+      << "expected header + 4 cells";
+  std::vector<std::string> threaded = args;
+  threaded.push_back("--threads");
+  threaded.push_back("4");
+  EXPECT_EQ(once.out, cli(threaded).out);
+  EXPECT_NE(once.err.find("4 cells"), std::string::npos) << once.err;
+}
+
+TEST(Cli, SweepJsonToStdout) {
+  const CliRun r = cli({"sweep", "--scenarios", "path", "--algorithms",
+                        "matching", "--sizes", "8", "--powers", "1,2",
+                        "--json", "-"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"cells\": ["), std::string::npos);
+  EXPECT_NE(r.out.find("\"feasible\": true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pg::scenario

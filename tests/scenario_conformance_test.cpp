@@ -1,0 +1,104 @@
+// Oracle-backed conformance suite: one parameterized test sweeps every
+// registered algorithm over small instances (n <= 24, several scenarios
+// and seeds, r in {1,2,3} where the algorithm can express the power) and
+// checks, against the exact solvers in src/solvers:
+//   * feasibility of the output on the materialized G^r, and
+//   * the algorithm's published approximation guarantee
+//     (mvc/mvc-rand/gr-mvc/clique-mvc: 1 + 1/ceil(1/eps); mvc53 and
+//     mwvc-unit at eps=1/2: 5/3 resp. 3/2; matching: 2; naive-*: exactly
+//     optimal; mds: a generous O(log Delta) cap).
+// New algorithms join the sweep automatically via the registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "scenario/algorithms.hpp"
+#include "scenario/runner.hpp"
+
+namespace pg::scenario {
+namespace {
+
+struct ConformanceCase {
+  CellSpec cell;
+  double ratio_bound = 0.0;  // 0 = no ratio assertion (feasibility only)
+};
+
+double ratio_bound_for(const Algorithm& alg, double epsilon) {
+  if (alg.name == "mvc" || alg.name == "mvc-rand" || alg.name == "gr-mvc" ||
+      alg.name == "clique-mvc")
+    return 1.0 + 1.0 / std::ceil(1.0 / epsilon);
+  if (alg.name == "mvc53") return 5.0 / 3.0;
+  if (alg.name == "mwvc-unit")
+    return 1.0 + 1.0 / std::ceil(1.0 / epsilon);
+  if (alg.name == "matching") return 2.0;
+  if (alg.name == "naive-mvc" || alg.name == "naive-mds") return 1.0;
+  if (alg.name == "mds") return 12.0;  // generous O(log Delta) cap, n <= 24
+  return 0.0;  // unknown future algorithm: assert feasibility only
+}
+
+std::vector<ConformanceCase> make_cases() {
+  const double epsilon = 0.5;
+  std::vector<ConformanceCase> cases;
+  for (const Algorithm& alg : all_algorithms())
+    for (int r : {1, 2, 3}) {
+      if (!supports_power(alg, r)) continue;
+      for (const char* scenario : {"gnp-sparse", "ba", "geo-torus"})
+        for (graph::VertexId n : {8, 14, 20})
+          for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+            ConformanceCase c;
+            c.cell.scenario = scenario;
+            c.cell.algorithm = alg.name;
+            c.cell.n = n;
+            c.cell.r = r;
+            c.cell.epsilon = alg.uses_epsilon ? epsilon : 0.0;
+            c.cell.epsilon_used = alg.uses_epsilon;
+            c.cell.seed = seed;
+            c.ratio_bound = ratio_bound_for(alg, epsilon);
+            cases.push_back(c);
+          }
+    }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<ConformanceCase>& info) {
+  const CellSpec& cell = info.param.cell;
+  std::string name = cell.algorithm + "_" + cell.scenario + "_n" +
+                     std::to_string(cell.n) + "_r" + std::to_string(cell.r) +
+                     "_s" + std::to_string(cell.seed);
+  for (char& c : name)
+    if (c == '-') c = '_';
+  return name;
+}
+
+class ScenarioConformance
+    : public ::testing::TestWithParam<ConformanceCase> {};
+
+TEST_P(ScenarioConformance, FeasibleAndWithinGuarantee) {
+  const ConformanceCase& test_case = GetParam();
+  // n <= 24 throughout, so the runner always reaches the exact oracle.
+  const CellResult result = run_cell(test_case.cell, /*exact_max_n=*/24);
+
+  ASSERT_EQ(result.status, CellStatus::kOk) << result.error;
+  EXPECT_TRUE(result.feasible)
+      << test_case.cell.algorithm << " produced an infeasible solution";
+  ASSERT_EQ(result.baseline, BaselineKind::kExact)
+      << "exact oracle unavailable at n <= 24";
+  // The oracle is a valid solution too, so no algorithm can beat it.
+  EXPECT_GE(result.solution_size, result.baseline_size);
+  if (test_case.ratio_bound > 0.0) {
+    EXPECT_LE(static_cast<double>(result.solution_size),
+              test_case.ratio_bound *
+                      static_cast<double>(result.baseline_size) +
+                  1e-9)
+        << "approximation guarantee violated (oracle "
+        << result.baseline_size << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScenarioConformance,
+                         ::testing::ValuesIn(make_cases()), case_name);
+
+}  // namespace
+}  // namespace pg::scenario
