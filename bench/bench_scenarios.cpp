@@ -1,12 +1,21 @@
 // Scenario-level benchmarks: generator cost for the realistic topology
-// families, the paper's algorithms on those topologies (not just gnp), and
-// the batch runner's end-to-end sweep throughput at 1 vs N workers.
+// families (now O(n+m) — the large-n args exist to keep them honest), the
+// paper's algorithms on those topologies (not just gnp), the batch
+// runner's end-to-end sweep throughput at 1 vs N workers, and the
+// approximation-quality dashboard (median ratio/rounds per scenario ×
+// algorithm, exported as benchmark counters so quality regressions land
+// in BENCH_scenarios.json exactly like perf regressions).
 // Recorded as BENCH_scenarios.json via bench/run_scenarios.sh.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
 
 #include "core/matching_congest.hpp"
 #include "core/mds_congest.hpp"
 #include "core/mvc_congest.hpp"
+#include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
@@ -30,13 +39,23 @@ void BM_ScenarioBuildChungLu(benchmark::State& state) {
   const auto n = static_cast<pg::graph::VertexId>(state.range(0));
   for (auto _ : state) benchmark::DoNotOptimize(build("chung-lu", n));
 }
-BENCHMARK(BM_ScenarioBuildChungLu)->Arg(256)->Arg(1024);
+BENCHMARK(BM_ScenarioBuildChungLu)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_ScenarioBuildGeoTorus(benchmark::State& state) {
   const auto n = static_cast<pg::graph::VertexId>(state.range(0));
   for (auto _ : state) benchmark::DoNotOptimize(build("geo-torus", n));
 }
-BENCHMARK(BM_ScenarioBuildGeoTorus)->Arg(256)->Arg(1024);
+BENCHMARK(BM_ScenarioBuildGeoTorus)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_ScenarioBuildRegular4(benchmark::State& state) {
   const auto n = static_cast<pg::graph::VertexId>(state.range(0));
@@ -48,7 +67,24 @@ void BM_ScenarioBuildPlanted(benchmark::State& state) {
   const auto n = static_cast<pg::graph::VertexId>(state.range(0));
   for (auto _ : state) benchmark::DoNotOptimize(build("planted", n));
 }
-BENCHMARK(BM_ScenarioBuildPlanted)->Arg(256)->Arg(1024);
+BENCHMARK(BM_ScenarioBuildPlanted)->Arg(256)->Arg(1024)->Arg(4096);
+
+// The registry's planted scenario keeps dense constant probabilities, so
+// it cannot scale past ~10⁴; this bench tracks the raw generator in the
+// sparse regime (constant expected degree) that large sweeps use.
+void BM_GeneratorPlantedSparse(benchmark::State& state) {
+  const auto n = static_cast<pg::graph::VertexId>(state.range(0));
+  const double p_in = 200.0 / n, p_out = 8.0 / n;
+  for (auto _ : state) {
+    pg::Rng rng(1);
+    benchmark::DoNotOptimize(
+        pg::graph::planted_partition(n, 4, p_in, p_out, rng));
+  }
+}
+BENCHMARK(BM_GeneratorPlantedSparse)
+    ->Arg(4096)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
 
 // Algorithms on realistic topologies, reusing one simulator across
 // iterations (the runner's hot path).
@@ -95,6 +131,74 @@ void BM_SweepRunner(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
+// Approximation-quality dashboard: one benchmark per (scenario,
+// algorithm), reporting the median ratio-to-optimum and median round
+// count of a fixed small sweep as counters.  The sweep is deterministic,
+// so these numbers are exact trajectory points — a jump in median_ratio
+// in BENCH_scenarios.json is a quality regression, same as a jump in
+// cpu_time is a perf regression.
+void BM_ScenarioQuality(benchmark::State& state, const std::string& scenario,
+                        const std::string& algorithm) {
+  pg::scenario::SweepSpec spec;
+  spec.scenarios = {scenario};
+  spec.algorithms = {algorithm};
+  spec.sizes = {16, 24};
+  spec.powers = {2};
+  spec.epsilons = {0.25};
+  spec.seeds = {1, 2, 3};
+  spec.exact_baseline_max_n = 26;  // exact optimum at these sizes
+  pg::scenario::SweepResult result;
+  for (auto _ : state) {
+    result = pg::scenario::run_sweep(spec);
+    benchmark::DoNotOptimize(result);
+  }
+  auto median = [](std::vector<double> values) {
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t mid = values.size() / 2;
+    return values.size() % 2 ? values[mid]
+                             : (values[mid - 1] + values[mid]) / 2.0;
+  };
+  // Only feasible cells enter the medians: an infeasible (undersized)
+  // solution would drag median_ratio *down* and read as an improvement.
+  // Infeasible/error counts get their own counters so that regression
+  // class is visible too (both are 0 on a healthy registry).
+  std::vector<double> ratios, rounds;
+  double bad = 0;
+  for (const pg::scenario::CellResult& cell : result.cells) {
+    if (cell.status != pg::scenario::CellStatus::kOk || !cell.feasible) {
+      ++bad;
+      continue;
+    }
+    ratios.push_back(cell.ratio);
+    rounds.push_back(static_cast<double>(cell.rounds));
+  }
+  state.counters["median_ratio"] = median(ratios);
+  state.counters["median_rounds"] = median(rounds);
+  state.counters["cells"] = static_cast<double>(result.cells.size());
+  state.counters["infeasible_or_error"] = bad;
+}
+
+void register_quality_dashboard() {
+  const std::vector<std::string> scenarios = {"ba", "chung-lu", "geo-torus",
+                                              "planted", "gnp-sparse"};
+  const std::vector<std::string> algorithms = {"mvc", "mds", "matching",
+                                               "gr-mvc"};
+  for (const std::string& scenario : scenarios)
+    for (const std::string& algorithm : algorithms)
+      benchmark::RegisterBenchmark(
+          ("BM_ScenarioQuality/" + scenario + "/" + algorithm).c_str(),
+          BM_ScenarioQuality, scenario, algorithm)
+          ->Unit(benchmark::kMillisecond);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_quality_dashboard();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,10 +12,18 @@ int bandwidth_bits(std::size_t n) {
   return static_cast<int>(16 * width);
 }
 
-Network::Network(graph::Graph topology)
-    : graph_(std::move(topology)),
-      bandwidth_(bandwidth_bits(
-          static_cast<std::size_t>(graph_.num_vertices()))) {
+Network::Network(graph::Graph topology) : graph_(std::move(topology)) {
+  rebuild();
+}
+
+void Network::reset(const graph::Graph& topology) {
+  graph_ = topology;  // copy-assign: reuses the owned CSR arrays' capacity
+  rebuild();
+}
+
+void Network::rebuild() {
+  bandwidth_ =
+      bandwidth_bits(static_cast<std::size_t>(graph_.num_vertices()));
   const std::size_t n = this->n();
   const auto offsets = graph_.adjacency_offsets();
   const std::size_t num_slots = offsets.empty() ? 0 : offsets[n];
@@ -52,6 +60,9 @@ Network::Network(graph::Graph topology)
 
   // slot_round_/slot_msg_ stay unallocated until the first unicast (see
   // init_unicast_buffers): broadcast-only algorithms never pay for them.
+  // On a rebind, clear() keeps their capacity for the next lazy init.
+  slot_round_.clear();
+  slot_msg_.clear();
   unicast_round_.assign(n, -1);
   bcast_round_.assign(n, -1);
   bcast_msg_.resize(n);
@@ -59,6 +70,12 @@ Network::Network(graph::Graph topology)
   // The arena is sized for the worst case (every directed edge delivers) and
   // written by index; entries beyond inbox_offset_[n] are stale and unread.
   inbox_arena_.resize(num_slots);
+
+  stats_ = RoundStats{};
+  last_round_messages_ = 0;
+  round_unicasts_ = 0;
+  round_slots_.clear();
+  round_bcasters_.clear();
 }
 
 void Network::init_unicast_buffers() {

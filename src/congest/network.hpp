@@ -129,6 +129,14 @@ class Network {
   /// topology can serve many runs.
   void reset();
 
+  /// Rebinds the simulator to a *new* topology, reusing every internal
+  /// buffer's capacity — including the owned graph's CSR arrays, which is
+  /// why this overload takes a reference and copy-assigns (the sweep
+  /// runner pools networks across topology groups of equal size, so wide
+  /// sweeps stop paying per-group allocation churn).  Equivalent to
+  /// `*this = Network(topology)` minus the frees.
+  void reset(const graph::Graph& topology);
+
  private:
   friend class NodeView;
 
@@ -196,6 +204,10 @@ class Network {
   /// Allocates the per-directed-edge unicast buffers on first use, so
   /// broadcast-only algorithms never pay their 2m-slot footprint.
   void init_unicast_buffers();
+
+  /// (Re)derives every index and buffer from graph_ — the shared tail of
+  /// construction and reset(topology).  Existing capacity is reused.
+  void rebuild();
 
   graph::Graph graph_;
   int bandwidth_;

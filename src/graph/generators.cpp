@@ -2,12 +2,157 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 #include <vector>
 
 #include "graph/ops.hpp"
 
 namespace pg::graph {
+
+namespace {
+
+/// Calls fn(t) for each index t in [0, count) independently with
+/// probability p, in increasing order, drawing one uniform per *success*
+/// (geometric skip sampling) — O(1 + p·count) instead of O(count).
+template <typename Fn>
+void bernoulli_skips(std::uint64_t count, double p, Rng& rng, Fn&& fn) {
+  if (count == 0 || p <= 0.0) return;
+  if (p >= 1.0) {
+    for (std::uint64_t t = 0; t < count; ++t) fn(t);
+    return;
+  }
+  const double log_q = std::log1p(-p);  // log(1 - p) < 0
+  std::uint64_t pos = 0;
+  for (;;) {
+    // Failures before the next success: floor(log(1-U)/log(1-p)).
+    const double jump = std::floor(std::log1p(-rng.next_double()) / log_q);
+    if (jump >= static_cast<double>(count - pos)) return;
+    pos += static_cast<std::uint64_t>(jump);
+    fn(pos);
+    if (++pos >= count) return;
+  }
+}
+
+/// Adds G(s, p) edges over the vertex block [base, base + s) — the
+/// triangular pair space visited with geometric skips, so the cost is
+/// O(s + edges) rather than O(s²).
+void gnp_into(GraphBuilder& b, VertexId base, VertexId s, double p, Rng& rng) {
+  if (s < 2 || p <= 0.0) return;
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(s) * (static_cast<std::uint64_t>(s) - 1) / 2;
+  // Pair t (lexicographic by higher endpoint v) decodes incrementally: the
+  // visitor tracks (v, w) and advances w by the skip, rolling v forward
+  // whenever w overflows the row — O(1) amortized, no sqrt decode.
+  VertexId v = 1;
+  std::uint64_t row_start = 0;  // index of pair (v, 0)
+  bernoulli_skips(pairs, p, rng, [&](std::uint64_t t) {
+    while (t - row_start >= static_cast<std::uint64_t>(v)) {
+      row_start += static_cast<std::uint64_t>(v);
+      ++v;
+    }
+    b.add_edge(base + v, base + static_cast<VertexId>(t - row_start));
+  });
+}
+
+/// Adds each cross pair (base_a + i, base_b + j) independently with
+/// probability p; the two blocks must be disjoint.
+void bipartite_gnp_into(GraphBuilder& b, VertexId base_a, VertexId sa,
+                        VertexId base_b, VertexId sb, double p, Rng& rng) {
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(sa) * static_cast<std::uint64_t>(sb);
+  bernoulli_skips(pairs, p, rng, [&](std::uint64_t t) {
+    b.add_edge(base_a + static_cast<VertexId>(t / sb),
+               base_b + static_cast<VertexId>(t % sb));
+  });
+}
+
+/// Uniform grid bucketing for the geometric generators: points land in a
+/// cells × cells grid whose cell side is >= radius, so every edge partner
+/// lives in the 3×3 cell neighborhood.  Cell count is capped near sqrt(n)
+/// to keep the bucket table O(n).
+struct CellGrid {
+  int cells;
+  std::vector<std::vector<VertexId>> buckets;
+
+  CellGrid(const std::vector<double>& x, const std::vector<double>& y,
+           double radius) {
+    const auto n = x.size();
+    // Clamp in double space before the int cast: 1/radius overflows int
+    // for tiny radii, and the point cap bounds the bucket table at O(n).
+    const double by_radius = radius < 1.0 ? std::floor(1.0 / radius) : 1.0;
+    const double by_points = std::ceil(std::sqrt(static_cast<double>(n))) + 1;
+    cells = std::max(1, static_cast<int>(std::min(by_radius, by_points)));
+    buckets.resize(static_cast<std::size_t>(cells) *
+                   static_cast<std::size_t>(cells));
+    for (std::size_t i = 0; i < n; ++i)
+      buckets[bucket_of(x[i], y[i])].push_back(static_cast<VertexId>(i));
+  }
+
+  int coord(double p) const {
+    const int c = static_cast<int>(p * cells);
+    return std::min(c, cells - 1);  // p == 1.0 can't occur, but be safe
+  }
+  std::size_t bucket_of(double px, double py) const {
+    return static_cast<std::size_t>(coord(px)) *
+               static_cast<std::size_t>(cells) +
+           static_cast<std::size_t>(coord(py));
+  }
+
+  /// The distinct buckets of the 3×3 neighborhood around (cx, cy); `wrap`
+  /// selects torus adjacency, otherwise out-of-range cells are dropped.
+  /// Deduplicated so small grids never test a candidate pair twice.
+  void neighborhood(int cx, int cy, bool wrap,
+                    std::vector<std::size_t>& out) const {
+    out.clear();
+    for (int dx = -1; dx <= 1; ++dx)
+      for (int dy = -1; dy <= 1; ++dy) {
+        int nx = cx + dx, ny = cy + dy;
+        if (wrap) {
+          nx = (nx + cells) % cells;
+          ny = (ny + cells) % cells;
+        } else if (nx < 0 || nx >= cells || ny < 0 || ny >= cells) {
+          continue;
+        }
+        out.push_back(static_cast<std::size_t>(nx) *
+                          static_cast<std::size_t>(cells) +
+                      static_cast<std::size_t>(ny));
+      }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+};
+
+/// Shared core of the geometric generators: same point set and edge
+/// predicate as the historical O(n²) double loop (only the pair
+/// enumeration changed), so seeded outputs are unchanged.
+template <typename Dist2>
+Graph geometric_graph(VertexId n, double radius, Rng& rng, bool wrap,
+                      Dist2&& dist2) {
+  std::vector<double> x(static_cast<std::size_t>(n)),
+      y(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+    x[i] = rng.next_double();
+    y[i] = rng.next_double();
+  }
+  const double r2 = radius * radius;
+  const CellGrid grid(x, y, radius);
+  GraphBuilder b(n);
+  std::vector<std::size_t> nbr_cells;
+  for (VertexId u = 0; u < n; ++u) {
+    const auto i = static_cast<std::size_t>(u);
+    grid.neighborhood(grid.coord(x[i]), grid.coord(y[i]), wrap, nbr_cells);
+    for (std::size_t c : nbr_cells)
+      for (VertexId v : grid.buckets[c]) {
+        if (v >= u) continue;  // each pair once, from its larger endpoint
+        const auto j = static_cast<std::size_t>(v);
+        if (dist2(x[i] - x[j], y[i] - y[j]) <= r2) b.add_edge(u, v);
+      }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace
 
 Graph path_graph(VertexId n) {
   GraphBuilder b(n);
@@ -50,9 +195,7 @@ Graph grid_graph(VertexId rows, VertexId cols) {
 Graph gnp(VertexId n, double p, Rng& rng) {
   PG_REQUIRE(p >= 0.0 && p <= 1.0, "edge probability must be in [0,1]");
   GraphBuilder b(n);
-  for (VertexId u = 0; u < n; ++u)
-    for (VertexId v = u + 1; v < n; ++v)
-      if (rng.next_bool(p)) b.add_edge(u, v);
+  gnp_into(b, 0, n, p, rng);
   return std::move(b).build();
 }
 
@@ -86,21 +229,8 @@ Graph random_tree(VertexId n, Rng& rng) {
 
 Graph unit_disk(VertexId n, double radius, Rng& rng) {
   PG_REQUIRE(radius > 0.0, "disk radius must be positive");
-  std::vector<double> x(static_cast<std::size_t>(n)),
-      y(static_cast<std::size_t>(n));
-  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
-    x[i] = rng.next_double();
-    y[i] = rng.next_double();
-  }
-  const double r2 = radius * radius;
-  GraphBuilder b(n);
-  for (VertexId u = 0; u < n; ++u)
-    for (VertexId v = u + 1; v < n; ++v) {
-      const double dx = x[static_cast<std::size_t>(u)] - x[static_cast<std::size_t>(v)];
-      const double dy = y[static_cast<std::size_t>(u)] - y[static_cast<std::size_t>(v)];
-      if (dx * dx + dy * dy <= r2) b.add_edge(u, v);
-    }
-  return std::move(b).build();
+  return geometric_graph(n, radius, rng, /*wrap=*/false,
+                         [](double dx, double dy) { return dx * dx + dy * dy; });
 }
 
 Graph connected_unit_disk(VertexId n, double radius, Rng& rng) {
@@ -191,37 +321,43 @@ Graph chung_lu(VertexId n, double exponent, double avg_degree, Rng& rng) {
     for (double& wi : w) wi *= scale;
     sum = avg_degree * static_cast<double>(n);
   }
+  // Miller–Hagberg sampling: weights are non-increasing in the vertex
+  // index, so for each u the candidate probability p_uv = min(1, w_u·w_v/S)
+  // is non-increasing in v.  Jump geometrically at the current p and thin
+  // each hit by q/p (q the exact probability at the landing spot) — an
+  // exact per-pair Bernoulli draw at O(n + m) total cost.
   GraphBuilder b(n);
-  for (VertexId u = 0; u < n; ++u)
-    for (VertexId v = u + 1; v < n; ++v) {
-      const double p = std::min(
-          1.0, w[static_cast<std::size_t>(u)] * w[static_cast<std::size_t>(v)] / sum);
-      if (rng.next_bool(p)) b.add_edge(u, v);
+  for (VertexId u = 0; u + 1 < n; ++u) {
+    const double wu = w[static_cast<std::size_t>(u)];
+    VertexId v = u + 1;
+    double p = std::min(1.0, wu * w[static_cast<std::size_t>(v)] / sum);
+    while (v < n && p > 0.0) {
+      if (p < 1.0) {
+        const double jump =
+            std::floor(std::log1p(-rng.next_double()) / std::log1p(-p));
+        if (jump >= static_cast<double>(n - v)) break;
+        v += static_cast<VertexId>(jump);
+      }
+      const double q = std::min(1.0, wu * w[static_cast<std::size_t>(v)] / sum);
+      if (rng.next_double() < q / p) b.add_edge(u, v);
+      p = q;
+      ++v;
     }
+  }
   return std::move(b).build();
 }
 
 Graph geometric_torus(VertexId n, double radius, Rng& rng) {
   PG_REQUIRE(radius > 0.0, "torus radius must be positive");
-  std::vector<double> x(static_cast<std::size_t>(n)),
-      y(static_cast<std::size_t>(n));
-  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
-    x[i] = rng.next_double();
-    y[i] = rng.next_double();
-  }
-  const double r2 = radius * radius;
   auto wrap = [](double d) {
     d = std::abs(d);
     return std::min(d, 1.0 - d);
   };
-  GraphBuilder b(n);
-  for (VertexId u = 0; u < n; ++u)
-    for (VertexId v = u + 1; v < n; ++v) {
-      const double dx = wrap(x[static_cast<std::size_t>(u)] - x[static_cast<std::size_t>(v)]);
-      const double dy = wrap(y[static_cast<std::size_t>(u)] - y[static_cast<std::size_t>(v)]);
-      if (dx * dx + dy * dy <= r2) b.add_edge(u, v);
-    }
-  return std::move(b).build();
+  return geometric_graph(n, radius, rng, /*wrap=*/true,
+                         [wrap](double dx, double dy) {
+                           const double wx = wrap(dx), wy = wrap(dy);
+                           return wx * wx + wy * wy;
+                         });
 }
 
 Graph random_regular(VertexId n, VertexId degree, Rng& rng) {
@@ -275,14 +411,22 @@ Graph planted_partition(VertexId n, VertexId communities, double p_in,
              "community count must be in [1, n]");
   PG_REQUIRE(p_in >= 0.0 && p_in <= 1.0 && p_out >= 0.0 && p_out <= 1.0,
              "edge probabilities must be in [0,1]");
-  // Contiguous near-equal blocks: community of v is v / ceil(n/k).
+  // Contiguous near-equal blocks: community of v is v / ceil(n/k).  Each
+  // (block, block) region is an independent Bernoulli pair space, sampled
+  // with geometric skips — O(n + m + k²) rather than O(n²).
   const VertexId block = (n + communities - 1) / communities;
+  const VertexId nblocks = (n + block - 1) / block;
+  auto block_base = [&](VertexId i) { return i * block; };
+  auto block_size = [&](VertexId i) {
+    return std::min(block, n - block_base(i));
+  };
   GraphBuilder b(n);
-  for (VertexId u = 0; u < n; ++u)
-    for (VertexId v = u + 1; v < n; ++v) {
-      const bool same = (u / block) == (v / block);
-      if (rng.next_bool(same ? p_in : p_out)) b.add_edge(u, v);
-    }
+  for (VertexId i = 0; i < nblocks; ++i) {
+    gnp_into(b, block_base(i), block_size(i), p_in, rng);
+    for (VertexId j = i + 1; j < nblocks; ++j)
+      bipartite_gnp_into(b, block_base(i), block_size(i), block_base(j),
+                         block_size(j), p_out, rng);
+  }
   return std::move(b).build();
 }
 

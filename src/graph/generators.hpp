@@ -12,7 +12,7 @@ Graph complete_graph(VertexId n);
 Graph star_graph(VertexId leaves);            // n = leaves + 1, center is 0
 Graph grid_graph(VertexId rows, VertexId cols);
 
-/// Erdős–Rényi G(n, p).
+/// Erdős–Rényi G(n, p), sampled with geometric skips in O(n + m).
 Graph gnp(VertexId n, double p, Rng& rng);
 
 /// G(n, p) conditioned on connectivity: samples components and then links
@@ -24,6 +24,7 @@ Graph random_tree(VertexId n, Rng& rng);
 
 /// Unit-disk graph: n points uniform in the unit square, edge iff distance
 /// <= radius.  Models the radio networks of the paper's motivation.
+/// Neighbor search uses a cell-list grid, so the cost is O(n + m).
 Graph unit_disk(VertexId n, double radius, Rng& rng);
 
 /// Unit-disk graph conditioned on connectivity (links nearest components).
@@ -50,11 +51,14 @@ Graph barabasi_albert(VertexId n, VertexId attach, Rng& rng);
 /// weight w_i ∝ (i+i0)^{-1/(exponent-1)}, scaled so the expected average
 /// degree is `avg_degree`, and edge {u,v} appears independently with
 /// probability min(1, w_u·w_v / Σw).  exponent > 2 (finite mean).
+/// Sampled with the Miller–Hagberg skip/thin scheme over the sorted
+/// weights: O(n + m), exact per-pair probabilities.
 Graph chung_lu(VertexId n, double exponent, double avg_degree, Rng& rng);
 
 /// Random geometric graph on the unit torus: n points uniform in [0,1)^2,
 /// edge iff wrap-around distance <= radius.  The wrap-around metric removes
 /// the boundary effects of `unit_disk`, so degrees are homogeneous.
+/// Neighbor search uses a cell-list grid, so the cost is O(n + m).
 Graph geometric_torus(VertexId n, double radius, Rng& rng);
 
 /// Random d-regular graph via the configuration/pairing model with rejection
@@ -63,7 +67,8 @@ Graph geometric_torus(VertexId n, double radius, Rng& rng);
 Graph random_regular(VertexId n, VertexId degree, Rng& rng);
 
 /// Planted-partition (clustered) graph: `communities` near-equal contiguous
-/// blocks, intra-block edge probability p_in, inter-block p_out.
+/// blocks, intra-block edge probability p_in, inter-block p_out.  Each
+/// block-pair region is skip-sampled, so the cost is O(n + m + k²).
 Graph planted_partition(VertexId n, VertexId communities, double p_in,
                         double p_out, Rng& rng);
 

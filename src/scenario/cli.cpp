@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <istream>
@@ -118,6 +119,13 @@ void print_usage(std::ostream& out) {
          "      [--powers r,...] [--epsilons e,...] [--seeds s,...]\n"
          "      [--threads K] [--csv FILE|-] [--json FILE|-] [--timing]\n"
          "      [--exact-max-n M]\n"
+         "      [--shard I/K]           run only shard I of K (whole\n"
+         "                              topology groups, dealt round-robin);\n"
+         "                              rows carry global cell indices so\n"
+         "                              `merge` can reassemble the sweep\n"
+         "  merge (--csv|--json) OUT|- FILE...\n"
+         "                              merge K per-shard reports into the\n"
+         "                              byte-identical single-process report\n"
          "  list-scenarios              print the scenario registry\n"
          "  list-algorithms             print the algorithm registry\n"
          "  help                        this text\n";
@@ -281,6 +289,26 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
     } else if (flag == "--exact-max-n") {
       spec.exact_baseline_max_n = static_cast<graph::VertexId>(
           parse_int(take_value(args, i), "exact-max-n"));
+    } else if (flag == "--shard") {
+      const std::string value = take_value(args, i);
+      const auto slash = value.find('/');
+      if (slash == std::string::npos || slash == 0 ||
+          slash + 1 == value.size())
+        throw UsageError("invalid shard '" + value +
+                         "': expected I/K (e.g. --shard 2/4)");
+      const std::int64_t index =
+          parse_int(value.substr(0, slash), "shard index");
+      const std::int64_t count =
+          parse_int(value.substr(slash + 1), "shard count");
+      if (count < 1 || count > 1'000'000)
+        throw UsageError("shard count must be in [1, 1000000] (got " +
+                         std::to_string(count) + ")");
+      if (index < 1 || index > count)
+        throw UsageError("shard index must be in [1, " +
+                         std::to_string(count) + "] (got " +
+                         std::to_string(index) + ")");
+      spec.shard_index = static_cast<int>(index);
+      spec.shard_count = static_cast<int>(count);
     } else if (flag == "--csv") {
       csv_path = take_value(args, i);
     } else if (flag == "--json") {
@@ -300,38 +328,127 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
   } catch (const std::exception& error) {
     throw UsageError(error.what());
   }
-  if (expand_grid(spec).empty())
+  const std::size_t total_cells = count_grid_cells(spec);
+  if (total_cells == 0)
     throw UsageError(
         "the grid expands to zero cells: no requested algorithm can express "
         "any requested power r");
 
-  const SweepResult result = run_sweep(spec);
-
-  auto emit = [&](const std::string& path, bool json) {
-    if (path == "-") {
-      json ? write_json(out, result, timing) : write_csv(out, result, timing);
-      return;
-    }
-    std::ofstream file(path, std::ios::binary);
-    if (!file) throw UsageError("cannot open output file '" + path + "'");
-    json ? write_json(file, result, timing) : write_csv(file, result, timing);
+  // Open every output before executing (fail on a bad path in O(1), not
+  // after the sweep) and stream rows straight into the writers — the sweep
+  // itself is never resident in memory.  When both formats share one
+  // target (`--csv - --json -`), the JSON is buffered and emitted after
+  // the CSV completes, so the two documents land sequentially instead of
+  // interleaved.
+  if (!csv_path && !json_path) csv_path = "-";
+  // Canonicalize before comparing so `--csv out --json ./out` is detected
+  // as the same target too, not just byte-equal spellings.
+  auto canonical = [](const std::string& path) {
+    if (path == "-") return path;
+    std::error_code ec;
+    const auto canon = std::filesystem::weakly_canonical(path, ec);
+    return ec ? path : canon.string();
   };
-  if (csv_path) emit(*csv_path, false);
-  if (json_path) emit(*json_path, true);
-  if (!csv_path && !json_path) write_csv(out, result, timing);
+  const bool shared_target = csv_path && json_path &&
+                             canonical(*csv_path) == canonical(*json_path);
+  std::ofstream csv_file, json_file;
+  std::ostringstream json_buffer;
+  auto open_or_stdout = [&](const std::string& path,
+                            std::ofstream& file) -> std::ostream& {
+    if (path == "-") return out;
+    file.open(path, std::ios::binary);
+    if (!file) throw UsageError("cannot open output file '" + path + "'");
+    return file;
+  };
+  std::optional<CsvWriter> csv;
+  std::optional<JsonWriter> json;
+  if (csv_path) csv.emplace(open_or_stdout(*csv_path, csv_file), timing);
+  if (json_path)
+    json.emplace(shared_target
+                     ? static_cast<std::ostream&>(json_buffer)
+                     : open_or_stdout(*json_path, json_file),
+                 timing);
+  if (csv) csv->begin(spec, total_cells);
+  if (json) json->begin(spec, total_cells);
 
-  std::size_t ok = 0, errors = 0, infeasible = 0;
-  for (const CellResult& cell : result.cells) {
-    if (cell.status == CellStatus::kError) ++errors;
-    else if (!cell.feasible) ++infeasible;
-    else ++ok;
+  const SweepSummary summary =
+      run_sweep_stream(spec, [&](const CellResult& row) {
+        if (csv) csv->row(row);
+        if (json) json->row(row);
+      });
+  if (json) json->end();
+  if (shared_target) {
+    if (*json_path == "-") {
+      out << json_buffer.str();
+    } else {
+      // Matches the historical sequential-emit semantics: the JSON pass
+      // reopened (and truncated) the shared file after the CSV pass.
+      csv_file.close();
+      std::ofstream file(*json_path, std::ios::binary);
+      if (!file)
+        throw UsageError("cannot open output file '" + *json_path + "'");
+      file << json_buffer.str();
+    }
   }
+
   char wall[32];
-  std::snprintf(wall, sizeof(wall), "%.0f", result.wall_ms_total);
-  err << "sweep: " << result.cells.size() << " cells, " << ok << " ok, "
-      << infeasible << " infeasible, " << errors << " errors, " << wall
-      << " ms, " << spec.threads << " thread(s)\n";
-  return errors == 0 && infeasible == 0 ? 0 : 1;
+  std::snprintf(wall, sizeof(wall), "%.0f", summary.wall_ms_total);
+  err << "sweep";
+  if (spec.shard_count > 1)
+    err << "[" << spec.shard_index << "/" << spec.shard_count << "]";
+  err << ": " << summary.cells << " cells";
+  if (spec.shard_count > 1) err << " (of " << summary.total_cells << ")";
+  err << ", " << summary.ok << " ok, " << summary.infeasible
+      << " infeasible, " << summary.errors << " errors, " << wall << " ms, "
+      << spec.threads << " thread(s)\n";
+  return summary.errors == 0 && summary.infeasible == 0 ? 0 : 1;
+}
+
+int cmd_merge(const std::vector<std::string>& args, std::ostream& out) {
+  std::optional<std::string> out_path;
+  bool json = false;
+  std::vector<std::string> inputs;
+  std::size_t i = 0;
+  for (; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--csv" || flag == "--json") {
+      if (out_path)
+        throw UsageError("merge takes exactly one of --csv/--json");
+      json = flag == "--json";
+      out_path = take_value(args, i);
+    } else if (!flag.empty() && flag[0] == '-' && flag != "-") {
+      throw UsageError("unknown flag '" + flag + "' for merge");
+    } else {
+      inputs.push_back(flag);
+    }
+  }
+  if (!out_path)
+    throw UsageError(
+        "merge needs an output: --csv OUT|- or --json OUT|- plus the "
+        "per-shard files");
+  if (inputs.empty()) throw UsageError("merge needs at least one shard file");
+
+  std::vector<std::string> reports;
+  for (const std::string& path : inputs) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) throw UsageError("cannot read shard file '" + path + "'");
+    std::ostringstream content;
+    content << file.rdbuf();
+    reports.push_back(std::move(content).str());
+  }
+
+  // merge_csv/merge_json throw PreconditionViolation on mismatched specs,
+  // duplicate/missing shards, or rows that do not cover the grid; run_cli
+  // maps that to exit 2 alongside the flag errors above.
+  const std::string merged = json ? merge_json(reports) : merge_csv(reports);
+  if (*out_path == "-") {
+    out << merged;
+  } else {
+    std::ofstream file(*out_path, std::ios::binary);
+    if (!file) throw UsageError("cannot open output file '" + *out_path + "'");
+    file << merged;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -353,6 +470,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
     if (command == "list-algorithms") return cmd_list_algorithms(out);
     if (command == "run") return cmd_run(rest, in, out, err);
     if (command == "sweep") return cmd_sweep(rest, out, err);
+    if (command == "merge") return cmd_merge(rest, out);
     // Legacy spelling: `powergraph_cli mvc [epsilon] < edges.txt`.
     if (find_algorithm(command)) {
       std::vector<std::string> forwarded = {command};

@@ -1,9 +1,12 @@
 #include "scenario/report.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
+
+#include "util/hash.hpp"
 
 namespace pg::scenario {
 
@@ -60,36 +63,6 @@ std::string json_escape(const std::string& text) {
   return out;
 }
 
-}  // namespace
-
-void write_csv(std::ostream& out, const SweepResult& result,
-               bool include_timing) {
-  out << "scenario,algorithm,n,r,epsilon,seed,status,base_edges,comm_power,"
-         "comm_edges,target_edges,solution_size,feasible,exact,rounds,"
-         "messages,total_bits,baseline,baseline_size,ratio";
-  if (include_timing) out << ",wall_ms";
-  out << ",error\n";
-  for (const CellResult& cell : result.cells) {
-    const CellSpec& spec = cell.spec;
-    out << spec.scenario << ',' << spec.algorithm << ',' << spec.n << ','
-        << spec.r << ','
-        << (spec.epsilon_used ? fmt_general(spec.epsilon) : "-") << ','
-        << spec.seed << ',' << cell_status_name(cell.status) << ','
-        << cell.base_edges << ',' << cell.comm_power << ',' << cell.comm_edges
-        << ',' << cell.target_edges << ',' << cell.solution_size << ','
-        << (cell.feasible ? 1 : 0) << ',' << (cell.exact ? 1 : 0) << ','
-        << cell.rounds << ',' << cell.messages << ',' << cell.total_bits
-        << ',' << baseline_kind_name(cell.baseline) << ','
-        << cell.baseline_size << ','
-        << (cell.baseline == BaselineKind::kNone ? "-"
-                                                 : fmt_fixed(cell.ratio, 4));
-    if (include_timing) out << ',' << fmt_fixed(cell.wall_ms, 3);
-    out << ',' << csv_sanitize(cell.error) << '\n';
-  }
-}
-
-namespace {
-
 template <typename T, typename Fn>
 void write_json_list(std::ostream& out, const std::vector<T>& values, Fn fn) {
   out << '[';
@@ -100,12 +73,10 @@ void write_json_list(std::ostream& out, const std::vector<T>& values, Fn fn) {
   out << ']';
 }
 
-}  // namespace
-
-void write_json(std::ostream& out, const SweepResult& result,
-                bool include_timing) {
-  const SweepSpec& spec = result.spec;
-  out << "{\n  \"spec\": {";
+/// The grid-dimension fields of "spec" — everything that determines the
+/// cell list, and therefore everything the fingerprint must cover.  Shard
+/// coordinates are appended separately by JsonWriter::begin.
+void write_spec_dims_json(std::ostream& out, const SweepSpec& spec) {
   out << "\"scenarios\": ";
   write_json_list(out, spec.scenarios, [&](const std::string& s) {
     out << '"' << json_escape(s) << '"';
@@ -125,42 +96,118 @@ void write_json(std::ostream& out, const SweepResult& result,
   out << ", \"seeds\": ";
   write_json_list(out, spec.seeds, [&](std::uint64_t s) { out << s; });
   out << ", \"exact_baseline_max_n\": " << spec.exact_baseline_max_n;
-  out << "},\n  \"cells\": [";
-  bool first = true;
-  for (const CellResult& cell : result.cells) {
-    out << (first ? "\n" : ",\n");
-    first = false;
-    const CellSpec& cs = cell.spec;
-    out << "    {\"scenario\": \"" << json_escape(cs.scenario)
-        << "\", \"algorithm\": \"" << json_escape(cs.algorithm)
-        << "\", \"n\": " << cs.n << ", \"r\": " << cs.r << ", \"epsilon\": ";
-    if (cs.epsilon_used)
-      out << fmt_general(cs.epsilon);
-    else
-      out << "null";
-    out << ", \"seed\": " << cs.seed << ", \"status\": \""
-        << cell_status_name(cell.status) << "\", \"base_edges\": "
-        << cell.base_edges << ", \"comm_power\": " << cell.comm_power
-        << ", \"comm_edges\": " << cell.comm_edges
-        << ", \"target_edges\": " << cell.target_edges
-        << ", \"solution_size\": " << cell.solution_size << ", \"feasible\": "
-        << (cell.feasible ? "true" : "false")
-        << ", \"exact\": " << (cell.exact ? "true" : "false")
-        << ", \"rounds\": " << cell.rounds << ", \"messages\": "
-        << cell.messages << ", \"total_bits\": " << cell.total_bits
-        << ", \"baseline\": \"" << baseline_kind_name(cell.baseline)
-        << "\", \"baseline_size\": " << cell.baseline_size << ", \"ratio\": ";
-    if (cell.baseline == BaselineKind::kNone)
-      out << "null";
-    else
-      out << fmt_fixed(cell.ratio, 4);
-    if (include_timing)
-      out << ", \"wall_ms\": " << fmt_fixed(cell.wall_ms, 3);
-    if (cell.status == CellStatus::kError)
-      out << ", \"error\": \"" << json_escape(cell.error) << '"';
-    out << '}';
-  }
-  out << "\n  ]\n}\n";
+}
+
+}  // namespace
+
+std::string spec_fingerprint(const SweepSpec& spec) {
+  std::ostringstream canon;
+  write_spec_dims_json(canon, spec);
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(canon.str())));
+  return std::string(buffer);
+}
+
+// ------------------------------------------------------------------- CSV ---
+
+void CsvWriter::begin(const SweepSpec& spec, std::size_t total_cells) {
+  if (spec.shard_count > 1)
+    out_ << "# shard " << spec.shard_index << '/' << spec.shard_count
+         << " cells " << total_cells << " spec " << spec_fingerprint(spec)
+         << '\n';
+  out_ << "cell_index,scenario,algorithm,n,r,epsilon,seed,status,base_edges,"
+          "comm_power,comm_edges,target_edges,solution_size,feasible,exact,"
+          "rounds,messages,total_bits,baseline,baseline_size,ratio";
+  if (timing_) out_ << ",wall_ms";
+  out_ << ",error\n";
+}
+
+void CsvWriter::row(const CellResult& cell) {
+  const CellSpec& spec = cell.spec;
+  out_ << cell.cell_index << ',' << spec.scenario << ',' << spec.algorithm
+       << ',' << spec.n << ',' << spec.r << ','
+       << (spec.epsilon_used ? fmt_general(spec.epsilon) : "-") << ','
+       << spec.seed << ',' << cell_status_name(cell.status) << ','
+       << cell.base_edges << ',' << cell.comm_power << ',' << cell.comm_edges
+       << ',' << cell.target_edges << ',' << cell.solution_size << ','
+       << (cell.feasible ? 1 : 0) << ',' << (cell.exact ? 1 : 0) << ','
+       << cell.rounds << ',' << cell.messages << ',' << cell.total_bits
+       << ',' << baseline_kind_name(cell.baseline) << ','
+       << cell.baseline_size << ','
+       << (cell.baseline == BaselineKind::kNone ? "-"
+                                                : fmt_fixed(cell.ratio, 4));
+  if (timing_) out_ << ',' << fmt_fixed(cell.wall_ms, 3);
+  out_ << ',' << csv_sanitize(cell.error) << '\n';
+}
+
+void write_csv(std::ostream& out, const SweepResult& result,
+               bool include_timing) {
+  CsvWriter writer(out, include_timing);
+  writer.begin(result.spec,
+               result.total_cells ? result.total_cells : result.cells.size());
+  for (const CellResult& cell : result.cells) writer.row(cell);
+}
+
+// ------------------------------------------------------------------ JSON ---
+
+void JsonWriter::begin(const SweepSpec& spec, std::size_t total_cells) {
+  out_ << "{\n  \"spec\": {";
+  write_spec_dims_json(out_, spec);
+  if (spec.shard_count > 1)
+    out_ << ", \"shard_index\": " << spec.shard_index
+         << ", \"shard_count\": " << spec.shard_count
+         << ", \"total_cells\": " << total_cells << ", \"timing\": "
+         << (timing_ ? "true" : "false") << ", \"spec_fingerprint\": \""
+         << spec_fingerprint(spec) << '"';
+  out_ << "},\n  \"cells\": [";
+  first_row_ = true;
+}
+
+void JsonWriter::row(const CellResult& cell) {
+  out_ << (first_row_ ? "\n" : ",\n");
+  first_row_ = false;
+  const CellSpec& cs = cell.spec;
+  out_ << "    {\"cell_index\": " << cell.cell_index << ", \"scenario\": \""
+       << json_escape(cs.scenario) << "\", \"algorithm\": \""
+       << json_escape(cs.algorithm) << "\", \"n\": " << cs.n
+       << ", \"r\": " << cs.r << ", \"epsilon\": ";
+  if (cs.epsilon_used)
+    out_ << fmt_general(cs.epsilon);
+  else
+    out_ << "null";
+  out_ << ", \"seed\": " << cs.seed << ", \"status\": \""
+       << cell_status_name(cell.status) << "\", \"base_edges\": "
+       << cell.base_edges << ", \"comm_power\": " << cell.comm_power
+       << ", \"comm_edges\": " << cell.comm_edges
+       << ", \"target_edges\": " << cell.target_edges
+       << ", \"solution_size\": " << cell.solution_size << ", \"feasible\": "
+       << (cell.feasible ? "true" : "false")
+       << ", \"exact\": " << (cell.exact ? "true" : "false")
+       << ", \"rounds\": " << cell.rounds << ", \"messages\": "
+       << cell.messages << ", \"total_bits\": " << cell.total_bits
+       << ", \"baseline\": \"" << baseline_kind_name(cell.baseline)
+       << "\", \"baseline_size\": " << cell.baseline_size << ", \"ratio\": ";
+  if (cell.baseline == BaselineKind::kNone)
+    out_ << "null";
+  else
+    out_ << fmt_fixed(cell.ratio, 4);
+  if (timing_)
+    out_ << ", \"wall_ms\": " << fmt_fixed(cell.wall_ms, 3);
+  if (cell.status == CellStatus::kError)
+    out_ << ", \"error\": \"" << json_escape(cell.error) << '"';
+  out_ << '}';
+}
+
+void JsonWriter::end() { out_ << "\n  ]\n}\n"; }
+
+void write_json(std::ostream& out, const SweepResult& result,
+                bool include_timing) {
+  JsonWriter writer(out, include_timing);
+  writer.begin(result.spec,
+               result.total_cells ? result.total_cells : result.cells.size());
+  for (const CellResult& cell : result.cells) writer.row(cell);
+  writer.end();
 }
 
 std::string csv_string(const SweepResult& result, bool include_timing) {
@@ -173,6 +220,262 @@ std::string json_string(const SweepResult& result, bool include_timing) {
   std::ostringstream out;
   write_json(out, result, include_timing);
   return out.str();
+}
+
+// ----------------------------------------------------------------- merge ---
+
+namespace {
+
+[[noreturn]] void merge_fail(const std::string& what) {
+  throw PreconditionViolation("merge: " + what);
+}
+
+std::uint64_t parse_u64(std::string_view text, const char* what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr == text.data())
+    merge_fail(std::string("cannot parse ") + what);
+  return value;
+}
+
+struct ShardStamp {
+  int index = 0;
+  int count = 0;
+  std::uint64_t total_cells = 0;
+  // The fingerprint plus any row-shape modifiers (the JSON merger appends
+  // the timing flag; the CSV merger covers timing via its header check).
+  std::string fingerprint;
+};
+
+/// Bounds-checked narrowing for stamp fields parsed from untrusted files:
+/// without it a corrupted count like 4294967297 would wrap in the int
+/// cast and mis-validate (or blow up the seen-vector allocation below).
+/// 1e6 matches the CLI's --shard cap.
+int checked_shard_int(std::uint64_t value, const char* what) {
+  if (value < 1 || value > 1'000'000)
+    merge_fail(std::string(what) + " " + std::to_string(value) +
+               " out of range [1, 1000000]");
+  return static_cast<int>(value);
+}
+
+/// One parsed per-shard report: its stamp plus (cell_index, payload) rows.
+struct ShardRows {
+  ShardStamp stamp;
+  std::vector<std::pair<std::uint64_t, std::string>> rows;
+};
+
+/// Shared tail of both mergers: validate that the stamps form one
+/// complete partition (same spec, same shard count, every shard exactly
+/// once) and that the combined rows cover cell indices 0..total-1.
+/// Returns all rows sorted by cell index.
+std::vector<std::pair<std::uint64_t, std::string>> validate_and_sort(
+    std::vector<ShardRows>&& shards) {
+  if (shards.empty()) merge_fail("no shard reports given");
+  const ShardStamp& head = shards.front().stamp;
+  std::vector<bool> seen(static_cast<std::size_t>(head.count), false);
+  std::vector<std::pair<std::uint64_t, std::string>> rows;
+  for (const ShardRows& shard : shards) {
+    const ShardStamp& s = shard.stamp;
+    if (s.count != head.count || s.total_cells != head.total_cells ||
+        s.fingerprint != head.fingerprint)
+      merge_fail("shard reports disagree on the sweep spec");
+    if (s.index < 1 || s.index > s.count)
+      merge_fail("shard index " + std::to_string(s.index) +
+                 " out of range for " + std::to_string(s.count) + " shards");
+    if (seen[static_cast<std::size_t>(s.index - 1)])
+      merge_fail("duplicate shard " + std::to_string(s.index) + "/" +
+                 std::to_string(s.count));
+    seen[static_cast<std::size_t>(s.index - 1)] = true;
+    for (auto& row : shard.rows) rows.push_back(std::move(row));
+  }
+  for (int i = 0; i < head.count; ++i)
+    if (!seen[static_cast<std::size_t>(i)])
+      merge_fail("missing shard " + std::to_string(i + 1) + "/" +
+                 std::to_string(head.count));
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (rows.size() != head.total_cells)
+    merge_fail("rows do not cover the grid: got " +
+               std::to_string(rows.size()) + " of " +
+               std::to_string(head.total_cells) + " cells");
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    if (rows[t].first == t) continue;
+    if (t > 0 && rows[t].first == rows[t - 1].first)
+      merge_fail("rows do not cover the grid: cell " +
+                 std::to_string(rows[t].first) + " duplicated");
+    merge_fail("rows do not cover the grid: cell " + std::to_string(t) +
+               " missing");
+  }
+  return rows;
+}
+
+constexpr std::string_view kCsvStampPrefix = "# shard ";
+
+ShardStamp parse_csv_stamp(std::string_view line) {
+  // "# shard I/K cells N spec H"
+  if (line.substr(0, kCsvStampPrefix.size()) != kCsvStampPrefix)
+    merge_fail(
+        "input is not a shard report (expected a '# shard i/k …' first "
+        "line; single-process sweeps need no merge)");
+  ShardStamp stamp;
+  std::string_view rest = line.substr(kCsvStampPrefix.size());
+  const auto slash = rest.find('/');
+  const auto cells_kw = rest.find(" cells ");
+  const auto spec_kw = rest.find(" spec ");
+  if (slash == std::string_view::npos || cells_kw == std::string_view::npos ||
+      spec_kw == std::string_view::npos || slash > cells_kw ||
+      cells_kw > spec_kw)
+    merge_fail("malformed shard stamp line");
+  stamp.index =
+      checked_shard_int(parse_u64(rest.substr(0, slash), "shard index"),
+                        "shard index");
+  stamp.count = checked_shard_int(
+      parse_u64(rest.substr(slash + 1, cells_kw - slash - 1), "shard count"),
+      "shard count");
+  stamp.total_cells =
+      parse_u64(rest.substr(cells_kw + 7, spec_kw - cells_kw - 7),
+                "grid cell count");
+  stamp.fingerprint = std::string(rest.substr(spec_kw + 6));
+  return stamp;
+}
+
+}  // namespace
+
+std::string merge_csv(const std::vector<std::string>& shard_reports) {
+  std::vector<ShardRows> shards;
+  std::string header;
+  for (const std::string& report : shard_reports) {
+    ShardRows shard;
+    std::istringstream in(report);
+    std::string line;
+    if (!std::getline(in, line)) merge_fail("empty shard report");
+    shard.stamp = parse_csv_stamp(line);
+    if (!std::getline(in, line)) merge_fail("shard report has no CSV header");
+    if (header.empty())
+      header = line;
+    else if (line != header)
+      merge_fail("shard reports disagree on the CSV header");
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const auto comma = line.find(',');
+      if (comma == std::string::npos)
+        merge_fail("malformed CSV row '" + line + "'");
+      const std::uint64_t index =
+          parse_u64(std::string_view(line).substr(0, comma), "cell index");
+      shard.rows.emplace_back(index, std::move(line));
+    }
+    shards.push_back(std::move(shard));
+  }
+
+  const auto rows = validate_and_sort(std::move(shards));
+  std::string out = header + '\n';
+  for (const auto& [index, line] : rows) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+constexpr std::string_view kJsonSpecOpen = "{\n  \"spec\": {";
+constexpr std::string_view kJsonCellsOpen = "},\n  \"cells\": [";
+constexpr std::string_view kJsonTail = "\n  ]\n}\n";
+constexpr std::string_view kJsonShardKey = ", \"shard_index\": ";
+
+/// Extracts `"key": <digits>` from a spec fragment.
+std::uint64_t json_field_u64(std::string_view text, std::string_view key) {
+  const auto at = text.find(key);
+  if (at == std::string_view::npos)
+    merge_fail("shard stamp lacks " + std::string(key));
+  std::string_view rest = text.substr(at + key.size());
+  std::size_t end = 0;
+  while (end < rest.size() && rest[end] >= '0' && rest[end] <= '9') ++end;
+  return parse_u64(rest.substr(0, end), std::string(key).c_str());
+}
+
+}  // namespace
+
+std::string merge_json(const std::vector<std::string>& shard_reports) {
+  std::vector<ShardRows> shards;
+  std::string spec_dims;  // the spec body minus the shard stamp fields
+  for (const std::string& report : shard_reports) {
+    if (report.substr(0, kJsonSpecOpen.size()) != kJsonSpecOpen)
+      merge_fail("input is not a sweep JSON report");
+    const auto cells_at = report.find(kJsonCellsOpen);
+    if (cells_at == std::string_view::npos)
+      merge_fail("input is not a sweep JSON report");
+    const std::string_view spec_body = std::string_view(report).substr(
+        kJsonSpecOpen.size(), cells_at - kJsonSpecOpen.size());
+
+    const auto shard_at = spec_body.find(kJsonShardKey);
+    if (shard_at == std::string_view::npos)
+      merge_fail(
+          "input is not a shard report (its spec has no shard fields; "
+          "single-process sweeps need no merge)");
+    const std::string dims(spec_body.substr(0, shard_at));
+    const std::string_view stamp_text = spec_body.substr(shard_at);
+    if (spec_dims.empty())
+      spec_dims = dims;
+    else if (dims != spec_dims)
+      merge_fail("shard reports disagree on the sweep spec");
+
+    ShardRows shard;
+    shard.stamp.index = checked_shard_int(
+        json_field_u64(stamp_text, "\"shard_index\": "), "shard index");
+    shard.stamp.count = checked_shard_int(
+        json_field_u64(stamp_text, "\"shard_count\": "), "shard count");
+    shard.stamp.total_cells = json_field_u64(stamp_text, "\"total_cells\": ");
+    const auto fp_at = stamp_text.find("\"spec_fingerprint\": \"");
+    if (fp_at == std::string_view::npos)
+      merge_fail("shard stamp lacks \"spec_fingerprint\"");
+    const auto fp_from = fp_at + 21;
+    const auto fp_to = stamp_text.find('"', fp_from);
+    if (fp_to == std::string_view::npos)
+      merge_fail("malformed spec_fingerprint");
+    shard.stamp.fingerprint =
+        std::string(stamp_text.substr(fp_from, fp_to - fp_from));
+    // Shards written with different --timing settings have differently
+    // shaped rows; fold the flag into the identity so they refuse to merge.
+    const bool timing =
+        stamp_text.find("\"timing\": true") != std::string_view::npos;
+    if (!timing &&
+        stamp_text.find("\"timing\": false") == std::string_view::npos)
+      merge_fail("shard stamp lacks \"timing\"");
+    shard.stamp.fingerprint += timing ? "+t" : "";
+
+    if (report.size() < cells_at + kJsonCellsOpen.size() + kJsonTail.size() ||
+        report.substr(report.size() - kJsonTail.size()) != kJsonTail)
+      merge_fail("truncated JSON shard report");
+    std::string_view cells = std::string_view(report).substr(
+        cells_at + kJsonCellsOpen.size(),
+        report.size() - kJsonTail.size() - cells_at - kJsonCellsOpen.size());
+    while (!cells.empty()) {
+      // Rows look like "\n    {...}" separated by commas.
+      std::size_t next = cells.find(",\n    {", 1);
+      std::string_view cell =
+          next == std::string_view::npos ? cells : cells.substr(0, next);
+      const std::uint64_t index = json_field_u64(cell, "\"cell_index\": ");
+      if (cell.substr(0, 1) == "\n") cell.remove_prefix(1);
+      shard.rows.emplace_back(index, std::string(cell));
+      if (next == std::string_view::npos) break;
+      cells.remove_prefix(next + 1);  // drop the comma, keep "\n    {"
+    }
+    shards.push_back(std::move(shard));
+  }
+
+  const auto rows = validate_and_sort(std::move(shards));
+  std::string out;
+  out += kJsonSpecOpen;
+  out += spec_dims;
+  out += kJsonCellsOpen;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += rows[i].second;
+  }
+  out += kJsonTail;
+  return out;
 }
 
 }  // namespace pg::scenario

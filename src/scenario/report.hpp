@@ -5,31 +5,93 @@
 // field is a deterministic function of the spec (wall-clock measurements
 // and the thread count are excluded unless `include_timing` is set, which
 // is documented to break byte-stability).
+//
+// Streaming: the writers emit row-by-row so the runner never has to hold
+// a sweep in memory — `begin()`, then one `row()` per cell in grid order,
+// then (JSON only) `end()`.  The whole-result `write_csv`/`write_json`
+// functions are thin wrappers for callers that already hold a
+// SweepResult.
+//
+// Sharding: when the spec is a shard (shard_count > 1) the writers stamp
+// the output with the shard coordinates, the full grid's cell count, and
+// a fingerprint of the spec — a CSV `# shard i/k …` comment line, or
+// extra spec fields in JSON.  `merge_csv`/`merge_json` consume one such
+// report per shard, validate that they belong together and cover the
+// grid exactly, and reproduce the single-process report byte for byte.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "scenario/runner.hpp"
 
 namespace pg::scenario {
 
-/// One row per cell.  Columns: scenario,algorithm,n,r,epsilon,seed,status,
-/// base_edges,comm_power,comm_edges,target_edges,solution_size,feasible,
-/// exact,rounds,messages,total_bits,baseline,baseline_size,ratio[,wall_ms]
-/// ,error.  epsilon is "-" for algorithms that ignore it; ratio is "-"
-/// when no baseline was computed; feasible/exact are 0/1; error is empty
-/// on success (commas/newlines inside messages are replaced by ';').
-void write_csv(std::ostream& out, const SweepResult& result,
-               bool include_timing = false);
+/// 16-hex-digit digest of the sweep's grid dimensions (scenarios,
+/// algorithms, sizes, powers, epsilons, seeds, exact_baseline_max_n —
+/// not threads or shard coordinates).  Shard reports carry it so `merge`
+/// can refuse shards of different sweeps.
+std::string spec_fingerprint(const SweepSpec& spec);
+
+/// One row per cell.  Columns: cell_index,scenario,algorithm,n,r,epsilon,
+/// seed,status,base_edges,comm_power,comm_edges,target_edges,
+/// solution_size,feasible,exact,rounds,messages,total_bits,baseline,
+/// baseline_size,ratio[,wall_ms],error.  epsilon is "-" for algorithms
+/// that ignore it; ratio is "-" when no baseline was computed;
+/// feasible/exact are 0/1; error is empty on success (commas/newlines
+/// inside messages are replaced by ';').
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, bool include_timing = false)
+      : out_(out), timing_(include_timing) {}
+
+  /// Shard stamp (`# shard i/k cells N spec H`, only when spec.shard_count
+  /// > 1) followed by the header row.  `total_cells` is the full grid's
+  /// cell count across all shards.
+  void begin(const SweepSpec& spec, std::size_t total_cells);
+  void row(const CellResult& cell);
+
+ private:
+  std::ostream& out_;
+  bool timing_;
+};
 
 /// {"spec": {...}, "cells": [...]} with the same fields as the CSV;
-/// epsilon/ratio are null where the CSV prints "-".
+/// epsilon/ratio are null where the CSV prints "-".  Sharded specs add
+/// shard_index/shard_count/total_cells/timing/spec_fingerprint to "spec".
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, bool include_timing = false)
+      : out_(out), timing_(include_timing) {}
+
+  void begin(const SweepSpec& spec, std::size_t total_cells);
+  void row(const CellResult& cell);
+  void end();
+
+ private:
+  std::ostream& out_;
+  bool timing_;
+  bool first_row_ = true;
+};
+
+void write_csv(std::ostream& out, const SweepResult& result,
+               bool include_timing = false);
 void write_json(std::ostream& out, const SweepResult& result,
                 bool include_timing = false);
 
 std::string csv_string(const SweepResult& result, bool include_timing = false);
 std::string json_string(const SweepResult& result,
                         bool include_timing = false);
+
+/// Merges per-shard CSV reports (file *contents*, any order) back into
+/// the byte-identical single-process report.  Throws
+/// PreconditionViolation when the inputs are not shard reports, disagree
+/// on the spec (fingerprint, headers, shard count, grid size), repeat or
+/// miss a shard, or their rows do not cover the grid exactly.
+std::string merge_csv(const std::vector<std::string>& shard_reports);
+
+/// Same for JSON shard reports.
+std::string merge_json(const std::vector<std::string>& shard_reports);
 
 }  // namespace pg::scenario

@@ -2,11 +2,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
 
+#include "congest/network.hpp"
 #include "graph/cover.hpp"
 #include "graph/power.hpp"
 #include "scenario/scenario.hpp"
@@ -41,13 +44,60 @@ double elapsed_ms(std::chrono::steady_clock::time_point since) {
       .count();
 }
 
+/// Per-worker recycling bin for CONGEST simulators, keyed by topology
+/// size.  A network released by a finished group is rebound to the next
+/// group's power graph via Network::reset(topology), which reuses every
+/// internal buffer's capacity — wide sweeps stop paying per-group
+/// allocation churn.  Retention is capped so a sweep over many distinct
+/// sizes cannot accumulate one O(m) simulator per (size, power) for its
+/// whole lifetime; overflow is simply freed.  Owned by exactly one
+/// worker, so no locking.
+class NetworkPool {
+ public:
+  std::unique_ptr<congest::Network> acquire(const Graph& topology) {
+    auto it = by_n_.find(topology.num_vertices());
+    if (it != by_n_.end() && !it->second.empty()) {
+      std::unique_ptr<congest::Network> net = std::move(it->second.back());
+      it->second.pop_back();
+      --total_;
+      net->reset(topology);
+      return net;
+    }
+    return std::make_unique<congest::Network>(topology);
+  }
+
+  void release(std::unique_ptr<congest::Network> net) {
+    auto& bucket = by_n_[net->topology().num_vertices()];
+    if (total_ >= kMaxPooled || bucket.size() >= kMaxPerSize) return;
+    bucket.push_back(std::move(net));
+    ++total_;
+  }
+
+ private:
+  // Generous enough to cover every comm power of the size a worker is
+  // currently cycling through, small enough to bound idle retention.
+  static constexpr std::size_t kMaxPooled = 8;
+  static constexpr std::size_t kMaxPerSize = 4;
+
+  std::map<VertexId, std::vector<std::unique_ptr<congest::Network>>> by_n_;
+  std::size_t total_ = 0;
+};
+
 /// Everything the cells of one (scenario, n, seed) group share: the base
 /// topology, its materialized powers, one simulator per communication
 /// graph, and the reference-solver baselines.  Owned by exactly one
-/// worker, so no synchronization is needed inside.
+/// worker, so no synchronization is needed inside.  Simulators come from
+/// the worker's pool (when one is supplied) and return to it on
+/// destruction.
 class GroupContext {
  public:
-  explicit GroupContext(Graph base) : base_(std::move(base)) {}
+  GroupContext(Graph base, NetworkPool* pool)
+      : base_(std::move(base)), pool_(pool) {}
+
+  ~GroupContext() {
+    if (pool_ == nullptr) return;
+    for (auto& [power, net] : nets_) pool_->release(std::move(net));
+  }
 
   const Graph& base() const { return base_; }
 
@@ -62,9 +112,13 @@ class GroupContext {
 
   congest::Network& net_of(int k) {
     auto it = nets_.find(k);
-    if (it == nets_.end())
-      it = nets_.emplace(k, std::make_unique<congest::Network>(power_of(k)))
-               .first;
+    if (it == nets_.end()) {
+      const Graph& topology = power_of(k);
+      std::unique_ptr<congest::Network> net =
+          pool_ != nullptr ? pool_->acquire(topology)
+                           : std::make_unique<congest::Network>(topology);
+      it = nets_.emplace(k, std::move(net)).first;
+    }
     return *it->second;
   }
 
@@ -108,6 +162,7 @@ class GroupContext {
 
  private:
   Graph base_;
+  NetworkPool* pool_;
   std::map<int, Graph> powers_;
   std::map<int, std::unique_ptr<congest::Network>> nets_;
   std::map<std::pair<int, int>, Baseline> baselines_;
@@ -144,18 +199,18 @@ void execute_cell(const CellSpec& spec, GroupContext& group,
                                        std::to_string(spec.r));
 
     const auto started = std::chrono::steady_clock::now();
-    const RunOutcome outcome = alg.run(ctx);
+    RunOutcome outcome = alg.run(ctx);
     out.wall_ms = elapsed_ms(started);
 
-    out.solution = outcome.solution;
-    out.solution_size = outcome.solution.size();
+    out.solution = std::move(outcome.solution);
+    out.solution_size = out.solution.size();
     out.rounds = outcome.rounds;
     out.messages = outcome.messages;
     out.total_bits = outcome.total_bits;
     out.exact = outcome.exact;
     out.feasible = alg.problem == Problem::kVertexCover
-                       ? graph::is_vertex_cover(target, outcome.solution)
-                       : graph::is_dominating_set(target, outcome.solution);
+                       ? graph::is_vertex_cover(target, out.solution)
+                       : graph::is_dominating_set(target, out.solution);
 
     const auto& baseline =
         group.baseline_of(alg.problem, spec.r, exact_baseline_max_n);
@@ -173,43 +228,75 @@ void execute_cell(const CellSpec& spec, GroupContext& group,
   }
 }
 
-struct Group {
-  std::size_t first = 0;  // index range [first, last) into the cell list
-  std::size_t last = 0;
-};
-
-bool same_topology(const CellSpec& a, const CellSpec& b) {
-  return a.scenario == b.scenario && a.n == b.n && a.seed == b.seed;
+/// The (r, algorithm, epsilon) slice of the grid — identical for every
+/// (scenario, n, seed) topology group, because expressibility depends
+/// only on (algorithm, r).  Grid order is therefore group-major: the cell
+/// list is this pattern stamped onto each topology triple in turn, and
+/// cell j of group g has global index g·|pattern| + j.  Everything below
+/// exploits that to materialize only the groups a shard executes.
+std::vector<CellSpec> group_pattern(const SweepSpec& spec) {
+  std::vector<CellSpec> pattern;
+  for (int r : spec.powers)
+    for (const std::string& name : spec.algorithms) {
+      const Algorithm& alg = algorithm_or_throw(name);
+      if (!supports_power(alg, r)) continue;
+      if (alg.uses_epsilon) {
+        for (double eps : spec.epsilons)
+          pattern.push_back({"", alg.name, 0, r, eps, true, 0});
+      } else {
+        pattern.push_back({"", alg.name, 0, r, 0.0, false, 0});
+      }
+    }
+  return pattern;
 }
 
-std::vector<Group> group_cells(const std::vector<CellSpec>& cells) {
-  std::vector<Group> groups;
-  for (std::size_t i = 0; i < cells.size();) {
-    std::size_t j = i + 1;
-    while (j < cells.size() && same_topology(cells[i], cells[j])) ++j;
-    groups.push_back({i, j});
-    i = j;
+std::size_t num_topology_groups(const SweepSpec& spec) {
+  return spec.scenarios.size() * spec.sizes.size() * spec.seeds.size();
+}
+
+/// Stamps topology group g's (scenario, n, seed) triple onto a copy of
+/// the pattern (the loop nest order of expand_grid, decoded mixed-radix).
+void stamp_group(const SweepSpec& spec, std::size_t g,
+                 std::vector<CellSpec>& cells) {
+  const std::size_t per_seed = spec.seeds.size();
+  const std::size_t per_scenario = spec.sizes.size() * per_seed;
+  const std::string& scenario = spec.scenarios[g / per_scenario];
+  const VertexId n = spec.sizes[(g % per_scenario) / per_seed];
+  const std::uint64_t seed = spec.seeds[g % per_seed];
+  for (CellSpec& cell : cells) {
+    cell.scenario = scenario;
+    cell.n = n;
+    cell.seed = seed;
   }
-  return groups;
 }
 
-void run_group(const std::vector<CellSpec>& cells, const Group& group,
-               VertexId exact_baseline_max_n,
-               std::vector<CellResult>& results) {
-  const CellSpec& head = cells[group.first];
+/// Executes one fully stamped group into `results` (cells.size() entries),
+/// stamping each row with its global cell index.  When `keep_solutions`
+/// is false the solution bitsets are dropped once the feasibility check
+/// has consumed them (the sweep path — reports only need sizes).
+void run_group(const std::vector<CellSpec>& cells,
+               std::size_t first_global_index, VertexId exact_baseline_max_n,
+               NetworkPool* pool, bool keep_solutions, CellResult* results) {
+  const CellSpec& head = cells.front();
   try {
     const Scenario& scenario = scenario_or_throw(head.scenario);
-    GroupContext context(scenario.build(head.n, head.seed));
-    for (std::size_t i = group.first; i < group.last; ++i)
-      execute_cell(cells[i], context, exact_baseline_max_n, results[i]);
+    GroupContext context(scenario.build(head.n, head.seed), pool);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      CellResult& out = results[i];
+      execute_cell(cells[i], context, exact_baseline_max_n, out);
+      out.cell_index = first_global_index + i;
+      if (!keep_solutions) out.solution = VertexSet();
+    }
   } catch (const std::exception& error) {
     // The topology itself failed to build: every cell of the group fails
     // identically.
-    for (std::size_t i = group.first; i < group.last; ++i) {
-      results[i] = CellResult{};
-      results[i].spec = cells[i];
-      results[i].status = CellStatus::kError;
-      results[i].error = error.what();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      CellResult& out = results[i];
+      out = CellResult{};
+      out.spec = cells[i];
+      out.cell_index = first_global_index + i;
+      out.status = CellStatus::kError;
+      out.error = error.what();
     }
   }
 }
@@ -224,6 +311,9 @@ void validate_spec(const SweepSpec& spec) {
   PG_REQUIRE(!spec.epsilons.empty(), "sweep needs at least one epsilon");
   PG_REQUIRE(!spec.seeds.empty(), "sweep needs at least one seed");
   PG_REQUIRE(spec.threads >= 1, "thread count must be >= 1");
+  PG_REQUIRE(spec.shard_count >= 1, "shard count must be >= 1");
+  PG_REQUIRE(spec.shard_index >= 1 && spec.shard_index <= spec.shard_count,
+             "shard index must lie in [1, shard count]");
   for (const std::string& s : spec.scenarios) scenario_or_throw(s);
   for (const std::string& a : spec.algorithms) algorithm_or_throw(a);
   for (VertexId n : spec.sizes)
@@ -236,70 +326,184 @@ void validate_spec(const SweepSpec& spec) {
 std::vector<CellSpec> expand_grid(const SweepSpec& spec) {
   validate_spec(spec);
   std::vector<CellSpec> cells;
-  for (const std::string& scenario : spec.scenarios)
-    for (VertexId n : spec.sizes)
-      for (std::uint64_t seed : spec.seeds)
-        for (int r : spec.powers)
-          for (const std::string& name : spec.algorithms) {
-            const Algorithm& alg = algorithm_or_throw(name);
-            if (!supports_power(alg, r)) continue;
-            if (alg.uses_epsilon) {
-              for (double eps : spec.epsilons)
-                cells.push_back(
-                    {scenario, alg.name, n, r, eps, true, seed});
-            } else {
-              cells.push_back({scenario, alg.name, n, r, 0.0, false, seed});
-            }
-          }
+  std::vector<CellSpec> pattern = group_pattern(spec);
+  if (pattern.empty()) return cells;
+  const std::size_t groups = num_topology_groups(spec);
+  cells.reserve(groups * pattern.size());
+  for (std::size_t g = 0; g < groups; ++g) {
+    stamp_group(spec, g, pattern);
+    cells.insert(cells.end(), pattern.begin(), pattern.end());
+  }
   return cells;
+}
+
+std::size_t count_grid_cells(const SweepSpec& spec) {
+  validate_spec(spec);
+  // One pattern (powers × algorithms × epsilons entries), never the grid.
+  return group_pattern(spec).size() * num_topology_groups(spec);
+}
+
+std::vector<std::size_t> shard_cell_indices(const SweepSpec& spec) {
+  validate_spec(spec);
+  const std::size_t per_group = group_pattern(spec).size();
+  const std::size_t groups = per_group ? num_topology_groups(spec) : 0;
+  // The round-robin deal: shard i of k owns groups i-1, i-1+k, i-1+2k, …
+  // (the same mapping run_sweep_stream applies via group_of_rank).
+  std::vector<std::size_t> out;
+  for (std::size_t g = static_cast<std::size_t>(spec.shard_index - 1);
+       g < groups; g += static_cast<std::size_t>(spec.shard_count))
+    for (std::size_t j = 0; j < per_group; ++j)
+      out.push_back(g * per_group + j);
+  return out;
 }
 
 CellResult run_cell(const CellSpec& cell, VertexId exact_baseline_max_n) {
   std::vector<CellResult> results(1);
   const std::vector<CellSpec> cells = {cell};
-  run_group(cells, {0, 1}, exact_baseline_max_n, results);
+  run_group(cells, 0, exact_baseline_max_n, /*pool=*/nullptr,
+            /*keep_solutions=*/true, results.data());
   return std::move(results[0]);
 }
 
 CellResult run_cell_on(const Graph& base, const CellSpec& cell,
                        VertexId exact_baseline_max_n) {
   CellResult result;
-  GroupContext context(base);
+  GroupContext context(base, /*pool=*/nullptr);
   execute_cell(cell, context, exact_baseline_max_n, result);
   return result;
 }
 
-SweepResult run_sweep(const SweepSpec& spec) {
+SweepSummary run_sweep_stream(const SweepSpec& spec, const RowSink& sink) {
   const auto started = std::chrono::steady_clock::now();
-  SweepResult result;
-  result.spec = spec;
+  validate_spec(spec);
 
-  const std::vector<CellSpec> cells = expand_grid(spec);
-  result.cells.resize(cells.size());
-  const std::vector<Group> groups = group_cells(cells);
+  // Only the pattern is materialized up front; each group's cell list is
+  // stamped on demand by the worker that claims it, so a shard's memory
+  // never scales with the full grid.
+  const std::vector<CellSpec> pattern = group_pattern(spec);
+  const std::size_t per_group = pattern.size();
+  const std::size_t num_groups = per_group ? num_topology_groups(spec) : 0;
+  // This shard's groups are rank -> group shard_index-1 + rank·shard_count
+  // (the round-robin deal of shard_group_ranks, in closed form).
+  const auto shard_base = static_cast<std::size_t>(spec.shard_index - 1);
+  const auto shard_step = static_cast<std::size_t>(spec.shard_count);
+  const std::size_t my_groups =
+      num_groups > shard_base
+          ? (num_groups - shard_base + shard_step - 1) / shard_step
+          : 0;
+  auto group_of_rank = [&](std::size_t rank) {
+    return shard_base + rank * shard_step;
+  };
+
+  SweepSummary summary;
+  summary.total_cells = per_group * num_groups;
+
+  // Reorder ring: workers finish groups out of order, rows must leave in
+  // grid order.  Claiming rank r blocks until r is within `window` of the
+  // emit cursor, so slot r % window cannot still be occupied by rank
+  // r - window (that rank was emitted before the claim unblocked) — the
+  // buffer is genuinely O(window), independent of the shard's group count.
+  struct Slot {
+    std::vector<CellResult> rows;
+    bool done = false;
+  };
+  std::mutex emit_mutex;
+  std::condition_variable emit_advanced;
+  std::size_t next_emit = 0;
+  bool emitting = false;  // exactly one thread drains the ring at a time
 
   const std::size_t workers = std::min<std::size_t>(
-      static_cast<std::size_t>(spec.threads), groups.size());
+      static_cast<std::size_t>(spec.threads), std::max<std::size_t>(
+                                                  my_groups, 1));
+  const std::size_t window = std::max<std::size_t>(4 * workers, 16);
+  std::vector<Slot> slots(std::min(window, std::max<std::size_t>(
+                                               my_groups, 1)));
+
+  auto finish_group = [&](std::size_t rank, std::vector<CellResult>&& rows) {
+    std::unique_lock<std::mutex> lock(emit_mutex);
+    Slot& mine = slots[rank % slots.size()];
+    mine.rows = std::move(rows);
+    mine.done = true;
+    if (emitting) return;  // the current emitter will drain this slot too
+    emitting = true;
+    while (next_emit < my_groups && slots[next_emit % slots.size()].done) {
+      Slot& slot = slots[next_emit % slots.size()];
+      std::vector<CellResult> batch = std::move(slot.rows);
+      slot.rows = std::vector<CellResult>();
+      slot.done = false;
+      for (const CellResult& row : batch) {
+        ++summary.cells;
+        if (row.status == CellStatus::kError) ++summary.errors;
+        else if (!row.feasible) ++summary.infeasible;
+        else ++summary.ok;
+      }
+      ++next_emit;
+      emit_advanced.notify_all();
+      // Row formatting/file I/O happens outside the lock so other workers
+      // keep finishing groups; order is safe because `emitting` admits
+      // one drainer at a time and batches leave in next_emit order.
+      lock.unlock();
+      if (sink)
+        for (const CellResult& row : batch) sink(row);
+      lock.lock();
+    }
+    emitting = false;
+  };
+
+  auto run_rank = [&](std::size_t rank, NetworkPool& pool,
+                      std::vector<CellSpec>& group) {
+    const std::size_t g = group_of_rank(rank);
+    stamp_group(spec, g, group);
+    std::vector<CellResult> rows(per_group);
+    run_group(group, g * per_group, spec.exact_baseline_max_n, &pool,
+              /*keep_solutions=*/false, rows.data());
+    finish_group(rank, std::move(rows));
+  };
+
   if (workers <= 1) {
-    for (const Group& group : groups)
-      run_group(cells, group, spec.exact_baseline_max_n, result.cells);
+    // Single worker: groups run and emit strictly in order, no buffering.
+    NetworkPool pool;
+    std::vector<CellSpec> group = pattern;
+    for (std::size_t rank = 0; rank < my_groups; ++rank)
+      run_rank(rank, pool, group);
   } else {
     std::atomic<std::size_t> cursor{0};
     auto drain = [&]() {
+      NetworkPool pool;
+      std::vector<CellSpec> group = pattern;
       for (;;) {
-        const std::size_t g = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (g >= groups.size()) return;
-        run_group(cells, groups[g], spec.exact_baseline_max_n, result.cells);
+        const std::size_t rank =
+            cursor.fetch_add(1, std::memory_order_relaxed);
+        if (rank >= my_groups) return;
+        {
+          // Backpressure: the lowest unfinished rank's owner never waits
+          // (all earlier ranks are done, so next_emit has reached it),
+          // which guarantees progress and therefore no deadlock.
+          std::unique_lock<std::mutex> lock(emit_mutex);
+          emit_advanced.wait(lock,
+                             [&] { return rank < next_emit + window; });
+        }
+        run_rank(rank, pool, group);
       }
     };
-    std::vector<std::thread> pool;
-    pool.reserve(workers - 1);
-    for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
+    std::vector<std::thread> threads;
+    threads.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) threads.emplace_back(drain);
     drain();
-    for (std::thread& t : pool) t.join();
+    for (std::thread& t : threads) t.join();
   }
 
-  result.wall_ms_total = elapsed_ms(started);
+  summary.wall_ms_total = elapsed_ms(started);
+  return summary;
+}
+
+SweepResult run_sweep(const SweepSpec& spec) {
+  SweepResult result;
+  result.spec = spec;
+  const SweepSummary summary = run_sweep_stream(
+      spec, [&](const CellResult& row) { result.cells.push_back(row); });
+  result.total_cells = summary.total_cells;
+  result.wall_ms_total = summary.wall_ms_total;
   return result;
 }
 

@@ -1,22 +1,37 @@
 // Batch experiment runner: expands a declarative (scenario × algorithm ×
 // size × power × epsilon × seed) grid into cells and executes them on a
-// thread pool.
+// thread pool — optionally only the slice belonging to one shard of a
+// multi-process sweep.
 //
 // Determinism contract: a sweep's cell list and every per-cell result are
 // functions of the spec alone.  Cells draw their randomness from streams
-// derived by `mix_seed`, never from a shared generator, and results land
-// in pre-assigned slots, so the output is byte-identical across runs and
-// across worker counts (wall-clock fields are collected but excluded from
-// the deterministic reports by default).
+// derived by `mix_seed`, never from a shared generator, and rows are
+// emitted in global grid order regardless of worker count, so the output
+// is byte-identical across runs, across worker counts, and across shard
+// partitions once merged (wall-clock fields are collected but excluded
+// from the deterministic reports by default).
 //
 // Scheduling: cells sharing (scenario, n, seed) form one work group — the
 // group builds its base graph once, materializes each needed power once,
 // and keeps one CONGEST simulator per communication graph, handing it to
 // every algorithm cell in turn (the solvers rewind it via
-// Network::reset()).  Workers claim whole groups off an atomic cursor.
+// Network::reset()).  Workers claim whole groups off an atomic cursor and
+// recycle simulator allocations *across* groups through a per-worker pool
+// keyed by topology size (Network::reset(topology) rebinds in place).
+//
+// Sharding: groups are dealt round-robin to shards (group g of k shards
+// belongs to shard (g % k) + 1), so every shard sees a balanced mix of
+// sizes and the union over shards is exactly the full grid.  Each row
+// carries its global cell index, which is what `merge` sorts by.
+//
+// Streaming: `run_sweep_stream` hands each finished row to a sink in
+// deterministic order and never accumulates the whole sweep (solutions
+// are dropped after the feasibility check — sweeps keep sizes, not n-bit
+// sets), so million-cell experiment sets run in bounded memory.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -36,6 +51,10 @@ struct SweepSpec {
   // Cells with n <= this get an exact optimum as baseline; larger cells a
   // greedy/2-approx one.  <= 0 disables baselines entirely.
   graph::VertexId exact_baseline_max_n = 26;
+  // This process runs shard `shard_index` of `shard_count` (1-based,
+  // 1 <= index <= count).  The default 1/1 is the whole grid.
+  int shard_index = 1;
+  int shard_count = 1;
 };
 
 struct CellSpec {
@@ -56,6 +75,9 @@ std::string_view baseline_kind_name(BaselineKind b);
 
 struct CellResult {
   CellSpec spec;
+  // Position of this cell in the *full* expand_grid order — stable across
+  // shard partitions, so per-shard reports merge back deterministically.
+  std::uint64_t cell_index = 0;
   CellStatus status = CellStatus::kOk;
   std::string error;  // non-empty iff status == kError
 
@@ -65,8 +87,9 @@ struct CellResult {
   std::size_t comm_edges = 0;    // |E(G^k)|
   std::size_t target_edges = 0;  // |E(G^r)| — the problem graph
 
-  // Outcome.  The solution itself is kept (n bits per cell) so single-cell
-  // callers (the CLI's `run`) can print it; reports only use its size.
+  // Outcome.  Single-cell callers (the CLI's `run`) keep the solution so
+  // it can be printed; the sweep paths clear it after the feasibility
+  // check and report only its size.
   graph::VertexSet solution;
   std::size_t solution_size = 0;
   bool feasible = false;  // checked against G^r
@@ -85,19 +108,46 @@ struct CellResult {
 
 struct SweepResult {
   SweepSpec spec;
-  std::vector<CellResult> cells;  // in expand_grid order
+  std::vector<CellResult> cells;  // this shard's cells, in expand_grid order
+  std::size_t total_cells = 0;    // full-grid cell count (all shards)
   double wall_ms_total = 0.0;
 };
+
+/// Row-count summary returned by the streaming runner (the rows themselves
+/// went to the sink).
+struct SweepSummary {
+  std::size_t cells = 0;  // rows this shard executed
+  std::size_t ok = 0;
+  std::size_t infeasible = 0;
+  std::size_t errors = 0;
+  std::size_t total_cells = 0;  // full-grid cell count (all shards)
+  double wall_ms_total = 0.0;
+};
+
+/// Receives finished rows in ascending cell_index order.
+using RowSink = std::function<void(const CellResult&)>;
 
 /// Expands the grid in deterministic order (scenario, size, seed outermost
 /// so cells of one topology are contiguous; then power, algorithm,
 /// epsilon).  Unknown scenario/algorithm names throw; (algorithm, r) pairs
 /// the algorithm cannot express are skipped; algorithms that ignore
 /// epsilon contribute one cell per (…, r) regardless of the epsilon list.
+/// Always the *full* grid — sharding selects a subset at execution time.
 std::vector<CellSpec> expand_grid(const SweepSpec& spec);
 
+/// |expand_grid(spec)| without materializing the grid (only the per-group
+/// pattern) — for callers that just need the size (the CLI's zero-cell
+/// check, report preludes).
+std::size_t count_grid_cells(const SweepSpec& spec);
+
+/// The global cell indices (into expand_grid order) that this spec's shard
+/// executes: whole topology groups, dealt round-robin by group rank.  With
+/// shard 1/1 this is simply 0..N-1.
+std::vector<std::size_t> shard_cell_indices(const SweepSpec& spec);
+
 /// Validates spec values (positive sizes, r >= 1, epsilon in (0, 1],
-/// threads >= 1, no empty dimension); throws PreconditionViolation.
+/// threads >= 1, 1 <= shard_index <= shard_count, no empty dimension);
+/// throws PreconditionViolation.
 void validate_spec(const SweepSpec& spec);
 
 /// Runs one cell in isolation (builds the topology itself).  Exceptions
@@ -109,7 +159,14 @@ CellResult run_cell(const CellSpec& cell, graph::VertexId exact_baseline_max_n);
 CellResult run_cell_on(const graph::Graph& base, const CellSpec& cell,
                        graph::VertexId exact_baseline_max_n);
 
-/// Runs the whole grid on `spec.threads` workers.
+/// Runs this shard of the grid on `spec.threads` workers, streaming each
+/// finished row to `sink` in ascending cell_index order (a reorder buffer
+/// holds at most the out-of-order window, never the whole sweep).  Rows
+/// arrive with their solution bitsets already dropped.
+SweepSummary run_sweep_stream(const SweepSpec& spec, const RowSink& sink);
+
+/// Convenience wrapper over run_sweep_stream that collects this shard's
+/// rows into a SweepResult.  Prefer the streaming form for large sweeps.
 SweepResult run_sweep(const SweepSpec& spec);
 
 }  // namespace pg::scenario

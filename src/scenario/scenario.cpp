@@ -6,6 +6,7 @@
 
 #include "graph/generators.hpp"
 #include "graph/ops.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace pg::scenario {
@@ -15,12 +16,7 @@ using graph::VertexId;
 
 std::uint64_t mix_seed(std::uint64_t seed, std::string_view label) {
   // FNV-1a over the label, then a SplitMix64 finalizer over the xor.
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (char c : label) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ull;
-  }
-  std::uint64_t z = seed ^ h;
+  std::uint64_t z = seed ^ fnv1a64(label);
   z += 0x9e3779b97f4a7c15ull;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;

@@ -1,0 +1,20 @@
+// Small non-cryptographic hashing shared by the seed-mixing and
+// report-fingerprinting code, so the constants live in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pg {
+
+/// FNV-1a, 64-bit.
+inline std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace pg

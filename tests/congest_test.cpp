@@ -268,6 +268,44 @@ TEST(Network, RejectsOversizedBroadcast) {
                PreconditionViolation);
 }
 
+TEST(Network, RebindReusesBuffersAndMatchesFreshConstruction) {
+  // The sweep runner's pool rebinds one simulator across topologies of a
+  // group sweep; after reset(topology) the network must be
+  // indistinguishable from a freshly constructed one — same inboxes, same
+  // stats, no state leaking from the previous graph (which here exercised
+  // both the unicast and the broadcast buffers).
+  Network net(graph::complete_graph(6));
+  net.round([&](NodeView& node) {
+    node.broadcast(Message{static_cast<std::uint8_t>(node.id()), {}});
+  });
+  net.round([&](NodeView& node) {
+    if (node.id() == 1) node.send(0, Message{42, {}});
+  });
+  EXPECT_GT(net.stats().messages, 0);
+
+  const Graph cycle = graph::cycle_graph(9);
+  net.reset(cycle);
+  Network fresh(cycle);
+  EXPECT_EQ(net.n(), fresh.n());
+  EXPECT_EQ(net.bandwidth(), fresh.bandwidth());
+  EXPECT_EQ(net.stats(), fresh.stats());
+
+  auto run_round = [](Network& target) {
+    std::vector<std::vector<int>> heard(target.n());
+    target.round([&](NodeView& node) {
+      node.broadcast(
+          Message{static_cast<std::uint8_t>(node.id() * 10), {}});
+    });
+    target.round([&](NodeView& node) {
+      for (const Incoming& in : node.inbox())
+        heard[static_cast<std::size_t>(node.id())].push_back(in.msg.kind);
+    });
+    return heard;
+  };
+  EXPECT_EQ(run_round(net), run_round(fresh));
+  EXPECT_EQ(net.stats(), fresh.stats());
+}
+
 TEST(Primitives, LeaderElectionFindsMinId) {
   Rng rng(23);
   for (int trial = 0; trial < 5; ++trial) {

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <initializer_list>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -91,6 +93,68 @@ TEST(Cli, SweepValidatesItsLists) {
   EXPECT_EQ(cli({"sweep", "--sizes", "x"}).exit_code, 2);
 }
 
+TEST(Cli, SweepValidatesShardSpecs) {
+  auto sweep_shard = [](const std::string& shard) {
+    return cli({"sweep", "--sizes", "8", "--shard", shard});
+  };
+  // 1 <= i <= k, integers only, exit 2 with a usage-style message.
+  EXPECT_EQ(sweep_shard("0/2").exit_code, 2);
+  EXPECT_EQ(sweep_shard("3/2").exit_code, 2);
+  EXPECT_EQ(sweep_shard("1/0").exit_code, 2);
+  EXPECT_EQ(sweep_shard("-1/2").exit_code, 2);
+  EXPECT_EQ(sweep_shard("2").exit_code, 2);
+  EXPECT_EQ(sweep_shard("a/b").exit_code, 2);
+  EXPECT_EQ(sweep_shard("1/2x").exit_code, 2);
+  EXPECT_EQ(cli({"sweep", "--sizes", "8", "--shard"}).exit_code, 2);
+  const CliRun r = sweep_shard("5/4");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("shard index"), std::string::npos) << r.err;
+}
+
+TEST(Cli, MergeValidatesItsArguments) {
+  EXPECT_EQ(cli({"merge"}).exit_code, 2);  // no output selected
+  EXPECT_EQ(cli({"merge", "--csv", "-"}).exit_code, 2);  // no inputs
+  EXPECT_EQ(cli({"merge", "--bogus", "x"}).exit_code, 2);
+  EXPECT_EQ(
+      cli({"merge", "--csv", "-", "--json", "-", "somefile"}).exit_code, 2);
+  const CliRun missing =
+      cli({"merge", "--csv", "-", "/nonexistent/shard1.csv"});
+  EXPECT_EQ(missing.exit_code, 2);
+  EXPECT_NE(missing.err.find("cannot read"), std::string::npos);
+}
+
+TEST(Cli, ShardedSweepsMergeToTheSingleProcessBytes) {
+  const std::vector<std::string> base = {
+      "sweep", "--scenarios", "path,ba,tree", "--algorithms",
+      "gr-mvc,matching", "--sizes", "10,14", "--powers", "1,2", "--seeds",
+      "1,2"};
+  auto with = [&](std::initializer_list<std::string> extra) {
+    std::vector<std::string> args = base;
+    args.insert(args.end(), extra.begin(), extra.end());
+    return args;
+  };
+  const std::string dir = ::testing::TempDir();
+  const std::string s1 = dir + "pg_cli_shard1.csv";
+  const std::string s2 = dir + "pg_cli_shard2.csv";
+
+  const CliRun single = cli(with({"--csv", "-"}));
+  EXPECT_EQ(single.exit_code, 0) << single.err;
+  EXPECT_EQ(cli(with({"--shard", "1/2", "--csv", s1})).exit_code, 0);
+  EXPECT_EQ(cli(with({"--shard", "2/2", "--csv", s2})).exit_code, 0);
+
+  const CliRun merged = cli({"merge", "--csv", "-", s1, s2});
+  EXPECT_EQ(merged.exit_code, 0) << merged.err;
+  EXPECT_EQ(merged.out, single.out);
+
+  // A missing shard is a hard error, not a silent partial merge.
+  const CliRun partial = cli({"merge", "--csv", "-", s1});
+  EXPECT_EQ(partial.exit_code, 2);
+  EXPECT_NE(partial.err.find("missing shard"), std::string::npos)
+      << partial.err;
+  std::remove(s1.c_str());
+  std::remove(s2.c_str());
+}
+
 TEST(Cli, SweepRejectsZeroCellGrids) {
   // mvc needs even r, so this grid expands to nothing — an almost-certain
   // typo that must not read as "all cells ok".
@@ -156,6 +220,25 @@ TEST(Cli, SweepEmitsDeterministicCsv) {
   threaded.push_back("4");
   EXPECT_EQ(once.out, cli(threaded).out);
   EXPECT_NE(once.err.find("4 cells"), std::string::npos) << once.err;
+}
+
+TEST(Cli, SweepCsvAndJsonToSharedStdoutEmitSequentially) {
+  // Both formats on one target must land as two complete documents (CSV
+  // first), never interleaved row-by-row.
+  const CliRun r = cli({"sweep", "--scenarios", "path", "--algorithms",
+                        "gr-mvc", "--sizes", "10", "--powers", "2", "--csv",
+                        "-", "--json", "-"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const auto csv_at = r.out.find("cell_index,scenario");
+  const auto json_at = r.out.find("{\n  \"spec\": {");
+  ASSERT_NE(csv_at, std::string::npos);
+  ASSERT_NE(json_at, std::string::npos);
+  EXPECT_LT(csv_at, json_at);
+  // Every line before the JSON document is a CSV header or row; the JSON
+  // block contains no spliced CSV rows.
+  EXPECT_EQ(r.out.find("\"cells\": [0,"), std::string::npos);
+  EXPECT_EQ(r.out.substr(json_at).find(",path,gr-mvc,10,2,"),
+            std::string::npos);
 }
 
 TEST(Cli, SweepJsonToStdout) {
