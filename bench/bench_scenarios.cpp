@@ -69,6 +69,18 @@ void BM_ScenarioBuildPlanted(benchmark::State& state) {
 }
 BENCHMARK(BM_ScenarioBuildPlanted)->Arg(256)->Arg(1024)->Arg(4096);
 
+// The degree-scaled registry variant: constant expected degrees keep the
+// clustered family O(n + m) all the way to n = 10^5 (the named `planted`
+// above stays dense on purpose and tops out near 10^4).
+void BM_ScenarioBuildPlantedSparse(benchmark::State& state) {
+  const auto n = static_cast<pg::graph::VertexId>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(build("planted-sparse", n));
+}
+BENCHMARK(BM_ScenarioBuildPlantedSparse)
+    ->Arg(4096)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
 // The registry's planted scenario keeps dense constant probabilities, so
 // it cannot scale past ~10⁴; this bench tracks the raw generator in the
 // sparse regime (constant expected degree) that large sweeps use.
@@ -137,32 +149,19 @@ BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 // so these numbers are exact trajectory points — a jump in median_ratio
 // in BENCH_scenarios.json is a quality regression, same as a jump in
 // cpu_time is a perf regression.
-void BM_ScenarioQuality(benchmark::State& state, const std::string& scenario,
-                        const std::string& algorithm) {
-  pg::scenario::SweepSpec spec;
-  spec.scenarios = {scenario};
-  spec.algorithms = {algorithm};
-  spec.sizes = {16, 24};
-  spec.powers = {2};
-  spec.epsilons = {0.25};
-  spec.seeds = {1, 2, 3};
-  spec.exact_baseline_max_n = 26;  // exact optimum at these sizes
-  pg::scenario::SweepResult result;
-  for (auto _ : state) {
-    result = pg::scenario::run_sweep(spec);
-    benchmark::DoNotOptimize(result);
-  }
-  auto median = [](std::vector<double> values) {
-    if (values.empty()) return 0.0;
-    std::sort(values.begin(), values.end());
-    const std::size_t mid = values.size() / 2;
-    return values.size() % 2 ? values[mid]
-                             : (values[mid - 1] + values[mid]) / 2.0;
-  };
-  // Only feasible cells enter the medians: an infeasible (undersized)
-  // solution would drag median_ratio *down* and read as an improvement.
-  // Infeasible/error counts get their own counters so that regression
-  // class is visible too (both are 0 on a healthy registry).
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  return values.size() % 2 ? values[mid]
+                           : (values[mid - 1] + values[mid]) / 2.0;
+}
+
+// Exports the median ratio/rounds of the sweep's feasible cells as
+// counters (infeasible/error cells counted separately — an undersized
+// infeasible solution would otherwise read as an improvement).
+void export_quality_counters(benchmark::State& state,
+                             const pg::scenario::SweepResult& result) {
   std::vector<double> ratios, rounds;
   double bad = 0;
   for (const pg::scenario::CellResult& cell : result.cells) {
@@ -179,9 +178,54 @@ void BM_ScenarioQuality(benchmark::State& state, const std::string& scenario,
   state.counters["infeasible_or_error"] = bad;
 }
 
+void BM_ScenarioQuality(benchmark::State& state, const std::string& scenario,
+                        const std::string& algorithm) {
+  pg::scenario::SweepSpec spec;
+  spec.scenarios = {scenario};
+  spec.algorithms = {algorithm};
+  spec.sizes = {16, 24};
+  spec.powers = {2};
+  spec.epsilons = {0.25};
+  spec.seeds = {1, 2, 3};
+  spec.exact_baseline_max_n = 26;  // exact optimum at these sizes
+  pg::scenario::SweepResult result;
+  for (auto _ : state) {
+    result = pg::scenario::run_sweep(spec);
+    benchmark::DoNotOptimize(result);
+  }
+  export_quality_counters(state, result);
+}
+
+// Large-n ratio trajectories: the same dashboard at power-law scale,
+// scored against the *implicit* greedy baselines (exact oracles are out
+// of reach at these sizes).  These cells exist because the gr-mvc path
+// and the feasibility/baseline plumbing no longer materialize G^2 —
+// before PowerView they stalled for minutes each.  One seed, one size
+// per cell keeps a full regeneration to a few minutes of wall clock.
+void BM_ScenarioQualityLarge(benchmark::State& state,
+                             const std::string& scenario,
+                             const std::string& algorithm,
+                             pg::graph::VertexId n) {
+  pg::scenario::SweepSpec spec;
+  spec.scenarios = {scenario};
+  spec.algorithms = {algorithm};
+  spec.sizes = {n};
+  spec.powers = {2};
+  spec.epsilons = {0.25};
+  spec.seeds = {1};
+  spec.exact_baseline_max_n = 26;  // far exceeded: greedy baselines
+  pg::scenario::SweepResult result;
+  for (auto _ : state) {
+    result = pg::scenario::run_sweep(spec);
+    benchmark::DoNotOptimize(result);
+  }
+  export_quality_counters(state, result);
+}
+
 void register_quality_dashboard() {
-  const std::vector<std::string> scenarios = {"ba", "chung-lu", "geo-torus",
-                                              "planted", "gnp-sparse"};
+  const std::vector<std::string> scenarios = {
+      "ba", "chung-lu", "geo-torus", "planted", "planted-sparse",
+      "gnp-sparse"};
   const std::vector<std::string> algorithms = {"mvc", "mds", "matching",
                                                "gr-mvc"};
   for (const std::string& scenario : scenarios)
@@ -190,6 +234,26 @@ void register_quality_dashboard() {
           ("BM_ScenarioQuality/" + scenario + "/" + algorithm).c_str(),
           BM_ScenarioQuality, scenario, algorithm)
           ->Unit(benchmark::kMillisecond);
+
+  struct LargeCell {
+    const char* scenario;
+    const char* algorithm;
+    pg::graph::VertexId n;
+  };
+  // gr-mvc reaches n = 10^5 directly; the CONGEST mds cells stay at
+  // 2*10^4 where a full simulation is a few seconds on one core.
+  const std::vector<LargeCell> large = {
+      {"chung-lu", "gr-mvc", 100000},      {"ba", "gr-mvc", 100000},
+      {"planted-sparse", "gr-mvc", 100000}, {"chung-lu", "mds", 20000},
+      {"ba", "mds", 20000},
+  };
+  for (const LargeCell& cell : large)
+    benchmark::RegisterBenchmark(
+        ("BM_ScenarioQualityLarge/" + std::string(cell.scenario) + "/" +
+         cell.algorithm + "/" + std::to_string(cell.n))
+            .c_str(),
+        BM_ScenarioQualityLarge, cell.scenario, cell.algorithm, cell.n)
+        ->Unit(benchmark::kMillisecond);
 }
 
 }  // namespace

@@ -1,11 +1,11 @@
 #include "core/gr_mvc.hpp"
 
 #include <cmath>
-#include <deque>
 
 #include "graph/ops.hpp"
-#include "graph/power.hpp"
+#include "graph/power_view.hpp"
 #include "solvers/exact_vc.hpp"
+#include "solvers/greedy.hpp"
 
 namespace pg::core {
 
@@ -15,31 +15,39 @@ using graph::VertexSet;
 
 namespace {
 
-/// Vertices within distance `radius` of `center`, excluding it.
-std::vector<VertexId> ball_around(const Graph& g, VertexId center,
-                                  int radius) {
-  std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), -1);
-  std::deque<VertexId> queue{center};
-  dist[static_cast<std::size_t>(center)] = 0;
-  std::vector<VertexId> ball;
-  while (!queue.empty()) {
-    const VertexId u = queue.front();
-    queue.pop_front();
-    if (dist[static_cast<std::size_t>(u)] == radius) continue;
-    for (VertexId w : g.neighbors(u)) {
-      if (dist[static_cast<std::size_t>(w)] != -1) continue;
-      dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(u)] + 1;
-      ball.push_back(w);
-      queue.push_back(w);
-    }
+/// Node budget for one component: the full remaining budget for small
+/// components (where the seed behavior must be preserved bit for bit),
+/// size-scaled above that so a single stubborn component cannot burn
+/// minutes of wall clock before giving up.
+std::int64_t component_budget(VertexId comp_size, std::int64_t remaining) {
+  if (comp_size <= 64) return remaining;
+  return std::min<std::int64_t>(remaining,
+                                std::max<std::int64_t>(50'000,
+                                                       64'000'000 / comp_size));
+}
+
+/// Solves MVC on one remainder component (a subgraph of the induced power
+/// graph), exactly when small enough and within budget, by local ratio
+/// otherwise.  Returns the component's cover in component-local ids.
+VertexSet solve_component(const Graph& comp, VertexId max_exact,
+                          std::int64_t& budget, bool& optimal) {
+  if (comp.num_vertices() > max_exact || budget <= 0) {
+    optimal = false;
+    const graph::VertexWeights unit(comp.num_vertices(), 1);
+    return solvers::local_ratio_mwvc(comp, unit);
   }
-  return ball;
+  const auto exact =
+      solvers::solve_mvc(comp, component_budget(comp.num_vertices(), budget));
+  budget -= exact.nodes_explored;
+  if (!exact.optimal) optimal = false;
+  return exact.solution;
 }
 
 }  // namespace
 
 GrMvcResult solve_gr_mvc(const Graph& g, int r, double epsilon,
-                         std::int64_t exact_node_budget) {
+                         std::int64_t exact_node_budget,
+                         VertexId max_exact_component) {
   PG_REQUIRE(r >= 2, "the ball structure needs r >= 2");
   PG_REQUIRE(epsilon > 0 && epsilon <= 1, "epsilon must lie in (0, 1]");
   const int l = static_cast<int>(std::ceil(1.0 / epsilon));
@@ -47,45 +55,81 @@ GrMvcResult solve_gr_mvc(const Graph& g, int r, double epsilon,
 
   GrMvcResult result;
   result.cover = VertexSet(g.num_vertices());
-  const auto n = static_cast<std::size_t>(g.num_vertices());
-  std::vector<bool> in_r(n, true);
+  const VertexId n = g.num_vertices();
+  const auto un = static_cast<std::size_t>(n);
+  std::vector<bool> in_r(un, true);
+  graph::PowerView view(g, r);
 
-  // Phase 1: while some ball B_⌊r/2⌋(c) holds more than l uncovered
-  // vertices, cover the whole ball.  It is a clique of G^r, so any optimal
-  // solution pays at least |ball ∩ R| - 1 there (the Lemma 5 charge).
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    for (VertexId c = 0; c < g.num_vertices(); ++c) {
-      const auto ball = ball_around(g, c, radius);
-      std::vector<VertexId> active;
-      for (VertexId v : ball)
-        if (in_r[static_cast<std::size_t>(v)]) active.push_back(v);
-      if (static_cast<int>(active.size()) <= l) continue;
-      for (VertexId v : active) {
-        in_r[static_cast<std::size_t>(v)] = false;
-        result.cover.insert(v);
-      }
-      ++result.centers;
-      progress = true;
+  // Phase 1, worklist form: maintain active[c] = |B_radius(c) \ {c} ∩ R|
+  // exactly, decrementing it for every ball that loses a covered vertex
+  // (dist(c, v) <= radius is symmetric, so the balls containing v are the
+  // ball around v).  Counts only ever decrease, so a single ascending scan
+  // that covers every ball still holding more than l uncovered vertices is
+  // equivalent to the seed's repeated full re-scan loop — each ball is a
+  // clique of G^r, the Lemma 5 charge — at O(n + |E(G^radius)|) total
+  // instead of O(passes × n × BFS).
+  std::vector<std::int32_t> active(un, 0);
+  for (VertexId c = 0; c < n; ++c) {
+    std::int32_t count = 0;
+    view.for_each_in_ball(c, radius, [&](VertexId) { ++count; });
+    active[static_cast<std::size_t>(c)] = count;
+  }
+  std::vector<VertexId> ball;
+  for (VertexId c = 0; c < n; ++c) {
+    if (active[static_cast<std::size_t>(c)] <= l) continue;
+    ball.clear();
+    view.for_each_in_ball(c, radius, [&](VertexId v) {
+      if (in_r[static_cast<std::size_t>(v)]) ball.push_back(v);
+    });
+    for (VertexId v : ball) {
+      in_r[static_cast<std::size_t>(v)] = false;
+      result.cover.insert(v);
+      view.for_each_in_ball(v, radius, [&](VertexId w) {
+        --active[static_cast<std::size_t>(w)];
+      });
     }
+    ++result.centers;
   }
   result.phase1_size = result.cover.size();
 
-  // Phase 2: solve the remainder exactly.  Every ball now holds at most l
-  // uncovered vertices, so the remainder of G^r is sparse.
-  const Graph power = graph::power(g, r);
+  // Phase 2: solve the remainder.  Only the remainder-induced power
+  // subgraph is ever built (truncated BFS from remainder vertices) — the
+  // full G^r is never materialized on this path.  The induced graph
+  // splits into components; each is solved exactly under the node budget
+  // when small, by the local-ratio 2-approximation otherwise
+  // (remainder_optimal reports which happened, as with a budget abort).
   std::vector<VertexId> remainder;
-  for (std::size_t v = 0; v < n; ++v)
+  for (std::size_t v = 0; v < un; ++v)
     if (in_r[v]) remainder.push_back(static_cast<VertexId>(v));
   result.remainder_size = remainder.size();
-  const auto induced = graph::induced_subgraph(power, remainder);
-  const auto exact = solvers::solve_mvc(induced.graph, exact_node_budget);
-  result.remainder_optimal = exact.optimal;
-  for (VertexId local : exact.solution.to_vector())
-    result.cover.insert(induced.to_original[static_cast<std::size_t>(local)]);
+  const auto induced = graph::induced_power_subgraph(g, r, remainder);
+  std::int64_t budget = exact_node_budget;
+  const auto comps = graph::connected_components(induced.graph);
+  if (comps.count <= 1) {
+    const VertexSet cover = solve_component(
+        induced.graph, max_exact_component, budget, result.remainder_optimal);
+    for (VertexId local : cover.to_vector())
+      result.cover.insert(
+          induced.to_original[static_cast<std::size_t>(local)]);
+  } else {
+    std::vector<std::vector<VertexId>> members(
+        static_cast<std::size_t>(comps.count));
+    for (VertexId v = 0; v < induced.graph.num_vertices(); ++v)
+      members[static_cast<std::size_t>(
+                  comps.component[static_cast<std::size_t>(v)])]
+          .push_back(v);
+    for (const std::vector<VertexId>& comp_vertices : members) {
+      const auto comp =
+          graph::induced_subgraph(induced.graph, comp_vertices);
+      const VertexSet cover = solve_component(
+          comp.graph, max_exact_component, budget, result.remainder_optimal);
+      for (VertexId local : cover.to_vector())
+        result.cover.insert(induced.to_original[static_cast<std::size_t>(
+            comp.to_original[static_cast<std::size_t>(local)])]);
+    }
+  }
 
-  PG_CHECK(graph::is_vertex_cover(power, result.cover),
+  PG_CHECK(graph::is_vertex_cover_power(g, r, result.cover),
            "G^r ball cover is not a vertex cover");
   return result;
 }

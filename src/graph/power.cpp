@@ -1,8 +1,10 @@
 #include "graph/power.hpp"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
+#include "graph/power_view.hpp"
 #include "util/bitset.hpp"
 
 namespace pg::graph {
@@ -11,26 +13,25 @@ Graph square(const Graph& g) { return power(g, 2); }
 
 namespace detail {
 
-// Truncated BFS from every source with flat frontier arrays.  The reach
-// sets are recorded unsorted; because G^r is symmetric and sources run in
-// ascending order, a counting transpose (row w = the sources whose reach
-// contained w, in scan order) emits every CSR row already sorted — no
-// per-run sort, no global sort, no dedup pass.
-Graph power_sparse(const Graph& g, int r) {
-  const VertexId n = g.num_vertices();
-  const std::size_t un = static_cast<std::size_t>(n);
+namespace {
 
-  // Pass 1: concatenated unsorted reach runs, one per source.
-  std::vector<VertexId> hits;
-  hits.reserve(2 * g.num_edges());
-  std::vector<std::size_t> run_end(un + 1, 0);
+// The shared pass-1 kernel: truncated BFS from every source in [lo, hi)
+// with flat frontier arrays and stamp marks, appending each source's
+// unsorted reach run to `hits` and recording run boundaries in `run_end`
+// (run_end[s - lo + 1] = end of source s's run).  Both the serial and the
+// sharded-parallel transpose consume these runs, so the traversal exists
+// exactly once.
+void reach_runs(const Graph& g, int r, VertexId lo, VertexId hi,
+                std::vector<VertexId>& hits,
+                std::vector<std::size_t>& run_end) {
+  const std::size_t un = static_cast<std::size_t>(g.num_vertices());
+  run_end.assign(static_cast<std::size_t>(hi - lo) + 1, 0);
   // mark[v] == current source iff v was reached; stamps avoid clearing.
   std::vector<VertexId> mark(un, -1);
   std::vector<VertexId> frontier, next;
   frontier.reserve(un);
   next.reserve(un);
-
-  for (VertexId source = 0; source < n; ++source) {
+  for (VertexId source = lo; source < hi; ++source) {
     frontier.clear();
     frontier.push_back(source);
     mark[static_cast<std::size_t>(source)] = source;
@@ -47,8 +48,26 @@ Graph power_sparse(const Graph& g, int r) {
       }
       std::swap(frontier, next);
     }
-    run_end[static_cast<std::size_t>(source) + 1] = hits.size();
+    run_end[static_cast<std::size_t>(source - lo) + 1] = hits.size();
   }
+}
+
+}  // namespace
+
+// Truncated BFS from every source with flat frontier arrays.  The reach
+// sets are recorded unsorted; because G^r is symmetric and sources run in
+// ascending order, a counting transpose (row w = the sources whose reach
+// contained w, in scan order) emits every CSR row already sorted — no
+// per-run sort, no global sort, no dedup pass.
+Graph power_sparse(const Graph& g, int r) {
+  const VertexId n = g.num_vertices();
+  const std::size_t un = static_cast<std::size_t>(n);
+
+  // Pass 1: concatenated unsorted reach runs, one per source.
+  std::vector<VertexId> hits;
+  hits.reserve(2 * g.num_edges());
+  std::vector<std::size_t> run_end;
+  reach_runs(g, r, 0, n, hits, run_end);
 
   // Pass 2: counting transpose into sorted CSR rows.
   std::vector<std::size_t> offsets(un + 1, 0);
@@ -103,9 +122,93 @@ Graph power_bitset(const Graph& g, int r) {
   return Graph::from_csr(std::move(offsets), std::move(adjacency));
 }
 
+Graph power_sparse_parallel(const Graph& g, int r, int threads) {
+  const VertexId n = g.num_vertices();
+  const std::size_t un = static_cast<std::size_t>(n);
+  const std::size_t workers = std::min<std::size_t>(
+      std::max(threads, 1), std::max<std::size_t>(un, 1));
+  if (workers <= 1) return power_sparse(g, r);
+
+  // Split the sources into contiguous ranges of roughly equal adjacency
+  // mass, so a handful of hubs cannot serialize the sweep.
+  const auto offsets = g.adjacency_offsets();
+  const std::size_t total = offsets[un];
+  std::vector<VertexId> bounds(workers + 1, n);
+  bounds[0] = 0;
+  for (std::size_t t = 1; t < workers; ++t) {
+    const std::size_t want = t * total / workers;
+    bounds[t] = static_cast<VertexId>(
+        std::lower_bound(offsets.begin(), offsets.begin() + n + 1, want) -
+        offsets.begin());
+    bounds[t] = std::max(bounds[t], bounds[t - 1]);
+  }
+
+  // Pass 1 in parallel: each worker runs the shared reach_runs kernel
+  // over its own source range into private buffers, then counts its hits
+  // per reached vertex.
+  struct Shard {
+    std::vector<VertexId> hits;
+    std::vector<std::size_t> run_end;  // per source in range, end into hits
+    std::vector<std::size_t> count;    // hits per reached vertex; later the
+                                       // shard's scatter cursor
+  };
+  std::vector<Shard> shards(workers);
+  auto sweep = [&](std::size_t t) {
+    Shard& shard = shards[t];
+    reach_runs(g, r, bounds[t], bounds[t + 1], shard.hits, shard.run_end);
+    shard.count.assign(un, 0);
+    for (VertexId w : shard.hits) ++shard.count[static_cast<std::size_t>(w)];
+  };
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(sweep, t);
+    sweep(0);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Row offsets from the per-shard counts, and per-(shard, vertex) scatter
+  // cursors: shard t's sources land after shards < t within each row, so
+  // rows come out sorted exactly as in the serial transpose.
+  std::vector<std::size_t> out_offsets(un + 1, 0);
+  for (std::size_t v = 0; v < un; ++v) {
+    std::size_t row = 0;
+    for (const Shard& shard : shards) row += shard.count[v];
+    out_offsets[v + 1] = out_offsets[v] + row;
+  }
+  for (std::size_t v = 0; v < un; ++v) {
+    std::size_t cursor = out_offsets[v];
+    for (Shard& shard : shards) {
+      const std::size_t mine = shard.count[v];
+      shard.count[v] = cursor;
+      cursor += mine;
+    }
+  }
+
+  std::vector<VertexId> adjacency(out_offsets[un]);
+  auto scatter = [&](std::size_t t) {
+    Shard& shard = shards[t];
+    const VertexId lo = bounds[t], hi = bounds[t + 1];
+    for (VertexId source = lo; source < hi; ++source) {
+      const auto s = static_cast<std::size_t>(source - lo);
+      for (std::size_t i = shard.run_end[s]; i < shard.run_end[s + 1]; ++i)
+        adjacency[shard.count[static_cast<std::size_t>(
+            shard.hits[i])]++] = source;
+    }
+  };
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(scatter, t);
+    scatter(0);
+    for (std::thread& t : pool) t.join();
+  }
+  return Graph::from_csr(std::move(out_offsets), std::move(adjacency));
+}
+
 }  // namespace detail
 
-Graph power(const Graph& g, int r) {
+Graph power(const Graph& g, int r, int threads) {
   PG_REQUIRE(r >= 1, "graph power exponent must be >= 1");
   if (r == 1) return g;
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
@@ -117,20 +220,28 @@ Graph power(const Graph& g, int r) {
   // matrix falls out of cache and the sparse path wins outright.
   const bool dense = n >= 64 && n <= 8192 &&
                      directed_edges >= n * std::max<std::size_t>(6, n / 64);
-  return dense ? detail::power_bitset(g, r) : detail::power_sparse(g, r);
+  if (dense) return detail::power_bitset(g, r);
+  // The per-source BFS sweep is embarrassingly parallel; thread it once
+  // the instance is big enough that spawn overhead disappears into the
+  // O(|E(G^r)|) work.  Output is thread-count-independent (exact
+  // transpose), so determinism contracts are unaffected.
+  if (threads == 0) {
+    // hardware_concurrency is a syscall-backed query; cache it so small
+    // graphs (a few microseconds per power()) don't pay it every call.
+    static const unsigned hw = std::thread::hardware_concurrency();
+    const bool big = n >= 4096 && directed_edges >= (1u << 16);
+    threads = big && hw > 1 ? static_cast<int>(std::min(hw, 8u)) : 1;
+  }
+  return detail::power_sparse_parallel(g, r, threads);
 }
 
 std::vector<VertexId> two_hop_neighbors(const Graph& g, VertexId v) {
   g.check_vertex(v);
-  std::vector<VertexId> out;
-  for (VertexId u : g.neighbors(v)) {
-    out.push_back(u);
-    for (VertexId w : g.neighbors(u))
-      if (w != v) out.push_back(w);
-  }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  // Same stamp-marked reach computation as power_sparse / PowerView: the
+  // marks deduplicate, so the old sort+unique pass collapses to the one
+  // sort that restores the documented ascending order.
+  PowerView view(g, 2);
+  return view.neighbors(v);
 }
 
 bool within_two_hops(const Graph& g, VertexId u, VertexId v) {

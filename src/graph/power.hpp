@@ -17,10 +17,18 @@ Graph square(const Graph& g);
 /// bitset-row sweep (one adjacency-matrix row per vertex) that wins once
 /// average degree is high; the m/n heuristic picks per call.  Both paths
 /// bypass GraphBuilder (no global edge sort, no dedup pass).
-Graph power(const Graph& g, int r);
+///
+/// `threads` caps the sparse path's BFS parallelism: 0 (default) sizes
+/// itself from hardware_concurrency on large instances, 1 forces serial —
+/// what callers that are themselves a thread pool (the sweep runner's
+/// workers) pass to avoid oversubscription.  The output is identical for
+/// every value.
+Graph power(const Graph& g, int r, int threads = 0);
 
 /// The distinct vertices at distance exactly 1 or 2 from v in G
 /// (non-inclusive two-hop neighborhood), without materializing G^2.
+/// Allocates O(n) scratch per call — for bulk queries over many vertices,
+/// hold a graph::PowerView and reuse its scratch instead.
 std::vector<VertexId> two_hop_neighbors(const Graph& g, VertexId v);
 
 /// True iff dist_G(u, v) <= 2 and u != v.
@@ -31,6 +39,13 @@ namespace detail {
 /// against a reference implementation regardless of the dispatch heuristic.
 Graph power_sparse(const Graph& g, int r);
 Graph power_bitset(const Graph& g, int r);
+
+/// power_sparse with pass 1 (the per-source truncated BFS) split over
+/// `threads` contiguous source ranges balanced by adjacency mass, and the
+/// counting transpose parallelized with per-thread cursors.  The output is
+/// byte-identical to power_sparse for every thread count; threads <= 1
+/// falls through to the serial code.
+Graph power_sparse_parallel(const Graph& g, int r, int threads);
 }  // namespace detail
 
 }  // namespace pg::graph

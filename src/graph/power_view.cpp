@@ -1,0 +1,186 @@
+#include "graph/power_view.hpp"
+
+#include <algorithm>
+
+namespace pg::graph {
+
+std::vector<VertexId> PowerView::neighbors(VertexId center) {
+  std::vector<VertexId> out;
+  for_each_neighbor(center, [&](VertexId v) { out.push_back(v); });
+  // The stamp marks already deduplicated; one sort restores the CSR-row
+  // ordering contract of the materialized graph.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t PowerView::degree(VertexId center) {
+  std::size_t count = 0;
+  for_each_neighbor(center, [&](VertexId) { ++count; });
+  return count;
+}
+
+std::size_t PowerView::num_edges() {
+  if (cached_edges_ != kNoCache) return cached_edges_;
+  std::size_t reach = 0;
+  for (VertexId v = 0; v < g_->num_vertices(); ++v) reach += degree(v);
+  cached_edges_ = reach / 2;  // G^r is symmetric
+  return cached_edges_;
+}
+
+bool PowerView::adjacent(VertexId u, VertexId v) {
+  g_->check_vertex(u);
+  g_->check_vertex(v);
+  if (u == v) return false;
+  // BFS from the lower-degree endpoint, returning as soon as the other
+  // appears (the common case — a direct neighbor — costs one row scan).
+  const VertexId source = g_->degree(u) <= g_->degree(v) ? u : v;
+  const VertexId target = source == u ? v : u;
+  const std::uint64_t stamp = ++stamp_;
+  mark_[static_cast<std::size_t>(source)] = stamp;
+  frontier_.clear();
+  frontier_.push_back(source);
+  for (int d = 0; d < r_ && !frontier_.empty(); ++d) {
+    next_.clear();
+    for (VertexId x : frontier_) {
+      for (VertexId w : g_->neighbors(x)) {
+        auto& m = mark_[static_cast<std::size_t>(w)];
+        if (m == stamp) continue;
+        m = stamp;
+        if (w == target) return true;
+        next_.push_back(w);
+      }
+    }
+    std::swap(frontier_, next_);
+  }
+  return false;
+}
+
+InducedSubgraph induced_power_subgraph(const Graph& g, int r,
+                                       std::span<const VertexId> vertices) {
+  PG_REQUIRE(r >= 1, "graph power exponent must be >= 1");
+  const std::size_t un = static_cast<std::size_t>(g.num_vertices());
+  InducedSubgraph result;
+  result.to_new.assign(un, -1);
+  result.to_original.reserve(vertices.size());
+  for (VertexId v : vertices) {
+    g.check_vertex(v);
+    PG_REQUIRE(result.to_new[static_cast<std::size_t>(v)] == -1,
+               "induced subgraph vertices must be distinct");
+    result.to_new[static_cast<std::size_t>(v)] =
+        static_cast<VertexId>(result.to_original.size());
+    result.to_original.push_back(v);
+  }
+
+  // Truncated BFS from each subset vertex over the *full* graph (shortest
+  // paths may leave the subset), recording reached subset members as new
+  // ids.  Sources run in ascending new id, so the same counting transpose
+  // as detail::power_sparse emits every CSR row already sorted.
+  const std::size_t k = result.to_original.size();
+  PowerView view(g, r);
+  std::vector<VertexId> hits;
+  std::vector<std::size_t> run_end(k + 1, 0);
+  for (std::size_t s = 0; s < k; ++s) {
+    view.for_each_in_ball(result.to_original[s], r, [&](VertexId w) {
+      const VertexId w_new = result.to_new[static_cast<std::size_t>(w)];
+      if (w_new != -1) hits.push_back(w_new);
+    });
+    run_end[s + 1] = hits.size();
+  }
+
+  std::vector<std::size_t> offsets(k + 1, 0);
+  for (VertexId w : hits) ++offsets[static_cast<std::size_t>(w) + 1];
+  for (std::size_t v = 0; v < k; ++v) offsets[v + 1] += offsets[v];
+  std::vector<VertexId> adjacency(hits.size());
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t s = 0; s < k; ++s)
+    for (std::size_t i = run_end[s]; i < run_end[s + 1]; ++i)
+      adjacency[cursor[static_cast<std::size_t>(hits[i])]++] =
+          static_cast<VertexId>(s);
+  result.graph =
+      Graph::from_csr(std::move(offsets), std::move(adjacency));
+  return result;
+}
+
+namespace {
+
+/// Truncated multi-source BFS: dist/label per vertex from the given
+/// sources (label = first source to reach it, sources in ascending order),
+/// out to the given depth.  Unreached vertices keep dist -1.
+struct MultiSourceBfs {
+  std::vector<int> dist;
+  std::vector<VertexId> label;
+
+  MultiSourceBfs(const Graph& g, const std::vector<VertexId>& sources,
+                 int depth)
+      : dist(static_cast<std::size_t>(g.num_vertices()), -1),
+        label(static_cast<std::size_t>(g.num_vertices()), -1) {
+    std::vector<VertexId> frontier, next;
+    frontier.reserve(sources.size());
+    for (VertexId s : sources) {
+      dist[static_cast<std::size_t>(s)] = 0;
+      label[static_cast<std::size_t>(s)] = s;
+      frontier.push_back(s);
+    }
+    for (int d = 0; d < depth && !frontier.empty(); ++d) {
+      next.clear();
+      for (VertexId u : frontier) {
+        for (VertexId w : g.neighbors(u)) {
+          auto& dw = dist[static_cast<std::size_t>(w)];
+          if (dw != -1) continue;
+          dw = d + 1;
+          label[static_cast<std::size_t>(w)] =
+              label[static_cast<std::size_t>(u)];
+          next.push_back(w);
+        }
+      }
+      std::swap(frontier, next);
+    }
+  }
+};
+
+}  // namespace
+
+bool is_vertex_cover_power(const Graph& g, int r, const VertexSet& s) {
+  PG_REQUIRE(r >= 1, "graph power exponent must be >= 1");
+  PG_REQUIRE(s.universe_size() == g.num_vertices(), "set/graph size mismatch");
+  // s covers G^r iff the non-members are pairwise farther than r apart.
+  // The closest pair of non-members is found by Voronoi-style multi-source
+  // BFS: on a shortest path between the closest pair, the label-changing
+  // edge (x, y) satisfies dist(x) + dist(y) + 1 <= path length, and both
+  // endpoints lie within depth floor(r/2) of their sources — so a BFS
+  // truncated there plus one edge scan decides "closest pair <= r" in
+  // O(n + m) without materializing anything.
+  std::vector<VertexId> sources;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (!s.contains(v)) sources.push_back(v);
+  if (sources.size() <= 1) return true;
+
+  const MultiSourceBfs bfs(g, sources, r / 2);
+  bool covered = true;
+  g.for_each_edge([&](VertexId u, VertexId v) {
+    const auto lu = bfs.label[static_cast<std::size_t>(u)];
+    const auto lv = bfs.label[static_cast<std::size_t>(v)];
+    if (lu == -1 || lv == -1 || lu == lv) return;
+    if (bfs.dist[static_cast<std::size_t>(u)] +
+            bfs.dist[static_cast<std::size_t>(v)] + 1 <=
+        r)
+      covered = false;
+  });
+  return covered;
+}
+
+bool is_dominating_set_power(const Graph& g, int r, const VertexSet& s) {
+  PG_REQUIRE(r >= 1, "graph power exponent must be >= 1");
+  PG_REQUIRE(s.universe_size() == g.num_vertices(), "set/graph size mismatch");
+  std::vector<VertexId> sources;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (s.contains(v)) sources.push_back(v);
+  if (sources.empty()) return g.num_vertices() == 0;
+
+  const MultiSourceBfs bfs(g, sources, r);
+  for (int d : bfs.dist)
+    if (d == -1) return false;
+  return true;
+}
+
+}  // namespace pg::graph

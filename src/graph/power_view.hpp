@@ -1,0 +1,113 @@
+// Implicit power graphs.  `PowerView(g, r)` answers G^r queries — ball
+// iteration, neighborhoods, degrees, edge counts — by truncated BFS on G
+// with stamp-marked scratch, never materializing G^r.  On the power-law
+// regimes the large-n sweeps target, |E(G^r)| is orders of magnitude
+// larger than |E(G)|, so the implicit oracle is the difference between a
+// few O(n)-sized scratch arrays and a multi-gigabyte CSR.
+//
+// The free functions cover the two operations the experiment layer needs
+// on top of raw balls: feasibility checks on G^r (vertex cover /
+// domination) in O(n + m) via truncated multi-source BFS, and the
+// remainder-induced power subgraph (BFS only from subset vertices) that
+// `core::solve_gr_mvc`'s exact phase consumes.  All of them are
+// property-tested to agree exactly with `graph::power` + the materialized
+// checks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/cover.hpp"
+#include "graph/graph.hpp"
+#include "graph/ops.hpp"
+
+namespace pg::graph {
+
+/// Read-only oracle over G^r (r >= 1).  Holds O(n) scratch (stamp marks
+/// and two frontier arrays) that is reused across queries, so a sweep of
+/// n ball queries costs O(sum of ball sizes), not O(n^2).  Queries mutate
+/// the scratch: a PowerView is not thread-safe; give each worker its own.
+class PowerView {
+ public:
+  PowerView(const Graph& g, int r)
+      : g_(&g), r_(r),
+        mark_(static_cast<std::size_t>(g.num_vertices()), 0) {
+    PG_REQUIRE(r >= 1, "graph power exponent must be >= 1");
+    frontier_.reserve(mark_.size());
+    next_.reserve(mark_.size());
+  }
+
+  const Graph& base() const { return *g_; }
+  int power() const { return r_; }
+
+  /// Calls fn(v) once for every v != center with dist_G(center, v) in
+  /// [1, depth], in BFS discovery order (unsorted).
+  template <typename Fn>
+  void for_each_in_ball(VertexId center, int depth, Fn&& fn) {
+    g_->check_vertex(center);
+    const std::uint64_t stamp = ++stamp_;
+    mark_[static_cast<std::size_t>(center)] = stamp;
+    frontier_.clear();
+    frontier_.push_back(center);
+    for (int d = 0; d < depth && !frontier_.empty(); ++d) {
+      next_.clear();
+      for (VertexId u : frontier_) {
+        for (VertexId w : g_->neighbors(u)) {
+          auto& m = mark_[static_cast<std::size_t>(w)];
+          if (m == stamp) continue;
+          m = stamp;
+          next_.push_back(w);
+          fn(w);
+        }
+      }
+      std::swap(frontier_, next_);
+    }
+  }
+
+  /// The G^r-neighborhood of center (depth r ball).
+  template <typename Fn>
+  void for_each_neighbor(VertexId center, Fn&& fn) {
+    for_each_in_ball(center, r_, fn);
+  }
+
+  /// N_{G^r}(center), sorted ascending — matches power(g, r).neighbors().
+  std::vector<VertexId> neighbors(VertexId center);
+
+  /// |N_{G^r}(center)|.
+  std::size_t degree(VertexId center);
+
+  /// |E(G^r)|, by summing truncated-BFS reach counts over all sources.
+  /// Cached after the first call.
+  std::size_t num_edges();
+
+  /// True iff u != v and dist_G(u, v) <= r.
+  bool adjacent(VertexId u, VertexId v);
+
+ private:
+  const Graph* g_;
+  int r_;
+  std::uint64_t stamp_ = 0;
+  std::vector<std::uint64_t> mark_;   // mark_[v] == stamp_ iff reached
+  std::vector<VertexId> frontier_, next_;
+  std::size_t cached_edges_ = kNoCache;
+  static constexpr std::size_t kNoCache = static_cast<std::size_t>(-1);
+};
+
+/// Subgraph of G^r induced by `vertices` (distinct ids, any order), built
+/// by truncated BFS from the subset only — never the full G^r.  Exactly
+/// equal (ids, CSR rows, mappings) to
+/// `induced_subgraph(power(g, r), vertices)`, but costs
+/// O(sum of subset ball sizes) instead of |E(G^r)|.
+InducedSubgraph induced_power_subgraph(const Graph& g, int r,
+                                       std::span<const VertexId> vertices);
+
+/// True iff `s` covers every edge of G^r, i.e. the non-members are
+/// pairwise at distance > r in G.  One truncated multi-source BFS from
+/// the non-members (depth r/2) plus an edge scan: O(n + m), no G^r.
+bool is_vertex_cover_power(const Graph& g, int r, const VertexSet& s);
+
+/// True iff every vertex is within distance r (in G) of a member of `s`.
+/// One truncated multi-source BFS from the members: O(n + m), no G^r.
+bool is_dominating_set_power(const Graph& g, int r, const VertexSet& s);
+
+}  // namespace pg::graph

@@ -12,6 +12,7 @@
 #include "congest/network.hpp"
 #include "graph/cover.hpp"
 #include "graph/power.hpp"
+#include "graph/power_view.hpp"
 #include "scenario/scenario.hpp"
 #include "solvers/exact_ds.hpp"
 #include "solvers/exact_vc.hpp"
@@ -84,15 +85,23 @@ class NetworkPool {
 };
 
 /// Everything the cells of one (scenario, n, seed) group share: the base
-/// topology, its materialized powers, one simulator per communication
-/// graph, and the reference-solver baselines.  Owned by exactly one
-/// worker, so no synchronization is needed inside.  Simulators come from
-/// the worker's pool (when one is supplied) and return to it on
-/// destruction.
+/// topology, the materialized powers that serve as *communication*
+/// graphs, one simulator per communication graph, and the
+/// reference-solver baselines.  Target powers G^r that no CONGEST cell
+/// runs on are never materialized — feasibility checks, edge counts, and
+/// the large-n greedy baselines all go through graph::PowerView's
+/// truncated BFS, so a centralized cell at n = 10^5 costs O(n + m)
+/// memory where it used to cost |E(G^r)|.  Owned by exactly one worker,
+/// so no synchronization is needed inside.  Simulators come from the
+/// worker's pool (when one is supplied) and return to it on destruction.
 class GroupContext {
  public:
-  GroupContext(Graph base, NetworkPool* pool)
-      : base_(std::move(base)), pool_(pool) {}
+  /// `power_threads` is forwarded to graph::power's sparse path: workers
+  /// of a multi-threaded sweep pass 1 so the per-group materializations
+  /// do not oversubscribe the machine the sweep is already saturating;
+  /// single-cell callers pass 0 (auto).
+  GroupContext(Graph base, NetworkPool* pool, int power_threads = 0)
+      : base_(std::move(base)), pool_(pool), power_threads_(power_threads) {}
 
   ~GroupContext() {
     if (pool_ == nullptr) return;
@@ -101,13 +110,46 @@ class GroupContext {
 
   const Graph& base() const { return base_; }
 
+  /// Materializes G^k.  Only the simulator topologies should come through
+  /// here; everything else uses the implicit paths below.
   const Graph& power_of(int k) {
     PG_REQUIRE(k >= 1, "graph power must be positive");
     if (k == 1) return base_;
     auto it = powers_.find(k);
     if (it == powers_.end())
-      it = powers_.emplace(k, graph::power(base_, k)).first;
+      it = powers_.emplace(k, graph::power(base_, k, power_threads_)).first;
     return it->second;
+  }
+
+  /// G^r if a communication graph already materialized it, else nullptr
+  /// (the caller answers its query implicitly).
+  const Graph* materialized(int r) const {
+    if (r == 1) return &base_;
+    const auto it = powers_.find(r);
+    return it == powers_.end() ? nullptr : &it->second;
+  }
+
+  /// |E(G^r)| — from the materialized graph when one exists, by a
+  /// PowerView reach count otherwise (identical value, no CSR).
+  std::size_t target_edges(int r) {
+    if (const Graph* target = materialized(r)) return target->num_edges();
+    auto [it, fresh] = edge_counts_.try_emplace(r, 0);
+    if (fresh) it->second = graph::PowerView(base_, r).num_edges();
+    return it->second;
+  }
+
+  /// Feasibility of a solution on G^r; implicit whenever G^r is not
+  /// already on hand as a communication graph.
+  bool feasible_on_target(Problem problem, int r,
+                          const graph::VertexSet& solution) const {
+    if (const Graph* target = materialized(r)) {
+      return problem == Problem::kVertexCover
+                 ? graph::is_vertex_cover(*target, solution)
+                 : graph::is_dominating_set(*target, solution);
+    }
+    return problem == Problem::kVertexCover
+               ? graph::is_vertex_cover_power(base_, r, solution)
+               : graph::is_dominating_set_power(base_, r, solution);
   }
 
   congest::Network& net_of(int k) {
@@ -127,6 +169,12 @@ class GroupContext {
     std::size_t size = 0;
   };
 
+  /// Reference-solver score for (problem, r).  Deterministically a
+  /// function of (topology, problem, r, exact_max_n) alone — never of
+  /// which powers other cells happened to materialize: the exact oracle
+  /// builds its (oracle-sized) G^r locally, and the greedy baselines run
+  /// implicitly for r >= 2, producing vertex-for-vertex the same sets as
+  /// their materialized counterparts.
   const Baseline& baseline_of(Problem problem, int r, VertexId exact_max_n) {
     const auto key = std::make_pair(static_cast<int>(problem), r);
     auto it = baselines_.find(key);
@@ -134,10 +182,12 @@ class GroupContext {
 
     Baseline b;
     if (exact_max_n > 0) {
-      const Graph& target = power_of(r);
-      const VertexId n = target.num_vertices();
+      const VertexId n = base_.num_vertices();
       bool solved = false;
       if (n <= exact_max_n) {
+        const Graph local_power =
+            r == 1 ? Graph() : graph::power(base_, r);
+        const Graph& target = r == 1 ? base_ : local_power;
         const auto exact = problem == Problem::kVertexCover
                                ? solvers::solve_mvc(target)
                                : solvers::solve_mds(target);
@@ -149,10 +199,15 @@ class GroupContext {
       }
       if (!solved) {
         if (problem == Problem::kVertexCover) {
-          const graph::VertexWeights unit(n, 1);
-          b.size = solvers::local_ratio_mwvc(target, unit).size();
+          if (r == 1) {
+            const graph::VertexWeights unit(n, 1);
+            b.size = solvers::local_ratio_mwvc(base_, unit).size();
+          } else {
+            b.size = solvers::local_ratio_mvc_power(base_, r).size();
+          }
         } else {
-          b.size = solvers::greedy_mds(target).size();
+          b.size = r == 1 ? solvers::greedy_mds(base_).size()
+                          : solvers::greedy_mds_power(base_, r).size();
         }
         b.kind = BaselineKind::kGreedy;
       }
@@ -163,7 +218,9 @@ class GroupContext {
  private:
   Graph base_;
   NetworkPool* pool_;
+  int power_threads_;
   std::map<int, Graph> powers_;
+  std::map<int, std::size_t> edge_counts_;
   std::map<int, std::unique_ptr<congest::Network>> nets_;
   std::map<std::pair<int, int>, Baseline> baselines_;
 };
@@ -179,11 +236,12 @@ void execute_cell(const CellSpec& spec, GroupContext& group,
                    std::to_string(spec.r));
     const int k = comm_power(alg, spec.r);
     const Graph& comm = group.power_of(k);
-    const Graph& target = group.power_of(spec.r);
     out.base_edges = group.base().num_edges();
     out.comm_power = k;
     out.comm_edges = comm.num_edges();
-    out.target_edges = target.num_edges();
+    // The target G^r is only queried implicitly from here on; it gets
+    // materialized solely when it doubles as a communication graph.
+    out.target_edges = group.target_edges(spec.r);
 
     AlgorithmContext ctx;
     ctx.base = &group.base();
@@ -208,9 +266,8 @@ void execute_cell(const CellSpec& spec, GroupContext& group,
     out.messages = outcome.messages;
     out.total_bits = outcome.total_bits;
     out.exact = outcome.exact;
-    out.feasible = alg.problem == Problem::kVertexCover
-                       ? graph::is_vertex_cover(target, out.solution)
-                       : graph::is_dominating_set(target, out.solution);
+    out.feasible =
+        group.feasible_on_target(alg.problem, spec.r, out.solution);
 
     const auto& baseline =
         group.baseline_of(alg.problem, spec.r, exact_baseline_max_n);
@@ -276,11 +333,13 @@ void stamp_group(const SweepSpec& spec, std::size_t g,
 /// has consumed them (the sweep path — reports only need sizes).
 void run_group(const std::vector<CellSpec>& cells,
                std::size_t first_global_index, VertexId exact_baseline_max_n,
-               NetworkPool* pool, bool keep_solutions, CellResult* results) {
+               NetworkPool* pool, int power_threads, bool keep_solutions,
+               CellResult* results) {
   const CellSpec& head = cells.front();
   try {
     const Scenario& scenario = scenario_or_throw(head.scenario);
-    GroupContext context(scenario.build(head.n, head.seed), pool);
+    GroupContext context(scenario.build(head.n, head.seed), pool,
+                         power_threads);
     for (std::size_t i = 0; i < cells.size(); ++i) {
       CellResult& out = results[i];
       execute_cell(cells[i], context, exact_baseline_max_n, out);
@@ -361,7 +420,7 @@ CellResult run_cell(const CellSpec& cell, VertexId exact_baseline_max_n) {
   std::vector<CellResult> results(1);
   const std::vector<CellSpec> cells = {cell};
   run_group(cells, 0, exact_baseline_max_n, /*pool=*/nullptr,
-            /*keep_solutions=*/true, results.data());
+            /*power_threads=*/0, /*keep_solutions=*/true, results.data());
   return std::move(results[0]);
 }
 
@@ -456,7 +515,7 @@ SweepSummary run_sweep_stream(const SweepSpec& spec, const RowSink& sink) {
     stamp_group(spec, g, group);
     std::vector<CellResult> rows(per_group);
     run_group(group, g * per_group, spec.exact_baseline_max_n, &pool,
-              /*keep_solutions=*/false, rows.data());
+              workers > 1 ? 1 : 0, /*keep_solutions=*/false, rows.data());
     finish_group(rank, std::move(rows));
   };
 

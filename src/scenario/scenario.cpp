@@ -128,6 +128,21 @@ std::vector<Scenario> make_registry() {
         return graph::link_components(
             graph::planted_partition(n, k, 0.5, 0.05, rng));
       });
+  add("planted-sparse", "clustered",
+      "planted partition, degree-scaled: 4 blocks, p_in 40/n, p_out 2/n "
+      "(linked)",
+      [](VertexId n, std::uint64_t seed) {
+        // `planted` keeps dense constant probabilities, so it tops out
+        // near 10^4; this variant holds expected degrees constant
+        // (~10 intra + ~1.5 inter), keeping clustered sweeps O(n + m)
+        // all the way to n = 10^5.
+        Rng rng(mix_seed(seed, "planted-sparse"));
+        const VertexId k = std::min<VertexId>(4, std::max<VertexId>(n, 1));
+        const double scale = static_cast<double>(std::max<VertexId>(n, 1));
+        return graph::link_components(graph::planted_partition(
+            n, k, std::min(1.0, 40.0 / scale), std::min(1.0, 2.0 / scale),
+            rng));
+      });
 
   std::sort(s.begin(), s.end(),
             [](const Scenario& a, const Scenario& b) { return a.name < b.name; });

@@ -1,6 +1,9 @@
 #include "solvers/greedy.hpp"
 
 #include <algorithm>
+#include <queue>
+
+#include "graph/power_view.hpp"
 
 namespace pg::solvers {
 
@@ -83,6 +86,95 @@ VertexSet greedy_mds(const Graph& g) { return greedy_ds_impl(g, nullptr); }
 VertexSet greedy_mwds(const Graph& g, const VertexWeights& w) {
   PG_REQUIRE(w.size() == g.num_vertices(), "weights/graph size mismatch");
   return greedy_ds_impl(g, &w);
+}
+
+VertexSet local_ratio_mvc_power(const Graph& g, int r) {
+  // Unit-weight local ratio over for_each_edge order degenerates to the
+  // lexicographic greedy matching: scanning rows u ascending, an unmatched
+  // u pairs with its smallest unmatched G^r-neighbor v > u (a row's edges
+  // after the pairing see a zero residual and do nothing, and edges to
+  // smaller ids were already decided in earlier rows).  Simulating that
+  // needs one ball scan per still-unmatched row, never G^r itself.
+  const VertexId n = g.num_vertices();
+  graph::PowerView view(g, r);
+  std::vector<char> matched(static_cast<std::size_t>(n), 0);
+  VertexSet cover(n);
+  for (VertexId u = 0; u < n; ++u) {
+    if (matched[static_cast<std::size_t>(u)]) continue;
+    VertexId best = -1;
+    view.for_each_neighbor(u, [&](VertexId v) {
+      if (v > u && !matched[static_cast<std::size_t>(v)] &&
+          (best == -1 || v < best))
+        best = v;
+    });
+    if (best == -1) continue;
+    matched[static_cast<std::size_t>(u)] = 1;
+    matched[static_cast<std::size_t>(best)] = 1;
+    cover.insert(u);
+    cover.insert(best);
+  }
+  return cover;
+}
+
+VertexSet greedy_mds_power(const Graph& g, int r) {
+  // Lazy greedy: stored heap gains are upper bounds (gains only decrease),
+  // so a popped entry is re-evaluated with one ball BFS and selected only
+  // when its fresh gain still beats — or ties at a lower id than — the
+  // next stored entry.  Ties resolve to the lowest id, matching
+  // greedy_ds_impl's strict `score > best` scan exactly.
+  const VertexId n = g.num_vertices();
+  const auto un = static_cast<std::size_t>(n);
+  graph::PowerView view(g, r);
+  std::vector<char> dominated(un, 0);
+  std::size_t num_dominated = 0;
+  VertexSet ds(n);
+
+  struct Entry {
+    std::size_t gain;
+    VertexId id;
+    bool operator<(const Entry& o) const {  // max-heap: gain desc, id asc
+      if (gain != o.gain) return gain < o.gain;
+      return id > o.id;
+    }
+  };
+  std::priority_queue<Entry> heap;
+  auto fresh_gain = [&](VertexId c) {
+    std::size_t gain = dominated[static_cast<std::size_t>(c)] ? 0 : 1;
+    view.for_each_neighbor(c, [&](VertexId u) {
+      if (!dominated[static_cast<std::size_t>(u)]) ++gain;
+    });
+    return gain;
+  };
+  for (VertexId c = 0; c < n; ++c)
+    heap.push({1 + view.degree(c), c});
+
+  while (num_dominated < un) {
+    PG_CHECK(!heap.empty(), "greedy DS stalled before full domination");
+    const Entry top = heap.top();
+    heap.pop();
+    if (ds.contains(top.id)) continue;  // stale duplicate of a selection
+    const std::size_t gain = fresh_gain(top.id);
+    if (gain == 0) continue;  // fully dominated ball; can never fire again
+    if (!heap.empty()) {
+      const Entry& next = heap.top();
+      if (gain < next.gain || (gain == next.gain && top.id > next.id)) {
+        heap.push({gain, top.id});
+        continue;
+      }
+    }
+    ds.insert(top.id);
+    if (!dominated[static_cast<std::size_t>(top.id)]) {
+      dominated[static_cast<std::size_t>(top.id)] = 1;
+      ++num_dominated;
+    }
+    view.for_each_neighbor(top.id, [&](VertexId u) {
+      if (!dominated[static_cast<std::size_t>(u)]) {
+        dominated[static_cast<std::size_t>(u)] = 1;
+        ++num_dominated;
+      }
+    });
+  }
+  return ds;
 }
 
 }  // namespace pg::solvers

@@ -23,4 +23,22 @@ graph::VertexSet greedy_mds(const graph::Graph& g);
 graph::VertexSet greedy_mwds(const graph::Graph& g,
                              const graph::VertexWeights& w);
 
+// Implicit power-graph baselines: the same covers/sets the materialized
+// baselines produce on G^r, computed through graph::PowerView's truncated
+// BFS instead of graph::power — this is what lets the sweep runner score
+// large-n cells (where G^r would be hundreds of millions of edges)
+// against the usual greedy references.  Both are property-tested to equal
+// their materialized counterparts vertex-for-vertex.
+
+/// Exactly local_ratio_mwvc(power(g, r), unit weights): the lexicographic
+/// greedy matching of G^r, simulated edge-order-faithfully with one
+/// truncated BFS per unmatched vertex.  2-approximate MVC of G^r.
+graph::VertexSet local_ratio_mvc_power(const graph::Graph& g, int r);
+
+/// Exactly greedy_mds(power(g, r)): max-coverage greedy dominating set of
+/// G^r via lazy gain re-evaluation over PowerView balls (gains only
+/// decrease, so a stale max-heap entry re-checks in one BFS).
+/// (1 + ln(Delta_r + 1))-approximate MDS of G^r.
+graph::VertexSet greedy_mds_power(const graph::Graph& g, int r);
+
 }  // namespace pg::solvers

@@ -1,0 +1,225 @@
+// Property tests for the implicit power-graph layer: PowerView adjacency,
+// the remainder-induced power subgraph, the implicit cover/domination
+// checks, and the implicit greedy baselines must all agree exactly with
+// the materialized graph::power path across random and structured
+// instances for r in {2, 3, 4} (and the r = 1 edge case).  The threaded
+// power_sparse pass is pinned byte-identical to the serial one here too.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/ops.hpp"
+#include "graph/power.hpp"
+#include "graph/power_view.hpp"
+#include "solvers/greedy.hpp"
+#include "util/rng.hpp"
+
+namespace pg::graph {
+namespace {
+
+std::vector<Graph> test_instances() {
+  std::vector<Graph> out;
+  Rng rng(211);
+  out.push_back(path_graph(37));
+  out.push_back(star_graph(24));
+  out.push_back(grid_graph(6, 7));
+  out.push_back(gnp(45, 3.0 / 45, rng));  // possibly disconnected
+  out.push_back(connected_gnp(40, 0.12, rng));
+  out.push_back(barabasi_albert(50, 2, rng));
+  out.push_back(link_components(chung_lu(60, 2.5, 4.0, rng)));
+  GraphBuilder isolated(5);
+  isolated.add_edge(1, 3);
+  out.push_back(std::move(isolated).build());
+  return out;
+}
+
+TEST(PowerView, NeighborsDegreesAndEdgeCountMatchMaterialized) {
+  const auto instances = test_instances();
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Graph& g = instances[i];
+    for (int r : {1, 2, 3, 4}) {
+      const Graph materialized = power(g, r);
+      PowerView view(g, r);
+      EXPECT_EQ(view.num_edges(), materialized.num_edges())
+          << "instance " << i << ", r=" << r;
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        const auto want = materialized.neighbors(v);
+        EXPECT_EQ(view.neighbors(v),
+                  std::vector<VertexId>(want.begin(), want.end()))
+            << "instance " << i << ", r=" << r << ", vertex " << v;
+        EXPECT_EQ(view.degree(v), materialized.degree(v))
+            << "instance " << i << ", r=" << r << ", vertex " << v;
+      }
+    }
+  }
+}
+
+TEST(PowerView, AdjacentMatchesMaterialized) {
+  Rng rng(223);
+  const Graph g = connected_gnp(30, 0.1, rng);
+  for (int r : {2, 3}) {
+    const Graph materialized = power(g, r);
+    PowerView view(g, r);
+    for (VertexId u = 0; u < g.num_vertices(); ++u)
+      for (VertexId v = 0; v < g.num_vertices(); ++v)
+        EXPECT_EQ(view.adjacent(u, v), materialized.has_edge(u, v) && u != v)
+            << "r=" << r << " (" << u << "," << v << ")";
+  }
+}
+
+TEST(PowerView, InducedPowerSubgraphMatchesMaterialized) {
+  Rng rng(227);
+  const auto instances = test_instances();
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Graph& g = instances[i];
+    if (g.num_vertices() < 2) continue;
+    for (int r : {2, 3, 4}) {
+      const Graph materialized = power(g, r);
+      // Random subsets of several densities, in shuffled (non-sorted)
+      // order — the mapping contract depends on subset order.
+      for (double keep : {0.2, 0.5, 0.9}) {
+        std::vector<VertexId> subset;
+        for (VertexId v = 0; v < g.num_vertices(); ++v)
+          if (rng.next_double() < keep) subset.push_back(v);
+        for (std::size_t j = subset.size(); j > 1; --j)
+          std::swap(subset[j - 1],
+                    subset[static_cast<std::size_t>(rng.next_int(
+                        0, static_cast<int>(j) - 1))]);
+        const auto want = induced_subgraph(materialized, subset);
+        const auto got = induced_power_subgraph(g, r, subset);
+        ASSERT_EQ(got.to_original, want.to_original)
+            << "instance " << i << ", r=" << r;
+        ASSERT_EQ(got.to_new, want.to_new) << "instance " << i << ", r=" << r;
+        ASSERT_EQ(got.graph.num_vertices(), want.graph.num_vertices());
+        ASSERT_EQ(got.graph.num_edges(), want.graph.num_edges())
+            << "instance " << i << ", r=" << r;
+        for (VertexId v = 0; v < want.graph.num_vertices(); ++v) {
+          const auto w = want.graph.neighbors(v);
+          const auto h = got.graph.neighbors(v);
+          ASSERT_EQ(std::vector<VertexId>(w.begin(), w.end()),
+                    std::vector<VertexId>(h.begin(), h.end()))
+              << "instance " << i << ", r=" << r << ", vertex " << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(PowerView, ImplicitChecksMatchMaterialized) {
+  Rng rng(229);
+  const auto instances = test_instances();
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Graph& g = instances[i];
+    for (int r : {1, 2, 3, 4}) {
+      const Graph materialized = power(g, r);
+      // Random sets of several densities plus the two boundary cases, and
+      // a genuine cover with one vertex knocked out (the near-miss that
+      // catches off-by-one distance bugs).
+      std::vector<VertexSet> candidates;
+      for (double density : {0.0, 0.3, 0.7, 1.0}) {
+        VertexSet s(g.num_vertices());
+        for (VertexId v = 0; v < g.num_vertices(); ++v)
+          if (density == 1.0 || rng.next_double() < density) s.insert(v);
+        candidates.push_back(std::move(s));
+      }
+      const graph::VertexWeights unit(g.num_vertices(), 1);
+      VertexSet cover = solvers::local_ratio_mwvc(materialized, unit);
+      candidates.push_back(cover);
+      if (cover.size() > 0) {
+        cover.erase(cover.to_vector().front());
+        candidates.push_back(cover);
+      }
+      VertexSet ds = solvers::greedy_mds(materialized);
+      candidates.push_back(ds);
+      if (ds.size() > 0) {
+        ds.erase(ds.to_vector().back());
+        candidates.push_back(ds);
+      }
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        EXPECT_EQ(is_vertex_cover_power(g, r, candidates[c]),
+                  is_vertex_cover(materialized, candidates[c]))
+            << "instance " << i << ", r=" << r << ", candidate " << c;
+        EXPECT_EQ(is_dominating_set_power(g, r, candidates[c]),
+                  is_dominating_set(materialized, candidates[c]))
+            << "instance " << i << ", r=" << r << ", candidate " << c;
+      }
+    }
+  }
+}
+
+TEST(PowerView, ImplicitBaselinesMatchMaterialized) {
+  const auto instances = test_instances();
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Graph& g = instances[i];
+    for (int r : {2, 3, 4}) {
+      const Graph materialized = power(g, r);
+      const graph::VertexWeights unit(g.num_vertices(), 1);
+      EXPECT_EQ(solvers::local_ratio_mvc_power(g, r).to_vector(),
+                solvers::local_ratio_mwvc(materialized, unit).to_vector())
+          << "instance " << i << ", r=" << r;
+      EXPECT_EQ(solvers::greedy_mds_power(g, r).to_vector(),
+                solvers::greedy_mds(materialized).to_vector())
+          << "instance " << i << ", r=" << r;
+    }
+  }
+}
+
+TEST(PowerView, ParallelPowerSparseIsByteIdentical) {
+  const auto instances = test_instances();
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Graph& g = instances[i];
+    for (int r : {2, 3}) {
+      const Graph serial = detail::power_sparse(g, r);
+      for (int threads : {2, 3, 7}) {
+        const Graph parallel = detail::power_sparse_parallel(g, r, threads);
+        ASSERT_EQ(serial.num_vertices(), parallel.num_vertices());
+        ASSERT_EQ(serial.num_edges(), parallel.num_edges())
+            << "instance " << i << ", r=" << r << ", threads=" << threads;
+        for (VertexId v = 0; v < serial.num_vertices(); ++v) {
+          const auto want = serial.neighbors(v);
+          const auto got = parallel.neighbors(v);
+          ASSERT_EQ(std::vector<VertexId>(want.begin(), want.end()),
+                    std::vector<VertexId>(got.begin(), got.end()))
+              << "instance " << i << ", r=" << r << ", threads=" << threads
+              << ", vertex " << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(PowerView, HandlesEmptyAndEdgelessGraphs) {
+  const Graph empty{};
+  PowerView view(empty, 2);
+  EXPECT_EQ(view.num_edges(), 0u);
+  EXPECT_TRUE(is_vertex_cover_power(empty, 2, VertexSet(0)));
+  EXPECT_TRUE(is_dominating_set_power(empty, 2, VertexSet(0)));
+
+  GraphBuilder lone(3);
+  const Graph isolated = std::move(lone).build();
+  PowerView iso_view(isolated, 3);
+  EXPECT_EQ(iso_view.num_edges(), 0u);
+  EXPECT_TRUE(iso_view.neighbors(1).empty());
+  // Isolated vertices: the empty set covers (no edges) but dominates
+  // nothing.
+  EXPECT_TRUE(is_vertex_cover_power(isolated, 2, VertexSet(3)));
+  EXPECT_FALSE(is_dominating_set_power(isolated, 2, VertexSet(3)));
+  VertexSet all(3);
+  for (VertexId v = 0; v < 3; ++v) all.insert(v);
+  EXPECT_TRUE(is_dominating_set_power(isolated, 2, all));
+}
+
+TEST(PowerView, RejectsBadArguments) {
+  const Graph g = path_graph(4);
+  EXPECT_THROW(PowerView(g, 0), PreconditionViolation);
+  EXPECT_THROW(is_vertex_cover_power(g, 2, VertexSet(3)),
+               PreconditionViolation);
+  std::vector<VertexId> dup = {1, 1};
+  EXPECT_THROW(induced_power_subgraph(g, 2, dup), PreconditionViolation);
+}
+
+}  // namespace
+}  // namespace pg::graph
