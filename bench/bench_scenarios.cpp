@@ -159,10 +159,12 @@ double median(std::vector<double> values) {
 
 // Exports the median ratio/rounds of the sweep's feasible cells as
 // counters (infeasible/error cells counted separately — an undersized
-// infeasible solution would otherwise read as an improvement).
+// infeasible solution would otherwise read as an improvement).  The
+// weighted median rides along: for unit-weight sweeps it coincides with
+// median_ratio, for weighted sweeps it is the Theorem 7 quality signal.
 void export_quality_counters(benchmark::State& state,
                              const pg::scenario::SweepResult& result) {
-  std::vector<double> ratios, rounds;
+  std::vector<double> ratios, weighted, rounds;
   double bad = 0;
   for (const pg::scenario::CellResult& cell : result.cells) {
     if (cell.status != pg::scenario::CellStatus::kOk || !cell.feasible) {
@@ -170,9 +172,11 @@ void export_quality_counters(benchmark::State& state,
       continue;
     }
     ratios.push_back(cell.ratio);
+    weighted.push_back(cell.ratio_weight);
     rounds.push_back(static_cast<double>(cell.rounds));
   }
   state.counters["median_ratio"] = median(ratios);
+  state.counters["median_ratio_weight"] = median(weighted);
   state.counters["median_rounds"] = median(rounds);
   state.counters["cells"] = static_cast<double>(result.cells.size());
   state.counters["infeasible_or_error"] = bad;
@@ -196,22 +200,53 @@ void BM_ScenarioQuality(benchmark::State& state, const std::string& scenario,
   export_quality_counters(state, result);
 }
 
+// The weighted quality dashboard: the same fixed sweeps with non-unit
+// weightings, scored via ratio_weight against the exact weighted oracle
+// (n <= 26 here).  One benchmark per (scenario, algorithm, weighting) so
+// the regression gate can pin each weighted trajectory independently.
+void BM_ScenarioQualityWeighted(benchmark::State& state,
+                                const std::string& scenario,
+                                const std::string& algorithm,
+                                const std::string& weighting) {
+  pg::scenario::SweepSpec spec;
+  spec.scenarios = {scenario};
+  spec.algorithms = {algorithm};
+  spec.sizes = {16, 24};
+  spec.powers = {2};
+  spec.epsilons = {0.25};
+  spec.weightings = {weighting};
+  spec.seeds = {1, 2, 3};
+  spec.exact_baseline_max_n = 26;  // exact weighted optimum at these sizes
+  pg::scenario::SweepResult result;
+  for (auto _ : state) {
+    result = pg::scenario::run_sweep(spec);
+    benchmark::DoNotOptimize(result);
+  }
+  export_quality_counters(state, result);
+}
+
 // Large-n ratio trajectories: the same dashboard at power-law scale,
 // scored against the *implicit* greedy baselines (exact oracles are out
 // of reach at these sizes).  These cells exist because the gr-mvc path
 // and the feasibility/baseline plumbing no longer materialize G^2 —
 // before PowerView they stalled for minutes each.  One seed, one size
 // per cell keeps a full regeneration to a few minutes of wall clock.
+// Weighted cells ride the same harness with a non-unit weighting: the
+// gr-mwvc ones prove Theorem 7's problem reaches n = 10^5 implicitly,
+// the mwvc one pins the CONGEST algorithm at the scale its simulation
+// still affords.
 void BM_ScenarioQualityLarge(benchmark::State& state,
                              const std::string& scenario,
                              const std::string& algorithm,
-                             pg::graph::VertexId n) {
+                             pg::graph::VertexId n,
+                             const std::string& weighting) {
   pg::scenario::SweepSpec spec;
   spec.scenarios = {scenario};
   spec.algorithms = {algorithm};
   spec.sizes = {n};
   spec.powers = {2};
   spec.epsilons = {0.25};
+  spec.weightings = {weighting};
   spec.seeds = {1};
   spec.exact_baseline_max_n = 26;  // far exceeded: greedy baselines
   pg::scenario::SweepResult result;
@@ -235,25 +270,50 @@ void register_quality_dashboard() {
           BM_ScenarioQuality, scenario, algorithm)
           ->Unit(benchmark::kMillisecond);
 
+  // Weighted quality cells: both Theorem 7 implementations on the
+  // power-law and gnp families, over a degree-correlated and a
+  // heavy-tailed weighting (the regimes the power-law hardness papers
+  // single out).
+  for (const char* scenario : {"ba", "chung-lu", "gnp-sparse"})
+    for (const char* algorithm : {"mwvc", "gr-mwvc"})
+      for (const char* weighting : {"degree-proportional", "zipf"})
+        benchmark::RegisterBenchmark(
+            ("BM_ScenarioQualityWeighted/" + std::string(scenario) + "/" +
+             algorithm + "/" + weighting)
+                .c_str(),
+            BM_ScenarioQualityWeighted, scenario, algorithm, weighting)
+            ->Unit(benchmark::kMillisecond);
+
   struct LargeCell {
     const char* scenario;
     const char* algorithm;
     pg::graph::VertexId n;
+    const char* weighting;  // "unit" cells keep their pre-weighting names
   };
-  // gr-mvc reaches n = 10^5 directly; the CONGEST mds cells stay at
-  // 2*10^4 where a full simulation is a few seconds on one core.
+  // gr-mvc and gr-mwvc reach n = 10^5 directly (implicit G^2); the
+  // CONGEST mds cells stay at 2*10^4 and the CONGEST weighted mwvc cell
+  // at 3*10^3, where a full simulation is a few seconds on one core.
   const std::vector<LargeCell> large = {
-      {"chung-lu", "gr-mvc", 100000},      {"ba", "gr-mvc", 100000},
-      {"planted-sparse", "gr-mvc", 100000}, {"chung-lu", "mds", 20000},
-      {"ba", "mds", 20000},
+      {"chung-lu", "gr-mvc", 100000, "unit"},
+      {"ba", "gr-mvc", 100000, "unit"},
+      {"planted-sparse", "gr-mvc", 100000, "unit"},
+      {"chung-lu", "mds", 20000, "unit"},
+      {"ba", "mds", 20000, "unit"},
+      {"chung-lu", "gr-mwvc", 100000, "degree-proportional"},
+      {"ba", "gr-mwvc", 100000, "zipf"},
+      {"chung-lu", "mwvc", 3000, "degree-proportional"},
   };
-  for (const LargeCell& cell : large)
-    benchmark::RegisterBenchmark(
-        ("BM_ScenarioQualityLarge/" + std::string(cell.scenario) + "/" +
-         cell.algorithm + "/" + std::to_string(cell.n))
-            .c_str(),
-        BM_ScenarioQualityLarge, cell.scenario, cell.algorithm, cell.n)
+  for (const LargeCell& cell : large) {
+    std::string name = "BM_ScenarioQualityLarge/" +
+                       std::string(cell.scenario) + "/" + cell.algorithm +
+                       "/" + std::to_string(cell.n);
+    if (std::string(cell.weighting) != "unit")
+      name += std::string("/") + cell.weighting;
+    benchmark::RegisterBenchmark(name.c_str(), BM_ScenarioQualityLarge,
+                                 cell.scenario, cell.algorithm, cell.n,
+                                 cell.weighting)
         ->Unit(benchmark::kMillisecond);
+  }
 }
 
 }  // namespace

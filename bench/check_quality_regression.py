@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Approximation-ratio regression gate.
+
+Compares a fresh BM_ScenarioQuality* run against the committed
+BENCH_scenarios.json and fails when any cell's quality counter rose by
+more than the tolerance.  The dashboard sweeps are deterministic (fixed
+seeds, exact/greedy reference solvers), so the medians are exact
+trajectory points: any increase is a real quality change, and the
+tolerance exists only to forgive intentional re-pins of borderline
+cells.
+
+Counters gated (higher is worse for all of them):
+  * median_ratio          — solution size vs the reference solver
+  * median_ratio_weight   — solution weight vs the weighted reference
+  * infeasible_or_error   — must never grow at all
+
+Usage:
+  bench/check_quality_regression.py BASELINE.json FRESH.json [--tolerance 0.05]
+
+FRESH.json is a google-benchmark --benchmark_format=json document, e.g.:
+  ./build/bench_scenarios --benchmark_filter='BM_ScenarioQuality' \
+      --benchmark_format=json > fresh.json
+Benchmarks present in only one file are reported but do not fail the
+gate (filtered runs and newly added cells are normal); a fresh run with
+*no* overlapping quality benchmarks fails, because that means the gate
+compared nothing.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_PREFIX = "BM_ScenarioQuality"
+RATIO_COUNTERS = ("median_ratio", "median_ratio_weight")
+
+
+def load_quality_counters(path):
+    """benchmark name -> {counter: value} for the gated benchmarks."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    cells = {}
+    for bench in document.get("benchmarks", []):
+        name = bench.get("name", "")
+        if not name.startswith(GATED_PREFIX):
+            continue
+        if bench.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows of repeated runs
+        counters = {
+            key: bench[key]
+            for key in (*RATIO_COUNTERS, "infeasible_or_error")
+            if key in bench and isinstance(bench[key], (int, float))
+        }
+        if counters:
+            cells[name] = counters
+    return cells
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_scenarios.json")
+    parser.add_argument("fresh", help="fresh --benchmark_format=json run")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="allowed relative increase of the ratio medians (default 5%%)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_quality_counters(args.baseline)
+    fresh = load_quality_counters(args.fresh)
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        print(
+            "quality gate: no overlapping BM_ScenarioQuality* benchmarks "
+            "between baseline and fresh run — nothing was compared",
+            file=sys.stderr,
+        )
+        return 1
+
+    regressions = []
+    compared = 0
+    for name in shared:
+        base, new = baseline[name], fresh[name]
+        for counter in RATIO_COUNTERS:
+            if counter not in base or counter not in new:
+                continue
+            compared += 1
+            # Ratios are >= 1-ish; a zero baseline (no feasible cells)
+            # gates on absolute growth instead of relative.
+            allowed = base[counter] * (1.0 + args.tolerance) + 1e-9
+            if new[counter] > allowed:
+                regressions.append(
+                    f"{name}: {counter} {base[counter]:.4f} -> "
+                    f"{new[counter]:.4f} (allowed {allowed:.4f})"
+                )
+        if "infeasible_or_error" in base and "infeasible_or_error" in new:
+            if new["infeasible_or_error"] > base["infeasible_or_error"]:
+                regressions.append(
+                    f"{name}: infeasible_or_error "
+                    f"{base['infeasible_or_error']:.0f} -> "
+                    f"{new['infeasible_or_error']:.0f}"
+                )
+
+    only_base = sorted(set(baseline) - set(fresh))
+    only_fresh = sorted(set(fresh) - set(baseline))
+    print(
+        f"quality gate: {len(shared)} benchmarks, {compared} ratio counters "
+        f"compared at tolerance {args.tolerance:.0%}"
+    )
+    if only_base:
+        print(f"  (not in fresh run: {len(only_base)} — filtered?)")
+    if only_fresh:
+        print(f"  (new in fresh run: {len(only_fresh)} — re-pin soon)")
+    if regressions:
+        print("quality REGRESSIONS:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("quality gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/solver_util.hpp"
 #include "graph/ops.hpp"
 #include "graph/power_view.hpp"
 #include "solvers/exact_vc.hpp"
@@ -14,17 +15,6 @@ using graph::VertexId;
 using graph::VertexSet;
 
 namespace {
-
-/// Node budget for one component: the full remaining budget for small
-/// components (where the seed behavior must be preserved bit for bit),
-/// size-scaled above that so a single stubborn component cannot burn
-/// minutes of wall clock before giving up.
-std::int64_t component_budget(VertexId comp_size, std::int64_t remaining) {
-  if (comp_size <= 64) return remaining;
-  return std::min<std::int64_t>(remaining,
-                                std::max<std::int64_t>(50'000,
-                                                       64'000'000 / comp_size));
-}
 
 /// Solves MVC on one remainder component (a subgraph of the induced power
 /// graph), exactly when small enough and within budget, by local ratio

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "congest/primitives.hpp"
+#include "core/solver_util.hpp"
 #include "graph/matching.hpp"
 #include "graph/ops.hpp"
 #include "solvers/exact_vc.hpp"
@@ -32,17 +33,6 @@ constexpr std::uint8_t kCandidate = 13;
 constexpr std::uint8_t kMaxCand = 14;  // field 0: 1-hop max candidate id
 constexpr std::uint8_t kSelect = 15;   // fields: class index i, w_min(c)
 constexpr std::uint8_t kUStatus = 16;  // field 0: 1 iff in U
-
-int weight_class(Weight w_min, Weight w) {
-  PG_CHECK(w >= w_min && w_min > 0, "weight outside class range");
-  int i = 0;
-  Weight low = w_min;
-  while (w >= low * 2) {
-    low *= 2;
-    ++i;
-  }
-  return i;
-}
 
 }  // namespace
 
@@ -187,8 +177,20 @@ MwvcCongestResult solve_g2_mwvc_congest(Network& net, const VertexWeights& w,
   // ---------------------------------------------------------- Phase II ---
   std::vector<bool> in_u(in_r);
   std::vector<std::vector<std::uint64_t>> tokens(n);
-  const std::uint64_t weight_base =
-      static_cast<std::uint64_t>(std::max<Weight>(max_weight, 16)) + 1;
+  // Weight tokens pack (v, w(v)) as v·base + w.  The base must cover the
+  // *actual* maximum weight only — the old choice of n^4+1 (the cap, not
+  // the maximum) silently overflowed v·base for n >= ~6600 and corrupted
+  // the leader's reconstruction of H; deriving the base from the weights
+  // in hand keeps tokens minimal, and the explicit range checks below
+  // turn any remaining impossibility into a clear error.
+  Weight w_max = 1;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    w_max = std::max(w_max, w[v]);
+  const std::uint64_t weight_base = static_cast<std::uint64_t>(w_max) + 1;
+  PG_REQUIRE(weight_base <= (std::uint64_t{1} << 62) / std::max<std::size_t>(n, 1),
+             "weights too large to token-encode at this n");
+  PG_REQUIRE(n <= (std::size_t{1} << 30),
+             "n too large for the leader's edge-token encoding");
   net.round([&](NodeView& node) {
     const auto me = static_cast<std::size_t>(node.id());
     node.broadcast(Message{kUStatus, {in_u[me] ? 1 : 0}});

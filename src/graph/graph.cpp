@@ -1,6 +1,7 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace pg::graph {
 
@@ -79,15 +80,30 @@ std::vector<Edge> Graph::edges() const {
   return out;
 }
 
+namespace {
+
+/// Overflow-checked accumulation: with wide weight distributions
+/// (uniform[·, 10^9], heavy zipf tails) an unchecked int64 sum wraps
+/// silently and corrupts every downstream ratio; a loud precondition
+/// failure is the only honest answer.
+Weight checked_add(Weight sum, Weight w) {
+  PG_REQUIRE(!(w > 0 && sum > std::numeric_limits<Weight>::max() - w) &&
+                 !(w < 0 && sum < std::numeric_limits<Weight>::min() - w),
+             "vertex-weight sum overflows Weight (int64)");
+  return sum + w;
+}
+
+}  // namespace
+
 Weight VertexWeights::total() const {
   Weight sum = 0;
-  for (Weight w : weights_) sum += w;
+  for (Weight w : weights_) sum = checked_add(sum, w);
   return sum;
 }
 
 Weight VertexWeights::total_of(std::span<const VertexId> vertices) const {
   Weight sum = 0;
-  for (VertexId v : vertices) sum += (*this)[v];
+  for (VertexId v : vertices) sum = checked_add(sum, (*this)[v]);
   return sum;
 }
 

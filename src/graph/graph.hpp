@@ -145,7 +145,10 @@ class VertexWeights {
     PG_REQUIRE(v >= 0 && v < size(), "weight index out of range");
     weights_[static_cast<std::size_t>(v)] = w;
   }
+  /// Sum of all weights.  Overflow-checked: throws PreconditionViolation
+  /// instead of wrapping when the int64 sum would overflow.
   Weight total() const;
+  /// Sum over `vertices` (same overflow check).
   Weight total_of(std::span<const VertexId> vertices) const;
 
  private:

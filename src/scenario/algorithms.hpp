@@ -33,6 +33,10 @@ struct AlgorithmContext {
   int r = 2;                           // the problem's power
   double epsilon = 0.25;
   std::uint64_t seed = 1;              // stream for the algorithm's coins
+  // Per-vertex weights of the cell's weighting (same vertex ids in G and
+  // every G^k, so one array serves base/comm/target alike).  Null means
+  // unit weights; only algorithms with uses_weights consume it.
+  const graph::VertexWeights* weights = nullptr;
 };
 
 struct RunOutcome {
@@ -53,6 +57,7 @@ struct Algorithm {
   bool uses_epsilon = false;
   bool randomized = false;
   bool needs_network = false;   // wants ctx.net over ctx.comm
+  bool uses_weights = false;    // consumes ctx.weights (weighted problems)
   std::function<RunOutcome(const AlgorithmContext&)> run;
 };
 
@@ -60,7 +65,8 @@ struct Algorithm {
 const std::vector<Algorithm>& all_algorithms();
 
 /// nullptr when the name is unknown.  Accepts the legacy CLI aliases
-/// ("clique" for clique-mvc, "naive" for naive-mvc).
+/// ("clique" for clique-mvc, "naive" for naive-mvc, "mwvc-unit" for the
+/// promoted weighted mwvc).
 const Algorithm* find_algorithm(std::string_view name);
 
 /// Lookup that throws PreconditionViolation listing the valid names.

@@ -15,6 +15,7 @@
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
+#include "scenario/weights.hpp"
 #include "util/table.hpp"
 
 namespace pg::scenario {
@@ -60,8 +61,11 @@ double parse_double(const std::string& text, const std::string& what) {
 std::vector<std::string> split_list(const std::string& text) {
   std::vector<std::string> parts;
   std::string current;
+  int depth = 0;  // commas inside [...] belong to the item (uniform[2,9])
   for (char c : text) {
-    if (c == ',') {
+    if (c == '[') ++depth;
+    if (c == ']' && depth > 0) --depth;
+    if (c == ',' && depth == 0) {
       if (!current.empty()) parts.push_back(current);
       current.clear();
     } else {
@@ -111,12 +115,17 @@ void print_usage(std::ostream& out) {
          "  run <algorithm> [epsilon]   run one algorithm; the graph comes\n"
          "      [--scenario S --n N]    from the scenario registry, or an\n"
          "      [--r R] [--epsilon E]   edge list on stdin (\"n m\" then m\n"
-         "      [--seed X]              lines \"u v\")\n"
+         "      [--seed X]              lines \"u v\"); --epsilon/--weighting\n"
+         "      [--weighting W]         require an algorithm that uses them\n"
          "      [--exact-max-n M]\n"
          "  sweep --sizes N,...         run a (scenario x algorithm x n x r\n"
-         "      [--scenarios a,b,...]   x epsilon x seed) grid; defaults to\n"
-         "      [--algorithms a,b,...]  every scenario and algorithm\n"
+         "      [--scenarios a,b,...]   x epsilon x weighting x seed) grid;\n"
+         "      [--algorithms a,b,...]  defaults to every scenario and\n"
+         "                              algorithm\n"
          "      [--powers r,...] [--epsilons e,...] [--seeds s,...]\n"
+         "      [--weights w,...]       node-weight distributions (see\n"
+         "                              list-weightings; uniform[lo:hi] and\n"
+         "                              zipf[s] take parameters)\n"
          "      [--threads K] [--csv FILE|-] [--json FILE|-] [--timing]\n"
          "      [--exact-max-n M]\n"
          "      [--shard I/K]           run only shard I of K (whole\n"
@@ -128,6 +137,7 @@ void print_usage(std::ostream& out) {
          "                              byte-identical single-process report\n"
          "  list-scenarios              print the scenario registry\n"
          "  list-algorithms             print the algorithm registry\n"
+         "  list-weightings             print the weighting registry\n"
          "  help                        this text\n";
 }
 
@@ -138,8 +148,11 @@ void print_cell_human(const CellResult& cell, const graph::Graph* base,
       << "target        : G^" << cell.spec.r
       << " (m = " << cell.target_edges << "), comm power " << cell.comm_power
       << "\n"
-      << "solution size : " << cell.solution_size << "\n"
-      << "feasible      : " << (cell.feasible ? "yes" : "NO") << "\n"
+      << "solution size : " << cell.solution_size << "\n";
+  if (cell.spec.weights_used)
+    out << "weighting     : " << cell.spec.weighting << " (solution weight "
+        << cell.solution_weight << ")\n";
+  out << "feasible      : " << (cell.feasible ? "yes" : "NO") << "\n"
       << "rounds        : " << cell.rounds << "\n"
       << "messages      : " << cell.messages << "\n";
   if (cell.baseline != BaselineKind::kNone) {
@@ -147,6 +160,13 @@ void print_cell_human(const CellResult& cell, const graph::Graph* base,
     std::snprintf(ratio, sizeof(ratio), "%.4f", cell.ratio);
     out << "baseline      : " << baseline_kind_name(cell.baseline) << " "
         << cell.baseline_size << " (ratio " << ratio << ")\n";
+  }
+  if (cell.spec.weights_used &&
+      cell.weight_baseline != BaselineKind::kNone) {
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.4f", cell.ratio_weight);
+    out << "baseline wt   : " << baseline_kind_name(cell.weight_baseline)
+        << " " << cell.baseline_weight << " (ratio " << ratio << ")\n";
   }
   out << "vertices      :";
   for (graph::VertexId v : cell.solution.to_vector()) out << ' ' << v;
@@ -162,12 +182,21 @@ int cmd_list_scenarios(std::ostream& out) {
 }
 
 int cmd_list_algorithms(std::ostream& out) {
-  Table table({"name", "problem", "native-r", "eps", "rand", "description"});
+  Table table(
+      {"name", "problem", "native-r", "eps", "rand", "wts", "description"});
   for (const Algorithm& a : all_algorithms())
     table.add_row({a.name, std::string(problem_name(a.problem)),
                    a.native_power == 0 ? "any" : std::to_string(a.native_power),
                    a.uses_epsilon ? "yes" : "-", a.randomized ? "yes" : "-",
-                   a.description});
+                   a.uses_weights ? "yes" : "-", a.description});
+  table.print(out);
+  return 0;
+}
+
+int cmd_list_weightings(std::ostream& out) {
+  Table table({"name", "description"});
+  for (const Weighting& w : all_weightings())
+    table.add_row({w.name, w.description});
   table.print(out);
   return 0;
 }
@@ -187,10 +216,13 @@ int cmd_run(const std::vector<std::string>& args, std::istream& in,
   std::optional<graph::VertexId> n;
   graph::VertexId exact_max_n = SweepSpec{}.exact_baseline_max_n;
 
+  bool epsilon_given = false;
+  bool weighting_given = false;
   std::size_t i = 1;
   // Legacy positional epsilon: `run mvc 0.5 < edges.txt`.
   if (i < args.size() && !args[i].empty() && args[i][0] != '-') {
     cell.epsilon = checked_epsilon(parse_double(args[i], "epsilon"));
+    epsilon_given = true;
     ++i;
   }
   for (; i < args.size(); ++i) {
@@ -203,6 +235,10 @@ int cmd_run(const std::vector<std::string>& args, std::istream& in,
       cell.r = checked_r(parse_int(take_value(args, i), "r"));
     } else if (flag == "--epsilon") {
       cell.epsilon = checked_epsilon(parse_double(take_value(args, i), "epsilon"));
+      epsilon_given = true;
+    } else if (flag == "--weighting") {
+      cell.weighting = weighting_or_throw(take_value(args, i)).name;
+      weighting_given = true;
     } else if (flag == "--seed") {
       cell.seed = parse_uint(take_value(args, i), "seed");
     } else if (flag == "--exact-max-n") {
@@ -212,8 +248,20 @@ int cmd_run(const std::vector<std::string>& args, std::istream& in,
       throw UsageError("unknown flag '" + flag + "' for run");
     }
   }
+  // Strict-validation convention: an explicitly supplied parameter the
+  // algorithm would silently ignore is an almost-certain user error —
+  // reject it instead of zeroing it (the old behavior dropped a user's
+  // epsilon on the floor and reported the cell as if nothing happened).
+  if (epsilon_given && !alg.uses_epsilon)
+    throw UsageError("algorithm '" + alg.name +
+                     "' does not use epsilon; drop the --epsilon/positional "
+                     "epsilon value");
+  if (weighting_given && !alg.uses_weights)
+    throw UsageError("algorithm '" + alg.name +
+                     "' does not use node weights; drop --weighting");
   cell.epsilon_used = alg.uses_epsilon;
   if (!alg.uses_epsilon) cell.epsilon = 0.0;
+  cell.weights_used = alg.uses_weights;
   if (!supports_power(alg, cell.r))
     throw UsageError(
         "algorithm '" + alg.name + "' cannot target r=" +
@@ -257,6 +305,8 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
   std::optional<std::string> csv_path;
   std::optional<std::string> json_path;
   bool timing = false;
+  bool epsilons_given = false;
+  bool weights_given = false;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
@@ -276,6 +326,14 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
       spec.epsilons.clear();
       for (const std::string& s : split_list(take_value(args, i)))
         spec.epsilons.push_back(checked_epsilon(parse_double(s, "epsilon")));
+      epsilons_given = true;
+    } else if (flag == "--weights") {
+      spec.weightings.clear();
+      // Canonicalize through the registry/parser so unknown names and
+      // out-of-range parameters fail here, with the CLI's exit code.
+      for (const std::string& s : split_list(take_value(args, i)))
+        spec.weightings.push_back(weighting_or_throw(s).name);
+      weights_given = true;
     } else if (flag == "--seeds") {
       spec.seeds.clear();
       for (const std::string& s : split_list(take_value(args, i)))
@@ -328,6 +386,22 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
   } catch (const std::exception& error) {
     throw UsageError(error.what());
   }
+  // The same strictness as `run`: a dimension no requested algorithm
+  // consumes silently collapses to nothing — reject the almost-certain
+  // typo instead of running a sweep that ignores the flag.
+  const auto any_algorithm = [&](auto&& pred) {
+    for (const std::string& name : spec.algorithms)
+      if (pred(algorithm_or_throw(name))) return true;
+    return false;
+  };
+  if (epsilons_given &&
+      !any_algorithm([](const Algorithm& a) { return a.uses_epsilon; }))
+    throw UsageError(
+        "--epsilons given, but no requested algorithm uses epsilon");
+  if (weights_given &&
+      !any_algorithm([](const Algorithm& a) { return a.uses_weights; }))
+    throw UsageError(
+        "--weights given, but no requested algorithm uses node weights");
   const std::size_t total_cells = count_grid_cells(spec);
   if (total_cells == 0)
     throw UsageError(
@@ -468,6 +542,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
     }
     if (command == "list-scenarios") return cmd_list_scenarios(out);
     if (command == "list-algorithms") return cmd_list_algorithms(out);
+    if (command == "list-weightings") return cmd_list_weightings(out);
     if (command == "run") return cmd_run(rest, in, out, err);
     if (command == "sweep") return cmd_sweep(rest, out, err);
     if (command == "merge") return cmd_merge(rest, out);

@@ -32,6 +32,19 @@ std::string fmt_fixed(double value, int precision) {
   return fmt_double(value, std::chars_format::fixed, precision);
 }
 
+/// Locale-independent integer formatting.  Streaming an integer through
+/// operator<< honors the stream's imbued locale: under a grouping locale
+/// (de_DE and friends) 100000 renders as "100.000", which corrupts the
+/// CSV column count and breaks the shard-merge byte-equality guarantee.
+/// Every integer a report emits goes through here instead.
+template <typename Int>
+std::string fmt_int(Int value) {
+  char buffer[32];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return std::string(buffer, ec == std::errc{} ? ptr : buffer);
+}
+
 std::string csv_sanitize(const std::string& text) {
   std::string out = text;
   for (char& c : out)
@@ -87,15 +100,21 @@ void write_spec_dims_json(std::ostream& out, const SweepSpec& spec) {
   });
   out << ", \"sizes\": ";
   write_json_list(out, spec.sizes,
-                  [&](graph::VertexId n) { out << n; });
+                  [&](graph::VertexId n) { out << fmt_int(n); });
   out << ", \"powers\": ";
-  write_json_list(out, spec.powers, [&](int r) { out << r; });
+  write_json_list(out, spec.powers, [&](int r) { out << fmt_int(r); });
   out << ", \"epsilons\": ";
   write_json_list(out, spec.epsilons,
                   [&](double e) { out << fmt_general(e); });
+  out << ", \"weightings\": ";
+  write_json_list(out, spec.weightings, [&](const std::string& s) {
+    out << '"' << json_escape(s) << '"';
+  });
   out << ", \"seeds\": ";
-  write_json_list(out, spec.seeds, [&](std::uint64_t s) { out << s; });
-  out << ", \"exact_baseline_max_n\": " << spec.exact_baseline_max_n;
+  write_json_list(out, spec.seeds,
+                  [&](std::uint64_t s) { out << fmt_int(s); });
+  out << ", \"exact_baseline_max_n\": "
+      << fmt_int(spec.exact_baseline_max_n);
 }
 
 }  // namespace
@@ -113,30 +132,46 @@ std::string spec_fingerprint(const SweepSpec& spec) {
 
 void CsvWriter::begin(const SweepSpec& spec, std::size_t total_cells) {
   if (spec.shard_count > 1)
-    out_ << "# shard " << spec.shard_index << '/' << spec.shard_count
-         << " cells " << total_cells << " spec " << spec_fingerprint(spec)
-         << '\n';
-  out_ << "cell_index,scenario,algorithm,n,r,epsilon,seed,status,base_edges,"
-          "comm_power,comm_edges,target_edges,solution_size,feasible,exact,"
-          "rounds,messages,total_bits,baseline,baseline_size,ratio";
+    out_ << "# shard " << fmt_int(spec.shard_index) << '/'
+         << fmt_int(spec.shard_count) << " cells " << fmt_int(total_cells)
+         << " spec " << spec_fingerprint(spec) << '\n';
+  out_ << "cell_index,scenario,algorithm,n,r,epsilon,weighting,seed,status,"
+          "base_edges,comm_power,comm_edges,target_edges,solution_size,"
+          "solution_weight,feasible,exact,rounds,messages,total_bits,"
+          "baseline,baseline_size,ratio,weight_baseline,baseline_weight,"
+          "ratio_weight";
   if (timing_) out_ << ",wall_ms";
   out_ << ",error\n";
 }
 
 void CsvWriter::row(const CellResult& cell) {
   const CellSpec& spec = cell.spec;
-  out_ << cell.cell_index << ',' << spec.scenario << ',' << spec.algorithm
-       << ',' << spec.n << ',' << spec.r << ','
-       << (spec.epsilon_used ? fmt_general(spec.epsilon) : "-") << ','
-       << spec.seed << ',' << cell_status_name(cell.status) << ','
-       << cell.base_edges << ',' << cell.comm_power << ',' << cell.comm_edges
-       << ',' << cell.target_edges << ',' << cell.solution_size << ','
-       << (cell.feasible ? 1 : 0) << ',' << (cell.exact ? 1 : 0) << ','
-       << cell.rounds << ',' << cell.messages << ',' << cell.total_bits
+  out_ << fmt_int(cell.cell_index) << ',' << spec.scenario << ','
+       << spec.algorithm << ',' << fmt_int(spec.n) << ',' << fmt_int(spec.r)
+       << ',' << (spec.epsilon_used ? fmt_general(spec.epsilon) : "-") << ','
+       // Canonical weighting names are comma-free by construction;
+       // sanitize anyway so a hand-built CellSpec cannot shift columns.
+       << (spec.weights_used ? csv_sanitize(spec.weighting) : "-") << ','
+       << fmt_int(spec.seed) << ',' << cell_status_name(cell.status) << ','
+       << fmt_int(cell.base_edges) << ',' << fmt_int(cell.comm_power) << ','
+       << fmt_int(cell.comm_edges) << ',' << fmt_int(cell.target_edges)
+       << ',' << fmt_int(cell.solution_size) << ','
+       << fmt_int(cell.solution_weight) << ',' << (cell.feasible ? '1' : '0')
+       << ',' << (cell.exact ? '1' : '0') << ',' << fmt_int(cell.rounds)
+       << ',' << fmt_int(cell.messages) << ',' << fmt_int(cell.total_bits)
        << ',' << baseline_kind_name(cell.baseline) << ','
-       << cell.baseline_size << ','
+       << fmt_int(cell.baseline_size) << ','
        << (cell.baseline == BaselineKind::kNone ? "-"
-                                                : fmt_fixed(cell.ratio, 4));
+                                                : fmt_fixed(cell.ratio, 4))
+       // The weighted oracle gets its own kind/value columns: it succeeds
+       // or downgrades independently of the size oracle, and a
+       // ratio_weight without them would read as exact-relative when the
+       // weighted solve actually fell back to greedy.
+       << ',' << baseline_kind_name(cell.weight_baseline) << ','
+       << fmt_int(cell.baseline_weight) << ','
+       << (cell.weight_baseline == BaselineKind::kNone
+               ? "-"
+               : fmt_fixed(cell.ratio_weight, 4));
   if (timing_) out_ << ',' << fmt_fixed(cell.wall_ms, 3);
   out_ << ',' << csv_sanitize(cell.error) << '\n';
 }
@@ -155,9 +190,9 @@ void JsonWriter::begin(const SweepSpec& spec, std::size_t total_cells) {
   out_ << "{\n  \"spec\": {";
   write_spec_dims_json(out_, spec);
   if (spec.shard_count > 1)
-    out_ << ", \"shard_index\": " << spec.shard_index
-         << ", \"shard_count\": " << spec.shard_count
-         << ", \"total_cells\": " << total_cells << ", \"timing\": "
+    out_ << ", \"shard_index\": " << fmt_int(spec.shard_index)
+         << ", \"shard_count\": " << fmt_int(spec.shard_count)
+         << ", \"total_cells\": " << fmt_int(total_cells) << ", \"timing\": "
          << (timing_ ? "true" : "false") << ", \"spec_fingerprint\": \""
          << spec_fingerprint(spec) << '"';
   out_ << "},\n  \"cells\": [";
@@ -168,30 +203,47 @@ void JsonWriter::row(const CellResult& cell) {
   out_ << (first_row_ ? "\n" : ",\n");
   first_row_ = false;
   const CellSpec& cs = cell.spec;
-  out_ << "    {\"cell_index\": " << cell.cell_index << ", \"scenario\": \""
-       << json_escape(cs.scenario) << "\", \"algorithm\": \""
-       << json_escape(cs.algorithm) << "\", \"n\": " << cs.n
-       << ", \"r\": " << cs.r << ", \"epsilon\": ";
+  out_ << "    {\"cell_index\": " << fmt_int(cell.cell_index)
+       << ", \"scenario\": \"" << json_escape(cs.scenario)
+       << "\", \"algorithm\": \"" << json_escape(cs.algorithm)
+       << "\", \"n\": " << fmt_int(cs.n) << ", \"r\": " << fmt_int(cs.r)
+       << ", \"epsilon\": ";
   if (cs.epsilon_used)
     out_ << fmt_general(cs.epsilon);
   else
     out_ << "null";
-  out_ << ", \"seed\": " << cs.seed << ", \"status\": \""
+  out_ << ", \"weighting\": ";
+  if (cs.weights_used)
+    out_ << '"' << json_escape(cs.weighting) << '"';
+  else
+    out_ << "null";
+  out_ << ", \"seed\": " << fmt_int(cs.seed) << ", \"status\": \""
        << cell_status_name(cell.status) << "\", \"base_edges\": "
-       << cell.base_edges << ", \"comm_power\": " << cell.comm_power
-       << ", \"comm_edges\": " << cell.comm_edges
-       << ", \"target_edges\": " << cell.target_edges
-       << ", \"solution_size\": " << cell.solution_size << ", \"feasible\": "
+       << fmt_int(cell.base_edges) << ", \"comm_power\": "
+       << fmt_int(cell.comm_power) << ", \"comm_edges\": "
+       << fmt_int(cell.comm_edges) << ", \"target_edges\": "
+       << fmt_int(cell.target_edges) << ", \"solution_size\": "
+       << fmt_int(cell.solution_size) << ", \"solution_weight\": "
+       << fmt_int(cell.solution_weight) << ", \"feasible\": "
        << (cell.feasible ? "true" : "false")
        << ", \"exact\": " << (cell.exact ? "true" : "false")
-       << ", \"rounds\": " << cell.rounds << ", \"messages\": "
-       << cell.messages << ", \"total_bits\": " << cell.total_bits
-       << ", \"baseline\": \"" << baseline_kind_name(cell.baseline)
-       << "\", \"baseline_size\": " << cell.baseline_size << ", \"ratio\": ";
+       << ", \"rounds\": " << fmt_int(cell.rounds) << ", \"messages\": "
+       << fmt_int(cell.messages) << ", \"total_bits\": "
+       << fmt_int(cell.total_bits) << ", \"baseline\": \""
+       << baseline_kind_name(cell.baseline) << "\", \"baseline_size\": "
+       << fmt_int(cell.baseline_size) << ", \"ratio\": ";
   if (cell.baseline == BaselineKind::kNone)
     out_ << "null";
   else
     out_ << fmt_fixed(cell.ratio, 4);
+  out_ << ", \"weight_baseline\": \""
+       << baseline_kind_name(cell.weight_baseline)
+       << "\", \"baseline_weight\": " << fmt_int(cell.baseline_weight)
+       << ", \"ratio_weight\": ";
+  if (cell.weight_baseline == BaselineKind::kNone)
+    out_ << "null";
+  else
+    out_ << fmt_fixed(cell.ratio_weight, 4);
   if (timing_)
     out_ << ", \"wall_ms\": " << fmt_fixed(cell.wall_ms, 3);
   if (cell.status == CellStatus::kError)

@@ -29,18 +29,25 @@
 namespace pg::scenario {
 
 /// 16-hex-digit digest of the sweep's grid dimensions (scenarios,
-/// algorithms, sizes, powers, epsilons, seeds, exact_baseline_max_n —
-/// not threads or shard coordinates).  Shard reports carry it so `merge`
-/// can refuse shards of different sweeps.
+/// algorithms, sizes, powers, epsilons, weightings, seeds,
+/// exact_baseline_max_n — not threads or shard coordinates).  Shard
+/// reports carry it so `merge` can refuse shards of different sweeps.
 std::string spec_fingerprint(const SweepSpec& spec);
 
 /// One row per cell.  Columns: cell_index,scenario,algorithm,n,r,epsilon,
-/// seed,status,base_edges,comm_power,comm_edges,target_edges,
-/// solution_size,feasible,exact,rounds,messages,total_bits,baseline,
-/// baseline_size,ratio[,wall_ms],error.  epsilon is "-" for algorithms
-/// that ignore it; ratio is "-" when no baseline was computed;
-/// feasible/exact are 0/1; error is empty on success (commas/newlines
-/// inside messages are replaced by ';').
+/// weighting,seed,status,base_edges,comm_power,comm_edges,target_edges,
+/// solution_size,solution_weight,feasible,exact,rounds,messages,
+/// total_bits,baseline,baseline_size,ratio,weight_baseline,
+/// baseline_weight,ratio_weight[,wall_ms],error.  The two oracles report
+/// their kinds separately (baseline vs weight_baseline) because they
+/// succeed or downgrade independently.
+/// epsilon (resp. weighting) is "-" for algorithms that ignore it; ratio
+/// and ratio_weight are "-" when the corresponding baseline was not
+/// computed; feasible/exact are 0/1; error is empty on success
+/// (commas/newlines inside messages are replaced by ';').  All numbers
+/// are formatted locale-independently (std::to_chars), so the bytes — and
+/// the shard-merge equality they guarantee — cannot depend on the host's
+/// LC_NUMERIC.
 class CsvWriter {
  public:
   explicit CsvWriter(std::ostream& out, bool include_timing = false)

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "congest/network.hpp"
@@ -14,6 +15,7 @@
 #include "graph/power.hpp"
 #include "graph/power_view.hpp"
 #include "scenario/scenario.hpp"
+#include "scenario/weights.hpp"
 #include "solvers/exact_ds.hpp"
 #include "solvers/exact_vc.hpp"
 #include "solvers/greedy.hpp"
@@ -23,6 +25,8 @@ namespace pg::scenario {
 using graph::Graph;
 using graph::VertexId;
 using graph::VertexSet;
+using graph::VertexWeights;
+using graph::Weight;
 
 std::string_view cell_status_name(CellStatus s) {
   return s == CellStatus::kOk ? "ok" : "error";
@@ -164,9 +168,27 @@ class GroupContext {
     return *it->second;
   }
 
+  /// Weights of a named weighting, derived once per group (all cells of
+  /// a group share (topology, seed), so the name alone keys the cache).
+  const VertexWeights& weights_of(const std::string& weighting,
+                                  std::uint64_t seed) {
+    auto it = weights_.find(weighting);
+    if (it == weights_.end())
+      it = weights_
+               .emplace(weighting, weighting_or_throw(weighting).build(
+                                       base_, seed))
+               .first;
+    return it->second;
+  }
+
   struct Baseline {
     BaselineKind kind = BaselineKind::kNone;
     std::size_t size = 0;
+  };
+
+  struct WeightedBaseline {
+    BaselineKind kind = BaselineKind::kNone;
+    Weight weight = 0;
   };
 
   /// Reference-solver score for (problem, r).  Deterministically a
@@ -215,6 +237,59 @@ class GroupContext {
     return baselines_.emplace(key, b).first->second;
   }
 
+  /// Weighted reference score for (problem, r, weighting): the exact
+  /// weighted solver when the topology is oracle-sized, the implicit
+  /// weighted local-ratio / lazy-greedy otherwise.  Under the unit
+  /// weighting this *is* the unweighted baseline (minimum count equals
+  /// minimum unit weight, and the weighted greedy solvers degenerate to
+  /// their unweighted twins vertex for vertex — property-tested), so no
+  /// second solve happens and ratio_weight == ratio on legacy grids.
+  const WeightedBaseline& weighted_baseline_of(Problem problem, int r,
+                                               const std::string& weighting,
+                                               std::uint64_t seed,
+                                               VertexId exact_max_n) {
+    const auto key =
+        std::make_tuple(static_cast<int>(problem), r, weighting);
+    auto it = weighted_baselines_.find(key);
+    if (it != weighted_baselines_.end()) return it->second;
+
+    WeightedBaseline b;
+    if (weighting == "unit") {
+      const Baseline& unit = baseline_of(problem, r, exact_max_n);
+      b.kind = unit.kind;
+      b.weight = static_cast<Weight>(unit.size);
+    } else if (exact_max_n > 0) {
+      const VertexWeights& w = weights_of(weighting, seed);
+      const VertexId n = base_.num_vertices();
+      bool solved = false;
+      if (n <= exact_max_n) {
+        const Graph local_power = r == 1 ? Graph() : graph::power(base_, r);
+        const Graph& target = r == 1 ? base_ : local_power;
+        const auto exact = problem == Problem::kVertexCover
+                               ? solvers::solve_mwvc(target, w)
+                               : solvers::solve_mwds(target, w);
+        if (exact.optimal) {
+          b.kind = BaselineKind::kExact;
+          b.weight = exact.value;
+          solved = true;
+        }
+      }
+      if (!solved) {
+        VertexSet reference;
+        if (problem == Problem::kVertexCover) {
+          reference = r == 1 ? solvers::local_ratio_mwvc(base_, w)
+                             : solvers::local_ratio_mwvc_power(base_, r, w);
+        } else {
+          reference = r == 1 ? solvers::greedy_mwds(base_, w)
+                             : solvers::greedy_mwds_power(base_, r, w);
+        }
+        b.kind = BaselineKind::kGreedy;
+        b.weight = w.total_of(reference.to_vector());
+      }
+    }
+    return weighted_baselines_.emplace(key, b).first->second;
+  }
+
  private:
   Graph base_;
   NetworkPool* pool_;
@@ -223,6 +298,9 @@ class GroupContext {
   std::map<int, std::size_t> edge_counts_;
   std::map<int, std::unique_ptr<congest::Network>> nets_;
   std::map<std::pair<int, int>, Baseline> baselines_;
+  std::map<std::string, VertexWeights> weights_;
+  std::map<std::tuple<int, int, std::string>, WeightedBaseline>
+      weighted_baselines_;
 };
 
 void execute_cell(const CellSpec& spec, GroupContext& group,
@@ -234,6 +312,14 @@ void execute_cell(const CellSpec& spec, GroupContext& group,
     PG_REQUIRE(supports_power(alg, spec.r),
                "algorithm '" + alg.name + "' cannot target r=" +
                    std::to_string(spec.r));
+    // The report flag — and, for weight-blind algorithms, the weighting
+    // itself — are authoritative from the registry, whatever a
+    // hand-built CellSpec carried (grid cells arrive pre-stamped, and
+    // the CLI rejects the combination outright).  Without the
+    // normalization a matching/zipf CellSpec would print weighting "-"
+    // while silently scoring the weighted columns under zipf.
+    out.spec.weights_used = alg.uses_weights;
+    if (!alg.uses_weights) out.spec.weighting = "unit";
     const int k = comm_power(alg, spec.r);
     const Graph& comm = group.power_of(k);
     out.base_edges = group.base().num_edges();
@@ -243,12 +329,24 @@ void execute_cell(const CellSpec& spec, GroupContext& group,
     // materialized solely when it doubles as a communication graph.
     out.target_edges = group.target_edges(spec.r);
 
+    // The cell's weights: derived once per (group, weighting), handed to
+    // the algorithm only when it consumes them, and used for the
+    // weighted quality metrics either way.  Unit weightings skip the
+    // derivation — weight == size there.  All reads go through the
+    // normalized out.spec so the metrics always match what the report
+    // prints.
+    const std::string& weighting = out.spec.weighting;
+    const bool unit_weighting = weighting == "unit";
+    const VertexWeights* weights =
+        unit_weighting ? nullptr : &group.weights_of(weighting, spec.seed);
+
     AlgorithmContext ctx;
     ctx.base = &group.base();
     ctx.comm = &comm;
     ctx.net = alg.needs_network ? &group.net_of(k) : nullptr;
     ctx.r = spec.r;
     ctx.epsilon = spec.epsilon;
+    ctx.weights = alg.uses_weights ? weights : nullptr;
     // Decorrelate the algorithm's coins across cells: two cells share a
     // stream only if they share (seed, scenario, n, r); the adapters mix
     // the algorithm name in on top.
@@ -268,6 +366,9 @@ void execute_cell(const CellSpec& spec, GroupContext& group,
     out.exact = outcome.exact;
     out.feasible =
         group.feasible_on_target(alg.problem, spec.r, out.solution);
+    out.solution_weight =
+        unit_weighting ? static_cast<Weight>(out.solution_size)
+                       : weights->total_of(out.solution.to_vector());
 
     const auto& baseline =
         group.baseline_of(alg.problem, spec.r, exact_baseline_max_n);
@@ -279,29 +380,60 @@ void execute_cell(const CellSpec& spec, GroupContext& group,
                       : static_cast<double>(out.solution_size) /
                             static_cast<double>(baseline.size);
     }
+    const auto& weighted = group.weighted_baseline_of(
+        alg.problem, spec.r, weighting, spec.seed, exact_baseline_max_n);
+    out.weight_baseline = weighted.kind;
+    out.baseline_weight = weighted.weight;
+    if (weighted.kind != BaselineKind::kNone) {
+      out.ratio_weight = weighted.weight == 0
+                             ? (out.solution_weight == 0 ? 1.0 : 0.0)
+                             : static_cast<double>(out.solution_weight) /
+                                   static_cast<double>(weighted.weight);
+    }
   } catch (const std::exception& error) {
     out.status = CellStatus::kError;
     out.error = error.what();
   }
 }
 
-/// The (r, algorithm, epsilon) slice of the grid — identical for every
-/// (scenario, n, seed) topology group, because expressibility depends
-/// only on (algorithm, r).  Grid order is therefore group-major: the cell
-/// list is this pattern stamped onto each topology triple in turn, and
-/// cell j of group g has global index g·|pattern| + j.  Everything below
-/// exploits that to materialize only the groups a shard executes.
+/// The (r, algorithm, epsilon, weighting) slice of the grid — identical
+/// for every (scenario, n, seed) topology group, because expressibility
+/// depends only on (algorithm, r).  Grid order is therefore group-major:
+/// the cell list is this pattern stamped onto each topology triple in
+/// turn, and cell j of group g has global index g·|pattern| + j.
+/// Everything below exploits that to materialize only the groups a shard
+/// executes.
 std::vector<CellSpec> group_pattern(const SweepSpec& spec) {
   std::vector<CellSpec> pattern;
+  auto push = [&](const Algorithm& alg, int r, double eps, bool eps_used) {
+    CellSpec cell;
+    cell.algorithm = alg.name;
+    cell.r = r;
+    cell.epsilon = eps;
+    cell.epsilon_used = eps_used;
+    cell.seed = 0;
+    if (alg.uses_weights) {
+      cell.weights_used = true;
+      for (const std::string& weighting : spec.weightings) {
+        cell.weighting = weighting;
+        pattern.push_back(cell);
+      }
+    } else {
+      // Weight-blind algorithms collapse the weighting dimension exactly
+      // like epsilon-blind ones collapse epsilons.
+      cell.weighting = "unit";
+      cell.weights_used = false;
+      pattern.push_back(cell);
+    }
+  };
   for (int r : spec.powers)
     for (const std::string& name : spec.algorithms) {
       const Algorithm& alg = algorithm_or_throw(name);
       if (!supports_power(alg, r)) continue;
       if (alg.uses_epsilon) {
-        for (double eps : spec.epsilons)
-          pattern.push_back({"", alg.name, 0, r, eps, true, 0});
+        for (double eps : spec.epsilons) push(alg, r, eps, true);
       } else {
-        pattern.push_back({"", alg.name, 0, r, 0.0, false, 0});
+        push(alg, r, 0.0, false);
       }
     }
   return pattern;
@@ -368,6 +500,7 @@ void validate_spec(const SweepSpec& spec) {
   PG_REQUIRE(!spec.sizes.empty(), "sweep needs at least one size");
   PG_REQUIRE(!spec.powers.empty(), "sweep needs at least one power r");
   PG_REQUIRE(!spec.epsilons.empty(), "sweep needs at least one epsilon");
+  PG_REQUIRE(!spec.weightings.empty(), "sweep needs at least one weighting");
   PG_REQUIRE(!spec.seeds.empty(), "sweep needs at least one seed");
   PG_REQUIRE(spec.threads >= 1, "thread count must be >= 1");
   PG_REQUIRE(spec.shard_count >= 1, "shard count must be >= 1");
@@ -380,6 +513,7 @@ void validate_spec(const SweepSpec& spec) {
   for (int r : spec.powers) PG_REQUIRE(r >= 1, "power r must be >= 1");
   for (double eps : spec.epsilons)
     PG_REQUIRE(eps > 0.0 && eps <= 1.0, "epsilon must lie in (0, 1]");
+  for (const std::string& w : spec.weightings) weighting_or_throw(w);
 }
 
 std::vector<CellSpec> expand_grid(const SweepSpec& spec) {

@@ -1,7 +1,7 @@
 // Batch experiment runner: expands a declarative (scenario × algorithm ×
-// size × power × epsilon × seed) grid into cells and executes them on a
-// thread pool — optionally only the slice belonging to one shard of a
-// multi-process sweep.
+// size × power × epsilon × weighting × seed) grid into cells and executes
+// them on a thread pool — optionally only the slice belonging to one
+// shard of a multi-process sweep.
 //
 // Determinism contract: a sweep's cell list and every per-cell result are
 // functions of the spec alone.  Cells draw their randomness from streams
@@ -46,6 +46,11 @@ struct SweepSpec {
   std::vector<graph::VertexId> sizes;
   std::vector<int> powers = {2};
   std::vector<double> epsilons = {0.25};
+  // Node-weight distributions (scenario/weights.hpp names, parametrized
+  // spellings allowed).  Like epsilons, the dimension only multiplies
+  // cells for algorithms that consume weights; every other algorithm
+  // contributes one cell per (r, epsilon) regardless of this list.
+  std::vector<std::string> weightings = {"unit"};
   std::vector<std::uint64_t> seeds = {1};
   int threads = 1;
   // Cells with n <= this get an exact optimum as baseline; larger cells a
@@ -65,6 +70,13 @@ struct CellSpec {
   double epsilon = 0.25;
   bool epsilon_used = true;  // false for algorithms that ignore epsilon
   std::uint64_t seed = 1;
+  // The cell's node-weight distribution.  Weights are derived
+  // deterministically from (topology, seed, weighting name); the
+  // weighted metrics below are measured under this weighting for every
+  // cell, and the weights are handed to the algorithm only when it has
+  // uses_weights (weights_used records that, mirroring epsilon_used).
+  std::string weighting = "unit";
+  bool weights_used = false;
 };
 
 enum class CellStatus { kOk, kError };
@@ -103,6 +115,16 @@ struct CellResult {
   std::size_t baseline_size = 0;
   double ratio = 0.0;  // solution_size / baseline_size (0 when no baseline)
 
+  // Weighted quality, measured under the cell's weighting (for unit
+  // weightings these coincide with the size metrics above).  The
+  // weighted baseline is the exact weighted solver when n allows it, the
+  // implicit weighted local-ratio / lazy-greedy otherwise; its kind can
+  // differ from `baseline` (the two oracles succeed independently).
+  graph::Weight solution_weight = 0;
+  BaselineKind weight_baseline = BaselineKind::kNone;
+  graph::Weight baseline_weight = 0;
+  double ratio_weight = 0.0;  // solution_weight / baseline_weight
+
   double wall_ms = 0.0;  // nondeterministic; reports omit it by default
 };
 
@@ -129,10 +151,11 @@ using RowSink = std::function<void(const CellResult&)>;
 
 /// Expands the grid in deterministic order (scenario, size, seed outermost
 /// so cells of one topology are contiguous; then power, algorithm,
-/// epsilon).  Unknown scenario/algorithm names throw; (algorithm, r) pairs
-/// the algorithm cannot express are skipped; algorithms that ignore
-/// epsilon contribute one cell per (…, r) regardless of the epsilon list.
-/// Always the *full* grid — sharding selects a subset at execution time.
+/// epsilon, weighting).  Unknown scenario/algorithm/weighting names throw;
+/// (algorithm, r) pairs the algorithm cannot express are skipped;
+/// algorithms that ignore epsilon (resp. weights) contribute one cell per
+/// (…, r) regardless of the epsilon (resp. weighting) list.  Always the
+/// *full* grid — sharding selects a subset at execution time.
 std::vector<CellSpec> expand_grid(const SweepSpec& spec);
 
 /// |expand_grid(spec)| without materializing the grid (only the per-group

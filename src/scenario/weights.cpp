@@ -1,0 +1,228 @@
+#include "scenario/weights.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+#include "scenario/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace pg::scenario {
+
+using graph::Graph;
+using graph::VertexId;
+using graph::VertexWeights;
+using graph::Weight;
+
+namespace {
+
+/// Every random weighting draws from a stream mixed with its canonical
+/// name, so two weightings of the same cell never share coins — and a
+/// parametrized spelling (`uniform[2,9]`) gets a different stream from
+/// the default (`uniform`), matching its different name in the reports.
+Rng weighting_rng(std::string_view name, std::uint64_t seed) {
+  return Rng(mix_seed(seed, std::string("weights/") + std::string(name)));
+}
+
+VertexWeights build_uniform(const std::string& name, Weight lo, Weight hi,
+                            const Graph& g, std::uint64_t seed) {
+  Rng rng = weighting_rng(name, seed);
+  VertexWeights w(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    w.set(v, lo + static_cast<Weight>(
+                      rng.next_below(static_cast<std::uint64_t>(hi - lo) + 1)));
+  return w;
+}
+
+/// Zipf over the fixed support {1..kZipfSupport} with P(w) ∝ w^{-s},
+/// drawn by inverse CDF so each vertex costs one uniform draw.  The
+/// bounded support keeps weights inside the CONGEST algorithms'
+/// O(log n)-bit cap (w <= n^4) for every n >= 6.
+constexpr Weight kZipfSupport = 1000;
+
+/// k^{-s} computed with IEEE-exact operations only (multiplication and
+/// correctly-rounded sqrt) — never libm's pow, whose last-ulp rounding
+/// varies across libm versions and would let two hosts derive different
+/// weights from the same (topology, seed, name), breaking the byte
+/// determinism the shard-merge contract and the CI ratio gate lean on.
+/// The exponent is quantized to multiples of 2^-12 (far below anything a
+/// CLI-supplied s can express meaningfully), then evaluated by
+/// square-and-multiply over a 12-fold-sqrt chain.
+double pow_negative_reproducible(double k, double s) {
+  const auto q = static_cast<std::uint64_t>(s * 4096.0 + 0.5);
+  double factor = k;
+  for (int i = 0; i < 12; ++i) factor = std::sqrt(factor);
+  double result = 1.0;
+  for (std::uint64_t e = q; e != 0; e >>= 1) {
+    if (e & 1) result *= factor;
+    factor *= factor;
+  }
+  return 1.0 / result;
+}
+
+VertexWeights build_zipf(const std::string& name, double s, const Graph& g,
+                         std::uint64_t seed) {
+  std::vector<double> cdf(static_cast<std::size_t>(kZipfSupport));
+  double total = 0.0;
+  for (Weight k = 1; k <= kZipfSupport; ++k) {
+    total += pow_negative_reproducible(static_cast<double>(k), s);
+    cdf[static_cast<std::size_t>(k - 1)] = total;
+  }
+  Rng rng = weighting_rng(name, seed);
+  VertexWeights w(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const double u = rng.next_double() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    w.set(v, static_cast<Weight>(it - cdf.begin()) + 1);
+  }
+  return w;
+}
+
+Weighting make_unit() {
+  return {"unit", "all-ones weights (the unweighted problems)",
+          [](const Graph& g, std::uint64_t) {
+            return VertexWeights(g.num_vertices(), 1);
+          }};
+}
+
+Weighting make_uniform(std::string name, Weight lo, Weight hi) {
+  std::string desc = "i.i.d. uniform integer weights in [" +
+                     std::to_string(lo) + ", " + std::to_string(hi) + "]";
+  return {name, std::move(desc),
+          [name, lo, hi](const Graph& g, std::uint64_t seed) {
+            return build_uniform(name, lo, hi, g, seed);
+          }};
+}
+
+Weighting make_degree_proportional() {
+  return {"degree-proportional",
+          "w(v) = 1 + deg_G(v): hubs are expensive (seed-independent)",
+          [](const Graph& g, std::uint64_t) {
+            VertexWeights w(g.num_vertices());
+            for (VertexId v = 0; v < g.num_vertices(); ++v)
+              w.set(v, 1 + static_cast<Weight>(g.degree(v)));
+            return w;
+          }};
+}
+
+Weighting make_inverse_degree() {
+  return {"inverse-degree",
+          "w(v) = 1 + maxdeg/(1 + deg_G(v)): hubs are cheap "
+          "(seed-independent)",
+          [](const Graph& g, std::uint64_t) {
+            const auto max_degree = static_cast<Weight>(g.max_degree());
+            VertexWeights w(g.num_vertices());
+            for (VertexId v = 0; v < g.num_vertices(); ++v)
+              w.set(v, 1 + max_degree / (1 + static_cast<Weight>(g.degree(v))));
+            return w;
+          }};
+}
+
+Weighting make_zipf(std::string name, double s) {
+  std::ostringstream desc;
+  desc << "i.i.d. Zipf(s=" << s << ") weights on {1.." << kZipfSupport
+       << "}: heavy-tailed costs";
+  return {name, desc.str(), [name, s](const Graph& g, std::uint64_t seed) {
+            return build_zipf(name, s, g, seed);
+          }};
+}
+
+std::vector<Weighting> make_registry() {
+  std::vector<Weighting> w;
+  w.push_back(make_unit());
+  w.push_back(make_uniform("uniform", 1, 100));
+  w.push_back(make_degree_proportional());
+  w.push_back(make_inverse_degree());
+  w.push_back(make_zipf("zipf", 2.0));
+  std::sort(w.begin(), w.end(), [](const Weighting& a, const Weighting& b) {
+    return a.name < b.name;
+  });
+  return w;
+}
+
+[[noreturn]] void unknown_weighting(std::string_view spec) {
+  std::ostringstream msg;
+  msg << "unknown weighting '" << spec << "'; valid weightings:";
+  for (const Weighting& w : all_weightings()) msg << ' ' << w.name;
+  msg << " uniform[lo:hi] zipf[s]";
+  throw PreconditionViolation(msg.str());
+}
+
+/// Parses "prefix[args]" and returns the bracket contents, or nullopt
+/// when `spec` is not of that shape.
+bool bracket_args(std::string_view spec, std::string_view prefix,
+                  std::string_view& args) {
+  if (spec.size() < prefix.size() + 2 ||
+      spec.substr(0, prefix.size()) != prefix ||
+      spec[prefix.size()] != '[' || spec.back() != ']')
+    return false;
+  args = spec.substr(prefix.size() + 1,
+                     spec.size() - prefix.size() - 2);
+  return true;
+}
+
+}  // namespace
+
+const std::vector<Weighting>& all_weightings() {
+  static const std::vector<Weighting> registry = make_registry();
+  return registry;
+}
+
+const Weighting* find_weighting(std::string_view name) {
+  for (const Weighting& w : all_weightings())
+    if (w.name == name) return &w;
+  return nullptr;
+}
+
+Weighting weighting_or_throw(std::string_view spec) {
+  if (const Weighting* w = find_weighting(spec)) return *w;
+
+  std::string_view args;
+  if (bracket_args(spec, "uniform", args)) {
+    // Both "uniform[lo:hi]" and "uniform[lo,hi]" parse; the canonical
+    // name regenerates with ':' so weighting names never contain a
+    // comma — they live in comma-separated CLI lists and CSV columns.
+    auto sep = args.find(':');
+    if (sep == std::string_view::npos) sep = args.find(',');
+    if (sep == std::string_view::npos) unknown_weighting(spec);
+    Weight lo = 0, hi = 0;
+    const std::string_view lo_text = args.substr(0, sep);
+    const std::string_view hi_text = args.substr(sep + 1);
+    const auto [lp, lec] =
+        std::from_chars(lo_text.data(), lo_text.data() + lo_text.size(), lo);
+    const auto [hp, hec] =
+        std::from_chars(hi_text.data(), hi_text.data() + hi_text.size(), hi);
+    if (lec != std::errc{} || lp != lo_text.data() + lo_text.size() ||
+        hec != std::errc{} || hp != hi_text.data() + hi_text.size())
+      unknown_weighting(spec);
+    PG_REQUIRE(lo >= 1 && lo <= hi && hi <= 1'000'000'000,
+               "uniform weighting needs 1 <= lo <= hi <= 10^9 (got " +
+                   std::string(spec) + ")");
+    return make_uniform("uniform[" + std::to_string(lo) + ":" +
+                            std::to_string(hi) + "]",
+                        lo, hi);
+  }
+  if (bracket_args(spec, "zipf", args)) {
+    // strtod-free strict parse: from_chars(double) is available in the
+    // toolchains this repo targets (gcc/clang C++20).
+    double s = 0.0;
+    const auto [p, ec] =
+        std::from_chars(args.data(), args.data() + args.size(), s);
+    if (ec != std::errc{} || p != args.data() + args.size())
+      unknown_weighting(spec);
+    PG_REQUIRE(s > 0.0 && s <= 8.0,
+               "zipf weighting exponent must lie in (0, 8] (got " +
+                   std::string(spec) + ")");
+    return make_zipf(std::string(spec), s);
+  }
+  unknown_weighting(spec);
+}
+
+std::vector<std::string> weighting_names() {
+  std::vector<std::string> names;
+  for (const Weighting& w : all_weightings()) names.push_back(w.name);
+  return names;
+}
+
+}  // namespace pg::scenario

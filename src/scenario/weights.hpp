@@ -1,0 +1,60 @@
+// Named node-weight distributions: the weighting dimension of the sweep
+// grid, exercising the paper's Theorem 7 (weighted vertex cover on G^2)
+// beyond unit weights.  A weighting deterministically derives per-vertex
+// integer weights from (topology, scenario seed, weighting name): the
+// same triple always produces byte-identical weights, and every weighting
+// decorrelates its random stream from its siblings by mixing its own
+// canonical name into the seed (the same idiom the scenario registry
+// uses for topologies).
+//
+// The registry ships the grid's default spellings — `unit`, `uniform`
+// (= uniform over [1, 100]), `degree-proportional`, `inverse-degree`,
+// `zipf` (= zipf with s = 2) — and the parser also accepts explicit
+// parameters: `uniform[lo:hi]` (a ',' separator is accepted on input
+// and canonicalized to ':', keeping names comma-free for CLI lists and
+// CSV columns) with integer 1 <= lo <= hi <= 10^9, and `zipf[s]` with
+// exponent s in (0, 8].  The canonical name is what the reports print
+// and the spec fingerprints cover, so parametrized sweeps stay
+// byte-deterministic end to end.
+//
+// Degree-correlated weightings are derived from the *base* topology G
+// (not G^r): the related power-law hardness work (Gast–Hauptmann,
+// Gast–Hauptmann–Karpinski) makes degree-correlated costs the
+// interesting regime, and G's degrees are what the generators control.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pg::scenario {
+
+struct Weighting {
+  std::string name;         // canonical CLI-visible spelling, e.g. "zipf"
+  std::string description;  // one line for list-weightings
+  std::function<graph::VertexWeights(const graph::Graph& g,
+                                     std::uint64_t seed)>
+      build;
+};
+
+/// The built-in registry (default parameterizations), sorted by name:
+/// degree-proportional, inverse-degree, unit, uniform, zipf.
+const std::vector<Weighting>& all_weightings();
+
+/// Registry lookup by canonical name; nullptr when unknown.  Does not
+/// parse parametrized spellings — use `weighting_or_throw` for those.
+const Weighting* find_weighting(std::string_view name);
+
+/// Resolves a weighting spec: a registry name, or a parametrized
+/// `uniform[lo:hi]` / `zipf[s]` spelling.  Throws PreconditionViolation
+/// with the valid names spelled out (the error surface the CLI leans
+/// on), or with the offending parameter for out-of-range bounds.
+Weighting weighting_or_throw(std::string_view spec);
+
+std::vector<std::string> weighting_names();
+
+}  // namespace pg::scenario

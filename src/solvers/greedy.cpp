@@ -116,6 +116,88 @@ VertexSet local_ratio_mvc_power(const Graph& g, int r) {
   return cover;
 }
 
+namespace {
+
+/// Shared core of the implicit weighted local ratio: the Bar-Yehuda–Even
+/// residual transfer over the edges of G^r — restricted to
+/// {v : active[v]} when `active` is non-null — in for_each_edge order.
+/// The materialized loop walks rows u ascending and each row's sorted
+/// neighbors v > u.  An edge only moves residuals when both endpoints
+/// still hold weight, so rows with residual 0 are pure no-ops (every
+/// delta is 0) and a live row is done the moment its own residual
+/// empties — the skips below change nothing observable.  The single
+/// definition is load-bearing: local_ratio_mwvc_power's equivalence
+/// proofs and solve_gr_mwvc's remainder scoring must stay in lockstep.
+std::vector<Weight> power_residual_transfer(const Graph& g, int r,
+                                            const VertexWeights& w,
+                                            const std::vector<bool>* active) {
+  const VertexId n = g.num_vertices();
+  std::vector<Weight> residual(static_cast<std::size_t>(n), 0);
+  for (VertexId v = 0; v < n; ++v) {
+    PG_REQUIRE(w[v] >= 0, "vertex weights must be non-negative");
+    if (active == nullptr || (*active)[static_cast<std::size_t>(v)])
+      residual[static_cast<std::size_t>(v)] = w[v];
+  }
+  graph::PowerView view(g, r);
+  for (VertexId u = 0; u < n; ++u) {
+    if (active != nullptr && !(*active)[static_cast<std::size_t>(u)])
+      continue;
+    auto& ru = residual[static_cast<std::size_t>(u)];
+    if (ru == 0) continue;
+    for (VertexId v : view.neighbors(u)) {  // sorted, matches the CSR row
+      if (v <= u) continue;
+      if (active != nullptr && !(*active)[static_cast<std::size_t>(v)])
+        continue;
+      auto& rv = residual[static_cast<std::size_t>(v)];
+      const Weight delta = std::min(ru, rv);
+      ru -= delta;
+      rv -= delta;
+      if (ru == 0) break;
+    }
+  }
+  return residual;
+}
+
+}  // namespace
+
+VertexSet local_ratio_mwvc_power(const Graph& g, int r,
+                                 const VertexWeights& w) {
+  PG_REQUIRE(w.size() == g.num_vertices(), "weights/graph size mismatch");
+  const VertexId n = g.num_vertices();
+  const std::vector<Weight> residual =
+      power_residual_transfer(g, r, w, nullptr);
+  VertexSet cover(n);
+  // deg_{G^r}(v) > 0 iff deg_G(v) > 0 for every r >= 1, so the
+  // "non-isolated" membership test needs no ball query.
+  for (VertexId v = 0; v < n; ++v)
+    if (residual[static_cast<std::size_t>(v)] == 0 && g.degree(v) > 0)
+      cover.insert(v);
+  return cover;
+}
+
+VertexSet local_ratio_mwvc_power_on(const Graph& g, int r,
+                                    const VertexWeights& w,
+                                    const std::vector<bool>& active) {
+  PG_REQUIRE(w.size() == g.num_vertices(), "weights/graph size mismatch");
+  const VertexId n = g.num_vertices();
+  PG_REQUIRE(active.size() == static_cast<std::size_t>(n),
+             "active mask/graph size mismatch");
+  for (VertexId v = 0; v < n; ++v)
+    PG_REQUIRE(!active[static_cast<std::size_t>(v)] || w[v] > 0,
+               "restricted local ratio needs positive active weights");
+  const std::vector<Weight> residual =
+      power_residual_transfer(g, r, w, &active);
+  VertexSet cover(n);
+  // Active weights are strictly positive, so a zero residual proves the
+  // vertex lost weight to an incident induced edge — exactly the
+  // materialized membership rule without an induced-degree probe.
+  for (VertexId v = 0; v < n; ++v)
+    if (active[static_cast<std::size_t>(v)] &&
+        residual[static_cast<std::size_t>(v)] == 0)
+      cover.insert(v);
+  return cover;
+}
+
 VertexSet greedy_mds_power(const Graph& g, int r) {
   // Lazy greedy: stored heap gains are upper bounds (gains only decrease),
   // so a popped entry is re-evaluated with one ball BFS and selected only
@@ -159,6 +241,74 @@ VertexSet greedy_mds_power(const Graph& g, int r) {
       const Entry& next = heap.top();
       if (gain < next.gain || (gain == next.gain && top.id > next.id)) {
         heap.push({gain, top.id});
+        continue;
+      }
+    }
+    ds.insert(top.id);
+    if (!dominated[static_cast<std::size_t>(top.id)]) {
+      dominated[static_cast<std::size_t>(top.id)] = 1;
+      ++num_dominated;
+    }
+    view.for_each_neighbor(top.id, [&](VertexId u) {
+      if (!dominated[static_cast<std::size_t>(u)]) {
+        dominated[static_cast<std::size_t>(u)] = 1;
+        ++num_dominated;
+      }
+    });
+  }
+  return ds;
+}
+
+VertexSet greedy_mwds_power(const Graph& g, int r, const VertexWeights& w) {
+  PG_REQUIRE(w.size() == g.num_vertices(), "weights/graph size mismatch");
+  // The weighted twin of greedy_mds_power: scores are gain/cost with the
+  // cost fixed per candidate, so stored scores are still upper bounds
+  // (gains only decrease) and the same lazy re-evaluation applies.  Both
+  // sides of every comparison compute gain/cost with identical IEEE
+  // operations, so ties resolve exactly like greedy_ds_impl's strict
+  // `score > best` ascending scan: lowest id among the maximal scores.
+  const VertexId n = g.num_vertices();
+  const auto un = static_cast<std::size_t>(n);
+  graph::PowerView view(g, r);
+  std::vector<char> dominated(un, 0);
+  std::size_t num_dominated = 0;
+  VertexSet ds(n);
+
+  auto cost_of = [&](VertexId c) {
+    return static_cast<double>(std::max<Weight>(w[c], 1));
+  };
+
+  struct Entry {
+    double score;
+    VertexId id;
+    bool operator<(const Entry& o) const {  // max-heap: score desc, id asc
+      if (score != o.score) return score < o.score;
+      return id > o.id;
+    }
+  };
+  std::priority_queue<Entry> heap;
+  auto fresh_gain = [&](VertexId c) {
+    std::size_t gain = dominated[static_cast<std::size_t>(c)] ? 0 : 1;
+    view.for_each_neighbor(c, [&](VertexId u) {
+      if (!dominated[static_cast<std::size_t>(u)]) ++gain;
+    });
+    return gain;
+  };
+  for (VertexId c = 0; c < n; ++c)
+    heap.push({static_cast<double>(1 + view.degree(c)) / cost_of(c), c});
+
+  while (num_dominated < un) {
+    PG_CHECK(!heap.empty(), "greedy DS stalled before full domination");
+    const Entry top = heap.top();
+    heap.pop();
+    if (ds.contains(top.id)) continue;  // stale duplicate of a selection
+    const std::size_t gain = fresh_gain(top.id);
+    if (gain == 0) continue;  // fully dominated ball; can never fire again
+    const double score = static_cast<double>(gain) / cost_of(top.id);
+    if (!heap.empty()) {
+      const Entry& next = heap.top();
+      if (score < next.score || (score == next.score && top.id > next.id)) {
+        heap.push({score, top.id});
         continue;
       }
     }

@@ -41,4 +41,34 @@ graph::VertexSet local_ratio_mvc_power(const graph::Graph& g, int r);
 /// (1 + ln(Delta_r + 1))-approximate MDS of G^r.
 graph::VertexSet greedy_mds_power(const graph::Graph& g, int r);
 
+/// Exactly local_ratio_mwvc(power(g, r), w): the Bar-Yehuda–Even local
+/// ratio over G^r's edges in for_each_edge order, simulated row by row
+/// with one sorted ball per still-positive-residual vertex — rows whose
+/// residual is already zero contribute only zero deltas and are skipped,
+/// and a row stops early once its own residual empties.  2-approximate
+/// weighted MVC of G^r; with unit weights this is vertex-for-vertex
+/// local_ratio_mvc_power.
+graph::VertexSet local_ratio_mwvc_power(const graph::Graph& g, int r,
+                                        const graph::VertexWeights& w);
+
+/// local_ratio_mwvc restricted to the subgraph of G^r induced by
+/// {v : active[v]}: exactly
+/// local_ratio_mwvc(induced_power_subgraph(g, r, actives ascending), w)
+/// mapped back to original ids.  Requires strictly positive weights on
+/// the active vertices (a zero-weight active would need an
+/// induced-degree probe to reproduce the materialized membership rule).
+/// `local_ratio_mwvc_power` is the all-active case; core::solve_gr_mwvc
+/// scores unmaterializably large remainders through this.
+graph::VertexSet local_ratio_mwvc_power_on(const graph::Graph& g, int r,
+                                           const graph::VertexWeights& w,
+                                           const std::vector<bool>& active);
+
+/// Exactly greedy_mwds(power(g, r), w): weighted max-coverage-per-cost
+/// greedy dominating set of G^r via the same lazy heap as
+/// greedy_mds_power, with scores gain/max(w, 1) (costs are fixed, so
+/// stored scores remain upper bounds).  With unit weights this is
+/// vertex-for-vertex greedy_mds_power.
+graph::VertexSet greedy_mwds_power(const graph::Graph& g, int r,
+                                   const graph::VertexWeights& w);
+
 }  // namespace pg::solvers

@@ -2,6 +2,7 @@
 // operations, matchings, covers, and I/O.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "graph/cover.hpp"
@@ -195,6 +196,29 @@ TEST(Cover, VertexSetBasics) {
   VertexWeights w(5, 2);
   w.set(3, 7);
   EXPECT_EQ(s.weight(w), 7);
+}
+
+TEST(Cover, VertexWeightTotalsAreOverflowChecked) {
+  // total()/total_of() summed int64 blindly; with wide weight
+  // distributions a wrapped sum would silently corrupt every downstream
+  // ratio.  At the boundary the sum must still be exact, one step past
+  // it a loud precondition failure.
+  const Weight huge = std::numeric_limits<Weight>::max() / 2;
+  VertexWeights near(std::vector<Weight>{huge, huge, 1});
+  EXPECT_EQ(near.total(), std::numeric_limits<Weight>::max());
+
+  VertexWeights over(std::vector<Weight>{huge, huge, 2});
+  EXPECT_THROW(over.total(), PreconditionViolation);
+
+  const std::vector<VertexId> both = {0, 1};
+  VertexWeights pair(std::vector<Weight>{std::numeric_limits<Weight>::max(), 1});
+  EXPECT_THROW(pair.total_of(both), PreconditionViolation);
+  EXPECT_EQ(pair.total_of(std::vector<VertexId>{1}), 1);
+
+  // The negative direction is guarded too.
+  VertexWeights negative(
+      std::vector<Weight>{std::numeric_limits<Weight>::min(), -1});
+  EXPECT_THROW(negative.total(), PreconditionViolation);
 }
 
 TEST(Io, RoundTrip) {

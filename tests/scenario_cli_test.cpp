@@ -83,6 +83,90 @@ TEST(Cli, RejectsPowersTheAlgorithmCannotExpress) {
   EXPECT_NE(r.err.find("cannot target r=3"), std::string::npos);
 }
 
+TEST(Cli, RejectsEpsilonForEpsilonBlindAlgorithms) {
+  // The run path used to zero a user-supplied epsilon silently when the
+  // algorithm ignores it; per the strict-validation convention both the
+  // flag and the legacy positional spelling must exit 2 instead.
+  const CliRun flag =
+      cli({"run", "matching", "--epsilon", "0.5", "--r", "1"}, kPathGraph);
+  EXPECT_EQ(flag.exit_code, 2);
+  EXPECT_NE(flag.err.find("does not use epsilon"), std::string::npos)
+      << flag.err;
+  const CliRun positional =
+      cli({"run", "matching", "0.5", "--r", "1"}, kPathGraph);
+  EXPECT_EQ(positional.exit_code, 2);
+  EXPECT_NE(positional.err.find("does not use epsilon"), std::string::npos);
+  // The legacy top-level spelling funnels through the same check.
+  EXPECT_EQ(cli({"naive", "0.5"}, kPathGraph).exit_code, 2);
+  // Not passing epsilon at all stays fine.
+  EXPECT_EQ(cli({"run", "matching", "--r", "1"}, kPathGraph).exit_code, 0);
+}
+
+TEST(Cli, RejectsWeightingForWeightBlindAlgorithms) {
+  const CliRun r =
+      cli({"run", "matching", "--weighting", "zipf", "--r", "1"}, kPathGraph);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("does not use node weights"), std::string::npos);
+}
+
+TEST(Cli, RejectsUnknownWeightings) {
+  const CliRun r = cli({"run", "mwvc", "--weighting", "moon"}, kPathGraph);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("unknown weighting 'moon'"), std::string::npos);
+  EXPECT_EQ(
+      cli({"sweep", "--sizes", "8", "--weights", "moon"}).exit_code, 2);
+  // split_list keeps the bracketed parameters together, so this fails on
+  // the lo <= hi range check, not as a mangled unknown name.
+  const CliRun range =
+      cli({"sweep", "--sizes", "8", "--weights", "uniform[9,2]"});
+  EXPECT_EQ(range.exit_code, 2);
+  EXPECT_NE(range.err.find("1 <= lo <= hi"), std::string::npos) << range.err;
+}
+
+TEST(Cli, ParametrizedWeightingsSurviveTheCommaListGrammar) {
+  // Both separator spellings of a parametrized uniform weighting work in
+  // the comma-separated --weights list and canonicalize to the
+  // comma-free ':' form in the report, keeping the CSV column count
+  // intact.
+  for (const char* spelling : {"uniform[2:9]", "uniform[2,9]"}) {
+    const CliRun r = cli({"sweep", "--scenarios", "ba", "--algorithms",
+                          "mwvc", "--sizes", "10", "--powers", "2",
+                          "--weights", std::string(spelling) + ",zipf",
+                          "--seeds", "1", "--csv", "-"});
+    EXPECT_EQ(r.exit_code, 0) << spelling << ": " << r.err;
+    EXPECT_NE(r.out.find(",uniform[2:9],"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find(",zipf,"), std::string::npos);
+    // header + 2 weightings x 1 cell
+    EXPECT_EQ(2u + 1u, static_cast<std::size_t>(std::count(
+                           r.out.begin(), r.out.end(), '\n')));
+  }
+}
+
+TEST(Cli, SweepRejectsDimensionsNoAlgorithmConsumes) {
+  // --epsilons/--weights whose whole algorithm list ignores them would
+  // silently collapse; they are rejected like the run path's flags.
+  const CliRun eps = cli({"sweep", "--sizes", "8", "--algorithms",
+                          "matching", "--epsilons", "0.5"});
+  EXPECT_EQ(eps.exit_code, 2);
+  EXPECT_NE(eps.err.find("no requested algorithm uses epsilon"),
+            std::string::npos)
+      << eps.err;
+  const CliRun wts = cli({"sweep", "--sizes", "8", "--algorithms",
+                          "matching,mvc", "--weights", "zipf"});
+  EXPECT_EQ(wts.exit_code, 2);
+  EXPECT_NE(wts.err.find("no requested algorithm uses node weights"),
+            std::string::npos);
+  // One consuming algorithm in the list legitimizes the dimension.
+  EXPECT_EQ(cli({"sweep", "--sizes", "8", "--algorithms", "matching,mvc",
+                 "--epsilons", "0.5"})
+                .exit_code,
+            0);
+  EXPECT_EQ(cli({"sweep", "--sizes", "8", "--algorithms", "matching,mwvc",
+                 "--weights", "zipf"})
+                .exit_code,
+            0);
+}
+
 TEST(Cli, SweepValidatesItsLists) {
   EXPECT_EQ(cli({"sweep"}).exit_code, 2);  // --sizes required
   EXPECT_EQ(cli({"sweep", "--sizes", "8", "--algorithms", "nope"}).exit_code,
@@ -175,8 +259,51 @@ TEST(Cli, ListingsAndHelpSucceed) {
   const CliRun algorithms = cli({"list-algorithms"});
   EXPECT_EQ(algorithms.exit_code, 0);
   EXPECT_NE(algorithms.out.find("mvc53"), std::string::npos);
+  EXPECT_NE(algorithms.out.find("gr-mwvc"), std::string::npos);
+
+  const CliRun weightings = cli({"list-weightings"});
+  EXPECT_EQ(weightings.exit_code, 0);
+  EXPECT_NE(weightings.out.find("degree-proportional"), std::string::npos);
+  EXPECT_NE(weightings.out.find("zipf"), std::string::npos);
 
   EXPECT_EQ(cli({"help"}).exit_code, 0);
+}
+
+TEST(Cli, RunWeightedCellPrintsWeightedMetrics) {
+  const CliRun r = cli({"run", "mwvc", "--scenario", "ba", "--n", "16",
+                        "--epsilon", "0.5", "--weighting",
+                        "degree-proportional", "--seed", "2"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("weighting     : degree-proportional"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("baseline wt   : exact"), std::string::npos) << r.out;
+  // The old registry spelling keeps working through the alias.
+  EXPECT_EQ(cli({"run", "mwvc-unit", "--scenario", "ba", "--n", "12",
+                 "--epsilon", "0.5"})
+                .exit_code,
+            0);
+}
+
+TEST(Cli, SweepWithWeightsEmitsWeightedColumnsDeterministically) {
+  const std::vector<std::string> args = {
+      "sweep",     "--scenarios", "ba",         "--algorithms",
+      "mwvc,gr-mwvc", "--sizes",  "14",         "--powers",
+      "2",         "--epsilons",  "0.5",        "--weights",
+      "unit,degree-proportional,zipf", "--seeds", "1", "--csv", "-"};
+  const CliRun once = cli(args);
+  EXPECT_EQ(once.exit_code, 0) << once.err;
+  EXPECT_NE(once.out.find(",weighting,"), std::string::npos);
+  EXPECT_NE(once.out.find(",solution_weight,"), std::string::npos);
+  EXPECT_NE(once.out.find(",ratio_weight"), std::string::npos);
+  EXPECT_NE(once.out.find(",degree-proportional,"), std::string::npos);
+  // header + 2 algorithms x 3 weightings
+  EXPECT_EQ(6u + 1u, static_cast<std::size_t>(std::count(
+                         once.out.begin(), once.out.end(), '\n')));
+  std::vector<std::string> threaded = args;
+  threaded.push_back("--threads");
+  threaded.push_back("4");
+  EXPECT_EQ(once.out, cli(threaded).out);
 }
 
 TEST(Cli, RunOnStdinGraph) {

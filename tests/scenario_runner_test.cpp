@@ -4,6 +4,8 @@
 // a pinned golden CSV guards the schema and the centralized cells' values.
 #include <gtest/gtest.h>
 
+#include <locale>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -150,6 +152,10 @@ TEST(SweepDeterminism, GoldenCsvForCentralizedCells) {
   //     --sizes 12 --powers 2 --epsilons 0.5 --seeds 7 --csv -).
   // Re-pinned for PR 3: the schema gained the leading cell_index column
   // (the shard/merge key); the path/ba values themselves are unchanged.
+  // Re-pinned for PR 5: the weighted sweep dimension added the weighting,
+  // solution_weight, and ratio_weight columns ("-"/size/ratio-mirrors for
+  // weight-blind algorithms like gr-mvc); every pre-existing value is
+  // unchanged.
   SweepSpec spec;
   spec.scenarios = {"path", "ba"};
   spec.algorithms = {"gr-mvc"};
@@ -159,12 +165,72 @@ TEST(SweepDeterminism, GoldenCsvForCentralizedCells) {
   spec.seeds = {7};
   spec.exact_baseline_max_n = 20;
   const std::string expected =
-      "cell_index,scenario,algorithm,n,r,epsilon,seed,status,base_edges,"
-      "comm_power,comm_edges,target_edges,solution_size,feasible,exact,"
-      "rounds,messages,total_bits,baseline,baseline_size,ratio,error\n"
-      "0,path,gr-mvc,12,2,0.5,7,ok,11,1,11,21,8,1,0,0,0,0,exact,8,1.0000,\n"
-      "1,ba,gr-mvc,12,2,0.5,7,ok,21,1,21,53,11,1,0,0,0,0,exact,10,1.1000,\n";
+      "cell_index,scenario,algorithm,n,r,epsilon,weighting,seed,status,"
+      "base_edges,comm_power,comm_edges,target_edges,solution_size,"
+      "solution_weight,feasible,exact,rounds,messages,total_bits,baseline,"
+      "baseline_size,ratio,weight_baseline,baseline_weight,ratio_weight,"
+      "error\n"
+      "0,path,gr-mvc,12,2,0.5,-,7,ok,11,1,11,21,8,8,1,0,0,0,0,exact,8,"
+      "1.0000,exact,8,1.0000,\n"
+      "1,ba,gr-mvc,12,2,0.5,-,7,ok,21,1,21,53,11,11,1,0,0,0,0,exact,10,"
+      "1.1000,exact,10,1.1000,\n";
   EXPECT_EQ(csv_string(run_sweep(spec)), expected);
+}
+
+// A numpunct that mimics comma-decimal locales (de_DE and friends)
+// without depending on any locale being installed on the host: ',' as
+// the decimal point, '.' as a thousands separator applied every 3 digits.
+class CommaNumpunct : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+TEST(ReportLocale, BytesAreIndependentOfImbuedAndGlobalLocale) {
+  // Regression: the writers used to stream integers through the target
+  // stream's locale, so a grouping locale turned 1199 into "1.199" —
+  // corrupting the CSV shape and the shard-merge byte-equality
+  // guarantee.  n is chosen >= 1000 so grouping would bite, and the spec
+  // is a shard so the stamp line's integers and fingerprint are covered.
+  SweepSpec spec;
+  spec.scenarios = {"path"};
+  spec.algorithms = {"matching"};
+  spec.sizes = {1200};
+  spec.powers = {1};
+  spec.seeds = {1};
+  spec.shard_index = 1;
+  spec.shard_count = 2;
+  spec.exact_baseline_max_n = 0;
+  const SweepResult result = run_sweep(spec);
+  const std::string clean_csv = csv_string(result);
+  const std::string clean_json = json_string(result);
+  const std::string clean_fingerprint = spec_fingerprint(spec);
+  ASSERT_NE(clean_csv.find("1200"), std::string::npos);
+
+  const std::locale comma(std::locale::classic(), new CommaNumpunct);
+  const std::locale previous = std::locale::global(comma);
+  std::string poisoned_csv, poisoned_json, poisoned_fingerprint;
+  try {
+    // Both attack surfaces at once: an explicitly imbued target stream,
+    // and the global locale every internally constructed stream inherits.
+    std::ostringstream csv_out, json_out;
+    csv_out.imbue(comma);
+    json_out.imbue(comma);
+    write_csv(csv_out, result);
+    write_json(json_out, result);
+    poisoned_csv = csv_out.str();
+    poisoned_json = json_out.str();
+    poisoned_fingerprint = spec_fingerprint(spec);
+  } catch (...) {
+    std::locale::global(previous);
+    throw;
+  }
+  std::locale::global(previous);
+
+  EXPECT_EQ(poisoned_csv, clean_csv);
+  EXPECT_EQ(poisoned_json, clean_json);
+  EXPECT_EQ(poisoned_fingerprint, clean_fingerprint);
 }
 
 // ------------------------------------------------------------- sharding ---

@@ -1,0 +1,462 @@
+// The weighted sweep dimension, end to end:
+//   * the weighting registry — names, parametrized spellings, strict
+//     validation, and the determinism contract (weights are a function of
+//     (topology, seed, weighting name) alone);
+//   * the implicit weighted baselines — local_ratio_mwvc_power and
+//     greedy_mwds_power reproduce their materialized counterparts vertex
+//     for vertex, and degenerate to the unweighted implicit solvers under
+//     unit weights (the runner leans on both facts);
+//   * the runner's weighted plumbing — under the unit weighting every
+//     weighted metric coincides with its size twin (the
+//     weighted-baseline == unit-baseline property), and weighted cells
+//     are byte-deterministic across thread counts;
+//   * weighted oracle conformance — mwvc (Theorem 7 in CONGEST) and
+//     gr-mwvc (its centralized at-scale emulation) stay feasible on G^r
+//     and within the theorem's (2+ε)·OPT_w against the exact weighted
+//     solver, across four weightings, odd and even seeds, and r in
+//     {2, 3} where expressible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "core/gr_mwvc.hpp"
+#include "core/mwvc_congest.hpp"
+#include "graph/cover.hpp"
+#include "graph/power.hpp"
+#include "graph/power_view.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/weights.hpp"
+#include "solvers/exact_vc.hpp"
+#include "solvers/greedy.hpp"
+
+namespace pg::scenario {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using graph::VertexWeights;
+using graph::Weight;
+
+Graph build_scenario(const char* name, VertexId n, std::uint64_t seed) {
+  return scenario_or_throw(name).build(n, seed);
+}
+
+// ------------------------------------------------------------- registry ---
+
+TEST(WeightingRegistry, NamesAreSortedAndResolvable) {
+  const auto names = weighting_names();
+  ASSERT_GE(names.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const std::string& name : names) {
+    EXPECT_NE(find_weighting(name), nullptr) << name;
+    EXPECT_EQ(weighting_or_throw(name).name, name);
+  }
+  for (const char* required :
+       {"unit", "uniform", "degree-proportional", "inverse-degree", "zipf"})
+    EXPECT_NE(find_weighting(required), nullptr) << required;
+}
+
+TEST(WeightingRegistry, UnknownNamesThrowListingAlternatives) {
+  EXPECT_EQ(find_weighting("moon"), nullptr);
+  try {
+    weighting_or_throw("moon");
+    FAIL() << "expected PreconditionViolation";
+  } catch (const PreconditionViolation& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("unknown weighting 'moon'"), std::string::npos);
+    EXPECT_NE(what.find("zipf"), std::string::npos);
+  }
+}
+
+TEST(WeightingRegistry, ParametrizedSpellingsParseAndValidate) {
+  const Graph g = build_scenario("ba", 24, 1);
+
+  const Weighting narrow = weighting_or_throw("uniform[2:9]");
+  EXPECT_EQ(narrow.name, "uniform[2:9]");
+  const VertexWeights w = narrow.build(g, 1);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(w[v], 2);
+    EXPECT_LE(w[v], 9);
+  }
+
+  // The ',' separator parses too, but canonicalizes to the comma-free
+  // ':' spelling (weighting names live in comma-separated CLI lists and
+  // CSV columns) — and both spellings are the *same* weighting, down to
+  // the random stream.
+  const Weighting comma = weighting_or_throw("uniform[2,9]");
+  EXPECT_EQ(comma.name, "uniform[2:9]");
+  const VertexWeights w2 = comma.build(g, 1);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(w[v], w2[v]);
+
+  EXPECT_EQ(weighting_or_throw("zipf[1.5]").name, "zipf[1.5]");
+
+  // Degenerate or out-of-range parameters are refused loudly.
+  EXPECT_THROW(weighting_or_throw("uniform[9:2]"), PreconditionViolation);
+  EXPECT_THROW(weighting_or_throw("uniform[0:5]"), PreconditionViolation);
+  EXPECT_THROW(weighting_or_throw("uniform[1:2000000000]"),
+               PreconditionViolation);
+  EXPECT_THROW(weighting_or_throw("uniform[1]"), PreconditionViolation);
+  EXPECT_THROW(weighting_or_throw("uniform[a:b]"), PreconditionViolation);
+  EXPECT_THROW(weighting_or_throw("zipf[0]"), PreconditionViolation);
+  EXPECT_THROW(weighting_or_throw("zipf[9.5]"), PreconditionViolation);
+  EXPECT_THROW(weighting_or_throw("zipf[x]"), PreconditionViolation);
+}
+
+TEST(WeightingRegistry, WeightsAreDeterministicInTopologySeedAndName) {
+  const Graph g = build_scenario("gnp-sparse", 32, 3);
+  for (const char* name : {"uniform", "zipf", "degree-proportional",
+                           "inverse-degree", "unit"}) {
+    const Weighting weighting = weighting_or_throw(name);
+    const VertexWeights once = weighting.build(g, 7);
+    const VertexWeights again = weighting.build(g, 7);
+    ASSERT_EQ(once.size(), again.size());
+    for (VertexId v = 0; v < once.size(); ++v)
+      EXPECT_EQ(once[v], again[v]) << name << " vertex " << v;
+  }
+  // Random weightings decorrelate across seeds and across names.
+  const VertexWeights u7 = weighting_or_throw("uniform").build(g, 7);
+  const VertexWeights u8 = weighting_or_throw("uniform").build(g, 8);
+  const VertexWeights z7 = weighting_or_throw("zipf").build(g, 7);
+  bool differs_seed = false, differs_name = false;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    differs_seed |= u7[v] != u8[v];
+    differs_name |= u7[v] != z7[v];
+  }
+  EXPECT_TRUE(differs_seed);
+  EXPECT_TRUE(differs_name);
+}
+
+TEST(WeightingRegistry, DegreeCorrelatedWeightsMatchTheirFormulas) {
+  const Graph g = build_scenario("ba", 40, 2);
+  const VertexWeights prop =
+      weighting_or_throw("degree-proportional").build(g, 5);
+  const VertexWeights inv = weighting_or_throw("inverse-degree").build(g, 5);
+  const auto max_degree = static_cast<Weight>(g.max_degree());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(prop[v], 1 + static_cast<Weight>(g.degree(v)));
+    EXPECT_EQ(inv[v],
+              1 + max_degree / (1 + static_cast<Weight>(g.degree(v))));
+  }
+}
+
+// ----------------------------------------------- implicit weighted twins ---
+
+TEST(ImplicitWeightedBaselines, MatchMaterializedSolversVertexForVertex) {
+  for (const char* scenario : {"gnp-sparse", "ba", "geo-torus", "planted"})
+    for (VertexId n : {14, 26})
+      for (int r : {2, 3})
+        for (const char* weighting :
+             {"uniform", "zipf", "degree-proportional", "inverse-degree"}) {
+          const Graph g = build_scenario(scenario, n, 1);
+          const VertexWeights w = weighting_or_throw(weighting).build(g, 1);
+          const Graph gr = graph::power(g, r);
+          const std::string label = std::string(scenario) + "/r" +
+                                    std::to_string(r) + "/" + weighting;
+          EXPECT_EQ(solvers::local_ratio_mwvc_power(g, r, w).to_vector(),
+                    solvers::local_ratio_mwvc(gr, w).to_vector())
+              << label;
+          EXPECT_EQ(solvers::greedy_mwds_power(g, r, w).to_vector(),
+                    solvers::greedy_mwds(gr, w).to_vector())
+              << label;
+        }
+}
+
+TEST(ImplicitWeightedBaselines, RestrictedLocalRatioMatchesInducedMaterialized) {
+  // The subset-restricted variant solve_gr_mwvc scores huge remainders
+  // with must equal the materialized local ratio on the remainder-induced
+  // power subgraph, mapped back to original ids.
+  for (const char* scenario : {"gnp-sparse", "ba", "geo-torus"})
+    for (VertexId n : {16, 28})
+      for (int r : {2, 3}) {
+        const Graph g = build_scenario(scenario, n, 3);
+        const VertexWeights w = weighting_or_throw("uniform").build(g, 3);
+        std::vector<bool> active(static_cast<std::size_t>(n), false);
+        std::vector<VertexId> subset;
+        for (VertexId v = 0; v < n; ++v)
+          if (v % 3 != 0) {
+            active[static_cast<std::size_t>(v)] = true;
+            subset.push_back(v);
+          }
+        const auto induced = graph::induced_power_subgraph(g, r, subset);
+        VertexWeights iw(induced.graph.num_vertices());
+        for (VertexId local = 0; local < induced.graph.num_vertices();
+             ++local)
+          iw.set(local,
+                 w[induced.to_original[static_cast<std::size_t>(local)]]);
+        std::vector<VertexId> expected;
+        for (VertexId local :
+             solvers::local_ratio_mwvc(induced.graph, iw).to_vector())
+          expected.push_back(
+              induced.to_original[static_cast<std::size_t>(local)]);
+        std::sort(expected.begin(), expected.end());
+        EXPECT_EQ(
+            solvers::local_ratio_mwvc_power_on(g, r, w, active).to_vector(),
+            expected)
+            << scenario << " r=" << r;
+      }
+}
+
+TEST(ImplicitWeightedBaselines, UnitWeightsDegenerateToUnweightedTwins) {
+  // The weighted-baseline == unit-baseline property the runner exploits:
+  // under all-ones weights the weighted implicit solvers must reproduce
+  // the unweighted implicit baselines exactly.
+  for (const char* scenario : {"gnp-sparse", "ba", "regular-4"})
+    for (VertexId n : {18, 30})
+      for (int r : {2, 3}) {
+        const Graph g = build_scenario(scenario, n, 2);
+        const VertexWeights unit(g.num_vertices(), 1);
+        EXPECT_EQ(solvers::local_ratio_mwvc_power(g, r, unit).to_vector(),
+                  solvers::local_ratio_mvc_power(g, r).to_vector())
+            << scenario << " r=" << r;
+        EXPECT_EQ(solvers::greedy_mwds_power(g, r, unit).to_vector(),
+                  solvers::greedy_mds_power(g, r).to_vector())
+            << scenario << " r=" << r;
+      }
+}
+
+// --------------------------------------------------------- gr-mwvc core ---
+
+TEST(GrMwvc, CoversAndRespectsTheBoundOnMidsizePowerLaw) {
+  // Midsize smoke for the at-scale path: big enough that phase 1 has to
+  // do real work, small enough for the test budget.  The (2+ε) bound is
+  // checked against the implicit local-ratio score (a 2-approximation,
+  // so solve <= (2+eps)/1 * local_ratio is implied by the theorem bound
+  // only loosely — the hard assertion here is feasibility plus a sane
+  // weight, the exact-oracle bound lives in the conformance sweep below).
+  const Graph g = build_scenario("chung-lu", 3000, 1);
+  const VertexWeights w =
+      weighting_or_throw("degree-proportional").build(g, 1);
+  const auto result = core::solve_gr_mwvc(g, 2, w, 0.25);
+  EXPECT_TRUE(graph::is_vertex_cover_power(g, 2, result.cover));
+  EXPECT_LE(result.phase1_size, result.cover.size());
+  const Weight cover_weight = w.total_of(result.cover.to_vector());
+  const Weight reference =
+      w.total_of(solvers::local_ratio_mwvc_power(g, 2, w).to_vector());
+  EXPECT_GT(cover_weight, 0);
+  // local_ratio is a 2-approx, so OPT_w >= reference/2; Theorem 7 then
+  // caps the solve at (2+eps)*OPT_w <= (2+eps)*reference.
+  EXPECT_LE(static_cast<double>(cover_weight),
+            2.25 * static_cast<double>(reference));
+}
+
+TEST(GrMwvc, ZeroWeightVerticesJoinForFree) {
+  const Graph g = build_scenario("ba", 20, 3);
+  VertexWeights w(g.num_vertices(), 5);
+  w.set(3, 0);
+  w.set(7, 0);
+  const auto result = core::solve_gr_mwvc(g, 2, w, 0.5);
+  EXPECT_TRUE(result.cover.contains(3));
+  EXPECT_TRUE(result.cover.contains(7));
+  EXPECT_TRUE(graph::is_vertex_cover_power(g, 2, result.cover));
+}
+
+TEST(MwvcCongest, LargeWeightsNearTheCapTokenEncodeCorrectly) {
+  // Regression for the leader-token packing: the base used to be n^4+1
+  // regardless of the actual weights, which overflowed v·base for large
+  // n; it is now derived from the weights in hand.  Weights at the n^4
+  // cap must still round-trip through phase 2 into a feasible cover.
+  const Graph g = build_scenario("gnp-sparse", 18, 1);
+  const auto n = static_cast<Weight>(g.num_vertices());
+  const Weight cap = n * n * n * n;
+  VertexWeights w(g.num_vertices(), 1);
+  for (VertexId v = 0; v < g.num_vertices(); v += 3) w.set(v, cap);
+  core::MwvcCongestConfig config;
+  config.epsilon = 0.5;
+  const auto result = core::solve_g2_mwvc_congest(g, w, config);
+  EXPECT_TRUE(graph::is_vertex_cover_of_square(g, result.cover));
+}
+
+// ------------------------------------------------------- runner plumbing ---
+
+SweepSpec weighted_spec(int threads) {
+  SweepSpec spec;
+  spec.scenarios = {"ba", "gnp-sparse"};
+  spec.algorithms = {"mwvc", "gr-mwvc", "matching"};
+  spec.sizes = {12, 18};
+  spec.powers = {2};
+  spec.epsilons = {0.5};
+  spec.weightings = {"unit", "degree-proportional", "zipf"};
+  spec.seeds = {1, 2};
+  spec.threads = threads;
+  spec.exact_baseline_max_n = 20;
+  return spec;
+}
+
+TEST(WeightedSweep, WeightingDimensionMultipliesOnlyWeightAwareCells) {
+  const auto cells = expand_grid(weighted_spec(1));
+  std::size_t mwvc = 0, gr_mwvc = 0, matching = 0;
+  for (const CellSpec& cell : cells) {
+    if (cell.algorithm == "matching") {
+      ++matching;
+      EXPECT_FALSE(cell.weights_used);
+      EXPECT_EQ(cell.weighting, "unit");
+    } else {
+      (cell.algorithm == "mwvc" ? mwvc : gr_mwvc)++;
+      EXPECT_TRUE(cell.weights_used);
+    }
+  }
+  // 2 scenarios x 2 sizes x 2 seeds = 8 topology groups; weight-aware
+  // algorithms get one cell per weighting, matching exactly one.
+  EXPECT_EQ(matching, 8u);
+  EXPECT_EQ(mwvc, 24u);
+  EXPECT_EQ(gr_mwvc, 24u);
+}
+
+TEST(WeightedSweep, WeightBlindCellsNormalizeTheirWeightingToUnit) {
+  // A hand-built CellSpec pairing a weight-blind algorithm with a
+  // non-unit weighting is normalized by the runner: the report prints
+  // the weighting as ignored AND the weighted metrics are measured under
+  // unit weights — never a silent zipf-scored row labeled "-".
+  CellSpec cell;
+  cell.scenario = "ba";
+  cell.algorithm = "matching";
+  cell.n = 14;
+  cell.r = 2;
+  cell.epsilon_used = false;
+  cell.seed = 1;
+  cell.weighting = "zipf";
+  const CellResult result = run_cell(cell, /*exact_max_n=*/20);
+  ASSERT_EQ(result.status, CellStatus::kOk) << result.error;
+  EXPECT_EQ(result.spec.weighting, "unit");
+  EXPECT_FALSE(result.spec.weights_used);
+  EXPECT_EQ(result.solution_weight,
+            static_cast<Weight>(result.solution_size));
+  EXPECT_EQ(result.baseline_weight,
+            static_cast<Weight>(result.baseline_size));
+  EXPECT_DOUBLE_EQ(result.ratio_weight, result.ratio);
+}
+
+TEST(WeightedSweep, AllCellsFeasibleAndUnitCellsMirrorSizeMetrics) {
+  const SweepResult result = run_sweep(weighted_spec(1));
+  for (const CellResult& cell : result.cells) {
+    ASSERT_EQ(cell.status, CellStatus::kOk)
+        << cell.spec.algorithm << "/" << cell.spec.weighting << ": "
+        << cell.error;
+    EXPECT_TRUE(cell.feasible)
+        << cell.spec.algorithm << "/" << cell.spec.weighting;
+    ASSERT_NE(cell.weight_baseline, BaselineKind::kNone);
+    EXPECT_GT(cell.solution_weight, 0);
+    if (cell.spec.weighting == "unit") {
+      // The weighted-baseline == unit-baseline property, at runner level.
+      EXPECT_EQ(cell.solution_weight,
+                static_cast<Weight>(cell.solution_size));
+      EXPECT_EQ(cell.baseline_weight,
+                static_cast<Weight>(cell.baseline_size));
+      EXPECT_EQ(cell.weight_baseline, cell.baseline);
+      EXPECT_DOUBLE_EQ(cell.ratio_weight, cell.ratio);
+    }
+    if (cell.baseline == BaselineKind::kExact &&
+        cell.weight_baseline == BaselineKind::kExact) {
+      // No feasible solution beats the exact weighted oracle.
+      EXPECT_GE(cell.ratio_weight, 1.0 - 1e-9)
+          << cell.spec.algorithm << "/" << cell.spec.weighting;
+    }
+  }
+}
+
+TEST(WeightedSweep, ByteStableAcrossThreadCountsAndMergesByShard) {
+  const SweepResult once = run_sweep(weighted_spec(1));
+  const std::string csv = csv_string(once);
+  const std::string json = json_string(once);
+  EXPECT_EQ(csv, csv_string(run_sweep(weighted_spec(4))));
+  EXPECT_EQ(json, json_string(run_sweep(weighted_spec(4))));
+
+  std::vector<std::string> csv_shards;
+  for (int i = 1; i <= 2; ++i) {
+    SweepSpec shard = weighted_spec(2);
+    shard.shard_index = i;
+    shard.shard_count = 2;
+    csv_shards.push_back(csv_string(run_sweep(shard)));
+  }
+  SweepSpec whole = weighted_spec(2);
+  EXPECT_EQ(merge_csv(csv_shards), csv_string(run_sweep(whole)));
+}
+
+// -------------------------------------------- weighted oracle conformance ---
+
+struct WeightedCase {
+  CellSpec cell;
+};
+
+std::vector<WeightedCase> make_weighted_cases() {
+  std::vector<WeightedCase> cases;
+  const double epsilon = 0.5;
+  for (const char* algorithm : {"mwvc", "gr-mwvc"})
+    for (int r : {2, 3}) {
+      const Algorithm& alg = algorithm_or_throw(algorithm);
+      if (!supports_power(alg, r)) continue;
+      for (const char* weighting : {"degree-proportional", "inverse-degree",
+                                    "zipf", "uniform[1:9]"})
+        for (const char* scenario : {"gnp-sparse", "ba"})
+          for (graph::VertexId n : {8, 14, 20})
+            for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+              WeightedCase c;
+              c.cell.scenario = scenario;
+              c.cell.algorithm = algorithm;
+              c.cell.n = n;
+              c.cell.r = r;
+              c.cell.epsilon = epsilon;
+              c.cell.epsilon_used = true;
+              c.cell.seed = seed;
+              c.cell.weighting = weighting;
+              c.cell.weights_used = true;
+              cases.push_back(c);
+            }
+    }
+  return cases;
+}
+
+std::string weighted_case_name(
+    const ::testing::TestParamInfo<WeightedCase>& info) {
+  const CellSpec& cell = info.param.cell;
+  std::string name = cell.algorithm + "_" + cell.weighting + "_" +
+                     cell.scenario + "_n" + std::to_string(cell.n) + "_r" +
+                     std::to_string(cell.r) + "_s" +
+                     std::to_string(cell.seed);
+  for (char& c : name)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return name;
+}
+
+class WeightedConformance : public ::testing::TestWithParam<WeightedCase> {};
+
+TEST_P(WeightedConformance, FeasibleAndWithinTheorem7Bound) {
+  const CellSpec& cell = GetParam().cell;
+  const CellResult result = run_cell(cell, /*exact_max_n=*/24);
+  ASSERT_EQ(result.status, CellStatus::kOk) << result.error;
+  EXPECT_TRUE(result.feasible);
+
+  // Independent oracle: the same deterministic weights, the exact
+  // weighted solver on the materialized G^r.
+  const Graph g = build_scenario(cell.scenario.c_str(), cell.n, cell.seed);
+  const VertexWeights w =
+      weighting_or_throw(cell.weighting).build(g, cell.seed);
+  const Graph gr = graph::power(g, cell.r);
+  const auto exact = solvers::solve_mwvc(gr, w);
+  ASSERT_TRUE(exact.optimal);
+
+  // The runner's bookkeeping agrees with a direct re-weighing, and its
+  // exact weighted baseline is the oracle's value.
+  EXPECT_EQ(result.solution_weight, w.total_of(result.solution.to_vector()));
+  ASSERT_EQ(result.weight_baseline, BaselineKind::kExact);
+  EXPECT_EQ(result.baseline_weight, exact.value);
+
+  // No feasible cover beats the optimum, and Theorem 7 caps the solve at
+  // (2+ε)·OPT_w.
+  EXPECT_GE(result.solution_weight, exact.value);
+  EXPECT_LE(static_cast<double>(result.solution_weight),
+            (2.0 + cell.epsilon) * static_cast<double>(exact.value) + 1e-9)
+      << "weighted guarantee violated (OPT_w " << exact.value << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WeightedConformance,
+                         ::testing::ValuesIn(make_weighted_cases()),
+                         weighted_case_name);
+
+}  // namespace
+}  // namespace pg::scenario
