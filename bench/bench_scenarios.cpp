@@ -166,7 +166,9 @@ void export_quality_counters(benchmark::State& state,
                              const pg::scenario::SweepResult& result) {
   std::vector<double> ratios, weighted, rounds;
   double bad = 0;
+  double failed = 0;  // non-ok statuses alone (timeouts, crashes, throws)
   for (const pg::scenario::CellResult& cell : result.cells) {
+    if (cell.status != pg::scenario::CellStatus::kOk) ++failed;
     if (cell.status != pg::scenario::CellStatus::kOk || !cell.feasible) {
       ++bad;
       continue;
@@ -180,6 +182,7 @@ void export_quality_counters(benchmark::State& state,
   state.counters["median_rounds"] = median(rounds);
   state.counters["cells"] = static_cast<double>(result.cells.size());
   state.counters["infeasible_or_error"] = bad;
+  state.counters["cells_failed"] = failed;
 }
 
 void BM_ScenarioQuality(benchmark::State& state, const std::string& scenario,

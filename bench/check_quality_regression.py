@@ -13,6 +13,7 @@ Counters gated (higher is worse for all of them):
   * median_ratio          — solution size vs the reference solver
   * median_ratio_weight   — solution weight vs the weighted reference
   * infeasible_or_error   — must never grow at all
+  * cells_failed          — non-ok rows (failed/timeout); must never grow
 
 Usage:
   bench/check_quality_regression.py BASELINE.json FRESH.json [--tolerance 0.05]
@@ -32,6 +33,8 @@ import sys
 
 GATED_PREFIX = "BM_ScenarioQuality"
 RATIO_COUNTERS = ("median_ratio", "median_ratio_weight")
+# Counters where any absolute increase fails the gate.
+STRICT_COUNTERS = ("infeasible_or_error", "cells_failed")
 
 
 def load_quality_counters(path):
@@ -47,7 +50,7 @@ def load_quality_counters(path):
             continue  # skip aggregate rows of repeated runs
         counters = {
             key: bench[key]
-            for key in (*RATIO_COUNTERS, "infeasible_or_error")
+            for key in (*RATIO_COUNTERS, *STRICT_COUNTERS)
             if key in bench and isinstance(bench[key], (int, float))
         }
         if counters:
@@ -94,12 +97,13 @@ def main():
                     f"{name}: {counter} {base[counter]:.4f} -> "
                     f"{new[counter]:.4f} (allowed {allowed:.4f})"
                 )
-        if "infeasible_or_error" in base and "infeasible_or_error" in new:
-            if new["infeasible_or_error"] > base["infeasible_or_error"]:
+        for counter in STRICT_COUNTERS:
+            if counter not in base or counter not in new:
+                continue
+            if new[counter] > base[counter]:
                 regressions.append(
-                    f"{name}: infeasible_or_error "
-                    f"{base['infeasible_or_error']:.0f} -> "
-                    f"{new['infeasible_or_error']:.0f}"
+                    f"{name}: {counter} "
+                    f"{base[counter]:.0f} -> {new[counter]:.0f}"
                 )
 
     only_base = sorted(set(baseline) - set(fresh))

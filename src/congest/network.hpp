@@ -39,6 +39,7 @@
 
 #include "congest/message.hpp"
 #include "graph/graph.hpp"
+#include "util/cancel.hpp"
 
 namespace pg::congest {
 
@@ -107,6 +108,10 @@ class Network {
   template <typename Step>
     requires std::invocable<Step&, NodeView&>
   void round(Step&& step) {
+    // Cancellation point for the sweep runner's per-cell watchdog: an
+    // over-budget CONGEST cell unwinds at its next round boundary (one
+    // pointer load + null check when no token is installed).
+    pg::cancel::poll();
     last_round_messages_ = 0;
     const auto num_nodes = static_cast<NodeId>(n());
     for (NodeId v = 0; v < num_nodes; ++v) {

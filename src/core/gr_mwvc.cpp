@@ -8,6 +8,7 @@
 #include "core/solver_util.hpp"
 #include "graph/ops.hpp"
 #include "graph/power_view.hpp"
+#include "util/cancel.hpp"
 #include "solvers/exact_vc.hpp"
 #include "solvers/greedy.hpp"
 
@@ -94,6 +95,7 @@ GrMwvcResult solve_gr_mwvc(const Graph& g, int r, const VertexWeights& w,
   for (VertexId c = 0; c < n; ++c) work.push_back(c);
 
   while (!work.empty()) {
+    cancel::poll();  // watchdog point: one worklist pop is bounded work
     const VertexId c = work.front();
     work.pop_front();
     in_queue[static_cast<std::size_t>(c)] = 0;

@@ -20,6 +20,7 @@
 #include "graph/cover.hpp"
 #include "graph/graph.hpp"
 #include "graph/ops.hpp"
+#include "util/cancel.hpp"
 
 namespace pg::graph {
 
@@ -44,6 +45,10 @@ class PowerView {
   /// [1, depth], in BFS discovery order (unsorted).
   template <typename Fn>
   void for_each_in_ball(VertexId center, int depth, Fn&& fn) {
+    // Cancellation point for the sweep watchdog: one ball is a bounded
+    // unit of work, so over-budget implicit-power cells unwind between
+    // balls without a check in the per-edge inner loop.
+    pg::cancel::poll();
     g_->check_vertex(center);
     const std::uint64_t stamp = ++stamp_;
     mark_[static_cast<std::size_t>(center)] = stamp;

@@ -1,7 +1,11 @@
 #include "scenario/algorithms.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 
 #include "core/gr_mvc.hpp"
 #include "core/gr_mwvc.hpp"
@@ -12,6 +16,7 @@
 #include "core/mwvc_congest.hpp"
 #include "core/naive.hpp"
 #include "scenario/scenario.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace pg::scenario {
@@ -162,6 +167,46 @@ std::vector<Algorithm> make_registry() {
          return out;
        }});
 
+  // Deterministic fault-injection adapters (hidden): each scripts exactly
+  // one failure mode — a standard exception, a non-standard exception, a
+  // cooperative infinite loop, a hard crash — so every recovery path of
+  // the resilient executor is exercisable from the CLI and CI by name,
+  // without timing tricks.  Centralized (native_power 0) so they slot
+  // into any r >= 2 grid cell.
+  auto faulty = [](std::string name, std::string desc,
+                   std::function<RunOutcome(const AlgorithmContext&)> run) {
+    Algorithm alg{std::move(name), std::move(desc), Problem::kVertexCover,
+                  /*native_power=*/0, /*eps*/ false, /*rand*/ false,
+                  /*net*/ false, /*weights*/ false, std::move(run)};
+    alg.hidden = true;
+    return alg;
+  };
+  a.push_back(faulty("faulty-throw",
+                     "fault injection: throws std::runtime_error",
+                     [](const AlgorithmContext&) -> RunOutcome {
+                       throw std::runtime_error(
+                           "injected fault: faulty-throw");
+                     }));
+  a.push_back(faulty("faulty-throw-nonstd",
+                     "fault injection: throws a non-std exception",
+                     [](const AlgorithmContext&) -> RunOutcome {
+                       throw 42;  // not derived from std::exception
+                     }));
+  a.push_back(faulty("faulty-stall",
+                     "fault injection: spins until a watchdog cancels it",
+                     [](const AlgorithmContext&) -> RunOutcome {
+                       for (;;) {
+                         cancel::poll();
+                         std::this_thread::sleep_for(
+                             std::chrono::milliseconds(1));
+                       }
+                     }));
+  a.push_back(faulty("faulty-abort",
+                     "fault injection: calls std::abort()",
+                     [](const AlgorithmContext&) -> RunOutcome {
+                       std::abort();
+                     }));
+
   std::sort(a.begin(), a.end(), [](const Algorithm& x, const Algorithm& y) {
     return x.name < y.name;
   });
@@ -195,13 +240,15 @@ const Algorithm& algorithm_or_throw(std::string_view name) {
   if (const Algorithm* a = find_algorithm(name)) return *a;
   std::ostringstream msg;
   msg << "unknown algorithm '" << name << "'; valid algorithms:";
-  for (const Algorithm& a : all_algorithms()) msg << ' ' << a.name;
+  for (const Algorithm& a : all_algorithms())
+    if (!a.hidden) msg << ' ' << a.name;
   throw PreconditionViolation(msg.str());
 }
 
 std::vector<std::string> algorithm_names() {
   std::vector<std::string> names;
-  for (const Algorithm& a : all_algorithms()) names.push_back(a.name);
+  for (const Algorithm& a : all_algorithms())
+    if (!a.hidden) names.push_back(a.name);
   return names;
 }
 

@@ -59,6 +59,11 @@ struct Algorithm {
   bool needs_network = false;   // wants ctx.net over ctx.comm
   bool uses_weights = false;    // consumes ctx.weights (weighted problems)
   std::function<RunOutcome(const AlgorithmContext&)> run;
+  // Excluded from algorithm_names() (and therefore from sweep defaults,
+  // the CLI listing, and conformance grids) but still resolvable by
+  // explicit name: the faulty-* fault-injection adapters live here so a
+  // stray default sweep can never trip over a scripted crash.
+  bool hidden = false;
 };
 
 /// The built-in registry, sorted by name.

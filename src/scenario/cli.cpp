@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <stdexcept>
 #include <istream>
 #include <optional>
@@ -132,9 +133,26 @@ void print_usage(std::ostream& out) {
          "                              topology groups, dealt round-robin);\n"
          "                              rows carry global cell indices so\n"
          "                              `merge` can reassemble the sweep\n"
-         "  merge (--csv|--json) OUT|- FILE...\n"
+         "      [--journal DIR]         journal finished cells to DIR\n"
+         "      [--resume DIR]          replay DIR's journal, then run only\n"
+         "                              the remaining cells (output is byte-\n"
+         "                              identical to an uninterrupted sweep)\n"
+         "      [--cell-timeout MS]     per-cell watchdog: overrunning cells\n"
+         "                              become status=timeout rows\n"
+         "      [--budgets FILE]        per-algorithm watchdog budgets from\n"
+         "                              a google-benchmark JSON file (32x\n"
+         "                              the measured per-cell mean, floor\n"
+         "                              250 ms)\n"
+         "      [--isolate]             fork each topology group so a crash\n"
+         "                              costs one group (status=failed),\n"
+         "                              not the sweep (POSIX only)\n"
+         "      [--retries K]           re-run a crashed isolated group up\n"
+         "                              to K extra times with backoff\n"
+         "  merge (--csv|--json) OUT|- [--allow-partial] FILE...\n"
          "                              merge K per-shard reports into the\n"
          "                              byte-identical single-process report\n"
+         "                              (--allow-partial fills cells lost\n"
+         "                              with a shard as status=missing rows)\n"
          "  list-scenarios              print the scenario registry\n"
          "  list-algorithms             print the algorithm registry\n"
          "  list-weightings             print the weighting registry\n"
@@ -184,11 +202,13 @@ int cmd_list_scenarios(std::ostream& out) {
 int cmd_list_algorithms(std::ostream& out) {
   Table table(
       {"name", "problem", "native-r", "eps", "rand", "wts", "description"});
-  for (const Algorithm& a : all_algorithms())
+  for (const Algorithm& a : all_algorithms()) {
+    if (a.hidden) continue;
     table.add_row({a.name, std::string(problem_name(a.problem)),
                    a.native_power == 0 ? "any" : std::to_string(a.native_power),
                    a.uses_epsilon ? "yes" : "-", a.randomized ? "yes" : "-",
                    a.uses_weights ? "yes" : "-", a.description});
+  }
   table.print(out);
   return 0;
 }
@@ -288,12 +308,83 @@ int cmd_run(const std::vector<std::string>& args, std::istream& in,
     result = run_cell_on(base, cell, exact_max_n);
   }
 
-  if (result.status == CellStatus::kError) {
+  if (result.status != CellStatus::kOk) {
     err << "error: " << result.error << "\n";
     return 1;
   }
   print_cell_human(result, scenario_name ? nullptr : &base, out);
   return result.feasible ? 0 : 1;
+}
+
+/// Seeds per-cell watchdog budgets from a google-benchmark JSON file
+/// (BENCH_scenarios.json): each BM_ScenarioQuality/<scenario>/<algorithm>
+/// entry contributes real_time / cells as that algorithm's measured
+/// per-cell mean (max over scenarios), and the budget handed to the
+/// watchdog is 32x that mean, floored at 250 ms — generous enough that
+/// load noise never times out a healthy cell, tight enough that a hung
+/// cell dies within seconds.  Algorithms the file does not cover fall
+/// back to --cell-timeout (or run unwatched when that is 0).
+std::function<double(const CellSpec&)> parse_budgets_file(
+    const std::string& path) {
+  static constexpr double kScale = 32.0;
+  static constexpr double kFloorMs = 250.0;
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw UsageError("cannot read budgets file '" + path + "'");
+
+  // The file is google-benchmark pretty-printed JSON: one field per line,
+  // entries in document order, so a line scanner is enough (and avoids
+  // hand-rolling a JSON parser for three fields).
+  auto field_rest = [](const std::string& line,
+                       std::string_view key) -> std::optional<std::string> {
+    const auto at = line.find(key);
+    if (at == std::string::npos) return std::nullopt;
+    return line.substr(at + key.size());
+  };
+  auto quoted = [](const std::string& rest) {
+    const auto open = rest.find('"');
+    if (open == std::string::npos) return std::string();
+    const auto close = rest.find('"', open + 1);
+    if (close == std::string::npos) return std::string();
+    return rest.substr(open + 1, close - open - 1);
+  };
+
+  std::map<std::string, double> per_cell_ms;
+  std::string line, name;
+  double real_time = -1.0, cells = -1.0;
+  auto flush = [&]() {
+    if (name.empty() || real_time <= 0.0 || cells <= 0.0) return;
+    // name = BM_ScenarioQuality[…]/<scenario>/<algorithm>
+    const auto first = name.find('/');
+    const auto second =
+        first == std::string::npos ? first : name.find('/', first + 1);
+    if (second == std::string::npos) return;
+    if (name.rfind("BM_ScenarioQuality", 0) != 0) return;
+    const std::string alg = name.substr(second + 1);
+    const double mean = real_time / cells;
+    auto [it, inserted] = per_cell_ms.emplace(alg, mean);
+    if (!inserted) it->second = std::max(it->second, mean);
+  };
+  while (std::getline(file, line)) {
+    if (const auto rest = field_rest(line, "\"name\":")) {
+      flush();
+      name = quoted(*rest);
+      real_time = cells = -1.0;
+    } else if (const auto rest = field_rest(line, "\"real_time\":")) {
+      real_time = std::strtod(rest->c_str(), nullptr);
+    } else if (const auto rest = field_rest(line, "\"cells\":")) {
+      cells = std::strtod(rest->c_str(), nullptr);
+    }
+  }
+  flush();
+  if (per_cell_ms.empty())
+    throw UsageError("no BM_ScenarioQuality entries with real_time/cells in "
+                     "budgets file '" + path + "'");
+
+  return [per_cell_ms = std::move(per_cell_ms)](const CellSpec& cell) {
+    const auto it = per_cell_ms.find(cell.algorithm);
+    if (it == per_cell_ms.end()) return 0.0;  // fall back to --cell-timeout
+    return std::max(kFloorMs, it->second * kScale);
+  };
 }
 
 int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
@@ -307,6 +398,7 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
   bool timing = false;
   bool epsilons_given = false;
   bool weights_given = false;
+  ExecOptions exec;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
@@ -373,10 +465,33 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
       json_path = take_value(args, i);
     } else if (flag == "--timing") {
       timing = true;
+    } else if (flag == "--journal") {
+      exec.journal_dir = take_value(args, i);
+    } else if (flag == "--resume") {
+      exec.journal_dir = take_value(args, i);
+      exec.resume = true;
+    } else if (flag == "--cell-timeout") {
+      const double ms = parse_double(take_value(args, i), "cell-timeout");
+      if (!(ms > 0.0))
+        throw UsageError("cell-timeout must be a positive number of "
+                         "milliseconds");
+      exec.cell_timeout_ms = ms;
+    } else if (flag == "--budgets") {
+      exec.budget_ms = parse_budgets_file(take_value(args, i));
+    } else if (flag == "--isolate") {
+      exec.isolate = true;
+    } else if (flag == "--retries") {
+      const std::int64_t k = parse_int(take_value(args, i), "retries");
+      if (k < 0 || k > 100)
+        throw UsageError("retries must be in [0, 100] (got " +
+                         std::to_string(k) + ")");
+      exec.retries = static_cast<int>(k);
     } else {
       throw UsageError("unknown flag '" + flag + "' for sweep");
     }
   }
+  if (exec.journal_dir.empty() && exec.resume)
+    throw UsageError("--resume needs the journal directory");
   if (spec.sizes.empty())
     throw UsageError("sweep needs --sizes (e.g. --sizes 16,24)");
   // Re-validate names/values with the library's messages (also covers lists
@@ -445,11 +560,21 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
   if (csv) csv->begin(spec, total_cells);
   if (json) json->begin(spec, total_cells);
 
-  const SweepSummary summary =
-      run_sweep_stream(spec, [&](const CellResult& row) {
+  if (!exec.journal_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(exec.journal_dir, ec);
+    if (ec)
+      throw UsageError("cannot create journal directory '" +
+                       exec.journal_dir + "': " + ec.message());
+  }
+
+  const SweepSummary summary = run_sweep_stream(
+      spec,
+      [&](const CellResult& row) {
         if (csv) csv->row(row);
         if (json) json->row(row);
-      });
+      },
+      exec);
   if (json) json->end();
   if (shared_target) {
     if (*json_path == "-") {
@@ -473,14 +598,20 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
   err << ": " << summary.cells << " cells";
   if (spec.shard_count > 1) err << " (of " << summary.total_cells << ")";
   err << ", " << summary.ok << " ok, " << summary.infeasible
-      << " infeasible, " << summary.errors << " errors, " << wall << " ms, "
-      << spec.threads << " thread(s)\n";
-  return summary.errors == 0 && summary.infeasible == 0 ? 0 : 1;
+      << " infeasible, " << summary.failed << " failed, " << summary.timeout
+      << " timeout";
+  if (summary.replayed > 0) err << ", " << summary.replayed << " replayed";
+  err << ", " << wall << " ms, " << spec.threads << " thread(s)\n";
+  return summary.failed == 0 && summary.timeout == 0 &&
+                 summary.infeasible == 0
+             ? 0
+             : 1;
 }
 
 int cmd_merge(const std::vector<std::string>& args, std::ostream& out) {
   std::optional<std::string> out_path;
   bool json = false;
+  bool allow_partial = false;
   std::vector<std::string> inputs;
   std::size_t i = 0;
   for (; i < args.size(); ++i) {
@@ -490,6 +621,8 @@ int cmd_merge(const std::vector<std::string>& args, std::ostream& out) {
         throw UsageError("merge takes exactly one of --csv/--json");
       json = flag == "--json";
       out_path = take_value(args, i);
+    } else if (flag == "--allow-partial") {
+      allow_partial = true;
     } else if (!flag.empty() && flag[0] == '-' && flag != "-") {
       throw UsageError("unknown flag '" + flag + "' for merge");
     } else {
@@ -513,8 +646,11 @@ int cmd_merge(const std::vector<std::string>& args, std::ostream& out) {
 
   // merge_csv/merge_json throw PreconditionViolation on mismatched specs,
   // duplicate/missing shards, or rows that do not cover the grid; run_cli
-  // maps that to exit 2 alongside the flag errors above.
-  const std::string merged = json ? merge_json(reports) : merge_csv(reports);
+  // maps that to exit 2 alongside the flag errors above.  With
+  // --allow-partial, missing shards/cells become status=missing rows
+  // instead (a died shard still yields one complete, grid-shaped report).
+  const std::string merged = json ? merge_json(reports, allow_partial)
+                                  : merge_csv(reports, allow_partial);
   if (*out_path == "-") {
     out << merged;
   } else {

@@ -1,0 +1,126 @@
+#include "scenario/fault.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "util/cancel.hpp"
+#include "util/check.hpp"
+
+namespace pg::scenario {
+
+namespace {
+
+std::uint64_t parse_index(std::string_view text, std::string_view directive) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  PG_REQUIRE(ec == std::errc{} && ptr == text.data() + text.size() &&
+                 !text.empty(),
+             "fault plan: bad index in directive '" + std::string(directive) +
+                 "'");
+  return value;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    std::string_view item = text.substr(
+        pos, comma == std::string_view::npos ? text.size() - pos
+                                             : comma - pos);
+    pos = comma == std::string_view::npos ? text.size() + 1 : comma + 1;
+    if (item.empty()) continue;
+
+    const std::size_t at = item.find('@');
+    PG_REQUIRE(at != std::string_view::npos,
+               "fault plan: directive '" + std::string(item) +
+                   "' lacks '@' (expected ACTION@INDEX[:ATTEMPTS])");
+    const std::string_view action_name = item.substr(0, at);
+    std::string_view target = item.substr(at + 1);
+
+    Directive d;
+    const std::size_t colon = target.find(':');
+    if (colon != std::string_view::npos) {
+      const std::uint64_t k =
+          parse_index(target.substr(colon + 1), item);
+      PG_REQUIRE(k >= 1 && k <= 1'000'000,
+                 "fault plan: attempt bound out of range in '" +
+                     std::string(item) + "'");
+      d.max_attempts = static_cast<int>(k);
+      target = target.substr(0, colon);
+    }
+
+    if (action_name == "build") {
+      PG_REQUIRE(!target.empty() && target[0] == 'g',
+                 "fault plan: build directives target groups, e.g. "
+                 "'build@g3' (got '" +
+                     std::string(item) + "')");
+      d.action = FaultAction::kBuildFail;
+      plan.groups_[parse_index(target.substr(1), item)] = d;
+      continue;
+    }
+
+    if (action_name == "throw") d.action = FaultAction::kThrow;
+    else if (action_name == "stall") d.action = FaultAction::kStall;
+    else if (action_name == "abort") d.action = FaultAction::kAbort;
+    else
+      PG_REQUIRE(false, "fault plan: unknown action '" +
+                            std::string(action_name) +
+                            "' (valid: throw, stall, abort, build)");
+    plan.cells_[parse_index(target, item)] = d;
+  }
+  return plan;
+}
+
+const FaultPlan* FaultPlan::from_env() {
+  static const FaultPlan* plan = []() -> const FaultPlan* {
+    const char* text = std::getenv("PG_FAULT_PLAN");
+    if (text == nullptr || text[0] == '\0') return nullptr;
+    static FaultPlan parsed = FaultPlan::parse(text);
+    return parsed.empty() ? nullptr : &parsed;
+  }();
+  return plan;
+}
+
+FaultAction FaultPlan::cell_action(std::uint64_t cell_index,
+                                   int attempt) const {
+  const auto it = cells_.find(cell_index);
+  if (it == cells_.end() || attempt >= it->second.max_attempts)
+    return FaultAction::kNone;
+  return it->second.action;
+}
+
+bool FaultPlan::build_fails(std::uint64_t group_index, int attempt) const {
+  const auto it = groups_.find(group_index);
+  return it != groups_.end() && attempt < it->second.max_attempts;
+}
+
+void trigger_fault(FaultAction action, std::uint64_t cell_index) {
+  switch (action) {
+    case FaultAction::kNone:
+    case FaultAction::kBuildFail:
+      return;
+    case FaultAction::kThrow:
+      throw std::runtime_error("injected fault: throw@" +
+                               std::to_string(cell_index));
+    case FaultAction::kStall:
+      // A cooperative infinite loop: the cell never finishes on its own,
+      // but a watchdog token turns it into a clean timeout.  The sleep
+      // keeps a stalled worker from burning a core while the monitor
+      // decides.
+      for (;;) {
+        cancel::poll();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    case FaultAction::kAbort:
+      std::abort();
+  }
+}
+
+}  // namespace pg::scenario

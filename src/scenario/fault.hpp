@@ -1,0 +1,73 @@
+// Deterministic fault injection for the sweep runner.
+//
+// A FaultPlan maps grid coordinates to scripted failures so every
+// recovery path in the resilient executor — failed-row capture, the
+// per-cell watchdog, fork isolation, retry-with-backoff, journal resume —
+// is property-testable without flaky timing tricks:
+//
+//   throw@12      cell 12 (global index) throws before its algorithm runs
+//   stall@12      cell 12 spins in a cooperative infinite loop (a watchdog
+//                 budget turns it into status=timeout; without one it
+//                 hangs, which is exactly what the watchdog tests need)
+//   abort@12      cell 12 calls std::abort() — only survivable under
+//                 --isolate, where it costs one topology group
+//   build@g3      topology group 3 (shard-global group index) fails to
+//                 build, exercising the generator-failure containment path
+//
+// Every directive takes an optional attempt bound `:k` (e.g. "abort@5:1"):
+// the fault fires only while the runner's retry attempt counter is < k,
+// so retry tests can crash a child once and succeed on the retry.  The
+// plan is consulted by the runner itself (not the adapters), keyed by the
+// *global* cell index, so plans stay stable across shard partitions and
+// thread counts.
+//
+// Plans reach a production binary through the PG_FAULT_PLAN environment
+// variable (the CI fault-injection smoke job uses this); library callers
+// pass a FaultPlan through ExecOptions instead.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pg::scenario {
+
+enum class FaultAction { kNone, kThrow, kStall, kAbort, kBuildFail };
+
+class FaultPlan {
+ public:
+  /// Parses the directive grammar above; throws PreconditionViolation on
+  /// malformed input.  An empty string is the empty plan.
+  static FaultPlan parse(std::string_view text);
+
+  /// The process-wide plan from $PG_FAULT_PLAN, parsed once; nullptr when
+  /// the variable is unset or empty.  A malformed plan throws on first
+  /// use (loudly, instead of silently not injecting).
+  static const FaultPlan* from_env();
+
+  bool empty() const { return cells_.empty() && groups_.empty(); }
+
+  /// The scripted action for a cell on a given retry attempt (0-based).
+  FaultAction cell_action(std::uint64_t cell_index, int attempt) const;
+
+  /// True iff the topology build of this group is scripted to fail.
+  bool build_fails(std::uint64_t group_index, int attempt) const;
+
+ private:
+  struct Directive {
+    FaultAction action = FaultAction::kNone;
+    // Fires only while attempt < max_attempts (default: always).
+    int max_attempts = std::numeric_limits<int>::max();
+  };
+  std::map<std::uint64_t, Directive> cells_;
+  std::map<std::uint64_t, Directive> groups_;
+};
+
+/// Executes a scripted cell fault (throw/stall/abort).  kStall polls the
+/// thread's cancellation token so a watchdog can reclaim the cell.
+void trigger_fault(FaultAction action, std::uint64_t cell_index);
+
+}  // namespace pg::scenario

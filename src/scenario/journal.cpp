@@ -1,0 +1,381 @@
+#include "scenario/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "scenario/report.hpp"
+#include "util/hash.hpp"
+
+namespace pg::scenario {
+
+namespace {
+
+// --------------------------------------------------------- line format ---
+//
+// <payload>\t#<16 hex digits of fnv1a64(payload)>
+//
+// The payload is tab-separated fields; strings escape tab/newline/
+// backslash so any error text survives a round trip on one line.
+
+void append_escaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+}
+
+std::string unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 == text.size()) {
+      out += text[i];
+      continue;
+    }
+    switch (text[++i]) {
+      case '\\': out += '\\'; break;
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      default: out += text[i]; break;
+    }
+  }
+  return out;
+}
+
+template <typename Int>
+void append_int(std::string& out, Int value) {
+  char buffer[32];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, ec == std::errc{} ? ptr : buffer);
+}
+
+/// Shortest round-trip form: from_chars(to_chars(x)) == x exactly, so a
+/// replayed row formats identically in the reports.
+void append_double(std::string& out, double value) {
+  char buffer[64];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, ec == std::errc{} ? ptr : buffer);
+}
+
+std::string with_checksum(std::string payload) {
+  char digest[19];  // "\t#" + 16 hex digits + NUL
+  std::snprintf(digest, sizeof(digest), "\t#%016llx",
+                static_cast<unsigned long long>(fnv1a64(payload)));
+  payload += digest;
+  return payload;
+}
+
+/// Splits off and verifies the checksum suffix; empty on any mismatch.
+std::string_view checked_payload(std::string_view line) {
+  const std::size_t hash_at = line.rfind("\t#");
+  if (hash_at == std::string_view::npos ||
+      line.size() - hash_at != 2 + 16)
+    return {};
+  const std::string_view payload = line.substr(0, hash_at);
+  char digest[17];
+  std::snprintf(digest, sizeof(digest), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(payload)));
+  if (line.substr(hash_at + 2) != digest) return {};
+  return payload;
+}
+
+/// Cursor over the payload's tab-separated fields.
+class FieldReader {
+ public:
+  explicit FieldReader(std::string_view payload) : rest_(payload) {}
+
+  bool next(std::string_view& field) {
+    if (done_) return false;
+    const std::size_t tab = rest_.find('\t');
+    if (tab == std::string_view::npos) {
+      field = rest_;
+      done_ = true;
+    } else {
+      field = rest_.substr(0, tab);
+      rest_.remove_prefix(tab + 1);
+    }
+    return true;
+  }
+
+  bool exhausted() const { return done_; }
+
+  template <typename Int>
+  bool next_int(Int& value) {
+    std::string_view field;
+    if (!next(field) || field.empty()) return false;
+    const auto [ptr, ec] =
+        std::from_chars(field.data(), field.data() + field.size(), value);
+    return ec == std::errc{} && ptr == field.data() + field.size();
+  }
+
+  bool next_double(double& value) {
+    std::string_view field;
+    if (!next(field) || field.empty()) return false;
+    const auto [ptr, ec] =
+        std::from_chars(field.data(), field.data() + field.size(), value);
+    return ec == std::errc{} && ptr == field.data() + field.size();
+  }
+
+  bool next_bool(bool& value) {
+    int v = 0;
+    if (!next_int(v) || (v != 0 && v != 1)) return false;
+    value = v == 1;
+    return true;
+  }
+
+  bool next_string(std::string& value) {
+    std::string_view field;
+    if (!next(field)) return false;
+    value = unescape(field);
+    return true;
+  }
+
+ private:
+  std::string_view rest_;
+  bool done_ = false;
+};
+
+constexpr std::string_view kRecordTag = "C";
+constexpr std::string_view kHeaderTag = "pgj1";
+
+bool decode_status(int value, CellStatus& status) {
+  switch (value) {
+    case 0: status = CellStatus::kOk; return true;
+    case 1: status = CellStatus::kFailed; return true;
+    case 2: status = CellStatus::kTimeout; return true;
+    case 3: status = CellStatus::kMissing; return true;
+  }
+  return false;
+}
+
+bool decode_baseline(int value, BaselineKind& kind) {
+  switch (value) {
+    case 0: kind = BaselineKind::kNone; return true;
+    case 1: kind = BaselineKind::kExact; return true;
+    case 2: kind = BaselineKind::kGreedy; return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string encode_cell_record(const CellResult& row) {
+  std::string p;
+  p.reserve(160);
+  p += kRecordTag;
+  p += '\t';
+  append_int(p, row.cell_index);
+  p += '\t';
+  append_escaped(p, row.spec.scenario);
+  p += '\t';
+  append_escaped(p, row.spec.algorithm);
+  p += '\t';
+  append_int(p, row.spec.n);
+  p += '\t';
+  append_int(p, row.spec.r);
+  p += '\t';
+  append_double(p, row.spec.epsilon);
+  p += '\t';
+  append_int(p, row.spec.epsilon_used ? 1 : 0);
+  p += '\t';
+  append_int(p, row.spec.seed);
+  p += '\t';
+  append_escaped(p, row.spec.weighting);
+  p += '\t';
+  append_int(p, row.spec.weights_used ? 1 : 0);
+  p += '\t';
+  append_int(p, static_cast<int>(row.status));
+  p += '\t';
+  append_escaped(p, row.error);
+  p += '\t';
+  append_int(p, row.base_edges);
+  p += '\t';
+  append_int(p, row.comm_power);
+  p += '\t';
+  append_int(p, row.comm_edges);
+  p += '\t';
+  append_int(p, row.target_edges);
+  p += '\t';
+  append_int(p, row.solution_size);
+  p += '\t';
+  append_int(p, row.solution_weight);
+  p += '\t';
+  append_int(p, row.feasible ? 1 : 0);
+  p += '\t';
+  append_int(p, row.exact ? 1 : 0);
+  p += '\t';
+  append_int(p, row.rounds);
+  p += '\t';
+  append_int(p, row.messages);
+  p += '\t';
+  append_int(p, row.total_bits);
+  p += '\t';
+  append_int(p, static_cast<int>(row.baseline));
+  p += '\t';
+  append_int(p, row.baseline_size);
+  p += '\t';
+  append_double(p, row.ratio);
+  p += '\t';
+  append_int(p, static_cast<int>(row.weight_baseline));
+  p += '\t';
+  append_int(p, row.baseline_weight);
+  p += '\t';
+  append_double(p, row.ratio_weight);
+  p += '\t';
+  append_double(p, row.wall_ms);
+  return with_checksum(std::move(p));
+}
+
+bool decode_cell_record(std::string_view line, CellResult& row) {
+  const std::string_view payload = checked_payload(line);
+  if (payload.empty()) return false;
+  FieldReader fields(payload);
+  std::string_view tag;
+  if (!fields.next(tag) || tag != kRecordTag) return false;
+
+  row = CellResult{};
+  int status = 0, baseline = 0, weight_baseline = 0;
+  const bool ok =
+      fields.next_int(row.cell_index) &&
+      fields.next_string(row.spec.scenario) &&
+      fields.next_string(row.spec.algorithm) &&
+      fields.next_int(row.spec.n) && fields.next_int(row.spec.r) &&
+      fields.next_double(row.spec.epsilon) &&
+      fields.next_bool(row.spec.epsilon_used) &&
+      fields.next_int(row.spec.seed) &&
+      fields.next_string(row.spec.weighting) &&
+      fields.next_bool(row.spec.weights_used) && fields.next_int(status) &&
+      fields.next_string(row.error) && fields.next_int(row.base_edges) &&
+      fields.next_int(row.comm_power) && fields.next_int(row.comm_edges) &&
+      fields.next_int(row.target_edges) &&
+      fields.next_int(row.solution_size) &&
+      fields.next_int(row.solution_weight) &&
+      fields.next_bool(row.feasible) && fields.next_bool(row.exact) &&
+      fields.next_int(row.rounds) && fields.next_int(row.messages) &&
+      fields.next_int(row.total_bits) && fields.next_int(baseline) &&
+      fields.next_int(row.baseline_size) && fields.next_double(row.ratio) &&
+      fields.next_int(weight_baseline) &&
+      fields.next_int(row.baseline_weight) &&
+      fields.next_double(row.ratio_weight) &&
+      fields.next_double(row.wall_ms) && fields.exhausted();
+  return ok && decode_status(status, row.status) &&
+         decode_baseline(baseline, row.baseline) &&
+         decode_baseline(weight_baseline, row.weight_baseline);
+}
+
+std::string journal_header(const SweepSpec& spec, std::size_t total_cells) {
+  std::string p;
+  p += kHeaderTag;
+  p += '\t';
+  p += spec_fingerprint(spec);
+  p += '\t';
+  append_int(p, spec.shard_index);
+  p += '\t';
+  append_int(p, spec.shard_count);
+  p += '\t';
+  append_int(p, total_cells);
+  return with_checksum(std::move(p));
+}
+
+std::string journal_path(const std::string& dir, const SweepSpec& spec) {
+  std::string name = "journal-";
+  append_int(name, spec.shard_index);
+  name += "-of-";
+  append_int(name, spec.shard_count);
+  name += ".pgj";
+  return (std::filesystem::path(dir) / name).string();
+}
+
+JournalContents read_journal(const std::string& path, const SweepSpec& spec,
+                             std::size_t total_cells) {
+  JournalContents contents;
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return contents;  // no journal yet: empty, not an error
+  contents.file_exists = true;
+
+  std::string line;
+  if (!std::getline(file, line)) return contents;  // torn header: empty
+  const std::string expected_header = journal_header(spec, total_cells);
+  PG_REQUIRE(line == expected_header,
+             "journal '" + path +
+                 "' belongs to a different sweep (spec fingerprint, shard "
+                 "coordinates, or grid size mismatch) — refusing to resume");
+  contents.valid_bytes = line.size() + 1;
+
+  while (std::getline(file, line)) {
+    // A record not followed by '\n' is a torn tail: ignore it (getline
+    // still returns it when the file ends without the newline, so check
+    // via the stream position arithmetic below).
+    CellResult row;
+    if (!decode_cell_record(line, row)) break;
+    const std::uint64_t end = contents.valid_bytes + line.size() + 1;
+    contents.rows.push_back(std::move(row));
+    contents.valid_bytes = end;
+  }
+  return contents;
+}
+
+JournalWriter::JournalWriter(const std::string& path, const SweepSpec& spec,
+                             std::size_t total_cells,
+                             std::uint64_t resume_from_bytes) {
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path(), ec);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  PG_REQUIRE(fd_ >= 0, "cannot open journal '" + path +
+                           "': " + std::strerror(errno));
+  PG_REQUIRE(::ftruncate(fd_, static_cast<off_t>(resume_from_bytes)) == 0,
+             "cannot truncate journal '" + path +
+                 "': " + std::strerror(errno));
+  PG_REQUIRE(::lseek(fd_, 0, SEEK_END) >= 0,
+             "cannot seek journal '" + path + "'");
+  if (resume_from_bytes == 0) {
+    buffer_ = journal_header(spec, total_cells);
+    buffer_ += '\n';
+    commit();
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JournalWriter::append(const CellResult& row) {
+  buffer_ += encode_cell_record(row);
+  buffer_ += '\n';
+}
+
+void JournalWriter::commit() {
+  const char* data = buffer_.data();
+  std::size_t left = buffer_.size();
+  while (left > 0) {
+    const ssize_t wrote = ::write(fd_, data, left);
+    PG_REQUIRE(wrote >= 0 || errno == EINTR,
+               std::string("journal write failed: ") + std::strerror(errno));
+    if (wrote > 0) {
+      data += wrote;
+      left -= static_cast<std::size_t>(wrote);
+    }
+  }
+  PG_REQUIRE(::fsync(fd_) == 0,
+             std::string("journal fsync failed: ") + std::strerror(errno));
+  buffer_.clear();
+}
+
+}  // namespace pg::scenario

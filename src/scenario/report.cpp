@@ -246,7 +246,7 @@ void JsonWriter::row(const CellResult& cell) {
     out_ << fmt_fixed(cell.ratio_weight, 4);
   if (timing_)
     out_ << ", \"wall_ms\": " << fmt_fixed(cell.wall_ms, 3);
-  if (cell.status == CellStatus::kError)
+  if (cell.status != CellStatus::kOk)
     out_ << ", \"error\": \"" << json_escape(cell.error) << '"';
   out_ << '}';
 }
@@ -317,12 +317,33 @@ struct ShardRows {
   std::vector<std::pair<std::uint64_t, std::string>> rows;
 };
 
+/// The placeholder row `--allow-partial` synthesizes for a grid cell no
+/// surviving shard report covered.  Rendered through the real writers so
+/// its bytes track the row format exactly.
+CellResult missing_cell(std::uint64_t index) {
+  CellResult cell;
+  cell.cell_index = index;
+  cell.spec.scenario = "-";
+  cell.spec.algorithm = "-";
+  cell.spec.n = 0;
+  cell.spec.r = 0;
+  cell.spec.epsilon_used = false;
+  cell.spec.weights_used = false;
+  cell.spec.seed = 0;
+  cell.status = CellStatus::kMissing;
+  cell.error = "no shard report covered this cell";
+  return cell;
+}
+
 /// Shared tail of both mergers: validate that the stamps form one
 /// complete partition (same spec, same shard count, every shard exactly
 /// once) and that the combined rows cover cell indices 0..total-1.
-/// Returns all rows sorted by cell index.
+/// Returns all rows sorted by cell index.  With `allow_partial`, missing
+/// shards and uncovered cells are filled via `make_missing_row` instead
+/// of failing; duplicates and spec disagreements still fail.
 std::vector<std::pair<std::uint64_t, std::string>> validate_and_sort(
-    std::vector<ShardRows>&& shards) {
+    std::vector<ShardRows>&& shards, bool allow_partial,
+    const std::function<std::string(std::uint64_t)>& make_missing_row) {
   if (shards.empty()) merge_fail("no shard reports given");
   const ShardStamp& head = shards.front().stamp;
   std::vector<bool> seen(static_cast<std::size_t>(head.count), false);
@@ -341,25 +362,51 @@ std::vector<std::pair<std::uint64_t, std::string>> validate_and_sort(
     seen[static_cast<std::size_t>(s.index - 1)] = true;
     for (auto& row : shard.rows) rows.push_back(std::move(row));
   }
-  for (int i = 0; i < head.count; ++i)
-    if (!seen[static_cast<std::size_t>(i)])
-      merge_fail("missing shard " + std::to_string(i + 1) + "/" +
-                 std::to_string(head.count));
+  if (!allow_partial)
+    for (int i = 0; i < head.count; ++i)
+      if (!seen[static_cast<std::size_t>(i)])
+        merge_fail("missing shard " + std::to_string(i + 1) + "/" +
+                   std::to_string(head.count));
   std::sort(rows.begin(), rows.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  if (rows.size() != head.total_cells)
-    merge_fail("rows do not cover the grid: got " +
-               std::to_string(rows.size()) + " of " +
-               std::to_string(head.total_cells) + " cells");
-  for (std::size_t t = 0; t < rows.size(); ++t) {
-    if (rows[t].first == t) continue;
-    if (t > 0 && rows[t].first == rows[t - 1].first)
-      merge_fail("rows do not cover the grid: cell " +
-                 std::to_string(rows[t].first) + " duplicated");
-    merge_fail("rows do not cover the grid: cell " + std::to_string(t) +
-               " missing");
+  if (!allow_partial) {
+    if (rows.size() != head.total_cells)
+      merge_fail("rows do not cover the grid: got " +
+                 std::to_string(rows.size()) + " of " +
+                 std::to_string(head.total_cells) + " cells");
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+      if (rows[t].first == t) continue;
+      if (t > 0 && rows[t].first == rows[t - 1].first)
+        merge_fail("rows do not cover the grid: cell " +
+                   std::to_string(rows[t].first) + " duplicated");
+      merge_fail("rows do not cover the grid: cell " + std::to_string(t) +
+                 " missing");
+    }
+    return rows;
   }
-  return rows;
+
+  // Partial mode: fill every gap with a status=missing placeholder.
+  // Incomplete is fine; inconsistent (duplicate or out-of-range cells)
+  // still is not.
+  std::vector<std::pair<std::uint64_t, std::string>> full;
+  full.reserve(static_cast<std::size_t>(head.total_cells));
+  std::size_t at = 0;
+  for (std::uint64_t t = 0; t < head.total_cells; ++t) {
+    if (at < rows.size() && rows[at].first == t) {
+      full.push_back(std::move(rows[at]));
+      ++at;
+      if (at < rows.size() && rows[at].first == t)
+        merge_fail("rows do not cover the grid: cell " + std::to_string(t) +
+                   " duplicated");
+    } else {
+      full.emplace_back(t, make_missing_row(t));
+    }
+  }
+  if (at != rows.size())
+    merge_fail("cell index " + std::to_string(rows[at].first) +
+               " out of range for " + std::to_string(head.total_cells) +
+               " cells");
+  return full;
 }
 
 constexpr std::string_view kCsvStampPrefix = "# shard ";
@@ -394,7 +441,8 @@ ShardStamp parse_csv_stamp(std::string_view line) {
 
 }  // namespace
 
-std::string merge_csv(const std::vector<std::string>& shard_reports) {
+std::string merge_csv(const std::vector<std::string>& shard_reports,
+                      bool allow_partial) {
   std::vector<ShardRows> shards;
   std::string header;
   for (const std::string& report : shard_reports) {
@@ -420,7 +468,18 @@ std::string merge_csv(const std::vector<std::string>& shard_reports) {
     shards.push_back(std::move(shard));
   }
 
-  const auto rows = validate_and_sort(std::move(shards));
+  // The shards' shared header says whether rows carry a wall_ms column;
+  // synthesized placeholders must match its shape.
+  const bool timing = header.find(",wall_ms") != std::string::npos;
+  const auto rows = validate_and_sort(
+      std::move(shards), allow_partial, [&](std::uint64_t index) {
+        std::ostringstream row;
+        CsvWriter writer(row, timing);
+        writer.row(missing_cell(index));
+        std::string text = row.str();
+        if (!text.empty() && text.back() == '\n') text.pop_back();
+        return text;
+      });
   std::string out = header + '\n';
   for (const auto& [index, line] : rows) {
     out += line;
@@ -449,9 +508,11 @@ std::uint64_t json_field_u64(std::string_view text, std::string_view key) {
 
 }  // namespace
 
-std::string merge_json(const std::vector<std::string>& shard_reports) {
+std::string merge_json(const std::vector<std::string>& shard_reports,
+                       bool allow_partial) {
   std::vector<ShardRows> shards;
   std::string spec_dims;  // the spec body minus the shard stamp fields
+  bool merged_timing = false;
   for (const std::string& report : shard_reports) {
     if (report.substr(0, kJsonSpecOpen.size()) != kJsonSpecOpen)
       merge_fail("input is not a sweep JSON report");
@@ -496,6 +557,7 @@ std::string merge_json(const std::vector<std::string>& shard_reports) {
         stamp_text.find("\"timing\": false") == std::string_view::npos)
       merge_fail("shard stamp lacks \"timing\"");
     shard.stamp.fingerprint += timing ? "+t" : "";
+    merged_timing = timing;  // all shards agree (the fingerprint folds it)
 
     if (report.size() < cells_at + kJsonCellsOpen.size() + kJsonTail.size() ||
         report.substr(report.size() - kJsonTail.size()) != kJsonTail)
@@ -517,7 +579,15 @@ std::string merge_json(const std::vector<std::string>& shard_reports) {
     shards.push_back(std::move(shard));
   }
 
-  const auto rows = validate_and_sort(std::move(shards));
+  const auto rows = validate_and_sort(
+      std::move(shards), allow_partial, [&](std::uint64_t index) {
+        std::ostringstream row;
+        JsonWriter writer(row, merged_timing);
+        writer.row(missing_cell(index));  // leading "\n" from first_row_
+        std::string text = row.str();
+        if (!text.empty() && text.front() == '\n') text.erase(0, 1);
+        return text;
+      });
   std::string out;
   out += kJsonSpecOpen;
   out += spec_dims;

@@ -96,9 +96,19 @@ std::string json_string(const SweepResult& result,
 /// PreconditionViolation when the inputs are not shard reports, disagree
 /// on the spec (fingerprint, headers, shard count, grid size), repeat or
 /// miss a shard, or their rows do not cover the grid exactly.
-std::string merge_csv(const std::vector<std::string>& shard_reports);
+///
+/// With `allow_partial`, missing shards and uncovered cells stop being
+/// errors: every grid cell no given report covers becomes a placeholder
+/// row with status=missing (scenario/algorithm "-", zero metrics, error
+/// explaining the gap), so a sweep whose shard died still yields one
+/// complete, grid-shaped report.  Duplicate shards, duplicate cells, and
+/// spec disagreements are still rejected — partial means incomplete, not
+/// inconsistent.
+std::string merge_csv(const std::vector<std::string>& shard_reports,
+                      bool allow_partial = false);
 
 /// Same for JSON shard reports.
-std::string merge_json(const std::vector<std::string>& shard_reports);
+std::string merge_json(const std::vector<std::string>& shard_reports,
+                       bool allow_partial = false);
 
 }  // namespace pg::scenario

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <exception>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -10,12 +11,25 @@
 #include <tuple>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define PG_HAS_FORK_ISOLATION 1
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <cerrno>
+#else
+#define PG_HAS_FORK_ISOLATION 0
+#endif
+
 #include "congest/network.hpp"
 #include "graph/cover.hpp"
 #include "graph/power.hpp"
 #include "graph/power_view.hpp"
+#include "scenario/fault.hpp"
+#include "scenario/journal.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/weights.hpp"
+#include "util/cancel.hpp"
 #include "solvers/exact_ds.hpp"
 #include "solvers/exact_vc.hpp"
 #include "solvers/greedy.hpp"
@@ -29,7 +43,13 @@ using graph::VertexWeights;
 using graph::Weight;
 
 std::string_view cell_status_name(CellStatus s) {
-  return s == CellStatus::kOk ? "ok" : "error";
+  switch (s) {
+    case CellStatus::kOk: return "ok";
+    case CellStatus::kFailed: return "failed";
+    case CellStatus::kTimeout: return "timeout";
+    case CellStatus::kMissing: return "missing";
+  }
+  return "failed";
 }
 
 std::string_view baseline_kind_name(BaselineKind b) {
@@ -48,6 +68,128 @@ double elapsed_ms(std::chrono::steady_clock::time_point since) {
              std::chrono::steady_clock::now() - since)
       .count();
 }
+
+/// Per-cell deadline watchdog: one monitor thread, one slot per worker.
+/// A worker arms its slot with the cell's budget before running it; the
+/// monitor flips the slot's cancellation token once the deadline passes,
+/// and the cell's next cancel::poll() unwinds it as status=timeout.  The
+/// monitor sleeps until the earliest armed deadline, so an idle watchdog
+/// costs nothing and an expiry is noticed promptly (well inside the 2×
+/// budget the acceptance tests allow).
+class Watchdog {
+ public:
+  explicit Watchdog(std::size_t workers)
+      : slots_(std::make_unique<Slot[]>(workers)), count_(workers) {
+    monitor_ = std::thread([this] { loop(); });
+  }
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    monitor_.join();
+  }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Arms worker `w`'s slot for `budget_ms` from now and returns its
+  /// token (cleared), ready to install via cancel::Scope.
+  const std::atomic<bool>* arm(std::size_t w, double budget_ms) {
+    Slot& slot = slots_[w];
+    std::lock_guard<std::mutex> lock(mutex_);
+    slot.cancelled.store(false, std::memory_order_relaxed);
+    slot.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(budget_ms));
+    slot.armed = true;
+    cv_.notify_all();
+    return &slot.cancelled;
+  }
+
+  void disarm(std::size_t w) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_[w].armed = false;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<bool> cancelled{false};
+    std::chrono::steady_clock::time_point deadline{};
+    bool armed = false;
+  };
+
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      auto next = std::chrono::steady_clock::time_point::max();
+      const auto now = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < count_; ++i) {
+        Slot& slot = slots_[i];
+        if (!slot.armed) continue;
+        if (slot.deadline <= now) {
+          slot.cancelled.store(true, std::memory_order_relaxed);
+          slot.armed = false;  // fire once; the worker re-arms per cell
+        } else if (slot.deadline < next) {
+          next = slot.deadline;
+        }
+      }
+      if (next == std::chrono::steady_clock::time_point::max())
+        cv_.wait(lock);
+      else
+        cv_.wait_until(lock, next);
+    }
+  }
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t count_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread monitor_;
+};
+
+/// The cell's effective watchdog budget: per-cell override first, flat
+/// default second, 0 = unbudgeted.
+double cell_budget_ms(const ExecOptions& opts, const CellSpec& cell) {
+  if (opts.budget_ms) {
+    const double budget = opts.budget_ms(cell);
+    if (budget > 0.0) return budget;
+  }
+  return opts.cell_timeout_ms;
+}
+
+/// Resets `out` to a bare non-ok row.  Partial fields from the aborted
+/// attempt are deliberately dropped: what a timeout had already computed
+/// depends on timing, and failure rows must not smuggle nondeterminism
+/// into the report.
+void fail_cell(CellResult& out, const CellSpec& spec, std::uint64_t index,
+               CellStatus status, std::string error, double wall_ms) {
+  out = CellResult{};
+  out.spec = spec;
+  out.cell_index = index;
+  out.status = status;
+  out.error = std::move(error);
+  out.wall_ms = wall_ms;
+}
+
+/// Everything the resilient executor threads into group/cell execution.
+/// Default-constructed = the plain fail-fast environment (single-cell
+/// paths and tests).
+struct GroupEnv {
+  const ExecOptions* opts = nullptr;   // budgets (null = none)
+  const FaultPlan* faults = nullptr;   // scripted failures (null = none)
+  Watchdog* watchdog = nullptr;        // armed per cell when budgeted
+  std::size_t worker = 0;              // this worker's watchdog slot
+  int attempt = 0;                     // isolate-mode retry attempt
+  std::uint64_t group_index = 0;       // global group index (build@g faults)
+  // Called after each cell's row is final (isolate children stream rows
+  // up their pipe from here, so a later crash keeps earlier cells).
+  std::function<void(const CellResult&)> on_cell;
+};
 
 /// Per-worker recycling bin for CONGEST simulators, keyed by topology
 /// size.  A network released by a finished group is rebound to the next
@@ -304,10 +446,22 @@ class GroupContext {
 };
 
 void execute_cell(const CellSpec& spec, GroupContext& group,
-                  VertexId exact_baseline_max_n, CellResult& out) {
+                  VertexId exact_baseline_max_n, std::uint64_t cell_index,
+                  const GroupEnv& env, CellResult& out) {
   out = CellResult{};
   out.spec = spec;
+  out.cell_index = cell_index;
+  const std::atomic<bool>* token = nullptr;
+  if (env.watchdog != nullptr && env.opts != nullptr) {
+    const double budget = cell_budget_ms(*env.opts, spec);
+    if (budget > 0.0) token = env.watchdog->arm(env.worker, budget);
+  }
+  const cancel::Scope cancel_scope(token);
+  const auto cell_started = std::chrono::steady_clock::now();
   try {
+    if (env.faults != nullptr)
+      trigger_fault(env.faults->cell_action(cell_index, env.attempt),
+                    cell_index);
     const Algorithm& alg = algorithm_or_throw(spec.algorithm);
     PG_REQUIRE(supports_power(alg, spec.r),
                "algorithm '" + alg.name + "' cannot target r=" +
@@ -390,10 +544,21 @@ void execute_cell(const CellSpec& spec, GroupContext& group,
                              : static_cast<double>(out.solution_weight) /
                                    static_cast<double>(weighted.weight);
     }
+  } catch (const cancel::Cancelled& cancelled) {
+    // The watchdog expired this cell — a budget verdict, not a defect.
+    fail_cell(out, spec, cell_index, CellStatus::kTimeout, cancelled.what(),
+              elapsed_ms(cell_started));
   } catch (const std::exception& error) {
-    out.status = CellStatus::kError;
-    out.error = error.what();
+    fail_cell(out, spec, cell_index, CellStatus::kFailed, error.what(),
+              elapsed_ms(cell_started));
+  } catch (...) {
+    // Non-standard exceptions (throw 42;) must not escape a worker
+    // thread: route them through the row like everything else.
+    fail_cell(out, spec, cell_index, CellStatus::kFailed,
+              "non-standard exception from algorithm or scenario",
+              elapsed_ms(cell_started));
   }
+  if (env.watchdog != nullptr) env.watchdog->disarm(env.worker);
 }
 
 /// The (r, algorithm, epsilon, weighting) slice of the grid — identical
@@ -463,34 +628,184 @@ void stamp_group(const SweepSpec& spec, std::size_t g,
 /// stamping each row with its global cell index.  When `keep_solutions`
 /// is false the solution bitsets are dropped once the feasibility check
 /// has consumed them (the sweep path — reports only need sizes).
+///
+/// Total by construction: every failure mode — generator exception while
+/// building the topology, per-cell exception, watchdog expiry — lands in
+/// a status row; nothing escapes, so the caller can always hand all
+/// cells.size() rows to the reorder ring.
 void run_group(const std::vector<CellSpec>& cells,
                std::size_t first_global_index, VertexId exact_baseline_max_n,
                NetworkPool* pool, int power_threads, bool keep_solutions,
-               CellResult* results) {
+               const GroupEnv& env, CellResult* results) {
   const CellSpec& head = cells.front();
+  const auto build_started = std::chrono::steady_clock::now();
+  // Generator (topology build) failures become cell-local failed rows:
+  // each cell of the group gets its own status=failed row carrying the
+  // build error, and the sweep moves on to the next group.
+  auto fail_group = [&](const std::string& error) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      fail_cell(results[i], cells[i], first_global_index + i,
+                CellStatus::kFailed, error, elapsed_ms(build_started));
+      if (env.on_cell) env.on_cell(results[i]);
+    }
+  };
   try {
+    if (env.faults != nullptr &&
+        env.faults->build_fails(env.group_index, env.attempt))
+      throw std::runtime_error("injected fault: build@g" +
+                               std::to_string(env.group_index));
     const Scenario& scenario = scenario_or_throw(head.scenario);
     GroupContext context(scenario.build(head.n, head.seed), pool,
                          power_threads);
     for (std::size_t i = 0; i < cells.size(); ++i) {
       CellResult& out = results[i];
-      execute_cell(cells[i], context, exact_baseline_max_n, out);
-      out.cell_index = first_global_index + i;
+      execute_cell(cells[i], context, exact_baseline_max_n,
+                   first_global_index + i, env, out);
       if (!keep_solutions) out.solution = VertexSet();
+      if (env.on_cell) env.on_cell(out);
     }
   } catch (const std::exception& error) {
-    // The topology itself failed to build: every cell of the group fails
-    // identically.
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      CellResult& out = results[i];
-      out = CellResult{};
-      out.spec = cells[i];
-      out.cell_index = first_global_index + i;
-      out.status = CellStatus::kError;
-      out.error = error.what();
-    }
+    fail_group("topology build failed: " + std::string(error.what()));
+  } catch (...) {
+    fail_group("topology build failed: non-standard exception");
   }
 }
+
+#if PG_HAS_FORK_ISOLATION
+
+std::string describe_child_exit(int status) {
+  if (WIFSIGNALED(status))
+    return "worker process killed by signal " +
+           std::to_string(WTERMSIG(status));
+  if (WIFEXITED(status))
+    return "worker process exited with status " +
+           std::to_string(WEXITSTATUS(status));
+  return "worker process ended abnormally";
+}
+
+/// Runs one group in a forked child, which streams each finished row up a
+/// pipe in the journal's checksummed record format.  A crash (abort,
+/// segfault, OOM-kill) therefore costs only the cells the child had not
+/// yet written: the intact prefix is kept, the remainder becomes
+/// status=failed rows, and `opts.retries` grants crashed groups fresh
+/// attempts with exponential backoff.  Returns false when fork/pipe are
+/// unavailable so the caller can degrade to in-process execution.
+bool run_group_isolated(const std::vector<CellSpec>& cells,
+                        std::size_t first_global_index,
+                        VertexId exact_baseline_max_n,
+                        const ExecOptions& opts, const FaultPlan* faults,
+                        std::uint64_t group_index, CellResult* results) {
+  const int attempts = 1 + std::max(0, opts.retries);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0 && opts.retry_backoff_ms > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          opts.retry_backoff_ms * static_cast<double>(1 << (attempt - 1))));
+    int fds[2];
+    if (::pipe(fds) != 0) return false;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      return false;
+    }
+    if (pid == 0) {
+      // Child: run the group with a watchdog of its own (monitor threads
+      // do not survive fork), stream rows as they finish, and _exit
+      // without unwinding any parent state.
+      ::close(fds[0]);
+      {
+        std::unique_ptr<Watchdog> watchdog;
+        if (opts.cell_timeout_ms > 0.0 || opts.budget_ms)
+          watchdog = std::make_unique<Watchdog>(1);
+        GroupEnv env;
+        env.opts = &opts;
+        env.faults = faults;
+        env.watchdog = watchdog.get();
+        env.worker = 0;
+        env.attempt = attempt;
+        env.group_index = group_index;
+        env.on_cell = [&fds](const CellResult& row) {
+          std::string line = encode_cell_record(row);
+          line += '\n';
+          const char* data = line.data();
+          std::size_t left = line.size();
+          while (left > 0) {
+            const ssize_t wrote = ::write(fds[1], data, left);
+            if (wrote < 0) {
+              if (errno == EINTR) continue;
+              ::_exit(3);  // parent gone; nothing sensible left to do
+            }
+            data += static_cast<std::size_t>(wrote);
+            left -= static_cast<std::size_t>(wrote);
+          }
+        };
+        std::vector<CellResult> rows(cells.size());
+        run_group(cells, first_global_index, exact_baseline_max_n,
+                  /*pool=*/nullptr, /*power_threads=*/1,
+                  /*keep_solutions=*/false, env, rows.data());
+      }
+      ::_exit(0);
+    }
+    // Parent: drain the pipe to EOF (the child's exit closes its end),
+    // then reap the child.
+    ::close(fds[1]);
+    std::string data;
+    char buffer[4096];
+    for (;;) {
+      const ssize_t got = ::read(fds[0], buffer, sizeof(buffer));
+      if (got > 0) {
+        data.append(buffer, static_cast<std::size_t>(got));
+        continue;
+      }
+      if (got < 0 && errno == EINTR) continue;
+      break;
+    }
+    ::close(fds[0]);
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+
+    // Decode the intact row prefix.  A crash can tear at most the final
+    // line, which the record checksum rejects exactly like a torn
+    // journal tail.
+    std::vector<CellResult> rows;
+    std::size_t pos = 0;
+    while (pos < data.size() && rows.size() < cells.size()) {
+      const std::size_t nl = data.find('\n', pos);
+      if (nl == std::string::npos) break;
+      CellResult row;
+      if (!decode_cell_record(std::string_view(data).substr(pos, nl - pos),
+                              row))
+        break;
+      if (row.cell_index != first_global_index + rows.size()) break;
+      rows.push_back(std::move(row));
+      pos = nl + 1;
+    }
+
+    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0 &&
+                       rows.size() == cells.size();
+    if (!clean && attempt + 1 < attempts) continue;  // crashed: retry
+    if (clean) {
+      for (std::size_t i = 0; i < cells.size(); ++i)
+        results[i] = std::move(rows[i]);
+      return true;
+    }
+    // Out of attempts: keep what the child managed, fail the rest.
+    const std::string why = describe_child_exit(status) + " (" +
+                            std::to_string(attempts) + " attempt(s))";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i < rows.size())
+        results[i] = std::move(rows[i]);
+      else
+        fail_cell(results[i], cells[i], first_global_index + i,
+                  CellStatus::kFailed, why, 0.0);
+    }
+    return true;
+  }
+  return false;  // unreachable: the loop always returns on its last pass
+}
+
+#endif  // PG_HAS_FORK_ISOLATION
 
 }  // namespace
 
@@ -554,7 +869,8 @@ CellResult run_cell(const CellSpec& cell, VertexId exact_baseline_max_n) {
   std::vector<CellResult> results(1);
   const std::vector<CellSpec> cells = {cell};
   run_group(cells, 0, exact_baseline_max_n, /*pool=*/nullptr,
-            /*power_threads=*/0, /*keep_solutions=*/true, results.data());
+            /*power_threads=*/0, /*keep_solutions=*/true, GroupEnv{},
+            results.data());
   return std::move(results[0]);
 }
 
@@ -562,13 +878,18 @@ CellResult run_cell_on(const Graph& base, const CellSpec& cell,
                        VertexId exact_baseline_max_n) {
   CellResult result;
   GroupContext context(base, /*pool=*/nullptr);
-  execute_cell(cell, context, exact_baseline_max_n, result);
+  execute_cell(cell, context, exact_baseline_max_n, /*cell_index=*/0,
+               GroupEnv{}, result);
   return result;
 }
 
-SweepSummary run_sweep_stream(const SweepSpec& spec, const RowSink& sink) {
+SweepSummary run_sweep_stream(const SweepSpec& spec, const RowSink& sink,
+                              const ExecOptions& opts) {
   const auto started = std::chrono::steady_clock::now();
   validate_spec(spec);
+
+  const FaultPlan* faults =
+      opts.fault_plan != nullptr ? opts.fault_plan : FaultPlan::from_env();
 
   // Only the pattern is materialized up front; each group's cell list is
   // stamped on demand by the worker that claims it, so a shard's memory
@@ -591,6 +912,70 @@ SweepSummary run_sweep_stream(const SweepSpec& spec, const RowSink& sink) {
   SweepSummary summary;
   summary.total_cells = per_group * num_groups;
 
+  auto count_row = [&summary](const CellResult& row) {
+    ++summary.cells;
+    switch (row.status) {
+      case CellStatus::kOk:
+        if (row.feasible)
+          ++summary.ok;
+        else
+          ++summary.infeasible;
+        break;
+      case CellStatus::kTimeout:
+        ++summary.timeout;
+        break;
+      default:
+        ++summary.failed;
+        break;
+    }
+  };
+
+  // ------------------------------------------------- journal + resume ---
+  // Rows leave the ring in ascending cell_index order, so the journal is
+  // always a strict prefix of this shard's cell sequence: resume replays
+  // the prefix to the sink (reproducing the uninterrupted report's bytes)
+  // and restarts execution at the first unjournaled group.
+  std::unique_ptr<JournalWriter> journal;
+  std::size_t start_rank = 0;
+  if (!opts.journal_dir.empty()) {
+    const std::string path = journal_path(opts.journal_dir, spec);
+    std::uint64_t resume_bytes = 0;
+    std::vector<CellResult> replayed;
+    if (opts.resume) {
+      JournalContents contents =
+          read_journal(path, spec, summary.total_cells);
+      // Execution restarts on a group boundary, so a torn partial-group
+      // tail (possible when the kernel flushed part of an interrupted
+      // commit) is truncated and re-run rather than resumed mid-group.
+      const std::size_t keep =
+          per_group ? contents.rows.size() / per_group * per_group : 0;
+      for (std::size_t i = keep; i < contents.rows.size(); ++i)
+        contents.valid_bytes -=
+            encode_cell_record(contents.rows[i]).size() + 1;
+      contents.rows.resize(keep);
+      for (std::size_t i = 0; i < keep; ++i)
+        PG_REQUIRE(contents.rows[i].cell_index ==
+                       group_of_rank(i / per_group) * per_group +
+                           i % per_group,
+                   "journal '" + path +
+                       "' does not follow this shard's cell order — "
+                       "refusing to resume");
+      resume_bytes = contents.valid_bytes;
+      start_rank = per_group ? keep / per_group : 0;
+      replayed = std::move(contents.rows);
+    }
+    journal = std::make_unique<JournalWriter>(
+        path, spec, summary.total_cells, resume_bytes);
+    summary.replayed = replayed.size();
+    for (const CellResult& row : replayed) {
+      count_row(row);
+      if (sink) sink(row);
+    }
+  }
+
+  const std::size_t remaining =
+      my_groups > start_rank ? my_groups - start_rank : 0;
+
   // Reorder ring: workers finish groups out of order, rows must leave in
   // grid order.  Claiming rank r blocks until r is within `window` of the
   // emit cursor, so slot r % window cannot still be occupied by rank
@@ -602,15 +987,29 @@ SweepSummary run_sweep_stream(const SweepSpec& spec, const RowSink& sink) {
   };
   std::mutex emit_mutex;
   std::condition_variable emit_advanced;
-  std::size_t next_emit = 0;
+  std::size_t next_emit = start_rank;
   bool emitting = false;  // exactly one thread drains the ring at a time
+
+  // A sink or journal I/O failure must not strand the pool: the first
+  // exception is captured, further output is disabled, workers quiesce at
+  // their next claim, and the exception is rethrown only after every
+  // thread has joined — the ring always drains, the pool always exits.
+  std::exception_ptr output_error;  // touched only by the active drainer
+  std::atomic<bool> stop_claiming{false};
 
   const std::size_t workers = std::min<std::size_t>(
       static_cast<std::size_t>(spec.threads), std::max<std::size_t>(
-                                                  my_groups, 1));
+                                                  remaining, 1));
   const std::size_t window = std::max<std::size_t>(4 * workers, 16);
   std::vector<Slot> slots(std::min(window, std::max<std::size_t>(
-                                               my_groups, 1)));
+                                               remaining, 1)));
+
+  // The deadline watchdog (one slot per worker) exists only when some
+  // budget is configured; isolate-mode children run their own instead.
+  std::unique_ptr<Watchdog> watchdog;
+  if ((opts.cell_timeout_ms > 0.0 || opts.budget_ms) && !opts.isolate &&
+      remaining > 0)
+    watchdog = std::make_unique<Watchdog>(workers);
 
   auto finish_group = [&](std::size_t rank, std::vector<CellResult>&& rows) {
     std::unique_lock<std::mutex> lock(emit_mutex);
@@ -624,32 +1023,58 @@ SweepSummary run_sweep_stream(const SweepSpec& spec, const RowSink& sink) {
       std::vector<CellResult> batch = std::move(slot.rows);
       slot.rows = std::vector<CellResult>();
       slot.done = false;
-      for (const CellResult& row : batch) {
-        ++summary.cells;
-        if (row.status == CellStatus::kError) ++summary.errors;
-        else if (!row.feasible) ++summary.infeasible;
-        else ++summary.ok;
-      }
+      for (const CellResult& row : batch) count_row(row);
       ++next_emit;
       emit_advanced.notify_all();
       // Row formatting/file I/O happens outside the lock so other workers
       // keep finishing groups; order is safe because `emitting` admits
-      // one drainer at a time and batches leave in next_emit order.
+      // one drainer at a time and batches leave in next_emit order.  The
+      // journal commits (fsync) before the sink sees the batch, so a
+      // crash never leaves report rows ahead of the journal.
       lock.unlock();
-      if (sink)
-        for (const CellResult& row : batch) sink(row);
+      if (!stop_claiming.load(std::memory_order_relaxed)) {
+        try {
+          if (journal) {
+            for (const CellResult& row : batch) journal->append(row);
+            journal->commit();
+          }
+          if (sink)
+            for (const CellResult& row : batch) sink(row);
+        } catch (...) {
+          output_error = std::current_exception();
+          std::lock_guard<std::mutex> flag_lock(emit_mutex);
+          stop_claiming.store(true, std::memory_order_relaxed);
+          emit_advanced.notify_all();
+        }
+      }
       lock.lock();
     }
     emitting = false;
   };
 
-  auto run_rank = [&](std::size_t rank, NetworkPool& pool,
-                      std::vector<CellSpec>& group) {
+  auto run_rank = [&](std::size_t rank, std::size_t worker_id,
+                      NetworkPool& pool, std::vector<CellSpec>& group) {
     const std::size_t g = group_of_rank(rank);
     stamp_group(spec, g, group);
     std::vector<CellResult> rows(per_group);
-    run_group(group, g * per_group, spec.exact_baseline_max_n, &pool,
-              workers > 1 ? 1 : 0, /*keep_solutions=*/false, rows.data());
+    bool done = false;
+#if PG_HAS_FORK_ISOLATION
+    if (opts.isolate)
+      done = run_group_isolated(group, g * per_group,
+                                spec.exact_baseline_max_n, opts, faults, g,
+                                rows.data());
+#endif
+    if (!done) {
+      GroupEnv env;
+      env.opts = &opts;
+      env.faults = faults;
+      env.watchdog = watchdog.get();
+      env.worker = worker_id;
+      env.group_index = g;
+      run_group(group, g * per_group, spec.exact_baseline_max_n, &pool,
+                workers > 1 ? 1 : 0, /*keep_solutions=*/false, env,
+                rows.data());
+    }
     finish_group(rank, std::move(rows));
   };
 
@@ -657,11 +1082,13 @@ SweepSummary run_sweep_stream(const SweepSpec& spec, const RowSink& sink) {
     // Single worker: groups run and emit strictly in order, no buffering.
     NetworkPool pool;
     std::vector<CellSpec> group = pattern;
-    for (std::size_t rank = 0; rank < my_groups; ++rank)
-      run_rank(rank, pool, group);
+    for (std::size_t rank = start_rank; rank < my_groups; ++rank) {
+      if (stop_claiming.load(std::memory_order_relaxed)) break;
+      run_rank(rank, 0, pool, group);
+    }
   } else {
-    std::atomic<std::size_t> cursor{0};
-    auto drain = [&]() {
+    std::atomic<std::size_t> cursor{start_rank};
+    auto drain = [&](std::size_t worker_id) {
       NetworkPool pool;
       std::vector<CellSpec> group = pattern;
       for (;;) {
@@ -673,18 +1100,25 @@ SweepSummary run_sweep_stream(const SweepSpec& spec, const RowSink& sink) {
           // (all earlier ranks are done, so next_emit has reached it),
           // which guarantees progress and therefore no deadlock.
           std::unique_lock<std::mutex> lock(emit_mutex);
-          emit_advanced.wait(lock,
-                             [&] { return rank < next_emit + window; });
+          emit_advanced.wait(lock, [&] {
+            return rank < next_emit + window ||
+                   stop_claiming.load(std::memory_order_relaxed);
+          });
         }
-        run_rank(rank, pool, group);
+        if (stop_claiming.load(std::memory_order_relaxed)) return;
+        run_rank(rank, worker_id, pool, group);
       }
     };
     std::vector<std::thread> threads;
     threads.reserve(workers - 1);
-    for (std::size_t w = 1; w < workers; ++w) threads.emplace_back(drain);
-    drain();
+    for (std::size_t w = 1; w < workers; ++w)
+      threads.emplace_back(drain, w);
+    drain(0);
     for (std::thread& t : threads) t.join();
   }
+
+  watchdog.reset();  // join the monitor before any rethrow below
+  if (output_error) std::rethrow_exception(output_error);
 
   summary.wall_ms_total = elapsed_ms(started);
   return summary;

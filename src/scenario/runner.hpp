@@ -79,7 +79,14 @@ struct CellSpec {
   bool weights_used = false;
 };
 
-enum class CellStatus { kOk, kError };
+// kOk      — the cell ran to completion (feasibility is reported separately).
+// kFailed  — the cell (or its topology build / worker process) threw,
+//            violated a contract, or crashed; `error` carries the text.
+// kTimeout — the per-cell watchdog expired the cell's cost budget and the
+//            cooperative cancellation token unwound it mid-run.
+// kMissing — synthesized by `merge --allow-partial` for grid cells no
+//            surviving shard report covered; the runner never emits it.
+enum class CellStatus { kOk, kFailed, kTimeout, kMissing };
 enum class BaselineKind { kNone, kExact, kGreedy };
 
 std::string_view cell_status_name(CellStatus s);
@@ -91,7 +98,7 @@ struct CellResult {
   // shard partitions, so per-shard reports merge back deterministically.
   std::uint64_t cell_index = 0;
   CellStatus status = CellStatus::kOk;
-  std::string error;  // non-empty iff status == kError
+  std::string error;  // non-empty iff status != kOk
 
   // Instance facts.
   std::size_t base_edges = 0;    // |E(G)|
@@ -138,16 +145,57 @@ struct SweepResult {
 /// Row-count summary returned by the streaming runner (the rows themselves
 /// went to the sink).
 struct SweepSummary {
-  std::size_t cells = 0;  // rows this shard executed
+  std::size_t cells = 0;  // rows this shard emitted (replayed included)
   std::size_t ok = 0;
   std::size_t infeasible = 0;
-  std::size_t errors = 0;
+  std::size_t failed = 0;    // status=failed rows (exceptions, crashes)
+  std::size_t timeout = 0;   // status=timeout rows (watchdog expiries)
+  std::size_t replayed = 0;  // rows restored from the journal by --resume
   std::size_t total_cells = 0;  // full-grid cell count (all shards)
   double wall_ms_total = 0.0;
 };
 
 /// Receives finished rows in ascending cell_index order.
 using RowSink = std::function<void(const CellResult&)>;
+
+class FaultPlan;
+
+/// Resilience knobs for run_sweep_stream.  Everything defaults off: a
+/// default-constructed ExecOptions reproduces the plain executor byte for
+/// byte (these options never enter the spec fingerprint — a resumed or
+/// watched sweep is still the *same* sweep).
+struct ExecOptions {
+  /// When non-empty, every emitted row is also appended to an append-only
+  /// journal at journal_path(journal_dir, spec), fsync'd once per emitted
+  /// topology group.  With `resume` set, an existing journal's rows are
+  /// replayed to the sink first (producing byte-identical report output)
+  /// and execution restarts at the first unjournaled cell; only whole
+  /// groups resume, so a torn partial-group tail is truncated and re-run.
+  std::string journal_dir;
+  bool resume = false;
+
+  /// Default per-cell wall-clock budget in milliseconds; 0 disables the
+  /// watchdog.  An overrunning cell is cancelled cooperatively (simulator
+  /// round loop, solver worklists, PowerView BFS all poll) and reported
+  /// as status=timeout while the rest of the sweep continues.
+  double cell_timeout_ms = 0.0;
+  /// Per-cell budget override (e.g. seeded from BENCH_scenarios.json per
+  /// algorithm); a return value <= 0 falls back to cell_timeout_ms.
+  std::function<double(const CellSpec&)> budget_ms;
+
+  /// Fork each topology group into a child process, so a crash (abort,
+  /// segfault, OOM-kill) costs one group — its cells become status=failed
+  /// rows — instead of the whole sweep.  POSIX only; ignored elsewhere.
+  bool isolate = false;
+  /// Extra attempts for a group whose isolated child crashed, with
+  /// exponential backoff between attempts.  Only meaningful with isolate.
+  int retries = 0;
+  double retry_backoff_ms = 50.0;
+
+  /// Scripted faults for tests/CI; when null the $PG_FAULT_PLAN
+  /// environment hook applies (see scenario/fault.hpp).
+  const FaultPlan* fault_plan = nullptr;
+};
 
 /// Expands the grid in deterministic order (scenario, size, seed outermost
 /// so cells of one topology are contiguous; then power, algorithm,
@@ -174,7 +222,7 @@ std::vector<std::size_t> shard_cell_indices(const SweepSpec& spec);
 void validate_spec(const SweepSpec& spec);
 
 /// Runs one cell in isolation (builds the topology itself).  Exceptions
-/// from the scenario or algorithm are captured as status kError.
+/// from the scenario or algorithm are captured as status kFailed.
 CellResult run_cell(const CellSpec& cell, graph::VertexId exact_baseline_max_n);
 
 /// Runs one cell on a caller-supplied base graph instead of a registered
@@ -186,7 +234,16 @@ CellResult run_cell_on(const graph::Graph& base, const CellSpec& cell,
 /// finished row to `sink` in ascending cell_index order (a reorder buffer
 /// holds at most the out-of-order window, never the whole sweep).  Rows
 /// arrive with their solution bitsets already dropped.
-SweepSummary run_sweep_stream(const SweepSpec& spec, const RowSink& sink);
+///
+/// Failure containment: a worker failure of any kind — algorithm or
+/// generator exception, PG_REQUIRE violation, watchdog expiry, crashed
+/// isolate child — becomes a non-ok *row* routed through the reorder
+/// ring, never an escaped exception, so the writer always drains and the
+/// summary always accounts for every claimed cell.  Only a sink or
+/// journal I/O error aborts the sweep, and even then the worker pool is
+/// quiesced and joined before the exception leaves this function.
+SweepSummary run_sweep_stream(const SweepSpec& spec, const RowSink& sink,
+                              const ExecOptions& opts = {});
 
 /// Convenience wrapper over run_sweep_stream that collects this shard's
 /// rows into a SweepResult.  Prefer the streaming form for large sweeps.

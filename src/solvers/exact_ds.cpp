@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/cancel.hpp"
+
 namespace pg::solvers {
 
 using graph::Graph;
@@ -204,6 +206,7 @@ class SetCoverSolver {
   void recurse(const Bitset& covered, const Bitset& live, Bitset& chosen,
                Weight cost) {
     if (done()) return;
+    cancel::poll();  // watchdog point: once per branch-and-bound node
     if (++nodes_ > budget_) {
       aborted_ = true;
       return;

@@ -5,6 +5,7 @@
 #include "graph/matching.hpp"
 #include "solvers/greedy.hpp"
 #include "util/bitset.hpp"
+#include "util/cancel.hpp"
 
 namespace pg::solvers {
 
@@ -112,6 +113,7 @@ class VcSolver {
 
   void recurse(Bitset alive, Bitset cover, Weight cost) {
     if (done()) return;
+    cancel::poll();  // watchdog point: once per branch-and-bound node
     if (++nodes_ > budget_) {
       aborted_ = true;
       return;

@@ -1,0 +1,65 @@
+// Cooperative cancellation for long-running cell work.
+//
+// The sweep runner's per-cell watchdog cannot kill a thread; instead it
+// flips an atomic token and relies on the code doing the work to notice.
+// A worker installs the current cell's token into a thread-local slot
+// (`cancel::Scope`), and every cancellation-aware loop — the CONGEST
+// simulator's round loop, PowerView's truncated BFS, the centralized
+// solvers' worklists, the branch-and-bound node counter — calls
+// `cancel::poll()`, which throws `cancel::Cancelled` once the token is
+// set.  The throw unwinds back to the runner, which records the cell as
+// `status=timeout` and moves on.
+//
+// Cost when no token is installed (every path outside a budgeted sweep):
+// one thread-local pointer load and a null check, so the hooks are safe
+// to leave in release hot loops.  Poll sites are placed at loop heads
+// whose single iteration is bounded (a round, a ball, a worklist pop),
+// never inside per-edge inner loops.
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+
+namespace pg::cancel {
+
+/// Thrown by poll() when the installed token has been set.  Deliberately
+/// NOT derived from the contract-violation types: the runner must be able
+/// to tell "the watchdog expired this cell" from "the cell failed".
+class Cancelled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+inline thread_local const std::atomic<bool>* tl_token = nullptr;
+}  // namespace detail
+
+/// True iff a token is installed and has been set.
+inline bool requested() {
+  const std::atomic<bool>* token = detail::tl_token;
+  return token != nullptr && token->load(std::memory_order_relaxed);
+}
+
+/// Throws Cancelled iff cancellation has been requested.
+inline void poll() {
+  if (requested())
+    throw Cancelled("cancelled: cell budget exceeded");
+}
+
+/// Installs `token` as this thread's cancellation token for its lifetime,
+/// restoring the previous one on destruction (scopes nest, though the
+/// runner only ever needs one level).
+class Scope {
+ public:
+  explicit Scope(const std::atomic<bool>* token) : prev_(detail::tl_token) {
+    detail::tl_token = token;
+  }
+  ~Scope() { detail::tl_token = prev_; }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  const std::atomic<bool>* prev_;
+};
+
+}  // namespace pg::cancel

@@ -108,7 +108,7 @@ TEST(RunSweep, CapturesScenarioFailuresAsCellErrors) {
   spec.seeds = {1};
   const SweepResult result = run_sweep(spec);
   ASSERT_EQ(result.cells.size(), 1u);
-  EXPECT_EQ(result.cells[0].status, CellStatus::kError);
+  EXPECT_EQ(result.cells[0].status, CellStatus::kFailed);
   EXPECT_NE(result.cells[0].error.find("barbell"), std::string::npos);
 }
 
@@ -345,7 +345,8 @@ TEST(SweepStreaming, RowsArriveInGridOrderWithoutSolutionBitsets) {
       });
   EXPECT_EQ(summary.cells, order.size());
   EXPECT_EQ(summary.total_cells, order.size());  // 1/1 shard = whole grid
-  EXPECT_EQ(summary.errors, 0u);
+  EXPECT_EQ(summary.failed, 0u);
+  EXPECT_EQ(summary.timeout, 0u);
   EXPECT_EQ(summary.infeasible, 0u);
   for (std::size_t i = 0; i < order.size(); ++i)
     EXPECT_EQ(order[i], i) << "rows must stream in grid order";
