@@ -237,12 +237,16 @@ void BM_ScenarioQualityWeighted(benchmark::State& state,
 // Weighted cells ride the same harness with a non-unit weighting: the
 // gr-mwvc ones prove Theorem 7's problem reaches n = 10^5 implicitly,
 // the mwvc one pins the CONGEST algorithm at the scale its simulation
-// still affords.
+// still affords.  congest_threads parallelizes the simulator's rounds
+// (Network::set_threads) — the quality counters are byte-identical for
+// any value, so the threaded cells pin the same trajectories while
+// their cpu_time tracks the parallel round engine's throughput.
 void BM_ScenarioQualityLarge(benchmark::State& state,
                              const std::string& scenario,
                              const std::string& algorithm,
                              pg::graph::VertexId n,
-                             const std::string& weighting) {
+                             const std::string& weighting,
+                             int congest_threads) {
   pg::scenario::SweepSpec spec;
   spec.scenarios = {scenario};
   spec.algorithms = {algorithm};
@@ -251,6 +255,7 @@ void BM_ScenarioQualityLarge(benchmark::State& state,
   spec.epsilons = {0.25};
   spec.weightings = {weighting};
   spec.seeds = {1};
+  spec.congest_threads = congest_threads;
   spec.exact_baseline_max_n = 26;  // far exceeded: greedy baselines
   pg::scenario::SweepResult result;
   for (auto _ : state) {
@@ -292,10 +297,15 @@ void register_quality_dashboard() {
     const char* algorithm;
     pg::graph::VertexId n;
     const char* weighting;  // "unit" cells keep their pre-weighting names
+    int congest_threads = 1;  // 1 cells keep their pre-threading names
   };
   // gr-mvc and gr-mwvc reach n = 10^5 directly (implicit G^2); the
-  // CONGEST mds cells stay at 2*10^4 and the CONGEST weighted mwvc cell
-  // at 3*10^3, where a full simulation is a few seconds on one core.
+  // parallel round engine now carries the full CONGEST simulations of
+  // mds and matching to n = 10^5 as well (the t4 cells below; the
+  // serial mds cells at 2*10^4 stay as the engine's 1-thread anchors).
+  // mwvc rises 3*10^3 -> 3*10^4: past that its phase-2 leader upcasts a
+  // G^2-sized subgraph (memory and rounds blow up together), which no
+  // amount of round parallelism fixes — that ceiling is algorithmic.
   const std::vector<LargeCell> large = {
       {"chung-lu", "gr-mvc", 100000, "unit"},
       {"ba", "gr-mvc", 100000, "unit"},
@@ -305,6 +315,9 @@ void register_quality_dashboard() {
       {"chung-lu", "gr-mwvc", 100000, "degree-proportional"},
       {"ba", "gr-mwvc", 100000, "zipf"},
       {"chung-lu", "mwvc", 3000, "degree-proportional"},
+      {"chung-lu", "mds", 100000, "unit", 4},
+      {"ba", "matching", 100000, "unit", 4},
+      {"chung-lu", "mwvc", 30000, "degree-proportional", 4},
   };
   for (const LargeCell& cell : large) {
     std::string name = "BM_ScenarioQualityLarge/" +
@@ -312,9 +325,11 @@ void register_quality_dashboard() {
                        "/" + std::to_string(cell.n);
     if (std::string(cell.weighting) != "unit")
       name += std::string("/") + cell.weighting;
+    if (cell.congest_threads != 1)
+      name += "/t" + std::to_string(cell.congest_threads);
     benchmark::RegisterBenchmark(name.c_str(), BM_ScenarioQualityLarge,
                                  cell.scenario, cell.algorithm, cell.n,
-                                 cell.weighting)
+                                 cell.weighting, cell.congest_threads)
         ->Unit(benchmark::kMillisecond);
   }
 }

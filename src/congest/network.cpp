@@ -21,6 +21,47 @@ void Network::reset(const graph::Graph& topology) {
   rebuild();
 }
 
+void Network::set_threads(int t) {
+  threads_requested_ = std::max(t, 1);
+  const int capped = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(threads_requested_),
+      std::max<std::size_t>(n(), 1)));
+  threads_ = std::min(capped, 64);
+  compute_bounds();
+  tallies_.resize(static_cast<std::size_t>(threads_));
+  for (detail::SendTally& tally : tallies_) tally.clear();
+  step_errors_.assign(static_cast<std::size_t>(threads_), nullptr);
+  // The pool is resized lazily by ensure_pool(): a stale pool is only
+  // dropped here if it is now the wrong size, so repeated rebinds with an
+  // unchanged thread count keep their parked helpers.
+  if (pool_ != nullptr && pool_->workers() != threads_) pool_.reset();
+}
+
+void Network::compute_bounds() {
+  const auto num_nodes = static_cast<NodeId>(n());
+  const std::size_t workers = static_cast<std::size_t>(threads_);
+  bounds_.assign(workers + 1, num_nodes);
+  bounds_[0] = 0;
+  if (workers <= 1) return;
+  // Contiguous ranges of roughly equal adjacency mass, exactly as in
+  // graph::detail::power_sparse_parallel: a handful of hubs must not
+  // serialize either phase of the round.
+  const std::size_t total = reverse_slot_.size();
+  for (std::size_t t = 1; t < workers; ++t) {
+    const auto want = static_cast<std::uint32_t>(t * total / workers);
+    bounds_[t] = static_cast<NodeId>(
+        std::lower_bound(first_slot_.begin(),
+                         first_slot_.begin() + num_nodes + 1, want) -
+        first_slot_.begin());
+    bounds_[t] = std::max(bounds_[t], bounds_[t - 1]);
+  }
+}
+
+void Network::ensure_pool() {
+  if (pool_ == nullptr || pool_->workers() != threads_)
+    pool_ = std::make_unique<util::WorkerPool>(threads_);
+}
+
 void Network::rebuild() {
   bandwidth_ =
       bandwidth_bits(static_cast<std::size_t>(graph_.num_vertices()));
@@ -63,12 +104,13 @@ void Network::rebuild() {
   // On a rebind, clear() keeps their capacity for the next lazy init.
   slot_round_.clear();
   slot_msg_.clear();
+  unicast_ready_.store(false, std::memory_order_release);
   unicast_round_.assign(n, -1);
   bcast_round_.assign(n, -1);
   bcast_msg_.resize(n);
-  inbox_offset_.assign(n + 1, 0);
+  inbox_count_.assign(n, 0);
   // The arena is sized for the worst case (every directed edge delivers) and
-  // written by index; entries beyond inbox_offset_[n] are stale and unread.
+  // written by index; entries past each node's count are stale and unread.
   inbox_arena_.resize(num_slots);
 
   stats_ = RoundStats{};
@@ -76,26 +118,91 @@ void Network::rebuild() {
   round_unicasts_ = 0;
   round_slots_.clear();
   round_bcasters_.clear();
+
+  // Re-clamp the worker count against the new n and re-partition; the
+  // parked pool survives whenever the effective count is unchanged.
+  set_threads(threads_requested_);
 }
 
 void Network::init_unicast_buffers() {
+  // Double-checked: any worker can issue the cell's first unicast.  The
+  // release store publishes the filled buffers to the acquire load in
+  // do_send_slot.
+  std::lock_guard<std::mutex> lock(unicast_init_mutex_);
+  if (unicast_ready_.load(std::memory_order_relaxed)) return;
   slot_round_.assign(reverse_slot_.size(), -1);
   slot_msg_.resize(reverse_slot_.size());
+  unicast_ready_.store(true, std::memory_order_release);
 }
 
 void Network::round(const std::function<void(NodeView&)>& step) {
   round<const std::function<void(NodeView&)>&>(step);
 }
 
+void Network::run_step_phase(const std::function<void(int)>& body) {
+  ensure_pool();
+  pool_->run([this, &body](int t) {
+    try {
+      body(t);
+    } catch (...) {
+      step_errors_[static_cast<std::size_t>(t)] = std::current_exception();
+    }
+  });
+  for (std::size_t t = 0; t < step_errors_.size(); ++t) {
+    if (step_errors_[t] == nullptr) continue;
+    // Worker ranges ascend and each worker visits its nodes in order, so
+    // the lowest failing worker holds the globally first failing node —
+    // the same node whose exception the serial loop would have surfaced
+    // (every earlier node ran clean in both engines).  Discard the
+    // aborted round's staged sends so the stats never tear.
+    const std::exception_ptr error = step_errors_[t];
+    for (std::exception_ptr& slot : step_errors_) slot = nullptr;
+    for (detail::SendTally& tally : tallies_) tally.clear();
+    std::rethrow_exception(error);
+  }
+}
+
+void Network::merge_and_deliver() {
+  // Fold the per-worker tallies in worker order.  Workers own contiguous
+  // ascending node ranges and visit them in order, so this concatenation
+  // reproduces the serial engine's send sequences exactly.
+  std::int64_t messages = 0;
+  std::int64_t bits = 0;
+  round_unicasts_ = 0;
+  if (threads_ == 1) {
+    detail::SendTally& tally = tallies_[0];
+    round_slots_.swap(tally.slots);  // O(1): both roles alternate buffers
+    round_bcasters_.swap(tally.bcasters);
+    round_unicasts_ = tally.unicasts;
+    messages = tally.messages;
+    bits = tally.bits;
+    tally.unicasts = tally.messages = tally.bits = 0;
+  } else {
+    for (detail::SendTally& tally : tallies_) {
+      round_slots_.insert(round_slots_.end(), tally.slots.begin(),
+                          tally.slots.end());
+      round_bcasters_.insert(round_bcasters_.end(), tally.bcasters.begin(),
+                             tally.bcasters.end());
+      round_unicasts_ += tally.unicasts;
+      messages += tally.messages;
+      bits += tally.bits;
+      tally.clear();
+    }
+  }
+  stats_.messages += messages;
+  stats_.total_bits += bits;
+  last_round_messages_ = messages;
+  deliver();
+}
+
 void Network::deliver() {
   const std::int64_t now = stats_.rounds;
   const NodeId* adj = graph_.adjacency_array().data();
   const std::size_t n = this->n();
-  Incoming* out = inbox_arena_.data();
-  std::uint32_t k = 0;
+  Incoming* arena = inbox_arena_.data();
   if (last_round_messages_ == 0) {
     // Quiet round (every quiescence loop's final round): nothing to sweep.
-    std::fill(inbox_offset_.begin(), inbox_offset_.end(), 0);
+    std::fill(inbox_count_.begin(), inbox_count_.end(), 0);
     ++stats_.rounds;
     return;
   }
@@ -107,6 +214,9 @@ void Network::deliver() {
     const auto u = static_cast<std::size_t>(b);
     candidates += first_slot_[u + 1] - first_slot_[u];
   }
+  // Each branch fills node v's inbox at the head of v's own slot range —
+  // disjoint regions per node, so the range-parallel sweeps below need no
+  // coordination and write the same bytes at any worker count.
   if (4 * candidates <= reverse_slot_.size()) {
     // Sparse round: materialize the slot set and sort it.  Ascending slot
     // order yields both receiver order and per-receiver sender order,
@@ -117,58 +227,102 @@ void Network::deliver() {
         round_slots_.push_back(reverse_slot_[e]);
     }
     std::sort(round_slots_.begin(), round_slots_.end());
-    std::size_t idx = 0;
-    for (std::size_t v = 0; v < n; ++v) {
-      const std::uint32_t begin = first_slot_[v];
-      const std::uint32_t end = first_slot_[v + 1];
-      while (idx < round_slots_.size() && round_slots_[idx] < end) {
-        const std::uint32_t e = round_slots_[idx++];
-        const NodeId u = adj[e];
-        out[k].from = u;
-        out[k].reply_slot = e - begin;
-        out[k].msg = bcast_round_[static_cast<std::size_t>(u)] == now
-                         ? bcast_msg_[static_cast<std::size_t>(u)]
-                         : slot_msg_[e];
-        ++k;
+    auto sweep = [&](NodeId lo, NodeId hi) {
+      auto it = std::lower_bound(round_slots_.begin(), round_slots_.end(),
+                                 first_slot_[static_cast<std::size_t>(lo)]);
+      std::size_t idx = static_cast<std::size_t>(it - round_slots_.begin());
+      for (auto v = static_cast<std::size_t>(lo);
+           v < static_cast<std::size_t>(hi); ++v) {
+        const std::uint32_t begin = first_slot_[v];
+        const std::uint32_t end = first_slot_[v + 1];
+        std::uint32_t k = 0;
+        while (idx < round_slots_.size() && round_slots_[idx] < end) {
+          const std::uint32_t e = round_slots_[idx++];
+          Incoming& in = arena[begin + k];
+          const NodeId u = adj[e];
+          in.from = u;
+          in.reply_slot = e - begin;
+          in.msg = bcast_round_[static_cast<std::size_t>(u)] == now
+                       ? bcast_msg_[static_cast<std::size_t>(u)]
+                       : slot_msg_[e];
+          ++k;
+        }
+        inbox_count_[v] = k;
       }
-      inbox_offset_[v + 1] = k;
+    };
+    if (threads_ == 1) {
+      sweep(0, static_cast<NodeId>(n));
+    } else {
+      ensure_pool();
+      pool_->run([this, &sweep](int t) {
+        sweep(bounds_[static_cast<std::size_t>(t)],
+              bounds_[static_cast<std::size_t>(t) + 1]);
+      });
     }
   } else if (round_unicasts_ == 0) {
     // Broadcast-heavy round (the common case): gather straight from the
     // per-sender buffers; the unicast slots were never touched.
-    for (std::size_t v = 0; v < n; ++v) {
-      const std::uint32_t begin = first_slot_[v];
-      const std::uint32_t end = first_slot_[v + 1];
-      for (std::uint32_t e = begin; e < end; ++e) {
-        const NodeId u = adj[e];
-        if (bcast_round_[static_cast<std::size_t>(u)] == now) {
-          out[k].from = u;
-          out[k].reply_slot = e - begin;
-          out[k].msg = bcast_msg_[static_cast<std::size_t>(u)];
-          ++k;
+    auto sweep = [&](NodeId lo, NodeId hi) {
+      for (auto v = static_cast<std::size_t>(lo);
+           v < static_cast<std::size_t>(hi); ++v) {
+        const std::uint32_t begin = first_slot_[v];
+        const std::uint32_t end = first_slot_[v + 1];
+        std::uint32_t k = 0;
+        for (std::uint32_t e = begin; e < end; ++e) {
+          const NodeId u = adj[e];
+          if (bcast_round_[static_cast<std::size_t>(u)] == now) {
+            Incoming& in = arena[begin + k];
+            in.from = u;
+            in.reply_slot = e - begin;
+            in.msg = bcast_msg_[static_cast<std::size_t>(u)];
+            ++k;
+          }
         }
+        inbox_count_[v] = k;
       }
-      inbox_offset_[v + 1] = k;
+    };
+    if (threads_ == 1) {
+      sweep(0, static_cast<NodeId>(n));
+    } else {
+      ensure_pool();
+      pool_->run([this, &sweep](int t) {
+        sweep(bounds_[static_cast<std::size_t>(t)],
+              bounds_[static_cast<std::size_t>(t) + 1]);
+      });
     }
   } else {
-    for (std::size_t v = 0; v < n; ++v) {
-      const std::uint32_t begin = first_slot_[v];
-      const std::uint32_t end = first_slot_[v + 1];
-      for (std::uint32_t e = begin; e < end; ++e) {
-        const NodeId u = adj[e];
-        const Message* m = nullptr;
-        if (bcast_round_[static_cast<std::size_t>(u)] == now)
-          m = &bcast_msg_[static_cast<std::size_t>(u)];
-        else if (slot_round_[e] == now)
-          m = &slot_msg_[e];
-        if (m != nullptr) {
-          out[k].from = u;
-          out[k].reply_slot = e - begin;
-          out[k].msg = *m;
-          ++k;
+    auto sweep = [&](NodeId lo, NodeId hi) {
+      for (auto v = static_cast<std::size_t>(lo);
+           v < static_cast<std::size_t>(hi); ++v) {
+        const std::uint32_t begin = first_slot_[v];
+        const std::uint32_t end = first_slot_[v + 1];
+        std::uint32_t k = 0;
+        for (std::uint32_t e = begin; e < end; ++e) {
+          const NodeId u = adj[e];
+          const Message* m = nullptr;
+          if (bcast_round_[static_cast<std::size_t>(u)] == now)
+            m = &bcast_msg_[static_cast<std::size_t>(u)];
+          else if (slot_round_[e] == now)
+            m = &slot_msg_[e];
+          if (m != nullptr) {
+            Incoming& in = arena[begin + k];
+            in.from = u;
+            in.reply_slot = e - begin;
+            in.msg = *m;
+            ++k;
+          }
         }
+        inbox_count_[v] = k;
       }
-      inbox_offset_[v + 1] = k;
+    };
+    if (threads_ == 1) {
+      sweep(0, static_cast<NodeId>(n));
+    } else {
+      ensure_pool();
+      pool_->run([this, &sweep](int t) {
+        sweep(bounds_[static_cast<std::size_t>(t)],
+              bounds_[static_cast<std::size_t>(t) + 1]);
+      });
     }
   }
   round_slots_.clear();
@@ -183,11 +337,13 @@ void Network::reset() {
   round_unicasts_ = 0;
   round_slots_.clear();
   round_bcasters_.clear();
+  for (detail::SendTally& tally : tallies_) tally.clear();
+  for (std::exception_ptr& error : step_errors_) error = nullptr;
   std::fill(slot_round_.begin(), slot_round_.end(), -1);
   std::fill(unicast_round_.begin(), unicast_round_.end(), -1);
   std::fill(bcast_round_.begin(), bcast_round_.end(), -1);
-  // Arena entries are stale-but-unread once the offsets are zeroed.
-  std::fill(inbox_offset_.begin(), inbox_offset_.end(), 0);
+  // Arena entries are stale-but-unread once the counts are zeroed.
+  std::fill(inbox_count_.begin(), inbox_count_.end(), 0);
 }
 
 }  // namespace pg::congest

@@ -26,20 +26,51 @@
 // sorted by sender id, ascending (the sweep walks the receiver's sorted
 // adjacency range).  Algorithms may rely on this; a regression test pins it.
 //
+// Parallel rounds.  `set_threads(w)` splits both phases of a round over w
+// workers on contiguous node ranges balanced by adjacency mass (the same
+// partitioning proven byte-identical in graph::detail::power_sparse_parallel).
+// The discipline checks need no synchronization: every mutable send stamp
+// (a directed edge's receiver-side slot, a sender's broadcast/unicast
+// stamp) has exactly one writing node, and nodes never migrate between
+// workers mid-round.  Sends are staged into per-worker tallies and merged
+// at the phase barrier in worker order — worker ranges ascend, so the
+// merged sequences (and therefore delivery, stats, and every inbox byte)
+// are identical to the serial engine's for any thread count.  The
+// determinism contract is: **identical topology + identical step logic =>
+// bit-identical inboxes, outputs, and RoundStats at every thread count**;
+// tests/congest_parallel_test.cpp pins it.
+//
+// Step callables must be safe to run concurrently for distinct nodes:
+// per-node state (indexed by NodeView::id()) needs no locking, but writes
+// to shared scalars or bit-packed containers (std::vector<bool>) from
+// inside a step are data races.  After a step callable throws, staged
+// round state is unspecified until the next reset()/reset(topology); the
+// first failing node in ascending id order is the one whose exception
+// propagates, matching the serial engine.
+//
+// The cancellation poll stays on the driver thread at the round boundary:
+// worker threads never observe the thread-local token, so a watchdog
+// expiry unwinds between rounds exactly as in the serial engine.
+//
 // Algorithms in src/core are written against this interface; their reported
 // complexity is the simulator's round counter, which includes every
 // primitive they invoke (leader election, BFS-tree building, pipelining).
 #pragma once
 
+#include <atomic>
 #include <concepts>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "congest/message.hpp"
 #include "graph/graph.hpp"
 #include "util/cancel.hpp"
+#include "util/parallel.hpp"
 
 namespace pg::congest {
 
@@ -64,6 +95,28 @@ struct RoundStats {
 
 class Network;
 
+namespace detail {
+
+/// A worker's staged sends for the round in flight.  Counters accumulate
+/// here instead of in shared Network::stats_ fields so the hot send path
+/// never touches a contended cache line; the merge at the phase barrier
+/// folds them into the canonical stats in worker order.
+struct alignas(64) SendTally {
+  std::vector<std::uint32_t> slots;  // receiver-side slots of unicasts
+  std::vector<NodeId> bcasters;      // nodes that broadcast
+  std::int64_t unicasts = 0;
+  std::int64_t messages = 0;
+  std::int64_t bits = 0;
+
+  void clear() {
+    slots.clear();
+    bcasters.clear();
+    unicasts = messages = bits = 0;
+  }
+};
+
+}  // namespace detail
+
 /// The per-node façade handed to step callables.
 class NodeView {
  public:
@@ -86,9 +139,11 @@ class NodeView {
 
  private:
   friend class Network;
-  NodeView(Network* net, NodeId id) : net_(net), id_(id) {}
+  NodeView(Network* net, NodeId id, detail::SendTally* tally)
+      : net_(net), id_(id), tally_(tally) {}
   Network* net_;
   NodeId id_;
+  detail::SendTally* tally_;
 };
 
 class Network {
@@ -102,23 +157,45 @@ class Network {
   int bandwidth() const { return bandwidth_; }
   const RoundStats& stats() const { return stats_; }
 
+  /// Requests `t` round workers (clamped to [1, min(n, 64)]).  Results are
+  /// byte-identical for every value; only wall clock changes.  Worker
+  /// threads are parked between rounds and survive reset()/reset(topology),
+  /// so pooled simulators keep their pool across rebinds.
+  void set_threads(int t);
+  /// The effective worker count (after clamping).
+  int threads() const { return threads_; }
+
   /// Executes one synchronous round.  `step(NodeView&)` is called for every
   /// node; messages sent become visible in inboxes next round.  The step
   /// callable is invoked directly (no type erasure), so lambdas inline.
+  /// With threads() > 1 the per-node calls run concurrently on contiguous
+  /// node ranges; see the parallel-rounds contract in the header comment.
   template <typename Step>
     requires std::invocable<Step&, NodeView&>
   void round(Step&& step) {
     // Cancellation point for the sweep runner's per-cell watchdog: an
     // over-budget CONGEST cell unwinds at its next round boundary (one
-    // pointer load + null check when no token is installed).
+    // pointer load + null check when no token is installed).  The poll
+    // stays on the driver thread — workers never see the token.
     pg::cancel::poll();
-    last_round_messages_ = 0;
-    const auto num_nodes = static_cast<NodeId>(n());
-    for (NodeId v = 0; v < num_nodes; ++v) {
-      NodeView view(this, v);
-      step(view);
+    if (threads_ == 1) {
+      const auto num_nodes = static_cast<NodeId>(n());
+      detail::SendTally& tally = tallies_[0];
+      for (NodeId v = 0; v < num_nodes; ++v) {
+        NodeView view(this, v, &tally);
+        step(view);
+      }
+    } else {
+      run_step_phase([this, &step](int t) {
+        detail::SendTally& tally = tallies_[static_cast<std::size_t>(t)];
+        const NodeId hi = bounds_[static_cast<std::size_t>(t) + 1];
+        for (NodeId v = bounds_[static_cast<std::size_t>(t)]; v < hi; ++v) {
+          NodeView view(this, v, &tally);
+          step(view);
+        }
+      });
     }
-    deliver();
+    merge_and_deliver();
   }
 
   /// Type-erased overload for ABI-stable callers (function pointers handed
@@ -149,8 +226,12 @@ class Network {
   /// `first_slot_[from] + local_slot`; the round stamp enforces the
   /// one-message-per-edge rule (against other unicasts via the slot stamp,
   /// against a broadcast of the same sender via its broadcast stamp).
-  void do_send_slot(NodeId from, std::size_t local_slot, const Message& m) {
-    if (slot_round_.empty()) init_unicast_buffers();
+  /// Thread-safe for distinct senders: the stamped slot is a bijective
+  /// image of the sender's directed edge, so no two nodes share one.
+  void do_send_slot(NodeId from, std::size_t local_slot, const Message& m,
+                    detail::SendTally& tally) {
+    if (!unicast_ready_.load(std::memory_order_acquire))
+      init_unicast_buffers();
     const auto v = static_cast<std::size_t>(from);
     const std::size_t e = first_slot_[v] + local_slot;
     const std::uint32_t dst = reverse_slot_[e];
@@ -163,17 +244,19 @@ class Network {
     slot_round_[dst] = now;
     slot_msg_[dst] = m;
     unicast_round_[v] = now;
-    round_slots_.push_back(dst);
-    ++round_unicasts_;
-    ++stats_.messages;
-    ++last_round_messages_;
-    stats_.total_bits += bits;
+    tally.slots.push_back(dst);
+    ++tally.unicasts;
+    ++tally.messages;
+    tally.bits += bits;
   }
 
   /// One store into the sender's broadcast buffer — O(1) regardless of
   /// degree; delivery fans the message out.  Collisions with unicasts the
-  /// sender already issued this round are rejected on the (rare) mixed path.
-  void do_broadcast(NodeId from, const Message& m) {
+  /// sender already issued this round are rejected on the (rare) mixed path
+  /// (those slots are written only by this sender, so the check is
+  /// race-free too).
+  void do_broadcast(NodeId from, const Message& m,
+                    detail::SendTally& tally) {
     const int bits = m.logical_bits();
     PG_REQUIRE(bits <= bandwidth_,
                "CONGEST: message exceeds O(log n) bandwidth");
@@ -192,23 +275,41 @@ class Network {
     }
     bcast_round_[v] = now;
     bcast_msg_[v] = m;
-    round_bcasters_.push_back(from);
+    tally.bcasters.push_back(from);
     const auto deg = static_cast<std::int64_t>(end - begin);
-    stats_.messages += deg;
-    last_round_messages_ += deg;
-    stats_.total_bits += bits * deg;
+    tally.messages += deg;
+    tally.bits += bits * deg;
   }
+
+  /// Runs `body(t)` for every worker t with exception capture; the first
+  /// failing worker's exception (= the first failing node in ascending id
+  /// order, since worker ranges ascend and each worker runs its nodes in
+  /// order) is rethrown after the join, matching serial semantics.
+  void run_step_phase(const std::function<void(int)>& body);
+
+  /// Folds the per-worker tallies into the canonical round lists/stats (in
+  /// worker order — byte-identical to the serial engine) and delivers.
+  void merge_and_deliver();
 
   /// Gathers this round's messages into the inbox arena and advances the
   /// round counter.  Output-sensitive: quiet rounds are O(n), rounds whose
   /// delivered-slot count is small relative to 2m gather via a sorted slot
-  /// list, and only message-heavy rounds pay the full O(m) sweep.  Defined
-  /// in network.cpp (shared by all instantiations).
+  /// list, and only message-heavy rounds pay the full O(m) sweep — split
+  /// over the same worker ranges as the step phase when threads() > 1.
+  /// Defined in network.cpp (shared by all instantiations).
   void deliver();
 
   /// Allocates the per-directed-edge unicast buffers on first use, so
   /// broadcast-only algorithms never pay their 2m-slot footprint.
+  /// Double-checked under a mutex: concurrent first unicasts are safe.
   void init_unicast_buffers();
+
+  /// Recomputes the adjacency-mass-balanced worker ranges for the current
+  /// (topology, threads) pair.
+  void compute_bounds();
+
+  /// Lazily (re)creates the parked worker pool at the current size.
+  void ensure_pool();
 
   /// (Re)derives every index and buffer from graph_ — the shared tail of
   /// construction and reset(topology).  Existing capacity is reused.
@@ -231,11 +332,14 @@ class Network {
   // current round are delivered.
   std::vector<std::int64_t> slot_round_;    // 2m entries (lazy)
   std::vector<Message> slot_msg_;           // 2m entries (lazy)
+  std::atomic<bool> unicast_ready_{false};  // acquire-gated lazy init
+  std::mutex unicast_init_mutex_;
   std::int64_t round_unicasts_ = 0;         // unicasts sent this round
   std::vector<std::int64_t> unicast_round_; // last round each node unicast
-  // This round's senders: receiver-side slots of every unicast, and the
-  // nodes that broadcast.  Together they bound the deliverable slot set, so
-  // sparse rounds gather in O(k log k + n) instead of sweeping 2m slots.
+  // This round's senders after the merge: receiver-side slots of every
+  // unicast, and the nodes that broadcast.  Together they bound the
+  // deliverable slot set, so sparse rounds gather in O(k log k + n)
+  // instead of sweeping 2m slots.
   std::vector<std::uint32_t> round_slots_;
   std::vector<NodeId> round_bcasters_;
 
@@ -243,10 +347,24 @@ class Network {
   std::vector<std::int64_t> bcast_round_;   // n entries
   std::vector<Message> bcast_msg_;          // n entries
 
-  // Flat inbox arena: node v's inbox is inbox_arena_[inbox_offset_[v] ..
-  // inbox_offset_[v+1]), sorted by sender id.
+  // Flat inbox arena: node v's inbox lives at the head of its adjacency
+  // slot range — inbox_arena_[first_slot_[v] .. first_slot_[v] +
+  // inbox_count_[v]), sorted by sender id.  Anchoring every inbox at its
+  // own slot range (instead of packing the arena) lets delivery workers
+  // write disjoint regions with no cross-worker offsets to agree on.
   std::vector<Incoming> inbox_arena_;
-  std::vector<std::uint32_t> inbox_offset_; // n+1 entries
+  std::vector<std::uint32_t> inbox_count_;  // n entries
+
+  // Parallel round machinery.  threads_ is the effective worker count
+  // (requested, clamped to [1, min(n, 64)]); bounds_ has threads_ + 1
+  // entries partitioning [0, n) by adjacency mass; tallies_ holds one
+  // staging buffer per worker; the pool parks threads_ - 1 helpers.
+  int threads_requested_ = 1;
+  int threads_ = 1;
+  std::vector<NodeId> bounds_;
+  std::vector<detail::SendTally> tallies_;
+  std::vector<std::exception_ptr> step_errors_;
+  std::unique_ptr<util::WorkerPool> pool_;
 };
 
 inline std::size_t NodeView::n() const { return net_->n(); }
@@ -259,28 +377,28 @@ inline std::span<const NodeId> NodeView::neighbors() const {
 
 inline std::span<const Incoming> NodeView::inbox() const {
   const auto v = static_cast<std::size_t>(id_);
-  return {net_->inbox_arena_.data() + net_->inbox_offset_[v],
-          net_->inbox_arena_.data() + net_->inbox_offset_[v + 1]};
+  const Incoming* base = net_->inbox_arena_.data() + net_->first_slot_[v];
+  return {base, base + net_->inbox_count_[v]};
 }
 
 inline void NodeView::send(NodeId neighbor, const Message& m) {
   const std::size_t slot = net_->graph_.neighbor_index(id_, neighbor);
   PG_REQUIRE(slot != graph::Graph::npos,
              "CONGEST: can only send to a direct neighbor");
-  net_->do_send_slot(id_, slot, m);
+  net_->do_send_slot(id_, slot, m, *tally_);
 }
 
 inline void NodeView::send_slot(std::size_t i, const Message& m) {
   PG_REQUIRE(i < degree(), "CONGEST: neighbor slot out of range");
-  net_->do_send_slot(id_, i, m);
+  net_->do_send_slot(id_, i, m, *tally_);
 }
 
 inline void NodeView::reply(const Incoming& in, const Message& m) {
-  net_->do_send_slot(id_, in.reply_slot, m);
+  net_->do_send_slot(id_, in.reply_slot, m, *tally_);
 }
 
 inline void NodeView::broadcast(const Message& m) {
-  net_->do_broadcast(id_, m);
+  net_->do_broadcast(id_, m, *tally_);
 }
 
 }  // namespace pg::congest

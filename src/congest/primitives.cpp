@@ -63,8 +63,11 @@ BfsTree build_bfs_tree(Network& net, NodeId root) {
   tree.children.resize(n);
   tree.depth[static_cast<std::size_t>(root)] = 0;
 
-  std::vector<bool> announce(n, false);
-  announce[static_cast<std::size_t>(root)] = true;
+  // char, not vector<bool>: nodes flip their own flag from inside the
+  // (possibly parallel) round, and vector<bool> packs neighbors into one
+  // shared word.
+  std::vector<char> announce(n, 0);
+  announce[static_cast<std::size_t>(root)] = 1;
   do {
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
@@ -82,13 +85,13 @@ BfsTree build_bfs_tree(Network& net, NodeId root) {
           tree.parent[me] = best->from;
           tree.depth[me] = static_cast<int>(best->msg.at(0)) + 1;
           node.reply(*best, Message{kBfsAdopt, {}});
-          announce[me] = true;
+          announce[me] = 1;
           return;  // announce own depth next round
         }
       }
-      if (announce[me]) {
+      if (announce[me] != 0) {
         node.broadcast(Message{kBfsJoin, {tree.depth[me]}});
-        announce[me] = false;
+        announce[me] = 0;
       }
     });
   } while (net.last_round_sent_messages());

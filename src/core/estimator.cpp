@@ -57,16 +57,24 @@ EstimateResult estimate_two_hop_counts(Network& net,
   const std::int64_t start_rounds = net.stats().rounds;
 
   std::vector<double> sum_of_mins(n, 0.0);
-  std::vector<bool> saw_member(n, false);
+  // Byte flags, not vector<bool>: written per-node from inside (possibly
+  // parallel) rounds, and vector<bool> packs 64 nodes per word.
+  std::vector<char> saw_member(n, 0);
   std::vector<std::int64_t> one_hop_min(n, 0);
+  std::vector<std::int64_t> my_draw(n, quant.infinity);
 
   for (int j = 0; j < samples; ++j) {
-    // Round 1: members broadcast a fresh exponential draw.
-    std::vector<std::int64_t> my_draw(n, quant.infinity);
+    // Round 1: members broadcast a fresh exponential draw.  The draws are
+    // hoisted out of the round: the serial engine consumed them in
+    // ascending node order inside the step and membership is fixed, so
+    // pre-drawing preserves the exact Rng byte stream while keeping the
+    // shared generator off the round workers.
+    for (std::size_t v = 0; v < n; ++v)
+      my_draw[v] = membership[v] ? quant.encode(rng.next_exponential())
+                                 : quant.infinity;
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       if (!membership[me]) return;
-      my_draw[me] = quant.encode(rng.next_exponential());
       node.broadcast(Message{kSample, {my_draw[me]}});
     });
     // Round 2: everyone broadcasts the 1-hop minimum (including itself).
@@ -87,7 +95,7 @@ EstimateResult estimate_two_hop_counts(Network& net,
       for (const Incoming& in : node.inbox())
         if (in.msg.kind == kOneHop) best = std::min(best, in.msg.at(0));
       if (best < quant.infinity) {
-        saw_member[me] = true;
+        saw_member[me] = 1;
         sum_of_mins[me] += quant.decode(best);
       }
     });
@@ -97,7 +105,7 @@ EstimateResult estimate_two_hop_counts(Network& net,
   result.samples = samples;
   result.estimate.assign(n, 0.0);
   for (std::size_t v = 0; v < n; ++v)
-    if (saw_member[v] && sum_of_mins[v] > 0)
+    if (saw_member[v] != 0 && sum_of_mins[v] > 0)
       result.estimate[v] = static_cast<double>(samples) / sum_of_mins[v];
   result.rounds_used = net.stats().rounds - start_rounds;
   return result;

@@ -31,7 +31,10 @@ MatchingCongestResult solve_maximal_matching_congest(Network& net) {
   MatchingCongestResult result;
   result.cover = VertexSet(g.num_vertices());
 
-  std::vector<bool> matched(n, false);
+  // Byte flags, not vector<bool>: nodes flip their own entry from inside
+  // the (possibly parallel) rounds, and vector<bool> packs 64 nodes per
+  // shared word.
+  std::vector<char> matched(n, 0);
   std::vector<NodeId> partner(n, -1);
   std::vector<std::map<NodeId, bool>> nbr_matched(n);
   std::vector<NodeId> proposed_to(n, -1);
@@ -43,13 +46,12 @@ MatchingCongestResult solve_maximal_matching_congest(Network& net) {
   while (any_proposal) {
     // Round A: absorb match announcements, then propose to the smallest
     // unmatched neighbor.
-    any_proposal = false;
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       for (const Incoming& in : node.inbox())
         if (in.msg.kind == kMatched) nbr_matched[me][in.from] = true;
       proposed_to[me] = -1;
-      if (matched[me]) return;
+      if (matched[me] != 0) return;
       const auto nbrs = node.neighbors();  // ids are sorted ascending
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
         if (!nbr_matched[me].count(nbrs[i])) {
@@ -58,23 +60,26 @@ MatchingCongestResult solve_maximal_matching_congest(Network& net) {
           break;
         }
       }
-      if (proposed_to[me] != -1) {
-        any_proposal = true;
+      if (proposed_to[me] != -1)
         node.send_slot(proposed_slot[me], Message{kPropose, {}});
-      }
     });
+    // Derived after the barrier instead of set from inside the step: many
+    // nodes writing one shared bool is a data race even when every write
+    // stores the same value.
+    any_proposal = std::any_of(proposed_to.begin(), proposed_to.end(),
+                               [](NodeId p) { return p != -1; });
     if (!any_proposal) break;
 
     // Round B: mutual proposals match; newly matched announce it.
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
-      if (matched[me]) return;
+      if (matched[me] != 0) return;
       bool mutual = false;
       for (const Incoming& in : node.inbox())
         if (in.msg.kind == kPropose && in.from == proposed_to[me])
           mutual = true;
       if (mutual) {
-        matched[me] = true;
+        matched[me] = 1;
         partner[me] = proposed_to[me];
         node.broadcast(Message{kMatched, {}});
       }
@@ -83,7 +88,7 @@ MatchingCongestResult solve_maximal_matching_congest(Network& net) {
   }
 
   for (std::size_t v = 0; v < n; ++v) {
-    if (!matched[v]) continue;
+    if (matched[v] == 0) continue;
     PG_CHECK(partner[static_cast<std::size_t>(partner[v])] ==
                  static_cast<NodeId>(v),
              "matching partners disagree");

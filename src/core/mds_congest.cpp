@@ -64,7 +64,9 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
       config.max_phases > 0 ? config.max_phases : 40 * (log_n + 1);
   const std::uint64_t r_range = static_cast<std::uint64_t>(n) * n * n * n;
 
-  std::vector<bool> covered(n, false);
+  // Byte flags, not vector<bool>: nodes write their own entry from inside
+  // (possibly parallel) rounds, and vector<bool> packs 64 nodes per word.
+  std::vector<char> covered(n, 0);
   std::vector<std::int64_t> rho(n, 0);
   std::vector<NodeId> vote_of(n, -1);
 
@@ -89,7 +91,7 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
 
   auto all_covered = [&]() {
     return std::all_of(covered.begin(), covered.end(),
-                       [](bool c) { return c; });
+                       [](char c) { return c != 0; });
   };
 
   while (!all_covered() && result.phases < max_phases) {
@@ -97,7 +99,7 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
 
     // --- step 1: estimate densities --------------------------------------
     std::vector<bool> uncovered(n);
-    for (std::size_t v = 0; v < n; ++v) uncovered[v] = !covered[v];
+    for (std::size_t v = 0; v < n; ++v) uncovered[v] = covered[v] == 0;
     const EstimateResult density =
         estimate_two_hop_counts(net, uncovered, rng, config.estimator_samples);
     for (std::size_t v = 0; v < n; ++v)
@@ -126,6 +128,14 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
 
     // --- step 3: voting ----------------------------------------------------
     std::vector<std::int64_t> draw(n, -1);
+    // Draws hoisted out of the round: the serial engine consumed them in
+    // ascending node order inside the step, so pre-drawing here preserves
+    // the exact byte stream while keeping the shared Rng off the round
+    // workers (candidacy is fixed before the round, so the draw set is
+    // identical).
+    for (std::size_t v = 0; v < n; ++v)
+      if (is_candidate[v])
+        draw[v] = static_cast<std::int64_t>(rng.next_below(r_range));
     // Candidate neighbors as (id, adjacency slot) so the per-sample vote
     // forwarding below sends in O(1) per candidate.
     std::vector<std::vector<std::pair<NodeId, std::uint32_t>>>
@@ -133,10 +143,7 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       candidate_neighbors[me].clear();
-      if (is_candidate[me]) {
-        draw[me] = static_cast<std::int64_t>(rng.next_below(r_range));
-        node.broadcast(Message{kCandDraw, {draw[me]}});
-      }
+      if (is_candidate[me]) node.broadcast(Message{kCandDraw, {draw[me]}});
     });
     // best (r, id) seen within 1 hop, then spread one more hop.
     std::vector<std::pair<std::int64_t, NodeId>> best1(
@@ -160,7 +167,7 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
         if (in.msg.kind == kMinCand)
           best = std::min(best, {in.msg.at(0),
                                  static_cast<NodeId>(in.msg.at(1))});
-      vote_of[me] = covered[me] ? -1 : best.second;
+      vote_of[me] = covered[me] != 0 ? -1 : best.second;
     });
 
     // --- step 4: estimate votes per candidate (3-round cadence) -----------
@@ -169,12 +176,15 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
     std::vector<std::int64_t> voter_draw(n, qinf);
     std::vector<std::map<NodeId, std::int64_t>> forward_min(n);
     for (int j = 0; j < samples; ++j) {
-      // r1: voters broadcast (candidate, draw).
+      // r1: voters broadcast (candidate, draw).  Same hoist as step 3:
+      // the voter set is fixed before the round, so drawing serially in
+      // node order reproduces the serial engine's Rng stream exactly.
+      for (std::size_t v = 0; v < n; ++v)
+        voter_draw[v] =
+            vote_of[v] == -1 ? qinf : qencode(rng.next_exponential());
       net.round([&](NodeView& node) {
         const auto me = static_cast<std::size_t>(node.id());
-        voter_draw[me] = qinf;
         if (vote_of[me] == -1) return;
-        voter_draw[me] = qencode(rng.next_exponential());
         node.broadcast(Message{kVoteW, {vote_of[me], voter_draw[me]}});
       });
       // r2: forwarders compute per-candidate minima; candidates absorb
@@ -223,6 +233,10 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
     }
 
     // --- step 5: join and flood coverage ----------------------------------
+    // Joins land in a per-node flag and fold into the (shared) result
+    // bitset between rounds: VertexSet::insert packs many nodes per word,
+    // so it cannot be written from concurrent steps.
+    std::vector<char> joined(n, 0);
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       if (!is_candidate[me]) return;
@@ -230,25 +244,27 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
                                ? static_cast<double>(samples) / vote_sum[me]
                                : 0.0;
       if (votes + 1e-12 >= density.estimate[me] / 8.0 && votes > 0) {
-        result.dominating_set.insert(node.id());
-        covered[me] = true;
+        joined[me] = 1;
+        covered[me] = 1;
         node.broadcast(Message{kJoined, {}});
       }
     });
+    for (std::size_t v = 0; v < n; ++v)
+      if (joined[v] != 0) result.dominating_set.insert(static_cast<VertexId>(v));
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       bool near = result.dominating_set.contains(node.id());
       for (const Incoming& in : node.inbox())
         if (in.msg.kind == kJoined) near = true;
       if (near) {
-        covered[me] = true;
+        covered[me] = 1;
         node.broadcast(Message{kCovered1, {}});
       }
     });
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       for (const Incoming& in : node.inbox())
-        if (in.msg.kind == kCovered1) covered[me] = true;
+        if (in.msg.kind == kCovered1) covered[me] = 1;
     });
   }
 
@@ -256,9 +272,9 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
     // Deterministic safety net: uncovered vertices dominate themselves.
     result.used_fallback = true;
     for (std::size_t v = 0; v < n; ++v)
-      if (!covered[v]) {
+      if (covered[v] == 0) {
         result.dominating_set.insert(static_cast<VertexId>(v));
-        covered[v] = true;
+        covered[v] = 1;
       }
   }
 

@@ -60,12 +60,24 @@ FEdge decode_f_edge(std::uint64_t n, std::uint64_t token) {
 /// Deterministic Phase I of Algorithm 1 (max-id-in-2-hops symmetry
 /// breaking).  Mutates in_r / result.cover; returns when no center with
 /// more than l remaining neighbors is left anywhere.
-void deterministic_phase1(Network& net, int l, std::vector<bool>& in_r,
+void deterministic_phase1(Network& net, int l, std::vector<char>& in_r,
                           MvcCongestResult& result) {
   const std::size_t n = net.n();
-  std::vector<bool> in_c(n, true);
-  std::vector<bool> is_candidate(n, false);
+  // Byte flags throughout (never vector<bool>): nodes write their own
+  // entry from inside possibly-parallel rounds, and vector<bool> packs 64
+  // nodes per word.  Cover joins land in a per-node flag and fold into the
+  // shared VertexSet between rounds for the same reason.
+  std::vector<char> in_c(n, 1);
+  std::vector<char> is_candidate(n, 0);
+  std::vector<char> joined(n, 0);
   std::vector<NodeId> max1(n, -1);
+  auto fold_joins = [&] {
+    for (std::size_t v = 0; v < n; ++v)
+      if (joined[v] != 0) {
+        result.cover.insert(static_cast<VertexId>(v));
+        joined[v] = 0;
+      }
+  };
 
   bool any_candidate = true;
   while (any_candidate) {
@@ -74,33 +86,35 @@ void deterministic_phase1(Network& net, int l, std::vector<bool>& in_r,
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       for (const Incoming& in : node.inbox()) {
-        if (in.msg.kind == kSelect && in_r[me]) {
-          in_r[me] = false;  // joined S
-          result.cover.insert(node.id());
+        if (in.msg.kind == kSelect && in_r[me] != 0) {
+          in_r[me] = 0;  // joined S
+          joined[me] = 1;
         }
       }
-      node.broadcast(Message{kStatus, {in_r[me] ? 1 : 0}});
+      node.broadcast(Message{kStatus, {in_r[me] != 0 ? 1 : 0}});
     });
+    fold_joins();
 
     // Round 2: count R-neighbors; candidates announce themselves.
-    any_candidate = false;
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       int count = 0;
       for (const Incoming& in : node.inbox())
         if (in.msg.kind == kStatus && in.msg.at(0) == 1) ++count;
-      is_candidate[me] = in_c[me] && count > l;
-      if (is_candidate[me]) {
-        any_candidate = true;
-        node.broadcast(Message{kCandidate, {0}});
-      }
+      is_candidate[me] = in_c[me] != 0 && count > l ? 1 : 0;
+      if (is_candidate[me] != 0) node.broadcast(Message{kCandidate, {0}});
     });
+    // Derived after the barrier instead of set from inside the step: many
+    // nodes writing one shared bool is a data race even when every write
+    // stores the same value.
+    any_candidate = std::any_of(is_candidate.begin(), is_candidate.end(),
+                                [](char c) { return c != 0; });
     if (!any_candidate) break;  // quiescence: no centers left anywhere
 
     // Round 3: spread the max candidate id one hop.
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
-      NodeId best = is_candidate[me] ? node.id() : -1;
+      NodeId best = is_candidate[me] != 0 ? node.id() : -1;
       for (const Incoming& in : node.inbox())
         if (in.msg.kind == kCandidate) best = std::max(best, in.from);
       max1[me] = best;
@@ -114,9 +128,9 @@ void deterministic_phase1(Network& net, int l, std::vector<bool>& in_r,
       for (const Incoming& in : node.inbox())
         if (in.msg.kind == kMaxCand)
           best = std::max(best, static_cast<NodeId>(in.msg.at(0)));
-      if (is_candidate[me] && best == node.id()) {
+      if (is_candidate[me] != 0 && best == node.id()) {
         // Selected: N(me) ∩ R joins the cover (learned next round 1).
-        in_c[me] = false;
+        in_c[me] = 0;
         node.broadcast(Message{kSelect, {}});
       }
     });
@@ -130,7 +144,7 @@ void deterministic_phase1(Network& net, int l, std::vector<bool>& in_r,
 /// neighborhoods.  O(log n) phases w.h.p.; a deterministic fallback caps
 /// the loop.
 void randomized_phase1(Network& net, double epsilon, Rng& rng,
-                       std::vector<bool>& in_r, MvcCongestResult& result) {
+                       std::vector<char>& in_r, MvcCongestResult& result) {
   const std::size_t n = net.n();
   const int threshold = static_cast<int>(std::ceil(8.0 / epsilon)) + 2;
   const std::uint64_t r_range = static_cast<std::uint64_t>(n) * n * n * n;
@@ -138,10 +152,20 @@ void randomized_phase1(Network& net, double epsilon, Rng& rng,
       200 *
       (static_cast<int>(std::ceil(std::log2(std::max<double>(n, 2)))) + 1);
 
-  std::vector<bool> in_c(n, true);
-  std::vector<bool> is_candidate(n, false);
+  // Byte flags, not vector<bool> — written per-node from inside the
+  // (possibly parallel) rounds.  Cover joins fold between rounds.
+  std::vector<char> in_c(n, 1);
+  std::vector<char> is_candidate(n, 0);
+  std::vector<char> joined(n, 0);
   std::vector<int> r_deg(n, 0);
   std::vector<std::int64_t> draw(n, 0);
+  auto fold_joins = [&] {
+    for (std::size_t v = 0; v < n; ++v)
+      if (joined[v] != 0) {
+        result.cover.insert(static_cast<VertexId>(v));
+        joined[v] = 0;
+      }
+  };
 
   bool any_candidate = true;
   int phases = 0;
@@ -150,37 +174,45 @@ void randomized_phase1(Network& net, double epsilon, Rng& rng,
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       for (const Incoming& in : node.inbox())
-        if (in.msg.kind == kSelect && in_r[me]) {
-          in_r[me] = false;
-          result.cover.insert(node.id());
+        if (in.msg.kind == kSelect && in_r[me] != 0) {
+          in_r[me] = 0;
+          joined[me] = 1;
         }
-      node.broadcast(Message{kStatus, {in_r[me] ? 1 : 0}});
+      node.broadcast(Message{kStatus, {in_r[me] != 0 ? 1 : 0}});
     });
+    fold_joins();
 
     // Round 2: update d_R; below-threshold centers retire; candidates
-    // draw and announce.
-    any_candidate = false;
+    // draw and announce.  Whether a center survives this round depends on
+    // the inbox, so the draw condition is not known before the round;
+    // instead every still-active center consumes one pre-round draw (a
+    // retiring center's draw simply goes unused).  The coin schedule is
+    // therefore a deterministic function of (seed, topology) alone —
+    // independent of the thread count and of the inter-node execution
+    // order the parallel engine no longer fixes.
+    for (std::size_t v = 0; v < n; ++v)
+      if (in_c[v] != 0)
+        draw[v] = static_cast<std::int64_t>(rng.next_below(r_range));
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       int count = 0;
       for (const Incoming& in : node.inbox())
         if (in.msg.kind == kStatus && in.msg.at(0) == 1) ++count;
       r_deg[me] = count;
-      if (in_c[me] && count <= threshold) in_c[me] = false;
+      if (in_c[me] != 0 && count <= threshold) in_c[me] = 0;
       is_candidate[me] = in_c[me];
-      if (is_candidate[me]) {
-        any_candidate = true;
-        draw[me] = static_cast<std::int64_t>(rng.next_below(r_range));
+      if (is_candidate[me] != 0)
         node.broadcast(Message{kCandidate, {draw[me]}});
-      }
     });
+    any_candidate = std::any_of(is_candidate.begin(), is_candidate.end(),
+                                [](char c) { return c != 0; });
     if (!any_candidate) break;
 
     // Round 3: R-vertices vote for the highest-draw candidate neighbor and
     // inform all their candidate neighbors (distinct per-edge messages).
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
-      if (!in_r[me]) return;
+      if (in_r[me] == 0) return;
       NodeId chosen = -1;
       std::int64_t chosen_draw = -1;
       std::vector<std::uint32_t> candidate_slots;
@@ -200,12 +232,12 @@ void randomized_phase1(Network& net, double epsilon, Rng& rng,
     // Round 4: winners take their whole remaining neighborhood.
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
-      if (!is_candidate[me]) return;
+      if (is_candidate[me] == 0) return;
       int votes = 0;
       for (const Incoming& in : node.inbox())
         if (in.msg.kind == kVote && in.msg.at(0) == node.id()) ++votes;
       if (8 * votes >= r_deg[me] && votes > 0) {
-        in_c[me] = false;
+        in_c[me] = 0;
         node.broadcast(Message{kSelect, {}});
       }
     });
@@ -222,23 +254,24 @@ void randomized_phase1(Network& net, double epsilon, Rng& rng,
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       for (const Incoming& in : node.inbox())
-        if (in.msg.kind == kSelect && in_r[me]) {
-          in_r[me] = false;
-          result.cover.insert(node.id());
+        if (in.msg.kind == kSelect && in_r[me] != 0) {
+          in_r[me] = 0;
+          joined[me] = 1;
         }
     });
+    fold_joins();
   }
 }
 
 /// Phase II of Algorithm 1: ship F to an elected leader over a BFS tree
 /// (Lemma 2), rebuild H = G^2[U] (Lemma 3), solve, broadcast R*.
-void run_phase2(Network& net, const std::vector<bool>& in_u,
+void run_phase2(Network& net, const std::vector<char>& in_u,
                 const MvcCongestConfig& config, MvcCongestResult& result) {
   const std::size_t n = net.n();
   std::vector<std::vector<std::uint64_t>> tokens(n);
   net.round([&](NodeView& node) {
     const auto me = static_cast<std::size_t>(node.id());
-    node.broadcast(Message{kUStatus, {in_u[me] ? 1 : 0}});
+    node.broadcast(Message{kUStatus, {in_u[me] != 0 ? 1 : 0}});
   });
   net.round([&](NodeView& node) {
     const auto me = static_cast<std::size_t>(node.id());
@@ -247,7 +280,7 @@ void run_phase2(Network& net, const std::vector<bool>& in_u,
       const bool nbr_in_u = in.msg.at(0) == 1;
       if (nbr_in_u)  // v is responsible for its edges into U (Lemma 2)
         tokens[me].push_back(
-            encode_f_edge(n, node.id(), in.from, in_u[me], nbr_in_u));
+            encode_f_edge(n, node.id(), in.from, in_u[me] != 0, nbr_in_u));
     }
   });
 
@@ -357,7 +390,7 @@ MvcCongestResult run_algorithm1(Network& net, const MvcCongestConfig& config,
   result.epsilon_inverse =
       static_cast<int>(std::ceil(1.0 / config.epsilon));
 
-  std::vector<bool> in_r(n, true);
+  std::vector<char> in_r(n, 1);
   phase1(net, in_r, result);
   result.phase1_rounds = net.stats().rounds;
   result.phase1_cover_size = result.cover.size();
@@ -374,7 +407,7 @@ MvcCongestResult solve_g2_mvc_congest(Network& net,
                                       const MvcCongestConfig& config) {
   return run_algorithm1(
       net, config,
-      [&](Network& inner, std::vector<bool>& in_r, MvcCongestResult& result) {
+      [&](Network& inner, std::vector<char>& in_r, MvcCongestResult& result) {
         deterministic_phase1(inner, result.epsilon_inverse, in_r, result);
       });
 }
@@ -389,7 +422,7 @@ MvcCongestResult solve_g2_mvc_congest_randomized(
     Network& net, Rng& rng, const MvcCongestConfig& config) {
   return run_algorithm1(
       net, config,
-      [&](Network& inner, std::vector<bool>& in_r, MvcCongestResult& result) {
+      [&](Network& inner, std::vector<char>& in_r, MvcCongestResult& result) {
         randomized_phase1(inner, config.epsilon, rng, in_r, result);
       });
 }

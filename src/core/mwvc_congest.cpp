@@ -62,11 +62,24 @@ MwvcCongestResult solve_g2_mwvc_congest(Network& net, const VertexWeights& w,
   result.cover = VertexSet(g.num_vertices());
   result.epsilon_inverse = l;
 
-  std::vector<bool> in_r(n, true);
+  // Byte flags, not vector<bool>: nodes write their own entry from inside
+  // the (possibly parallel) rounds, and vector<bool> packs 64 nodes per
+  // word.  Cover joins land in a per-node flag and fold into the shared
+  // VertexSet between rounds.
+  std::vector<char> in_r(n, 1);
+  std::vector<char> joined(n, 0);
+  auto fold_joins = [&] {
+    for (std::size_t v = 0; v < n; ++v)
+      if (joined[v] != 0) {
+        result.cover.insert(static_cast<VertexId>(v));
+        result.phase1_cover_weight += w[static_cast<VertexId>(v)];
+        joined[v] = 0;
+      }
+  };
   // Zero-weight vertices enter the cover for free.
   for (VertexId v = 0; v < g.num_vertices(); ++v)
     if (w[v] == 0) {
-      in_r[static_cast<std::size_t>(v)] = false;
+      in_r[static_cast<std::size_t>(v)] = 0;
       result.cover.insert(v);
     }
 
@@ -88,7 +101,7 @@ MwvcCongestResult solve_g2_mwvc_congest(Network& net, const VertexWeights& w,
     w_min[me] = lowest;  // 0 means "no positive-weight neighbor"
   });
 
-  std::vector<bool> is_candidate(n, false);
+  std::vector<char> is_candidate(n, 0);
   std::vector<int> chosen_class(n, -1);
   std::vector<NodeId> max1(n, -1);
   std::vector<std::map<NodeId, bool>> nbr_in_r(n);
@@ -99,27 +112,26 @@ MwvcCongestResult solve_g2_mwvc_congest(Network& net, const VertexWeights& w,
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       for (const Incoming& in : node.inbox()) {
-        if (in.msg.kind != kSelect || !in_r[me]) continue;
+        if (in.msg.kind != kSelect || in_r[me] == 0) continue;
         const int cls = static_cast<int>(in.msg.at(0));
         const Weight wmin = in.msg.at(1);
         const Weight low = wmin << cls;
         if (w[node.id()] >= low && w[node.id()] < low * 2) {
-          in_r[me] = false;
-          result.cover.insert(node.id());
-          result.phase1_cover_weight += w[node.id()];
+          in_r[me] = 0;
+          joined[me] = 1;
         }
       }
-      node.broadcast(Message{kStatus, {in_r[me] ? 1 : 0}});
+      node.broadcast(Message{kStatus, {in_r[me] != 0 ? 1 : 0}});
     });
+    fold_joins();
 
     // Round 2: evaluate the per-class center condition.
-    any_candidate = false;
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       for (const Incoming& in : node.inbox())
         if (in.msg.kind == kStatus) nbr_in_r[me][in.from] = in.msg.at(0) == 1;
 
-      is_candidate[me] = false;
+      is_candidate[me] = 0;
       chosen_class[me] = -1;
       if (w_min[me] > 0) {
         // Accumulate W_i and w*_i over active neighbors.
@@ -136,23 +148,25 @@ MwvcCongestResult solve_g2_mwvc_congest(Network& net, const VertexWeights& w,
         for (const auto& [i, sm] : stats) {
           const auto& [sum, mx] = sm;
           if (static_cast<Weight>(l + 1) * mx <= sum) {
-            is_candidate[me] = true;
+            is_candidate[me] = 1;
             chosen_class[me] = i;
             break;
           }
         }
       }
-      if (is_candidate[me]) {
-        any_candidate = true;
-        node.broadcast(Message{kCandidate, {}});
-      }
+      if (is_candidate[me] != 0) node.broadcast(Message{kCandidate, {}});
     });
+    // Derived after the barrier instead of set from inside the step: many
+    // nodes writing one shared bool is a data race even when every write
+    // stores the same value.
+    any_candidate = std::any_of(is_candidate.begin(), is_candidate.end(),
+                                [](char c) { return c != 0; });
     if (!any_candidate) break;
 
     // Round 3: 1-hop max candidate id.
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
-      NodeId best = is_candidate[me] ? node.id() : -1;
+      NodeId best = is_candidate[me] != 0 ? node.id() : -1;
       for (const Incoming& in : node.inbox())
         if (in.msg.kind == kCandidate) best = std::max(best, in.from);
       max1[me] = best;
@@ -166,7 +180,7 @@ MwvcCongestResult solve_g2_mwvc_congest(Network& net, const VertexWeights& w,
       for (const Incoming& in : node.inbox())
         if (in.msg.kind == kMaxCand)
           best = std::max(best, static_cast<NodeId>(in.msg.at(0)));
-      if (is_candidate[me] && best == node.id())
+      if (is_candidate[me] != 0 && best == node.id())
         node.broadcast(Message{
             kSelect, {chosen_class[me], w_min[me]}});
     });
@@ -175,7 +189,7 @@ MwvcCongestResult solve_g2_mwvc_congest(Network& net, const VertexWeights& w,
   result.phase1_rounds = net.stats().rounds;
 
   // ---------------------------------------------------------- Phase II ---
-  std::vector<bool> in_u(in_r);
+  std::vector<char> in_u(in_r);
   std::vector<std::vector<std::uint64_t>> tokens(n);
   // Weight tokens pack (v, w(v)) as v·base + w.  The base must cover the
   // *actual* maximum weight only — the old choice of n^4+1 (the cap, not
@@ -193,7 +207,7 @@ MwvcCongestResult solve_g2_mwvc_congest(Network& net, const VertexWeights& w,
              "n too large for the leader's edge-token encoding");
   net.round([&](NodeView& node) {
     const auto me = static_cast<std::size_t>(node.id());
-    node.broadcast(Message{kUStatus, {in_u[me] ? 1 : 0}});
+    node.broadcast(Message{kUStatus, {in_u[me] != 0 ? 1 : 0}});
   });
   net.round([&](NodeView& node) {
     const auto me = static_cast<std::size_t>(node.id());
@@ -203,10 +217,10 @@ MwvcCongestResult solve_g2_mwvc_congest(Network& net, const VertexWeights& w,
       const auto a = static_cast<std::uint64_t>(node.id());
       const auto b = static_cast<std::uint64_t>(in.from);
       const std::uint64_t packed =
-          ((((a * n + b) << 1) | (in_u[me] ? 1 : 0)) << 1) | 1u;
+          ((((a * n + b) << 1) | (in_u[me] != 0 ? 1 : 0)) << 1) | 1u;
       tokens[me].push_back((packed << 1) | 1u);  // low bit 1: edge token
     }
-    if (in_u[me]) {
+    if (in_u[me] != 0) {
       // Weight token: (v * base + w) with low bit 0.
       const std::uint64_t packed =
           static_cast<std::uint64_t>(node.id()) * weight_base +

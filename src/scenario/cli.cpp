@@ -119,6 +119,9 @@ void print_usage(std::ostream& out) {
          "      [--seed X]              lines \"u v\"); --epsilon/--weighting\n"
          "      [--weighting W]         require an algorithm that uses them\n"
          "      [--exact-max-n M]\n"
+         "      [--congest-threads T]   parallelize the CONGEST simulator's\n"
+         "                              rounds over T worker threads (output\n"
+         "                              is byte-identical for any T)\n"
          "  sweep --sizes N,...         run a (scenario x algorithm x n x r\n"
          "      [--scenarios a,b,...]   x epsilon x weighting x seed) grid;\n"
          "      [--algorithms a,b,...]  defaults to every scenario and\n"
@@ -129,6 +132,11 @@ void print_usage(std::ostream& out) {
          "                              zipf[s] take parameters)\n"
          "      [--threads K] [--csv FILE|-] [--json FILE|-] [--timing]\n"
          "      [--exact-max-n M]\n"
+         "      [--congest-threads T]   worker threads inside each CONGEST\n"
+         "                              simulator round; applies when\n"
+         "                              --threads is 1 (a multi-worker sweep\n"
+         "                              keeps simulators serial); rows are\n"
+         "                              byte-identical for any T\n"
          "      [--shard I/K]           run only shard I of K (whole\n"
          "                              topology groups, dealt round-robin);\n"
          "                              rows carry global cell indices so\n"
@@ -235,6 +243,7 @@ int cmd_run(const std::vector<std::string>& args, std::istream& in,
   std::optional<std::string> scenario_name;
   std::optional<graph::VertexId> n;
   graph::VertexId exact_max_n = SweepSpec{}.exact_baseline_max_n;
+  int congest_threads = 1;
 
   bool epsilon_given = false;
   bool weighting_given = false;
@@ -264,6 +273,11 @@ int cmd_run(const std::vector<std::string>& args, std::istream& in,
     } else if (flag == "--exact-max-n") {
       exact_max_n =
           static_cast<graph::VertexId>(parse_int(take_value(args, i), "exact-max-n"));
+    } else if (flag == "--congest-threads") {
+      const long long t = parse_int(take_value(args, i), "congest-threads");
+      if (t < 1 || t > 1024)
+        throw UsageError("--congest-threads must lie in [1, 1024]");
+      congest_threads = static_cast<int>(t);
     } else {
       throw UsageError("unknown flag '" + flag + "' for run");
     }
@@ -295,7 +309,7 @@ int cmd_run(const std::vector<std::string>& args, std::istream& in,
     if (!n) throw UsageError("--scenario requires --n");
     cell.scenario = scenario.name;
     cell.n = *n;
-    result = run_cell(cell, exact_max_n);
+    result = run_cell(cell, exact_max_n, congest_threads);
   } else {
     if (n) throw UsageError("--n requires --scenario");
     try {
@@ -305,7 +319,7 @@ int cmd_run(const std::vector<std::string>& args, std::istream& in,
       return 2;
     }
     cell.n = base.num_vertices();
-    result = run_cell_on(base, cell, exact_max_n);
+    result = run_cell_on(base, cell, exact_max_n, congest_threads);
   }
 
   if (result.status != CellStatus::kOk) {
@@ -436,6 +450,13 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
         throw UsageError("threads must be in [1, 1024] (got " +
                          std::to_string(t) + ")");
       spec.threads = static_cast<int>(t);
+    } else if (flag == "--congest-threads") {
+      const std::int64_t t =
+          parse_int(take_value(args, i), "congest-threads");
+      if (t < 1 || t > 1024)
+        throw UsageError("congest-threads must be in [1, 1024] (got " +
+                         std::to_string(t) + ")");
+      spec.congest_threads = static_cast<int>(t);
     } else if (flag == "--exact-max-n") {
       spec.exact_baseline_max_n = static_cast<graph::VertexId>(
           parse_int(take_value(args, i), "exact-max-n"));

@@ -246,8 +246,15 @@ class GroupContext {
   /// of a multi-threaded sweep pass 1 so the per-group materializations
   /// do not oversubscribe the machine the sweep is already saturating;
   /// single-cell callers pass 0 (auto).
-  GroupContext(Graph base, NetworkPool* pool, int power_threads = 0)
-      : base_(std::move(base)), pool_(pool), power_threads_(power_threads) {}
+  /// `congest_threads` is applied to every simulator this group hands
+  /// out (Network::set_threads) — a speed knob only, results are
+  /// byte-identical for any value.
+  GroupContext(Graph base, NetworkPool* pool, int power_threads = 0,
+               int congest_threads = 1)
+      : base_(std::move(base)),
+        pool_(pool),
+        power_threads_(power_threads),
+        congest_threads_(congest_threads) {}
 
   ~GroupContext() {
     if (pool_ == nullptr) return;
@@ -305,6 +312,9 @@ class GroupContext {
       std::unique_ptr<congest::Network> net =
           pool_ != nullptr ? pool_->acquire(topology)
                            : std::make_unique<congest::Network>(topology);
+      // Unconditionally, not just for fresh simulators: a pooled one
+      // remembers the thread count of whichever group released it.
+      net->set_threads(congest_threads_);
       it = nets_.emplace(k, std::move(net)).first;
     }
     return *it->second;
@@ -436,6 +446,7 @@ class GroupContext {
   Graph base_;
   NetworkPool* pool_;
   int power_threads_;
+  int congest_threads_;
   std::map<int, Graph> powers_;
   std::map<int, std::size_t> edge_counts_;
   std::map<int, std::unique_ptr<congest::Network>> nets_;
@@ -635,8 +646,9 @@ void stamp_group(const SweepSpec& spec, std::size_t g,
 /// cells.size() rows to the reorder ring.
 void run_group(const std::vector<CellSpec>& cells,
                std::size_t first_global_index, VertexId exact_baseline_max_n,
-               NetworkPool* pool, int power_threads, bool keep_solutions,
-               const GroupEnv& env, CellResult* results) {
+               NetworkPool* pool, int power_threads, int congest_threads,
+               bool keep_solutions, const GroupEnv& env,
+               CellResult* results) {
   const CellSpec& head = cells.front();
   const auto build_started = std::chrono::steady_clock::now();
   // Generator (topology build) failures become cell-local failed rows:
@@ -656,7 +668,7 @@ void run_group(const std::vector<CellSpec>& cells,
                                std::to_string(env.group_index));
     const Scenario& scenario = scenario_or_throw(head.scenario);
     GroupContext context(scenario.build(head.n, head.seed), pool,
-                         power_threads);
+                         power_threads, congest_threads);
     for (std::size_t i = 0; i < cells.size(); ++i) {
       CellResult& out = results[i];
       execute_cell(cells[i], context, exact_baseline_max_n,
@@ -692,7 +704,7 @@ std::string describe_child_exit(int status) {
 /// unavailable so the caller can degrade to in-process execution.
 bool run_group_isolated(const std::vector<CellSpec>& cells,
                         std::size_t first_global_index,
-                        VertexId exact_baseline_max_n,
+                        VertexId exact_baseline_max_n, int congest_threads,
                         const ExecOptions& opts, const FaultPlan* faults,
                         std::uint64_t group_index, CellResult* results) {
   const int attempts = 1 + std::max(0, opts.retries);
@@ -740,8 +752,12 @@ bool run_group_isolated(const std::vector<CellSpec>& cells,
           }
         };
         std::vector<CellResult> rows(cells.size());
+        // The child builds its own simulators (and therefore its own
+        // worker pools — WorkerPool is not fork-safe, and none existed
+        // pre-fork anyway because the parent never touches a Network in
+        // isolate mode).
         run_group(cells, first_global_index, exact_baseline_max_n,
-                  /*pool=*/nullptr, /*power_threads=*/1,
+                  /*pool=*/nullptr, /*power_threads=*/1, congest_threads,
                   /*keep_solutions=*/false, env, rows.data());
       }
       ::_exit(0);
@@ -818,6 +834,8 @@ void validate_spec(const SweepSpec& spec) {
   PG_REQUIRE(!spec.weightings.empty(), "sweep needs at least one weighting");
   PG_REQUIRE(!spec.seeds.empty(), "sweep needs at least one seed");
   PG_REQUIRE(spec.threads >= 1, "thread count must be >= 1");
+  PG_REQUIRE(spec.congest_threads >= 1,
+             "congest thread count must be >= 1");
   PG_REQUIRE(spec.shard_count >= 1, "shard count must be >= 1");
   PG_REQUIRE(spec.shard_index >= 1 && spec.shard_index <= spec.shard_count,
              "shard index must lie in [1, shard count]");
@@ -865,19 +883,21 @@ std::vector<std::size_t> shard_cell_indices(const SweepSpec& spec) {
   return out;
 }
 
-CellResult run_cell(const CellSpec& cell, VertexId exact_baseline_max_n) {
+CellResult run_cell(const CellSpec& cell, VertexId exact_baseline_max_n,
+                    int congest_threads) {
   std::vector<CellResult> results(1);
   const std::vector<CellSpec> cells = {cell};
   run_group(cells, 0, exact_baseline_max_n, /*pool=*/nullptr,
-            /*power_threads=*/0, /*keep_solutions=*/true, GroupEnv{},
-            results.data());
+            /*power_threads=*/0, congest_threads, /*keep_solutions=*/true,
+            GroupEnv{}, results.data());
   return std::move(results[0]);
 }
 
 CellResult run_cell_on(const Graph& base, const CellSpec& cell,
-                       VertexId exact_baseline_max_n) {
+                       VertexId exact_baseline_max_n, int congest_threads) {
   CellResult result;
-  GroupContext context(base, /*pool=*/nullptr);
+  GroupContext context(base, /*pool=*/nullptr, /*power_threads=*/0,
+                       congest_threads);
   execute_cell(cell, context, exact_baseline_max_n, /*cell_index=*/0,
                GroupEnv{}, result);
   return result;
@@ -1058,11 +1078,15 @@ SweepSummary run_sweep_stream(const SweepSpec& spec, const RowSink& sink,
     stamp_group(spec, g, group);
     std::vector<CellResult> rows(per_group);
     bool done = false;
+    // Same budgeting rule as power_threads: a multi-worker sweep is
+    // already machine-saturating, so each simulator stays serial; the
+    // knob bites in the threads == 1 regime (one huge CONGEST cell).
+    const int congest_threads = workers > 1 ? 1 : spec.congest_threads;
 #if PG_HAS_FORK_ISOLATION
     if (opts.isolate)
       done = run_group_isolated(group, g * per_group,
-                                spec.exact_baseline_max_n, opts, faults, g,
-                                rows.data());
+                                spec.exact_baseline_max_n, congest_threads,
+                                opts, faults, g, rows.data());
 #endif
     if (!done) {
       GroupEnv env;
@@ -1072,8 +1096,8 @@ SweepSummary run_sweep_stream(const SweepSpec& spec, const RowSink& sink,
       env.worker = worker_id;
       env.group_index = g;
       run_group(group, g * per_group, spec.exact_baseline_max_n, &pool,
-                workers > 1 ? 1 : 0, /*keep_solutions=*/false, env,
-                rows.data());
+                workers > 1 ? 1 : 0, congest_threads,
+                /*keep_solutions=*/false, env, rows.data());
     }
     finish_group(rank, std::move(rows));
   };

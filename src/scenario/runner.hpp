@@ -53,6 +53,15 @@ struct SweepSpec {
   std::vector<std::string> weightings = {"unit"};
   std::vector<std::uint64_t> seeds = {1};
   int threads = 1;
+  // Worker threads *inside* each CONGEST simulator round
+  // (Network::set_threads).  Purely a speed knob: every row is
+  // byte-identical for any value, and the value never enters the spec
+  // fingerprint — a 4-thread shard merges cleanly against a 1-thread one.
+  // Budgeted against the sweep's own pool: with threads > 1 each worker
+  // runs its simulators single-threaded (the grid dimension is already
+  // saturating the machine), so the knob takes effect when threads == 1 —
+  // the one-big-cell regime it exists for.
+  int congest_threads = 1;
   // Cells with n <= this get an exact optimum as baseline; larger cells a
   // greedy/2-approx one.  <= 0 disables baselines entirely.
   graph::VertexId exact_baseline_max_n = 26;
@@ -217,18 +226,22 @@ std::size_t count_grid_cells(const SweepSpec& spec);
 std::vector<std::size_t> shard_cell_indices(const SweepSpec& spec);
 
 /// Validates spec values (positive sizes, r >= 1, epsilon in (0, 1],
-/// threads >= 1, 1 <= shard_index <= shard_count, no empty dimension);
-/// throws PreconditionViolation.
+/// threads >= 1, congest_threads >= 1, 1 <= shard_index <= shard_count,
+/// no empty dimension); throws PreconditionViolation.
 void validate_spec(const SweepSpec& spec);
 
 /// Runs one cell in isolation (builds the topology itself).  Exceptions
 /// from the scenario or algorithm are captured as status kFailed.
-CellResult run_cell(const CellSpec& cell, graph::VertexId exact_baseline_max_n);
+/// `congest_threads` parallelizes the simulator's rounds (results are
+/// byte-identical for any value).
+CellResult run_cell(const CellSpec& cell, graph::VertexId exact_baseline_max_n,
+                    int congest_threads = 1);
 
 /// Runs one cell on a caller-supplied base graph instead of a registered
 /// scenario (cell.scenario is recorded verbatim, e.g. "stdin").
 CellResult run_cell_on(const graph::Graph& base, const CellSpec& cell,
-                       graph::VertexId exact_baseline_max_n);
+                       graph::VertexId exact_baseline_max_n,
+                       int congest_threads = 1);
 
 /// Runs this shard of the grid on `spec.threads` workers, streaming each
 /// finished row to `sink` in ascending cell_index order (a reorder buffer

@@ -1,0 +1,60 @@
+#include "util/parallel.hpp"
+
+namespace pg::util {
+
+WorkerPool::WorkerPool(int workers) {
+  PG_REQUIRE(workers >= 1, "WorkerPool needs at least one worker");
+  helpers_.reserve(static_cast<std::size_t>(workers - 1));
+  for (int t = 1; t < workers; ++t)
+    helpers_.emplace_back(&WorkerPool::helper_main, this, t);
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_.notify_all();
+  for (std::thread& helper : helpers_) helper.join();
+}
+
+void WorkerPool::run(const std::function<void(int)>& fn) {
+  if (helpers_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    outstanding_ = static_cast<int>(helpers_.size());
+    ++generation_;
+  }
+  start_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::helper_main(int index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_.wait(lock,
+                  [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --outstanding_;
+    }
+    done_.notify_one();
+  }
+}
+
+}  // namespace pg::util

@@ -1,0 +1,64 @@
+// A small persistent worker pool for round-structured parallelism.
+//
+// The CONGEST simulator dispatches two short parallel regions per round
+// (the per-node step phase and the delivery sweep); spawning threads per
+// region would dominate rounds that take microseconds.  WorkerPool keeps
+// its helper threads parked on a condition variable between regions, so a
+// dispatch is one notify_all and a join is one counter wait — the same
+// shape as Katana's ThreadPool/Barrier pair, reduced to the one fork-join
+// primitive this codebase needs.
+//
+// `run(fn)` executes fn(t) for every worker index t in [0, workers):
+// index 0 runs on the calling thread, indices 1..workers-1 on the parked
+// helpers.  `run` returns only after every invocation has finished, so
+// callers may treat it as a barrier.  The callable must not throw —
+// callers that can fail capture their own std::exception_ptr per worker
+// (the simulator does) and rethrow after the join.
+//
+// The pool is not fork-safe: a forked child must construct its own pool
+// (the sweep runner's isolate mode builds fresh simulators in the child,
+// so this falls out naturally).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pg::util {
+
+class WorkerPool {
+ public:
+  /// Spawns `workers - 1` helper threads (worker 0 is the caller of run).
+  explicit WorkerPool(int workers);
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  ~WorkerPool();
+
+  int workers() const { return static_cast<int>(helpers_.size()) + 1; }
+
+  /// Runs fn(0) on the calling thread and fn(t) on helper t for
+  /// t = 1..workers-1, concurrently; returns after all invocations
+  /// complete.  fn must not throw.
+  void run(const std::function<void(int)>& fn);
+
+ private:
+  void helper_main(int index);
+
+  std::mutex mutex_;
+  std::condition_variable start_;
+  std::condition_variable done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int outstanding_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> helpers_;
+};
+
+}  // namespace pg::util

@@ -393,6 +393,78 @@ TEST(Watchdog, StallCellTimesOutWithinTwiceBudgetWhileOthersComplete) {
   }
 }
 
+TEST(Watchdog, StallTimesOutUnderParallelCongestRoundsAndNetworksRecycle) {
+  // Satellite regression for the parallel round engine: a watchdog expiry
+  // with congest_threads = 4 must yield exactly one status=timeout row
+  // while the CONGEST cells around it — which run their rounds on 4
+  // simulator workers and unwind only at round boundaries — stay ok, and
+  // the worker's recycled Network (same pool, next topology group) must
+  // come back healthy.  Two seeds force the recycle: group 2 reuses the
+  // simulator group 1 released.
+  SweepSpec spec;
+  spec.scenarios = {"ba"};
+  spec.algorithms = {"mvc", "faulty-stall"};
+  spec.sizes = {16};
+  spec.seeds = {1, 2};
+  spec.threads = 1;  // congest_threads applies in the single-worker regime
+  spec.congest_threads = 4;
+
+  ExecOptions opts;
+  opts.cell_timeout_ms = 0.0;
+  opts.budget_ms = [](const CellSpec& cell) {
+    return cell.algorithm == "faulty-stall" ? 150.0 : 0.0;
+  };
+  const SweepRun run = sweep_csv(spec, opts);
+
+  ASSERT_EQ(run.rows.size(), 4u);
+  EXPECT_EQ(run.summary.ok, 2u);
+  EXPECT_EQ(run.summary.timeout, 1u + 1u);  // one per group's stall cell
+  EXPECT_EQ(run.summary.failed, 0u);
+  std::size_t timeouts_per_group[2] = {0, 0};
+  for (const CellResult& row : run.rows) {
+    if (row.spec.algorithm == "faulty-stall") {
+      EXPECT_EQ(row.status, CellStatus::kTimeout);
+      ++timeouts_per_group[row.spec.seed - 1];
+    } else {
+      EXPECT_EQ(row.status, CellStatus::kOk) << row.error;
+      EXPECT_TRUE(row.feasible);
+    }
+  }
+  EXPECT_EQ(timeouts_per_group[0], 1u);  // exactly one timeout row each
+  EXPECT_EQ(timeouts_per_group[1], 1u);
+
+  // Byte-identity: the same sweep at 1 simulator thread produces the
+  // identical report (congest_threads never enters spec fingerprint,
+  // rows, or row order).
+  SweepSpec serial = spec;
+  serial.congest_threads = 1;
+  ExecOptions no_watch;  // wall-clock rows differ under a watchdog;
+  no_watch.budget_ms = opts.budget_ms;
+  const SweepRun again = sweep_csv(serial, no_watch);
+  ASSERT_EQ(again.rows.size(), run.rows.size());
+  for (std::size_t i = 0; i < run.rows.size(); ++i) {
+    EXPECT_EQ(again.rows[i].status, run.rows[i].status);
+    EXPECT_EQ(again.rows[i].solution_size, run.rows[i].solution_size);
+    EXPECT_EQ(again.rows[i].rounds, run.rows[i].rounds);
+    EXPECT_EQ(again.rows[i].messages, run.rows[i].messages);
+  }
+}
+
+TEST(Watchdog, SweepBytesIdenticalAcrossCongestThreadCounts) {
+  // The full-report guarantee behind CI's shard-smoke: --congest-threads
+  // is invisible in the emitted CSV, byte for byte.
+  SweepSpec spec = base_spec(1);
+  const SweepRun baseline = sweep_csv(spec);
+  for (const int congest_threads : {2, 4, 8}) {
+    SweepSpec parallel = spec;
+    parallel.congest_threads = congest_threads;
+    const SweepRun run = sweep_csv(parallel);
+    EXPECT_EQ(run.csv, baseline.csv)
+        << "congest_threads=" << congest_threads;
+    EXPECT_EQ(run.summary.ok, baseline.summary.ok);
+  }
+}
+
 TEST(Watchdog, PerCellBudgetOverrideTargetsOneAlgorithm) {
   SweepSpec spec;
   spec.scenarios = {"ba"};
