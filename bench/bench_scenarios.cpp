@@ -9,6 +9,10 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -20,6 +24,46 @@
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
 #include "util/rng.hpp"
+#include "util/rss.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation audit: this binary replaces the global operator new so the
+// large quality cells can report how many heap allocations one sweep cell
+// performs (the memory-diet work trades per-round churn for pooled
+// arenas; `alloc` regressions catch that churn creeping back).  Counting
+// is two relaxed atomic adds per allocation — noise on cells that run
+// for milliseconds.  new[] needs no override: its default definition
+// forwards to this operator new.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, std::max(static_cast<std::size_t>(align),
+                                  sizeof(void*)),
+                     size ? size : 1) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -258,10 +302,29 @@ void BM_ScenarioQualityLarge(benchmark::State& state,
   spec.congest_threads = congest_threads;
   spec.exact_baseline_max_n = 26;  // far exceeded: greedy baselines
   pg::scenario::SweepResult result;
+  pg::util::reset_peak_rss();
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const std::uint64_t bytes_before =
+      g_alloc_bytes.load(std::memory_order_relaxed);
   for (auto _ : state) {
     result = pg::scenario::run_sweep(spec);
     benchmark::DoNotOptimize(result);
   }
+  // Each spec is a single cell, so per-iteration deltas are per-cell
+  // numbers; the soft gate in check_quality_regression.py warns when
+  // `alloc` grows >25% against the committed baseline.
+  const auto iters = static_cast<double>(std::max<std::int64_t>(
+      state.iterations(), 1));
+  state.counters["alloc"] =
+      static_cast<double>(g_alloc_count.load(std::memory_order_relaxed) -
+                          allocs_before) /
+      iters;
+  state.counters["alloc_mb"] =
+      static_cast<double>(g_alloc_bytes.load(std::memory_order_relaxed) -
+                          bytes_before) /
+      iters / (1024.0 * 1024.0);
+  state.counters["peak_rss_mb"] = pg::util::peak_rss_mb();
   export_quality_counters(state, result);
 }
 

@@ -15,6 +15,11 @@ Counters gated (higher is worse for all of them):
   * infeasible_or_error   — must never grow at all
   * cells_failed          — non-ok rows (failed/timeout); must never grow
 
+Soft-gated counters (warn, never fail — they track the memory diet and
+are hardware/allocator-sensitive, so they inform rather than gate):
+  * alloc                 — heap allocations per cell; warn above +25%
+  * peak_rss_mb           — process peak RSS after the cell; warn above +25%
+
 Usage:
   bench/check_quality_regression.py BASELINE.json FRESH.json [--tolerance 0.05]
 
@@ -35,6 +40,9 @@ GATED_PREFIX = "BM_ScenarioQuality"
 RATIO_COUNTERS = ("median_ratio", "median_ratio_weight")
 # Counters where any absolute increase fails the gate.
 STRICT_COUNTERS = ("infeasible_or_error", "cells_failed")
+# Memory-diet counters: warn (never fail) above this relative growth.
+SOFT_COUNTERS = ("alloc", "peak_rss_mb")
+SOFT_TOLERANCE = 0.25
 
 
 def load_quality_counters(path):
@@ -50,7 +58,7 @@ def load_quality_counters(path):
             continue  # skip aggregate rows of repeated runs
         counters = {
             key: bench[key]
-            for key in (*RATIO_COUNTERS, *STRICT_COUNTERS)
+            for key in (*RATIO_COUNTERS, *STRICT_COUNTERS, *SOFT_COUNTERS)
             if key in bench and isinstance(bench[key], (int, float))
         }
         if counters:
@@ -82,9 +90,20 @@ def main():
         return 1
 
     regressions = []
+    warnings = []
     compared = 0
     for name in shared:
         base, new = baseline[name], fresh[name]
+        for counter in SOFT_COUNTERS:
+            if counter not in base or counter not in new:
+                continue
+            allowed = base[counter] * (1.0 + SOFT_TOLERANCE) + 1e-9
+            if new[counter] > allowed:
+                warnings.append(
+                    f"{name}: {counter} {base[counter]:.1f} -> "
+                    f"{new[counter]:.1f} (+{SOFT_TOLERANCE:.0%} allowance "
+                    f"is {allowed:.1f})"
+                )
         for counter in RATIO_COUNTERS:
             if counter not in base or counter not in new:
                 continue
@@ -116,6 +135,11 @@ def main():
         print(f"  (not in fresh run: {len(only_base)} — filtered?)")
     if only_fresh:
         print(f"  (new in fresh run: {len(only_fresh)} — re-pin soon)")
+    if warnings:
+        print("quality gate MEMORY WARNINGS (soft — not failing):",
+              file=sys.stderr)
+        for line in warnings:
+            print(f"  {line}", file=sys.stderr)
     if regressions:
         print("quality REGRESSIONS:", file=sys.stderr)
         for line in regressions:

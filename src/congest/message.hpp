@@ -54,4 +54,114 @@ struct Message {
 /// B(n) = 16·⌈log₂ n⌉ bits (the constant instantiates the model's O(log n)).
 int bandwidth_bits(std::size_t n);
 
+/// Wire-format message: the 16-byte encoding the simulator stores per
+/// directed-edge slot and inbox entry (a `Message` is 40 bytes, and at
+/// 2m slots per topology those buffers dominate the simulator's memory).
+///
+/// Logical layout over the four little-endian words (128 bits):
+///   bits 0–7    kind
+///   bits 8–10   num_fields (0..4)
+///   bit  11     wide flag
+///   bits 12–127 payload: num_fields zigzag-encoded fields at a uniform
+///               width derived from num_fields (1→64, 2→58, 3→38, 4→29
+///               bits), field 0 in the lowest bits
+///
+/// Fields that do not fit the uniform width (possible only for 3–4 field
+/// messages carrying values ≥ 2³⁷/2²⁸ — legal under B(n) but rare) take
+/// the wide path: the payload stores an index into an overflow pool owned
+/// by the network, whose entries live exactly as long as the inbox
+/// generation that references them.  Pool indices depend on send
+/// interleaving, but decoding always yields the original `Message`, so
+/// every decoded inbox is byte-identical at any thread count.
+///
+/// Storage is `uint32[4]` (align 4), so an inbox entry packing a 32-bit
+/// reply slot next to a message costs 20 bytes, not 24.
+class PackedMessage {
+ public:
+  /// Uniform per-field zigzag width for a message with `nf` fields.
+  static constexpr int field_width(int nf) {
+    return nf <= 1 ? 64 : nf == 2 ? 58 : nf == 3 ? 38 : 29;
+  }
+
+  /// Attempts the narrow encoding; false iff some field needs the pool.
+  bool try_pack(const Message& m) {
+    const int nf = m.num_fields;
+    const int width = field_width(nf);
+    unsigned __int128 acc = 0;
+    for (int i = nf; i-- > 0;) {
+      const std::uint64_t z = zigzag(m.fields[static_cast<std::size_t>(i)]);
+      if (width < 64 && (z >> width) != 0) return false;
+      acc = (acc << width) | z;
+    }
+    acc = (acc << kPayloadShift) |
+          (static_cast<std::uint32_t>(m.num_fields) << 8) | m.kind;
+    store(acc);
+    return true;
+  }
+
+  /// Encodes the overflow form: fields live at `pool[pool_index]`.
+  void pack_wide(const Message& m, std::uint32_t pool_index) {
+    unsigned __int128 acc = pool_index;
+    acc = (acc << kPayloadShift) | kWideBit |
+          (static_cast<std::uint32_t>(m.num_fields) << 8) | m.kind;
+    store(acc);
+  }
+
+  /// Decodes back to the 40-byte form.  `pool` is the network's overflow
+  /// pool for the inbox generation this message was delivered in (unused
+  /// by narrow messages, which is the overwhelmingly common case).
+  Message unpack(const std::array<std::int64_t, 4>* pool) const {
+    const unsigned __int128 acc = load();
+    Message m;
+    m.kind = static_cast<std::uint8_t>(acc & 0xff);
+    m.num_fields = static_cast<std::uint8_t>((acc >> 8) & 0x7);
+    if ((acc & kWideBit) != 0) {
+      const auto index =
+          static_cast<std::uint32_t>(acc >> kPayloadShift);
+      const std::array<std::int64_t, 4>& fields = pool[index];
+      for (std::size_t i = 0; i < m.num_fields; ++i) m.fields[i] = fields[i];
+      return m;
+    }
+    const int width = field_width(m.num_fields);
+    unsigned __int128 payload = acc >> kPayloadShift;
+    const std::uint64_t mask =
+        width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+    for (std::size_t i = 0; i < m.num_fields; ++i) {
+      m.fields[i] = unzigzag(static_cast<std::uint64_t>(payload) & mask);
+      payload >>= width;
+    }
+    return m;
+  }
+
+ private:
+  static constexpr int kPayloadShift = 12;
+  static constexpr std::uint32_t kWideBit = 1u << 11;
+
+  static std::uint64_t zigzag(std::int64_t v) {
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+  }
+  static std::int64_t unzigzag(std::uint64_t z) {
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  void store(unsigned __int128 acc) {
+    w_[0] = static_cast<std::uint32_t>(acc);
+    w_[1] = static_cast<std::uint32_t>(acc >> 32);
+    w_[2] = static_cast<std::uint32_t>(acc >> 64);
+    w_[3] = static_cast<std::uint32_t>(acc >> 96);
+  }
+  unsigned __int128 load() const {
+    return static_cast<unsigned __int128>(w_[0]) |
+           (static_cast<unsigned __int128>(w_[1]) << 32) |
+           (static_cast<unsigned __int128>(w_[2]) << 64) |
+           (static_cast<unsigned __int128>(w_[3]) << 96);
+  }
+
+  std::uint32_t w_[4] = {0, 0, 0, 0};
+};
+
+static_assert(sizeof(PackedMessage) == 16);
+static_assert(alignof(PackedMessage) == 4);
+
 }  // namespace pg::congest

@@ -12,13 +12,59 @@ int bandwidth_bits(std::size_t n) {
   return static_cast<int>(16 * width);
 }
 
+namespace {
+
+/// Rebind-shrink policy: a pooled simulator rebound from a much larger
+/// topology must not pin the old worst-case capacity for the rest of the
+/// sweep.  Capacity above 2× the need (with a small floor so toy graphs
+/// never thrash) is released and re-reserved at the exact size.
+template <typename T>
+void fit_capacity(std::vector<T>& v, std::size_t needed) {
+  const std::size_t floor = std::max<std::size_t>(needed, 1024);
+  if (v.capacity() > 2 * floor) {
+    v.clear();
+    v.shrink_to_fit();
+    v.reserve(needed);
+  }
+}
+
+}  // namespace
+
 Network::Network(graph::Graph topology) : graph_(std::move(topology)) {
   rebuild();
 }
 
 void Network::reset(const graph::Graph& topology) {
-  graph_ = topology;  // copy-assign: reuses the owned CSR arrays' capacity
+  // Copy-assign reuses the owned CSR arrays' capacity — the point of the
+  // rebind path.  But when the new topology is a fraction of the old one,
+  // reusing would pin the old footprint, so rebuild from a fresh copy.
+  const std::size_t old_edges = graph_.adjacency_array().size();
+  const std::size_t new_edges = topology.adjacency_array().size();
+  if (old_edges > 2 * std::max<std::size_t>(new_edges, 1024)) {
+    graph::Graph fresh(topology);
+    graph_ = std::move(fresh);
+  } else {
+    graph_ = topology;
+  }
   rebuild();
+}
+
+std::uint32_t Network::push_wide(const Message& m) {
+  std::lock_guard<std::mutex> lock(wide_mutex_);
+  const auto index = static_cast<std::uint32_t>(wide_send_.size());
+  wide_send_.push_back(m.fields);
+  return index;
+}
+
+std::size_t Network::buffer_bytes() const {
+  auto bytes = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  return bytes(first_slot_) + bytes(reverse_slot_) + bytes(slot_round_) +
+         bytes(round_staged_) + bytes(unicast_round_) + bytes(round_slots_) +
+         bytes(round_bcasters_) + bytes(bcast_round_) + bytes(bcast_msg_) +
+         bytes(inbox_arena_) + bytes(inbox_count_) + bytes(wide_send_) +
+         bytes(wide_inbox_);
 }
 
 void Network::set_threads(int t) {
@@ -30,6 +76,8 @@ void Network::set_threads(int t) {
   compute_bounds();
   tallies_.resize(static_cast<std::size_t>(threads_));
   for (detail::SendTally& tally : tallies_) tally.clear();
+  scratch_.resize(static_cast<std::size_t>(threads_));
+  for (detail::InboxScratch& scratch : scratch_) scratch.node = -1;
   step_errors_.assign(static_cast<std::size_t>(threads_), nullptr);
   // The pool is resized lazily by ensure_pool(): a stale pool is only
   // dropped here if it is now the wrong size, so repeated rebinds with an
@@ -71,6 +119,8 @@ void Network::rebuild() {
   PG_REQUIRE(num_slots <= std::numeric_limits<std::uint32_t>::max(),
              "topology too large for 32-bit directed-edge slots");
 
+  fit_capacity(first_slot_, n + 1);
+  fit_capacity(reverse_slot_, num_slots);
   first_slot_.resize(n + 1);
   for (std::size_t v = 0; v <= n; ++v)
     first_slot_[v] = offsets.empty() ? 0 : static_cast<std::uint32_t>(offsets[v]);
@@ -99,11 +149,25 @@ void Network::rebuild() {
       PG_CHECK(adj[reverse_slot_[e]] == static_cast<NodeId>(u),
                "adjacency is not symmetric");
 
-  // slot_round_/slot_msg_ stay unallocated until the first unicast (see
-  // init_unicast_buffers): broadcast-only algorithms never pay for them.
-  // On a rebind, clear() keeps their capacity for the next lazy init.
+  // A rebind from a much larger topology must also release oversized
+  // buffer capacity in the arrays (re)filled below (the sweep runner pools
+  // simulators; without this the pool pins every buffer at its historical
+  // worst case).  first_slot_/reverse_slot_ got the same treatment before
+  // they were filled above.
+  fit_capacity(slot_round_, num_slots);
+  fit_capacity(inbox_arena_, num_slots);
+  fit_capacity(round_slots_, num_slots);
+  fit_capacity(round_staged_, num_slots);
+  fit_capacity(unicast_round_, n);
+  fit_capacity(bcast_round_, n);
+  fit_capacity(bcast_msg_, n);
+  fit_capacity(inbox_count_, n);
+  fit_capacity(round_bcasters_, n);
+
+  // slot_round_ stays unallocated until the first unicast (see
+  // init_unicast_buffers): broadcast-only algorithms never pay for it.
+  // On a rebind, clear() keeps its capacity for the next lazy init.
   slot_round_.clear();
-  slot_msg_.clear();
   unicast_ready_.store(false, std::memory_order_release);
   unicast_round_.assign(n, -1);
   bcast_round_.assign(n, -1);
@@ -112,10 +176,13 @@ void Network::rebuild() {
   // The arena is sized for the worst case (every directed edge delivers) and
   // written by index; entries past each node's count are stale and unread.
   inbox_arena_.resize(num_slots);
+  wide_send_.clear();
+  wide_inbox_.clear();
 
   stats_ = RoundStats{};
   last_round_messages_ = 0;
   round_unicasts_ = 0;
+  round_staged_.clear();
   round_slots_.clear();
   round_bcasters_.clear();
 
@@ -131,7 +198,6 @@ void Network::init_unicast_buffers() {
   std::lock_guard<std::mutex> lock(unicast_init_mutex_);
   if (unicast_ready_.load(std::memory_order_relaxed)) return;
   slot_round_.assign(reverse_slot_.size(), -1);
-  slot_msg_.resize(reverse_slot_.size());
   unicast_ready_.store(true, std::memory_order_release);
 }
 
@@ -165,30 +231,38 @@ void Network::run_step_phase(const std::function<void(int)>& body) {
 void Network::merge_and_deliver() {
   // Fold the per-worker tallies in worker order.  Workers own contiguous
   // ascending node ranges and visit them in order, so this concatenation
-  // reproduces the serial engine's send sequences exactly.
+  // reproduces the serial engine's send sequences exactly — and because
+  // staged slots are unique within a round (send discipline), the sort
+  // below lands on the same order at any thread count.
   std::int64_t messages = 0;
   std::int64_t bits = 0;
   round_unicasts_ = 0;
   if (threads_ == 1) {
     detail::SendTally& tally = tallies_[0];
-    round_slots_.swap(tally.slots);  // O(1): both roles alternate buffers
+    round_staged_.swap(tally.staged);  // O(1): both roles alternate buffers
     round_bcasters_.swap(tally.bcasters);
-    round_unicasts_ = tally.unicasts;
     messages = tally.messages;
     bits = tally.bits;
-    tally.unicasts = tally.messages = tally.bits = 0;
+    tally.messages = tally.bits = 0;
   } else {
     for (detail::SendTally& tally : tallies_) {
-      round_slots_.insert(round_slots_.end(), tally.slots.begin(),
-                          tally.slots.end());
+      round_staged_.insert(round_staged_.end(), tally.staged.begin(),
+                           tally.staged.end());
       round_bcasters_.insert(round_bcasters_.end(), tally.bcasters.begin(),
                              tally.bcasters.end());
-      round_unicasts_ += tally.unicasts;
       messages += tally.messages;
       bits += tally.bits;
       tally.clear();
     }
   }
+  round_unicasts_ = static_cast<std::int64_t>(round_staged_.size());
+  std::sort(round_staged_.begin(), round_staged_.end(),
+            [](const detail::StagedUnicast& a, const detail::StagedUnicast& b) {
+              return a.slot < b.slot;
+            });
+  round_slots_.resize(round_staged_.size());
+  for (std::size_t i = 0; i < round_staged_.size(); ++i)
+    round_slots_[i] = round_staged_[i].slot;
   stats_.messages += messages;
   stats_.total_bits += bits;
   last_round_messages_ = messages;
@@ -196,16 +270,32 @@ void Network::merge_and_deliver() {
 }
 
 void Network::deliver() {
-  const std::int64_t now = stats_.rounds;
+  const std::int32_t now = static_cast<std::int32_t>(stats_.rounds);
   const NodeId* adj = graph_.adjacency_array().data();
   const std::size_t n = this->n();
-  Incoming* arena = inbox_arena_.data();
+  detail::PackedIncoming* arena = inbox_arena_.data();
+  // Rotate the wide-message generations: entries appended while this
+  // round's steps were sending become the pool the delivered inboxes
+  // decode against; the previous inbox generation (no longer referenced
+  // once the counts are rewritten) is recycled as the next send pool.
+  wide_inbox_.swap(wide_send_);
+  wide_send_.clear();
   if (last_round_messages_ == 0) {
     // Quiet round (every quiescence loop's final round): nothing to sweep.
     std::fill(inbox_count_.begin(), inbox_count_.end(), 0);
     ++stats_.rounds;
     return;
   }
+  // Payload lookup for a slot known to hold a current-round unicast: the
+  // staged list is sorted by (unique) slot, so the search always lands.
+  auto unicast_msg = [&](std::uint32_t e) -> const PackedMessage& {
+    const auto it = std::lower_bound(
+        round_staged_.begin(), round_staged_.end(), e,
+        [](const detail::StagedUnicast& s, std::uint32_t slot) {
+          return s.slot < slot;
+        });
+    return it->msg;
+  };
   // The deliverable slots are exactly the recorded unicast slots plus every
   // broadcaster's incident reverse slots; when that set is small relative
   // to 2m, gather it directly instead of sweeping every slot.
@@ -238,13 +328,12 @@ void Network::deliver() {
         std::uint32_t k = 0;
         while (idx < round_slots_.size() && round_slots_[idx] < end) {
           const std::uint32_t e = round_slots_[idx++];
-          Incoming& in = arena[begin + k];
+          detail::PackedIncoming& in = arena[begin + k];
           const NodeId u = adj[e];
-          in.from = u;
           in.reply_slot = e - begin;
           in.msg = bcast_round_[static_cast<std::size_t>(u)] == now
                        ? bcast_msg_[static_cast<std::size_t>(u)]
-                       : slot_msg_[e];
+                       : unicast_msg(e);
           ++k;
         }
         inbox_count_[v] = k;
@@ -271,8 +360,7 @@ void Network::deliver() {
         for (std::uint32_t e = begin; e < end; ++e) {
           const NodeId u = adj[e];
           if (bcast_round_[static_cast<std::size_t>(u)] == now) {
-            Incoming& in = arena[begin + k];
-            in.from = u;
+            detail::PackedIncoming& in = arena[begin + k];
             in.reply_slot = e - begin;
             in.msg = bcast_msg_[static_cast<std::size_t>(u)];
             ++k;
@@ -299,14 +387,13 @@ void Network::deliver() {
         std::uint32_t k = 0;
         for (std::uint32_t e = begin; e < end; ++e) {
           const NodeId u = adj[e];
-          const Message* m = nullptr;
+          const PackedMessage* m = nullptr;
           if (bcast_round_[static_cast<std::size_t>(u)] == now)
             m = &bcast_msg_[static_cast<std::size_t>(u)];
           else if (slot_round_[e] == now)
-            m = &slot_msg_[e];
+            m = &unicast_msg(e);
           if (m != nullptr) {
-            Incoming& in = arena[begin + k];
-            in.from = u;
+            detail::PackedIncoming& in = arena[begin + k];
             in.reply_slot = e - begin;
             in.msg = *m;
             ++k;
@@ -325,6 +412,10 @@ void Network::deliver() {
       });
     }
   }
+  // Empty all three round lists so the serial engine's buffer swap hands a
+  // clean vector back to the worker tally (and the parallel inserts start
+  // from scratch); a stale entry here would replay an old unicast.
+  round_staged_.clear();
   round_slots_.clear();
   round_bcasters_.clear();
   round_unicasts_ = 0;
@@ -335,15 +426,19 @@ void Network::reset() {
   stats_ = RoundStats{};
   last_round_messages_ = 0;
   round_unicasts_ = 0;
+  round_staged_.clear();
   round_slots_.clear();
   round_bcasters_.clear();
   for (detail::SendTally& tally : tallies_) tally.clear();
+  for (detail::InboxScratch& scratch : scratch_) scratch.node = -1;
   for (std::exception_ptr& error : step_errors_) error = nullptr;
   std::fill(slot_round_.begin(), slot_round_.end(), -1);
   std::fill(unicast_round_.begin(), unicast_round_.end(), -1);
   std::fill(bcast_round_.begin(), bcast_round_.end(), -1);
   // Arena entries are stale-but-unread once the counts are zeroed.
   std::fill(inbox_count_.begin(), inbox_count_.end(), 0);
+  wide_send_.clear();
+  wide_inbox_.clear();
 }
 
 }  // namespace pg::congest

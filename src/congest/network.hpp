@@ -57,11 +57,14 @@
 // primitive they invoke (leader election, BFS-tree building, pipelining).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <concepts>
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <iterator>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -85,6 +88,31 @@ struct Incoming {
   Message msg;
 };
 
+namespace detail {
+
+/// The stored form of an inbox entry: 20 bytes instead of Incoming's 48.
+/// `from` is not stored — it is the receiver's `reply_slot`-th neighbor,
+/// recovered from the adjacency row the inbox is anchored to.
+struct PackedIncoming {
+  std::uint32_t reply_slot = 0;
+  PackedMessage msg;
+};
+
+static_assert(sizeof(PackedIncoming) == 20);
+
+/// Per-worker decode buffer for `NodeView::inbox()`: the packed arena is
+/// expanded into full `Incoming` entries once per (node, round) and the
+/// span handed to the step points here.  Capacity is bounded by the
+/// largest inbox the worker has seen (O(max degree), not O(m)) and is
+/// reused across nodes, rounds, and pooled rebinds.
+struct InboxScratch {
+  std::vector<Incoming> items;
+  NodeId node = -1;
+  std::int64_t round = -1;
+};
+
+}  // namespace detail
+
 struct RoundStats {
   std::int64_t rounds = 0;
   std::int64_t messages = 0;
@@ -97,21 +125,30 @@ class Network;
 
 namespace detail {
 
+/// A staged unicast: the receiver-side slot it lands in plus the packed
+/// payload.  Unicast messages live only here (and in the merged, sorted
+/// per-round list) — there is no dense 2m-entry message array, because a
+/// round's unicast volume is bounded by n sends yet a dense array would
+/// charge every directed edge 16 bytes for the whole cell.
+struct StagedUnicast {
+  std::uint32_t slot = 0;
+  PackedMessage msg;
+};
+
 /// A worker's staged sends for the round in flight.  Counters accumulate
 /// here instead of in shared Network::stats_ fields so the hot send path
 /// never touches a contended cache line; the merge at the phase barrier
 /// folds them into the canonical stats in worker order.
 struct alignas(64) SendTally {
-  std::vector<std::uint32_t> slots;  // receiver-side slots of unicasts
-  std::vector<NodeId> bcasters;      // nodes that broadcast
-  std::int64_t unicasts = 0;
+  std::vector<StagedUnicast> staged;  // unicasts (slot + payload)
+  std::vector<NodeId> bcasters;       // nodes that broadcast
   std::int64_t messages = 0;
   std::int64_t bits = 0;
 
   void clear() {
-    slots.clear();
+    staged.clear();
     bcasters.clear();
-    unicasts = messages = bits = 0;
+    messages = bits = 0;
   }
 };
 
@@ -124,7 +161,9 @@ class NodeView {
   std::size_t n() const;
   std::span<const NodeId> neighbors() const;
   std::size_t degree() const { return neighbors().size(); }
-  /// This round's messages, sorted by sender id ascending.
+  /// This round's messages, sorted by sender id ascending.  The span stays
+  /// valid for the duration of the step (entries are decoded from the
+  /// packed arena into a per-worker buffer on first access per round).
   std::span<const Incoming> inbox() const;
 
   /// Sends to one neighbor (delivered next round).  Resolves the neighbor's
@@ -139,11 +178,13 @@ class NodeView {
 
  private:
   friend class Network;
-  NodeView(Network* net, NodeId id, detail::SendTally* tally)
-      : net_(net), id_(id), tally_(tally) {}
+  NodeView(Network* net, NodeId id, detail::SendTally* tally,
+           detail::InboxScratch* scratch)
+      : net_(net), id_(id), tally_(tally), scratch_(scratch) {}
   Network* net_;
   NodeId id_;
   detail::SendTally* tally_;
+  detail::InboxScratch* scratch_;
 };
 
 class Network {
@@ -165,6 +206,12 @@ class Network {
   /// The effective worker count (after clamping).
   int threads() const { return threads_; }
 
+  /// Total *capacity* footprint of the slot- and node-sized simulator
+  /// buffers in bytes (excluding the owned graph).  Introspection for the
+  /// pool-rebind shrink tests and memory-envelope assertions; not a hot
+  /// path.
+  std::size_t buffer_bytes() const;
+
   /// Executes one synchronous round.  `step(NodeView&)` is called for every
   /// node; messages sent become visible in inboxes next round.  The step
   /// callable is invoked directly (no type erasure), so lambdas inline.
@@ -178,19 +225,24 @@ class Network {
     // pointer load + null check when no token is installed).  The poll
     // stays on the driver thread — workers never see the token.
     pg::cancel::poll();
+    // Round stamps are 32-bit (4 bytes × 2m slots matter at 10⁶ nodes).
+    PG_REQUIRE(stats_.rounds < std::numeric_limits<std::int32_t>::max(),
+               "CONGEST: round counter exceeds 32-bit stamp range");
     if (threads_ == 1) {
       const auto num_nodes = static_cast<NodeId>(n());
       detail::SendTally& tally = tallies_[0];
+      detail::InboxScratch& scratch = scratch_[0];
       for (NodeId v = 0; v < num_nodes; ++v) {
-        NodeView view(this, v, &tally);
+        NodeView view(this, v, &tally, &scratch);
         step(view);
       }
     } else {
       run_step_phase([this, &step](int t) {
         detail::SendTally& tally = tallies_[static_cast<std::size_t>(t)];
+        detail::InboxScratch& scratch = scratch_[static_cast<std::size_t>(t)];
         const NodeId hi = bounds_[static_cast<std::size_t>(t) + 1];
         for (NodeId v = bounds_[static_cast<std::size_t>(t)]; v < hi; ++v) {
-          NodeView view(this, v, &tally);
+          NodeView view(this, v, &tally, &scratch);
           step(view);
         }
       });
@@ -235,17 +287,15 @@ class Network {
     const auto v = static_cast<std::size_t>(from);
     const std::size_t e = first_slot_[v] + local_slot;
     const std::uint32_t dst = reverse_slot_[e];
-    const std::int64_t now = stats_.rounds;
+    const std::int32_t now = static_cast<std::int32_t>(stats_.rounds);
     PG_REQUIRE(slot_round_[dst] != now && bcast_round_[v] != now,
                "CONGEST: one message per edge per direction per round");
     const int bits = m.logical_bits();
     PG_REQUIRE(bits <= bandwidth_,
                "CONGEST: message exceeds O(log n) bandwidth");
     slot_round_[dst] = now;
-    slot_msg_[dst] = m;
     unicast_round_[v] = now;
-    tally.slots.push_back(dst);
-    ++tally.unicasts;
+    tally.staged.push_back({dst, encode_message(m)});
     ++tally.messages;
     tally.bits += bits;
   }
@@ -261,7 +311,7 @@ class Network {
     PG_REQUIRE(bits <= bandwidth_,
                "CONGEST: message exceeds O(log n) bandwidth");
     const auto v = static_cast<std::size_t>(from);
-    const std::int64_t now = stats_.rounds;
+    const std::int32_t now = static_cast<std::int32_t>(stats_.rounds);
     PG_REQUIRE(bcast_round_[v] != now,
                "CONGEST: one message per edge per direction per round");
     const std::uint32_t begin = first_slot_[v];
@@ -274,7 +324,7 @@ class Network {
                    "CONGEST: one message per edge per direction per round");
     }
     bcast_round_[v] = now;
-    bcast_msg_[v] = m;
+    bcast_msg_[v] = encode_message(m);
     tally.bcasters.push_back(from);
     const auto deg = static_cast<std::int64_t>(end - begin);
     tally.messages += deg;
@@ -304,6 +354,47 @@ class Network {
   /// Double-checked under a mutex: concurrent first unicasts are safe.
   void init_unicast_buffers();
 
+  /// Encodes a message into its 16-byte slot form.  The narrow encoding
+  /// covers every 1–2 field message and all realistic wider ones; the rare
+  /// remainder parks its fields in the round's overflow pool (mutex-guarded
+  /// append — pool index order may vary across thread interleavings, but
+  /// decoded inboxes never do).
+  PackedMessage encode_message(const Message& m) {
+    PackedMessage p;
+    if (p.try_pack(m)) [[likely]]
+      return p;
+    p.pack_wide(m, push_wide(m));
+    return p;
+  }
+
+  /// Appends to the sending-generation overflow pool; returns the index.
+  std::uint32_t push_wide(const Message& m);
+
+  /// Expands node v's packed inbox into the worker's scratch buffer (once
+  /// per round — repeat calls return the memoized span).
+  std::span<const Incoming> decode_inbox(NodeId v,
+                                         detail::InboxScratch& scratch) const {
+    if (scratch.node == v && scratch.round == stats_.rounds)
+      return {scratch.items.data(), scratch.items.size()};
+    const auto vi = static_cast<std::size_t>(v);
+    const std::uint32_t begin = first_slot_[vi];
+    const std::uint32_t count = inbox_count_[vi];
+    const detail::PackedIncoming* entries = inbox_arena_.data() + begin;
+    const NodeId* adj = graph_.adjacency_array().data() + begin;
+    const std::array<std::int64_t, 4>* wide = wide_inbox_.data();
+    scratch.items.resize(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const detail::PackedIncoming& e = entries[i];
+      Incoming& in = scratch.items[i];
+      in.from = adj[e.reply_slot];
+      in.reply_slot = e.reply_slot;
+      in.msg = e.msg.unpack(wide);
+    }
+    scratch.node = v;
+    scratch.round = stats_.rounds;
+    return {scratch.items.data(), scratch.items.size()};
+  }
+
   /// Recomputes the adjacency-mass-balanced worker ranges for the current
   /// (topology, threads) pair.
   void compute_bounds();
@@ -326,34 +417,48 @@ class Network {
   std::vector<std::uint32_t> first_slot_;   // n+1 entries
   std::vector<std::uint32_t> reverse_slot_; // 2m entries
 
-  // Per-directed-edge unicast buffers, indexed by the *receiver-side* slot,
+  // Per-directed-edge unicast *stamps*, indexed by the receiver-side slot,
   // allocated lazily on the first unicast.  slot_round_[e] records the
-  // round that last wrote slot e (-1 = never); only slots stamped with the
-  // current round are delivered.
-  std::vector<std::int64_t> slot_round_;    // 2m entries (lazy)
-  std::vector<Message> slot_msg_;           // 2m entries (lazy)
+  // round that last wrote slot e (-1 = never; stamps are 32-bit, guarded
+  // once per round).  The messages themselves are not stored densely —
+  // they ride in round_staged_, sorted by slot after the merge.
+  std::vector<std::int32_t> slot_round_;    // 2m entries (lazy)
   std::atomic<bool> unicast_ready_{false};  // acquire-gated lazy init
   std::mutex unicast_init_mutex_;
   std::int64_t round_unicasts_ = 0;         // unicasts sent this round
-  std::vector<std::int64_t> unicast_round_; // last round each node unicast
-  // This round's senders after the merge: receiver-side slots of every
-  // unicast, and the nodes that broadcast.  Together they bound the
-  // deliverable slot set, so sparse rounds gather in O(k log k + n)
-  // instead of sweeping 2m slots.
+  std::vector<std::int32_t> unicast_round_; // last round each node unicast
+  // This round's senders after the merge: every staged unicast sorted by
+  // receiver-side slot (slots are unique by the send discipline, so the
+  // order is deterministic at any thread count and delivery looks payloads
+  // up by binary search), the same slots alone, and the nodes that
+  // broadcast.  round_slots_ + broadcaster degrees bound the deliverable
+  // slot set, so sparse rounds gather in O(k log k + n) instead of
+  // sweeping 2m slots.
+  std::vector<detail::StagedUnicast> round_staged_;
   std::vector<std::uint32_t> round_slots_;
   std::vector<NodeId> round_bcasters_;
 
   // Per-sender broadcast buffers (same stamping discipline).
-  std::vector<std::int64_t> bcast_round_;   // n entries
-  std::vector<Message> bcast_msg_;          // n entries
+  std::vector<std::int32_t> bcast_round_;   // n entries
+  std::vector<PackedMessage> bcast_msg_;    // n entries
 
   // Flat inbox arena: node v's inbox lives at the head of its adjacency
   // slot range — inbox_arena_[first_slot_[v] .. first_slot_[v] +
   // inbox_count_[v]), sorted by sender id.  Anchoring every inbox at its
   // own slot range (instead of packing the arena) lets delivery workers
   // write disjoint regions with no cross-worker offsets to agree on.
-  std::vector<Incoming> inbox_arena_;
+  std::vector<detail::PackedIncoming> inbox_arena_;
   std::vector<std::uint32_t> inbox_count_;  // n entries
+
+  // Overflow pools for messages too wide for the narrow packed encoding,
+  // in two generations: sends of the round in flight append to
+  // wide_send_ (under wide_mutex_), inboxes of the delivered round decode
+  // from wide_inbox_ (read-only while steps run).  deliver() swaps the
+  // generations, so pool entries live exactly one round past their send
+  // and the pools stay bounded by the width of a single round.
+  std::vector<std::array<std::int64_t, 4>> wide_send_;
+  std::vector<std::array<std::int64_t, 4>> wide_inbox_;
+  std::mutex wide_mutex_;
 
   // Parallel round machinery.  threads_ is the effective worker count
   // (requested, clamped to [1, min(n, 64)]); bounds_ has threads_ + 1
@@ -363,6 +468,7 @@ class Network {
   int threads_ = 1;
   std::vector<NodeId> bounds_;
   std::vector<detail::SendTally> tallies_;
+  std::vector<detail::InboxScratch> scratch_;
   std::vector<std::exception_ptr> step_errors_;
   std::unique_ptr<util::WorkerPool> pool_;
 };
@@ -376,9 +482,7 @@ inline std::span<const NodeId> NodeView::neighbors() const {
 }
 
 inline std::span<const Incoming> NodeView::inbox() const {
-  const auto v = static_cast<std::size_t>(id_);
-  const Incoming* base = net_->inbox_arena_.data() + net_->first_slot_[v];
-  return {base, base + net_->inbox_count_[v]};
+  return net_->decode_inbox(id_, *scratch_);
 }
 
 inline void NodeView::send(NodeId neighbor, const Message& m) {

@@ -60,8 +60,12 @@ EstimateResult estimate_two_hop_counts(Network& net,
   // Byte flags, not vector<bool>: written per-node from inside (possibly
   // parallel) rounds, and vector<bool> packs 64 nodes per word.
   std::vector<char> saw_member(n, 0);
-  std::vector<std::int64_t> one_hop_min(n, 0);
-  std::vector<std::int64_t> my_draw(n, quant.infinity);
+  // Quantized draws fit 32 bits (Quantizer clamps bits to 32, so every
+  // value — infinity included — is < 2^32); storing them narrow halves
+  // the estimator's per-node footprint.  Messages still carry int64.
+  std::vector<std::uint32_t> one_hop_min(n, 0);
+  std::vector<std::uint32_t> my_draw(
+      n, static_cast<std::uint32_t>(quant.infinity));
 
   for (int j = 0; j < samples; ++j) {
     // Round 1: members broadcast a fresh exponential draw.  The draws are
@@ -70,8 +74,9 @@ EstimateResult estimate_two_hop_counts(Network& net,
     // pre-drawing preserves the exact Rng byte stream while keeping the
     // shared generator off the round workers.
     for (std::size_t v = 0; v < n; ++v)
-      my_draw[v] = membership[v] ? quant.encode(rng.next_exponential())
-                                 : quant.infinity;
+      my_draw[v] = static_cast<std::uint32_t>(
+          membership[v] ? quant.encode(rng.next_exponential())
+                        : quant.infinity);
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       if (!membership[me]) return;
@@ -83,7 +88,7 @@ EstimateResult estimate_two_hop_counts(Network& net,
       std::int64_t best = my_draw[me];
       for (const Incoming& in : node.inbox())
         if (in.msg.kind == kSample) best = std::min(best, in.msg.at(0));
-      one_hop_min[me] = best;
+      one_hop_min[me] = static_cast<std::uint32_t>(best);
       node.broadcast(Message{kOneHop, {best}});
     });
     // Round 3 (folded into the next sample's round 1 bookkeeping would

@@ -1,9 +1,9 @@
 #include "core/mds_congest.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
-#include <map>
 
 #include "core/estimator.hpp"
 #include "graph/ops.hpp"
@@ -29,11 +29,25 @@ constexpr std::uint8_t kVoteMin = 45;  // fields: quantized min (to candidate)
 constexpr std::uint8_t kJoined = 46;   // sender joined the dominating set
 constexpr std::uint8_t kCovered1 = 47; // sender is within 1 hop of the set
 
-std::int64_t round_up_to_power_of_two(double x) {
+// Rounded densities are 0 or an exact power of two, so they live in the
+// per-node arrays as one-byte codes (0 for zero, k+1 for 2^k).  The code
+// order matches the value order — maxima and the candidate test compare
+// codes directly — and messages decode back to the exact int64 payloads
+// the unencoded representation carried.
+std::uint8_t round_up_to_power_of_two_code(double x) {
   if (x < 0.75) return 0;
-  std::int64_t p = 1;
-  while (static_cast<double>(p) < x) p *= 2;
-  return p;
+  int e = 0;
+  while (static_cast<double>(std::int64_t{1} << e) < x) ++e;
+  return static_cast<std::uint8_t>(e + 1);
+}
+
+std::uint8_t density_code(std::int64_t value) {
+  return static_cast<std::uint8_t>(
+      std::bit_width(static_cast<std::uint64_t>(value)));
+}
+
+std::int64_t density_value(std::uint8_t code) {
+  return code == 0 ? 0 : std::int64_t{1} << (code - 1);
 }
 
 }  // namespace
@@ -67,7 +81,7 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
   // Byte flags, not vector<bool>: nodes write their own entry from inside
   // (possibly parallel) rounds, and vector<bool> packs 64 nodes per word.
   std::vector<char> covered(n, 0);
-  std::vector<std::int64_t> rho(n, 0);
+  std::vector<std::uint8_t> rho(n, 0);
   std::vector<NodeId> vote_of(n, -1);
 
   // Fixed-point quantizer settings mirrored from the estimator: the voting
@@ -94,40 +108,66 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
                        [](char c) { return c != 0; });
   };
 
+  // Phase-loop scratch, hoisted: at n = 10⁵⁺ re-allocating these every
+  // phase is measurable churn, and the per-node candidate lists below are
+  // the structures whose capacity is worth keeping across phases.
+  std::vector<bool> uncovered(n);
+  std::vector<std::uint8_t> best_rho(n);
+  std::vector<bool> is_candidate(n);
+  std::vector<std::int64_t> draw(n);
+  std::vector<std::pair<std::int64_t, NodeId>> best1(n);
+  std::vector<double> vote_sum(n);
+  std::vector<std::uint16_t> vote_samples_seen(n);
+  // Quantized draws fit 32 bits (qbits clamps at 32), so the voting
+  // arrays store them narrow; messages still carry int64.
+  std::vector<std::uint32_t> voter_draw(n);
+  std::vector<std::uint32_t> direct_min(n);
+  std::vector<char> joined(n);
+  // Candidate neighbors of each node as (id, adjacency slot, forwarded
+  // minimum).  The entries double as the per-sample vote-forwarding
+  // accumulator (min = 0 marks "no vote seen" — qencode never returns 0,
+  // so the sentinel is out of band), replacing a per-node std::map whose
+  // node churn dominated the cell's heap at large n.
+  // Inbox order is sender-ascending, so each list is sorted by id.
+  struct CandidateNeighbor {
+    NodeId id;
+    std::uint32_t slot;
+    std::uint32_t min;
+  };
+  std::vector<std::vector<CandidateNeighbor>> candidate_neighbors(n);
+
   while (!all_covered() && result.phases < max_phases) {
     ++result.phases;
 
     // --- step 1: estimate densities --------------------------------------
-    std::vector<bool> uncovered(n);
     for (std::size_t v = 0; v < n; ++v) uncovered[v] = covered[v] == 0;
     const EstimateResult density =
         estimate_two_hop_counts(net, uncovered, rng, config.estimator_samples);
     for (std::size_t v = 0; v < n; ++v)
-      rho[v] = round_up_to_power_of_two(density.estimate[v]);
+      rho[v] = round_up_to_power_of_two_code(density.estimate[v]);
 
     // --- step 2: candidates = 4-hop maxima of ρ ---------------------------
-    std::vector<std::int64_t> best_rho(rho.begin(), rho.end());
+    best_rho.assign(rho.begin(), rho.end());
     for (int hop = 0; hop < 4; ++hop) {
       net.round([&](NodeView& node) {
         const auto me = static_cast<std::size_t>(node.id());
         for (const Incoming& in : node.inbox())
           if (in.msg.kind == kRho)
-            best_rho[me] = std::max(best_rho[me], in.msg.at(0));
-        node.broadcast(Message{kRho, {best_rho[me]}});
+            best_rho[me] = std::max(best_rho[me], density_code(in.msg.at(0)));
+        node.broadcast(Message{kRho, {density_value(best_rho[me])}});
       });
     }
     net.round([&](NodeView& node) {  // absorb the last hop
       const auto me = static_cast<std::size_t>(node.id());
       for (const Incoming& in : node.inbox())
         if (in.msg.kind == kRho)
-          best_rho[me] = std::max(best_rho[me], in.msg.at(0));
+          best_rho[me] = std::max(best_rho[me], density_code(in.msg.at(0)));
     });
-    std::vector<bool> is_candidate(n, false);
     for (std::size_t v = 0; v < n; ++v)
       is_candidate[v] = rho[v] >= 1 && rho[v] >= best_rho[v];
 
     // --- step 3: voting ----------------------------------------------------
-    std::vector<std::int64_t> draw(n, -1);
+    draw.assign(n, -1);
     // Draws hoisted out of the round: the serial engine consumed them in
     // ascending node order inside the step, so pre-drawing here preserves
     // the exact byte stream while keeping the shared Rng off the round
@@ -136,25 +176,20 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
     for (std::size_t v = 0; v < n; ++v)
       if (is_candidate[v])
         draw[v] = static_cast<std::int64_t>(rng.next_below(r_range));
-    // Candidate neighbors as (id, adjacency slot) so the per-sample vote
-    // forwarding below sends in O(1) per candidate.
-    std::vector<std::vector<std::pair<NodeId, std::uint32_t>>>
-        candidate_neighbors(n);
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       candidate_neighbors[me].clear();
       if (is_candidate[me]) node.broadcast(Message{kCandDraw, {draw[me]}});
     });
     // best (r, id) seen within 1 hop, then spread one more hop.
-    std::vector<std::pair<std::int64_t, NodeId>> best1(
-        n, {std::numeric_limits<std::int64_t>::max(), -1});
+    best1.assign(n, {std::numeric_limits<std::int64_t>::max(), -1});
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       auto& best = best1[me];
       if (is_candidate[me]) best = {draw[me], node.id()};
       for (const Incoming& in : node.inbox())
         if (in.msg.kind == kCandDraw) {
-          candidate_neighbors[me].emplace_back(in.from, in.reply_slot);
+          candidate_neighbors[me].push_back({in.from, in.reply_slot, 0});
           best = std::min(best, {in.msg.at(0), in.from});
         }
       if (best.second != -1)
@@ -171,32 +206,36 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
     });
 
     // --- step 4: estimate votes per candidate (3-round cadence) -----------
-    std::vector<double> vote_sum(n, 0.0);
-    std::vector<int> vote_samples_seen(n, 0);
-    std::vector<std::int64_t> voter_draw(n, qinf);
-    std::vector<std::map<NodeId, std::int64_t>> forward_min(n);
+    vote_sum.assign(n, 0.0);
+    vote_samples_seen.assign(n, 0);
+    voter_draw.assign(n, qinf);
     for (int j = 0; j < samples; ++j) {
       // r1: voters broadcast (candidate, draw).  Same hoist as step 3:
       // the voter set is fixed before the round, so drawing serially in
       // node order reproduces the serial engine's Rng stream exactly.
       for (std::size_t v = 0; v < n; ++v)
-        voter_draw[v] =
-            vote_of[v] == -1 ? qinf : qencode(rng.next_exponential());
+        voter_draw[v] = static_cast<std::uint32_t>(
+            vote_of[v] == -1 ? qinf : qencode(rng.next_exponential()));
       net.round([&](NodeView& node) {
         const auto me = static_cast<std::size_t>(node.id());
         if (vote_of[me] == -1) return;
         node.broadcast(Message{kVoteW, {vote_of[me], voter_draw[me]}});
       });
       // r2: forwarders compute per-candidate minima; candidates absorb
-      // direct votes.
+      // direct votes.  Only votes for *adjacent* candidates can be
+      // forwarded (non-adjacent ones have no delivery slot), so the
+      // accumulator is the candidate-neighbor list itself: a sorted
+      // array with min = -1 meaning "no vote seen", reproducing the
+      // presence semantics of the std::map it replaced (a legal vote may
+      // equal qinf, so the sentinel must be out of band).
       net.round([&](NodeView& node) {
         const auto me = static_cast<std::size_t>(node.id());
-        auto& mins = forward_min[me];
-        mins.clear();
+        auto& cands = candidate_neighbors[me];
+        for (CandidateNeighbor& c : cands) c.min = 0;
         std::int64_t direct = qinf;
         if (vote_of[me] == static_cast<NodeId>(node.id()) &&
             vote_of[me] != -1)
-          direct = std::min(direct, voter_draw[me]);
+          direct = std::min<std::int64_t>(direct, voter_draw[me]);
         for (const Incoming& in : node.inbox()) {
           if (in.msg.kind != kVoteW) continue;
           const auto cand = static_cast<NodeId>(in.msg.at(0));
@@ -205,24 +244,26 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
             direct = std::min(direct, q);
             continue;
           }
-          auto [it, inserted] = mins.try_emplace(cand, q);
-          if (!inserted) it->second = std::min(it->second, q);
+          const auto it = std::lower_bound(
+              cands.begin(), cands.end(), cand,
+              [](const CandidateNeighbor& c, NodeId id) { return c.id < id; });
+          if (it != cands.end() && it->id == cand)
+            it->min = static_cast<std::uint32_t>(
+                it->min == 0 ? q : std::min<std::int64_t>(it->min, q));
         }
-        // Stash the direct minimum under our own id for round 3.
-        if (is_candidate[me]) mins[node.id()] = direct;
-        for (const auto& [cand, slot] : candidate_neighbors[me]) {
-          auto it = mins.find(cand);
-          if (it != mins.end())
-            node.send_slot(slot, Message{kVoteMin, {it->second}});
-        }
+        // Stash the direct minimum for round 3.
+        if (is_candidate[me])
+          direct_min[me] = static_cast<std::uint32_t>(direct);
+        for (const CandidateNeighbor& c : cands)
+          if (c.min != 0)
+            node.send_slot(c.slot,
+                           Message{kVoteMin, {static_cast<std::int64_t>(c.min)}});
       });
       // r3: candidates fold direct + forwarded minima into the estimate.
       net.round([&](NodeView& node) {
         const auto me = static_cast<std::size_t>(node.id());
         if (!is_candidate[me]) return;
-        std::int64_t best = forward_min[me].count(node.id())
-                                ? forward_min[me][node.id()]
-                                : qinf;
+        std::int64_t best = direct_min[me];
         for (const Incoming& in : node.inbox())
           if (in.msg.kind == kVoteMin) best = std::min(best, in.msg.at(0));
         if (best < qinf) {
@@ -236,7 +277,7 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
     // Joins land in a per-node flag and fold into the (shared) result
     // bitset between rounds: VertexSet::insert packs many nodes per word,
     // so it cannot be written from concurrent steps.
-    std::vector<char> joined(n, 0);
+    joined.assign(n, 0);
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       if (!is_candidate[me]) return;

@@ -16,7 +16,9 @@
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
+#include "scenario/spawn.hpp"
 #include "scenario/weights.hpp"
+#include "util/rss.hpp"
 #include "util/table.hpp"
 
 namespace pg::scenario {
@@ -141,6 +143,23 @@ void print_usage(std::ostream& out) {
          "                              topology groups, dealt round-robin);\n"
          "                              rows carry global cell indices so\n"
          "                              `merge` can reassemble the sweep\n"
+         "      [--shard-groups G,...]  with --shard: run exactly these\n"
+         "                              topology groups (ascending global\n"
+         "                              indices) instead of the round-robin\n"
+         "                              deal — the assignment --spawn uses\n"
+         "      [--spawn K]             self-driving multi-process sweep:\n"
+         "                              fork K shard children, balance\n"
+         "                              groups by predicted cost, stream\n"
+         "                              progress, auto-merge byte-identical\n"
+         "                              output; composes with --journal/\n"
+         "                              --resume (per-child journals),\n"
+         "                              --retries (respawn dead children,\n"
+         "                              resuming), and --allow-partial\n"
+         "      [--progress]            with --spawn: stream [i/k] child\n"
+         "                              progress lines to stderr\n"
+         "      [--allow-partial]       with --spawn: merge with\n"
+         "                              status=missing rows when a child\n"
+         "                              stays dead after all retries\n"
          "      [--journal DIR]         journal finished cells to DIR\n"
          "      [--resume DIR]          replay DIR's journal, then run only\n"
          "                              the remaining cells (output is byte-\n"
@@ -412,6 +431,9 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
   bool timing = false;
   bool epsilons_given = false;
   bool weights_given = false;
+  int spawn_children = 0;
+  bool spawn_progress = false;
+  bool allow_partial = false;
   ExecOptions exec;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -480,6 +502,21 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
                          std::to_string(index) + ")");
       spec.shard_index = static_cast<int>(index);
       spec.shard_count = static_cast<int>(count);
+    } else if (flag == "--shard-groups") {
+      spec.shard_groups.clear();
+      for (const std::string& s : split_list(take_value(args, i)))
+        spec.shard_groups.push_back(
+            static_cast<std::size_t>(parse_uint(s, "shard group")));
+    } else if (flag == "--spawn") {
+      const std::int64_t k = parse_int(take_value(args, i), "spawn");
+      if (k < 1 || k > 1024)
+        throw UsageError("spawn must be in [1, 1024] (got " +
+                         std::to_string(k) + ")");
+      spawn_children = static_cast<int>(k);
+    } else if (flag == "--progress") {
+      spawn_progress = true;
+    } else if (flag == "--allow-partial") {
+      allow_partial = true;
     } else if (flag == "--csv") {
       csv_path = take_value(args, i);
     } else if (flag == "--json") {
@@ -515,6 +552,15 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
     throw UsageError("--resume needs the journal directory");
   if (spec.sizes.empty())
     throw UsageError("sweep needs --sizes (e.g. --sizes 16,24)");
+  if (spawn_children > 0 &&
+      (spec.shard_count > 1 || !spec.shard_groups.empty()))
+    throw UsageError(
+        "--spawn orchestrates its own shards; drop --shard/--shard-groups");
+  if (spawn_children == 0 && (spawn_progress || allow_partial))
+    throw UsageError(spawn_progress
+                         ? "--progress needs --spawn"
+                         : "--allow-partial needs --spawn (merge has its "
+                           "own --allow-partial)");
   // Re-validate names/values with the library's messages (also covers lists
   // emptied by e.g. `--scenarios ,`).
   try {
@@ -543,6 +589,19 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
     throw UsageError(
         "the grid expands to zero cells: no requested algorithm can express "
         "any requested power r");
+
+  if (spawn_children > 0) {
+    if (!spawn_supported())
+      throw UsageError("--spawn needs a POSIX platform");
+    SpawnOptions sopts;
+    sopts.children = spawn_children;
+    sopts.retries = exec.retries;
+    sopts.allow_partial = allow_partial;
+    sopts.progress = spawn_progress;
+    sopts.timing = timing;
+    sopts.exec = exec;
+    return run_spawned_sweep(spec, sopts, csv_path, json_path, out, err);
+  }
 
   // Open every output before executing (fail on a bad path in O(1), not
   // after the sweep) and stream rows straight into the writers — the sweep
@@ -596,7 +655,9 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
         if (json) json->row(row);
       },
       exec);
-  if (json) json->end();
+  // Peak RSS rides in the JSON meta only under --timing (it is as
+  // host-dependent as wall clock; default output stays byte-stable).
+  if (json) json->end(timing ? util::peak_rss_mb() : -1.0);
   if (shared_target) {
     if (*json_path == "-") {
       out << json_buffer.str();

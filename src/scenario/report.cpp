@@ -251,7 +251,13 @@ void JsonWriter::row(const CellResult& cell) {
   out_ << '}';
 }
 
-void JsonWriter::end() { out_ << "\n  ]\n}\n"; }
+void JsonWriter::end(double peak_rss_mb) {
+  out_ << "\n  ]";
+  if (timing_ && peak_rss_mb >= 0.0)
+    out_ << ",\n  \"meta\": {\"peak_rss_mb\": " << fmt_fixed(peak_rss_mb, 1)
+         << '}';
+  out_ << "\n}\n";
+}
 
 void write_json(std::ostream& out, const SweepResult& result,
                 bool include_timing) {
@@ -559,12 +565,28 @@ std::string merge_json(const std::vector<std::string>& shard_reports,
     shard.stamp.fingerprint += timing ? "+t" : "";
     merged_timing = timing;  // all shards agree (the fingerprint folds it)
 
-    if (report.size() < cells_at + kJsonCellsOpen.size() + kJsonTail.size() ||
-        report.substr(report.size() - kJsonTail.size()) != kJsonTail)
+    // The cells array closes with "\n  ]"; after it comes either the
+    // document tail or an optional (timing-mode) ",\n  \"meta\": {…}"
+    // block, which per-shard writers emit for peak-RSS accounting.  Meta
+    // is host-dependent by construction, so the merger validates its
+    // shape and strips it — the merged report stays byte-stable.
+    const auto cells_close = report.rfind("\n  ]");
+    if (cells_close == std::string::npos ||
+        cells_close < cells_at + kJsonCellsOpen.size())
       merge_fail("truncated JSON shard report");
+    const std::string_view after_cells =
+        std::string_view(report).substr(cells_close + 4);
+    if (after_cells != "\n}\n") {
+      constexpr std::string_view kMetaOpen = ",\n  \"meta\": {";
+      if (after_cells.substr(0, kMetaOpen.size()) != kMetaOpen ||
+          after_cells.substr(after_cells.size() -
+                             std::min<std::size_t>(after_cells.size(), 4)) !=
+              "}\n}\n")
+        merge_fail("truncated JSON shard report");
+    }
     std::string_view cells = std::string_view(report).substr(
         cells_at + kJsonCellsOpen.size(),
-        report.size() - kJsonTail.size() - cells_at - kJsonCellsOpen.size());
+        cells_close - cells_at - kJsonCellsOpen.size());
     while (!cells.empty()) {
       // Rows look like "\n    {...}" separated by commas.
       std::size_t next = cells.find(",\n    {", 1);

@@ -74,7 +74,12 @@ class JsonWriter {
 
   void begin(const SweepSpec& spec, std::size_t total_cells);
   void row(const CellResult& cell);
-  void end();
+  /// Closes the document.  A non-negative `peak_rss_mb` adds a trailing
+  /// `"meta": {"peak_rss_mb": …}` block — but only when the writer was
+  /// opened with include_timing, because peak RSS is as host-dependent as
+  /// wall clock and must never enter the byte-stable output.  Mergers
+  /// accept and strip the block.
+  void end(double peak_rss_mb = -1.0);
 
  private:
   std::ostream& out_;

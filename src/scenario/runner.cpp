@@ -21,6 +21,10 @@
 #define PG_HAS_FORK_ISOLATION 0
 #endif
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "congest/network.hpp"
 #include "graph/cover.hpp"
 #include "graph/power.hpp"
@@ -669,6 +673,13 @@ void run_group(const std::vector<CellSpec>& cells,
     const Scenario& scenario = scenario_or_throw(head.scenario);
     GroupContext context(scenario.build(head.n, head.seed), pool,
                          power_threads, congest_threads);
+#if defined(__GLIBC__)
+    // The generator's scratch (edge lists, degree sequences) is freed by
+    // now, but glibc retains it in the arena; hand it back to the OS so
+    // the group's resident peak reflects live data, not allocator
+    // history — several MB per million-node topology.
+    ::malloc_trim(0);
+#endif
     for (std::size_t i = 0; i < cells.size(); ++i) {
       CellResult& out = results[i];
       execute_cell(cells[i], context, exact_baseline_max_n,
@@ -839,6 +850,15 @@ void validate_spec(const SweepSpec& spec) {
   PG_REQUIRE(spec.shard_count >= 1, "shard count must be >= 1");
   PG_REQUIRE(spec.shard_index >= 1 && spec.shard_index <= spec.shard_count,
              "shard index must lie in [1, shard count]");
+  if (!spec.shard_groups.empty()) {
+    const std::size_t groups = num_topology_groups(spec);
+    for (std::size_t i = 0; i < spec.shard_groups.size(); ++i) {
+      PG_REQUIRE(spec.shard_groups[i] < groups,
+                 "shard group index out of range");
+      PG_REQUIRE(i == 0 || spec.shard_groups[i - 1] < spec.shard_groups[i],
+                 "shard group indices must be strictly ascending");
+    }
+  }
   for (const std::string& s : spec.scenarios) scenario_or_throw(s);
   for (const std::string& a : spec.algorithms) algorithm_or_throw(a);
   for (VertexId n : spec.sizes)
@@ -873,14 +893,36 @@ std::vector<std::size_t> shard_cell_indices(const SweepSpec& spec) {
   validate_spec(spec);
   const std::size_t per_group = group_pattern(spec).size();
   const std::size_t groups = per_group ? num_topology_groups(spec) : 0;
+  std::vector<std::size_t> out;
+  if (!spec.shard_groups.empty()) {
+    // Explicit assignment (the spawn orchestrator's cost-balanced deal).
+    if (per_group == 0) return out;
+    for (std::size_t g : spec.shard_groups)
+      for (std::size_t j = 0; j < per_group; ++j)
+        out.push_back(g * per_group + j);
+    return out;
+  }
   // The round-robin deal: shard i of k owns groups i-1, i-1+k, i-1+2k, …
   // (the same mapping run_sweep_stream applies via group_of_rank).
-  std::vector<std::size_t> out;
   for (std::size_t g = static_cast<std::size_t>(spec.shard_index - 1);
        g < groups; g += static_cast<std::size_t>(spec.shard_count))
     for (std::size_t j = 0; j < per_group; ++j)
       out.push_back(g * per_group + j);
   return out;
+}
+
+std::size_t count_topology_groups(const SweepSpec& spec) {
+  validate_spec(spec);
+  return num_topology_groups(spec);
+}
+
+std::vector<CellSpec> topology_group_cells(const SweepSpec& spec,
+                                           std::size_t g) {
+  validate_spec(spec);
+  PG_REQUIRE(g < num_topology_groups(spec), "group index out of range");
+  std::vector<CellSpec> cells = group_pattern(spec);
+  stamp_group(spec, g, cells);
+  return cells;
 }
 
 CellResult run_cell(const CellSpec& cell, VertexId exact_baseline_max_n,
@@ -917,16 +959,22 @@ SweepSummary run_sweep_stream(const SweepSpec& spec, const RowSink& sink,
   const std::vector<CellSpec> pattern = group_pattern(spec);
   const std::size_t per_group = pattern.size();
   const std::size_t num_groups = per_group ? num_topology_groups(spec) : 0;
-  // This shard's groups are rank -> group shard_index-1 + rank·shard_count
-  // (the round-robin deal of shard_group_ranks, in closed form).
+  // This shard's groups: rank -> shard_index-1 + rank·shard_count (the
+  // round-robin deal, in closed form), unless an explicit shard_groups
+  // assignment overrides the mapping (the spawn orchestrator's
+  // cost-balanced deal).  Everything downstream — journal prefix order,
+  // resume's order check, the reorder ring — only sees group_of_rank.
   const auto shard_base = static_cast<std::size_t>(spec.shard_index - 1);
   const auto shard_step = static_cast<std::size_t>(spec.shard_count);
   const std::size_t my_groups =
-      num_groups > shard_base
-          ? (num_groups - shard_base + shard_step - 1) / shard_step
-          : 0;
+      !spec.shard_groups.empty()
+          ? (per_group ? spec.shard_groups.size() : 0)
+          : (num_groups > shard_base
+                 ? (num_groups - shard_base + shard_step - 1) / shard_step
+                 : 0);
   auto group_of_rank = [&](std::size_t rank) {
-    return shard_base + rank * shard_step;
+    return spec.shard_groups.empty() ? shard_base + rank * shard_step
+                                     : spec.shard_groups[rank];
   };
 
   SweepSummary summary;

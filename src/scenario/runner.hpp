@@ -69,6 +69,15 @@ struct SweepSpec {
   // 1 <= index <= count).  The default 1/1 is the whole grid.
   int shard_index = 1;
   int shard_count = 1;
+  // Explicit topology-group assignment for this shard, overriding the
+  // round-robin deal: when non-empty, this process executes exactly these
+  // global group indices (strictly ascending, each < the group count).
+  // The spawn orchestrator uses it to balance shards by predicted group
+  // cost instead of by count.  Like the shard coordinates, never part of
+  // the spec fingerprint — any partition of the groups merges back into
+  // the same report, and each shard's journal remains a prefix of its own
+  // (now custom) cell order.
+  std::vector<std::size_t> shard_groups;
 };
 
 struct CellSpec {
@@ -221,9 +230,19 @@ std::vector<CellSpec> expand_grid(const SweepSpec& spec);
 std::size_t count_grid_cells(const SweepSpec& spec);
 
 /// The global cell indices (into expand_grid order) that this spec's shard
-/// executes: whole topology groups, dealt round-robin by group rank.  With
-/// shard 1/1 this is simply 0..N-1.
+/// executes: whole topology groups, dealt round-robin by group rank (or
+/// exactly `spec.shard_groups` when that override is set).  With shard 1/1
+/// this is simply 0..N-1.
 std::vector<std::size_t> shard_cell_indices(const SweepSpec& spec);
+
+/// Number of topology groups — (scenario, n, seed) triples — in the grid.
+/// Group g's cells occupy one contiguous block of expand_grid order.
+std::size_t count_topology_groups(const SweepSpec& spec);
+
+/// The fully stamped cells of topology group `g` (pattern order).  What
+/// the spawn orchestrator prices when balancing groups across children.
+std::vector<CellSpec> topology_group_cells(const SweepSpec& spec,
+                                           std::size_t g);
 
 /// Validates spec values (positive sizes, r >= 1, epsilon in (0, 1],
 /// threads >= 1, congest_threads >= 1, 1 <= shard_index <= shard_count,

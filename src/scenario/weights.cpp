@@ -1,9 +1,11 @@
 #include "scenario/weights.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <charconv>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "scenario/scenario.hpp"
 #include "util/rng.hpp"
@@ -23,6 +25,20 @@ namespace {
 /// the default (`uniform`), matching its different name in the reports.
 Rng weighting_rng(std::string_view name, std::uint64_t seed) {
   return Rng(mix_seed(seed, std::string("weights/") + std::string(name)));
+}
+
+std::atomic<std::uint64_t> build_count{0};
+
+/// Wraps a weighting so every build bumps the process-wide counter the
+/// laziness regression test observes.  Applied at registry construction
+/// and to parametrized spellings, so no build escapes accounting.
+Weighting counted(Weighting w) {
+  auto inner = std::move(w.build);
+  w.build = [inner = std::move(inner)](const Graph& g, std::uint64_t seed) {
+    build_count.fetch_add(1, std::memory_order_relaxed);
+    return inner(g, seed);
+  };
+  return w;
 }
 
 VertexWeights build_uniform(const std::string& name, Weight lo, Weight hi,
@@ -130,11 +146,11 @@ Weighting make_zipf(std::string name, double s) {
 
 std::vector<Weighting> make_registry() {
   std::vector<Weighting> w;
-  w.push_back(make_unit());
-  w.push_back(make_uniform("uniform", 1, 100));
-  w.push_back(make_degree_proportional());
-  w.push_back(make_inverse_degree());
-  w.push_back(make_zipf("zipf", 2.0));
+  w.push_back(counted(make_unit()));
+  w.push_back(counted(make_uniform("uniform", 1, 100)));
+  w.push_back(counted(make_degree_proportional()));
+  w.push_back(counted(make_inverse_degree()));
+  w.push_back(counted(make_zipf("zipf", 2.0)));
   std::sort(w.begin(), w.end(), [](const Weighting& a, const Weighting& b) {
     return a.name < b.name;
   });
@@ -199,9 +215,9 @@ Weighting weighting_or_throw(std::string_view spec) {
     PG_REQUIRE(lo >= 1 && lo <= hi && hi <= 1'000'000'000,
                "uniform weighting needs 1 <= lo <= hi <= 10^9 (got " +
                    std::string(spec) + ")");
-    return make_uniform("uniform[" + std::to_string(lo) + ":" +
-                            std::to_string(hi) + "]",
-                        lo, hi);
+    return counted(make_uniform("uniform[" + std::to_string(lo) + ":" +
+                                    std::to_string(hi) + "]",
+                                lo, hi));
   }
   if (bracket_args(spec, "zipf", args)) {
     // strtod-free strict parse: from_chars(double) is available in the
@@ -214,9 +230,13 @@ Weighting weighting_or_throw(std::string_view spec) {
     PG_REQUIRE(s > 0.0 && s <= 8.0,
                "zipf weighting exponent must lie in (0, 8] (got " +
                    std::string(spec) + ")");
-    return make_zipf(std::string(spec), s);
+    return counted(make_zipf(std::string(spec), s));
   }
   unknown_weighting(spec);
+}
+
+std::uint64_t weighting_builds() {
+  return build_count.load(std::memory_order_relaxed);
 }
 
 std::vector<std::string> weighting_names() {

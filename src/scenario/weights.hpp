@@ -57,4 +57,11 @@ Weighting weighting_or_throw(std::string_view spec);
 
 std::vector<std::string> weighting_names();
 
+/// Process-wide count of weighting-generator invocations (every
+/// `Weighting::build` call, the unit weighting included).  Regression
+/// hook: weight-blind sweeps must never pay for weight derivation, so a
+/// test records the counter around a sweep and asserts the delta is
+/// zero.  Monotone; never reset.
+std::uint64_t weighting_builds();
+
 }  // namespace pg::scenario

@@ -1,0 +1,69 @@
+#include "util/rss.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace pg::util {
+
+namespace {
+
+/// Reads one "<label>: <kB> kB" line from /proc/self/status; -1.0 when
+/// the file or the label is absent (non-Linux, hardened /proc).
+double proc_status_kb(const char* label) {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return -1.0;
+  const std::size_t label_len = std::strlen(label);
+  char line[256];
+  double kb = -1.0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, label, label_len) != 0 ||
+        line[label_len] != ':')
+      continue;
+    long long value = 0;
+    if (std::sscanf(line + label_len + 1, "%lld", &value) == 1)
+      kb = static_cast<double>(value);
+    break;
+  }
+  std::fclose(file);
+  return kb;
+}
+
+double getrusage_peak_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // kB
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+}  // namespace
+
+double peak_rss_mb() {
+  const double kb = proc_status_kb("VmHWM");
+  return kb >= 0.0 ? kb / 1024.0 : getrusage_peak_mb();
+}
+
+double current_rss_mb() {
+  const double kb = proc_status_kb("VmRSS");
+  return kb >= 0.0 ? kb / 1024.0 : 0.0;
+}
+
+bool reset_peak_rss() {
+  std::FILE* file = std::fopen("/proc/self/clear_refs", "w");
+  if (file == nullptr) return false;
+  // "5" resets the peak-RSS watermark only (not the referenced bits).
+  const bool ok = std::fputs("5", file) >= 0;
+  return (std::fclose(file) == 0) && ok;
+}
+
+}  // namespace pg::util

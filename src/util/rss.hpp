@@ -1,0 +1,24 @@
+// Resident-set-size introspection for the memory-diet instrumentation:
+// sweep shards report their peak RSS in the (timing-gated) report meta,
+// and the scenario benchmarks gate allocation/footprint regressions on
+// it.  Linux reads /proc/self/status (VmHWM — resettable, so a bench can
+// measure one iteration); elsewhere getrusage(RUSAGE_SELF) provides the
+// process-lifetime peak and resets are no-ops.
+#pragma once
+
+namespace pg::util {
+
+/// Peak resident set size of this process, in MiB (0.0 when the platform
+/// offers no probe).  After reset_peak_rss() on Linux, the high-water
+/// mark restarts from the *current* RSS.
+double peak_rss_mb();
+
+/// Current resident set size in MiB (0.0 when unavailable).
+double current_rss_mb();
+
+/// Resets the kernel's RSS high-water mark to the current RSS (Linux
+/// /proc/self/clear_refs; silently a no-op elsewhere or when the kernel
+/// denies the write).  Returns true iff the reset took effect.
+bool reset_peak_rss();
+
+}  // namespace pg::util

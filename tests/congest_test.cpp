@@ -306,6 +306,33 @@ TEST(Network, RebindReusesBuffersAndMatchesFreshConstruction) {
   EXPECT_EQ(net.stats(), fresh.stats());
 }
 
+TEST(Network, RebindToASmallTopologyShrinksOversizedBuffers) {
+  // A pooled simulator that just ran a big dense graph must not pin that
+  // graph's buffers forever: reset(topology) releases capacity that is
+  // grossly oversized for the new binding (the sweep runner's pool walks
+  // topologies largest-first, so without this a whole sweep would hold
+  // the peak graph's footprint).
+  Network net(graph::complete_graph(192));  // ~36k directed slots
+  net.round([&](NodeView& node) {
+    // Node 0 unicasts (touches the staging buffers), everyone else
+    // broadcasts (fills the dense inbox arena).
+    if (node.id() == 0)
+      node.send(1, Message{8, {}});
+    else
+      node.broadcast(Message{7, {}});
+  });
+  const std::size_t big = net.buffer_bytes();
+
+  net.reset(graph::path_graph(8));
+  const Network fresh(graph::path_graph(8));
+  EXPECT_LT(net.buffer_bytes(), big / 8);
+  // Within the fit_capacity slack (2x + the 1024-element floor) of a
+  // fresh simulator: rebinding is allowed to keep warm capacity, not an
+  // old topology's worth of it.
+  EXPECT_LE(net.buffer_bytes(),
+            8 * std::max<std::size_t>(fresh.buffer_bytes(), 1) + (1 << 16));
+}
+
 TEST(Primitives, LeaderElectionFindsMinId) {
   Rng rng(23);
   for (int trial = 0; trial < 5; ++trial) {

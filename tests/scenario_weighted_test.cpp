@@ -359,6 +359,30 @@ TEST(WeightedSweep, AllCellsFeasibleAndUnitCellsMirrorSizeMetrics) {
   }
 }
 
+TEST(WeightedSweep, WeightBlindSweepsNeverInvokeTheGenerator) {
+  // VertexWeights are derived lazily per group: a sweep whose algorithms
+  // are all weight-blind must never call a weighting's build function,
+  // no matter what the --weightings list says (the cells normalize to
+  // unit, and unit short-circuits without a generator call).
+  SweepSpec blind;
+  blind.scenarios = {"ba"};
+  blind.algorithms = {"matching", "mvc"};
+  blind.sizes = {14};
+  blind.seeds = {1, 2};
+  blind.weightings = {"zipf", "degree-proportional"};
+  const std::uint64_t before = weighting_builds();
+  const SweepResult result = run_sweep(blind);
+  for (const CellResult& cell : result.cells)
+    ASSERT_EQ(cell.status, CellStatus::kOk) << cell.error;
+  EXPECT_EQ(weighting_builds(), before);
+
+  // Control: the same grid with a weight-aware algorithm does build.
+  SweepSpec aware = blind;
+  aware.algorithms = {"mwvc"};
+  run_sweep(aware);
+  EXPECT_GT(weighting_builds(), before);
+}
+
 TEST(WeightedSweep, ByteStableAcrossThreadCountsAndMergesByShard) {
   const SweepResult once = run_sweep(weighted_spec(1));
   const std::string csv = csv_string(once);
