@@ -133,6 +133,27 @@ class PackedMessage {
     return m;
   }
 
+  /// Fault injection's structurally-safe payload corruption: flips exactly
+  /// one bit chosen by `entropy` inside the narrow payload region, or — for
+  /// field-less and wide messages, where payload bits are absent or alias a
+  /// pool index — one kind bit.  The num_fields and wide bits are never
+  /// touched, so a corrupted message still decodes through `unpack` as a
+  /// well-formed (if wrong) Message.
+  void corrupt(std::uint64_t entropy) {
+    unsigned __int128 acc = load();
+    const int nf = static_cast<int>((acc >> 8) & 0x7);
+    if (nf == 0 || (acc & kWideBit) != 0) {
+      acc ^= static_cast<unsigned __int128>(1) << (entropy % 8);  // kind bit
+    } else {
+      const auto span =
+          static_cast<std::uint64_t>(nf) *
+          static_cast<std::uint64_t>(field_width(nf));
+      acc ^= static_cast<unsigned __int128>(1)
+             << (kPayloadShift + entropy % span);
+    }
+    store(acc);
+  }
+
  private:
   static constexpr int kPayloadShift = 12;
   static constexpr std::uint32_t kWideBit = 1u << 11;

@@ -79,6 +79,8 @@ void Network::set_threads(int t) {
   scratch_.resize(static_cast<std::size_t>(threads_));
   for (detail::InboxScratch& scratch : scratch_) scratch.node = -1;
   step_errors_.assign(static_cast<std::size_t>(threads_), nullptr);
+  fault_tallies_.assign(static_cast<std::size_t>(threads_),
+                        detail::FaultTally{});
   // The pool is resized lazily by ensure_pool(): a stale pool is only
   // dropped here if it is now the wrong size, so repeated rebinds with an
   // unchanged thread count keep their parked helpers.
@@ -108,6 +110,82 @@ void Network::compute_bounds() {
 void Network::ensure_pool() {
   if (pool_ == nullptr || pool_->workers() != threads_)
     pool_ = std::make_unique<util::WorkerPool>(threads_);
+}
+
+namespace {
+/// Default divergence budget once an adversary is active: generous for
+/// every algorithm in the repo (their round counts are O(n) with small
+/// constants even under heavy loss) yet finite, so a starved quiescence
+/// loop becomes a thrown error instead of a hang.
+std::int64_t default_round_limit(std::size_t n) {
+  return static_cast<std::int64_t>(64 * n) + 16384;
+}
+}  // namespace
+
+void Network::arm_faults() {
+  crash_cursor_ = 0;
+  if (faults_enabled_) {
+    crashed_.assign(n(), 0);
+    round_limit_ = default_round_limit(n());
+  } else {
+    crashed_.clear();
+    round_limit_ = -1;
+  }
+  for (detail::FaultTally& tally : fault_tallies_) tally = {};
+}
+
+void Network::set_fault_model(const FaultModel& model) {
+  fault_model_ = model;
+  // Cursor-driven application needs the schedule in round order; the node
+  // tiebreak keeps `nodes_crashed` accounting order deterministic.
+  std::sort(fault_model_.crash_schedule.begin(),
+            fault_model_.crash_schedule.end(),
+            [](const CrashEvent& a, const CrashEvent& b) {
+              return a.round != b.round ? a.round < b.round : a.node < b.node;
+            });
+  drop_threshold_ = fault_threshold(fault_model_.drop_rate);
+  corrupt_threshold_ = fault_threshold(fault_model_.corrupt_rate);
+  crash_threshold_ = fault_threshold(fault_model_.crash_rate);
+  faults_enabled_ = fault_model_.enabled();
+  arm_faults();
+}
+
+void Network::clear_fault_model() {
+  fault_model_ = FaultModel{};
+  drop_threshold_ = corrupt_threshold_ = crash_threshold_ = 0;
+  faults_enabled_ = false;
+  arm_faults();
+}
+
+void Network::begin_faulty_round() {
+  PG_REQUIRE(
+      round_limit_ < 0 || stats_.rounds < round_limit_,
+      "CONGEST: round budget of " + std::to_string(round_limit_) +
+          " rounds exhausted — algorithm diverged (an adversary starving "
+          "a quiescence loop is the usual cause)");
+  if (!faults_enabled_) return;
+  const std::int64_t now = stats_.rounds;
+  const auto num_nodes = static_cast<NodeId>(n());
+  auto crash = [&](NodeId v) {
+    // Schedules ride whole sweep grids; entries naming nodes outside this
+    // topology are defined to be no-ops.
+    if (v < 0 || v >= num_nodes) return;
+    char& flag = crashed_[static_cast<std::size_t>(v)];
+    if (flag == 0) {
+      flag = 1;
+      ++stats_.faults.nodes_crashed;
+    }
+  };
+  const auto& schedule = fault_model_.crash_schedule;
+  while (crash_cursor_ < schedule.size() &&
+         schedule[crash_cursor_].round <= now)
+    crash(schedule[crash_cursor_++].node);
+  if (crash_threshold_ != 0)
+    for (NodeId v = 0; v < num_nodes; ++v)
+      if (crashed_[static_cast<std::size_t>(v)] == 0 &&
+          fault_fires(crash_threshold_, fault_model_.seed, kFaultTagCrash,
+                      now, static_cast<std::uint64_t>(v)))
+        crash(v);
 }
 
 void Network::rebuild() {
@@ -185,6 +263,13 @@ void Network::rebuild() {
   round_staged_.clear();
   round_slots_.clear();
   round_bcasters_.clear();
+
+  // A rebind is a new cell: any installed adversary dies with the old
+  // topology (the sweep runner re-installs per cell).
+  fault_model_ = FaultModel{};
+  drop_threshold_ = corrupt_threshold_ = crash_threshold_ = 0;
+  faults_enabled_ = false;
+  arm_faults();
 
   // Re-clamp the worker count against the new n and re-partition; the
   // parked pool survives whenever the effective count is unchanged.
@@ -283,9 +368,31 @@ void Network::deliver() {
   if (last_round_messages_ == 0) {
     // Quiet round (every quiescence loop's final round): nothing to sweep.
     std::fill(inbox_count_.begin(), inbox_count_.end(), 0);
+    if (faults_enabled_) ++stats_.faults.rounds_survived;
     ++stats_.rounds;
     return;
   }
+  // Fault disposition per candidate delivery, keyed on the *global*
+  // receiver-side slot — a pure function of (seed, round, slot), so the
+  // dropped/corrupted set is identical at any worker count or partition.
+  // `ft` is the calling worker's tally; the sums are folded below.
+  const bool faults_on = faults_enabled_;
+  const std::uint64_t fault_seed = fault_model_.seed;
+  const std::uint64_t drop_thr = drop_threshold_;
+  const std::uint64_t corrupt_thr = corrupt_threshold_;
+  auto dropped = [&](std::uint32_t e, detail::FaultTally& ft) {
+    if (!fault_fires(drop_thr, fault_seed, kFaultTagDrop, now, e))
+      return false;
+    ++ft.dropped;
+    return true;
+  };
+  auto maybe_corrupt = [&](std::uint32_t e, detail::PackedIncoming& in,
+                           detail::FaultTally& ft) {
+    if (!fault_fires(corrupt_thr, fault_seed, kFaultTagCorrupt, now, e))
+      return;
+    in.msg.corrupt(fault_hash(fault_seed, kFaultTagCorruptBit, now, e));
+    ++ft.corrupted;
+  };
   // Payload lookup for a slot known to hold a current-round unicast: the
   // staged list is sorted by (unique) slot, so the search always lands.
   auto unicast_msg = [&](std::uint32_t e) -> const PackedMessage& {
@@ -317,7 +424,7 @@ void Network::deliver() {
         round_slots_.push_back(reverse_slot_[e]);
     }
     std::sort(round_slots_.begin(), round_slots_.end());
-    auto sweep = [&](NodeId lo, NodeId hi) {
+    auto sweep = [&](NodeId lo, NodeId hi, detail::FaultTally& ft) {
       auto it = std::lower_bound(round_slots_.begin(), round_slots_.end(),
                                  first_slot_[static_cast<std::size_t>(lo)]);
       std::size_t idx = static_cast<std::size_t>(it - round_slots_.begin());
@@ -328,30 +435,33 @@ void Network::deliver() {
         std::uint32_t k = 0;
         while (idx < round_slots_.size() && round_slots_[idx] < end) {
           const std::uint32_t e = round_slots_[idx++];
+          if (faults_on && dropped(e, ft)) continue;
           detail::PackedIncoming& in = arena[begin + k];
           const NodeId u = adj[e];
           in.reply_slot = e - begin;
           in.msg = bcast_round_[static_cast<std::size_t>(u)] == now
                        ? bcast_msg_[static_cast<std::size_t>(u)]
                        : unicast_msg(e);
+          if (faults_on) maybe_corrupt(e, in, ft);
           ++k;
         }
         inbox_count_[v] = k;
       }
     };
     if (threads_ == 1) {
-      sweep(0, static_cast<NodeId>(n));
+      sweep(0, static_cast<NodeId>(n), fault_tallies_[0]);
     } else {
       ensure_pool();
       pool_->run([this, &sweep](int t) {
         sweep(bounds_[static_cast<std::size_t>(t)],
-              bounds_[static_cast<std::size_t>(t) + 1]);
+              bounds_[static_cast<std::size_t>(t) + 1],
+              fault_tallies_[static_cast<std::size_t>(t)]);
       });
     }
   } else if (round_unicasts_ == 0) {
     // Broadcast-heavy round (the common case): gather straight from the
     // per-sender buffers; the unicast slots were never touched.
-    auto sweep = [&](NodeId lo, NodeId hi) {
+    auto sweep = [&](NodeId lo, NodeId hi, detail::FaultTally& ft) {
       for (auto v = static_cast<std::size_t>(lo);
            v < static_cast<std::size_t>(hi); ++v) {
         const std::uint32_t begin = first_slot_[v];
@@ -360,9 +470,11 @@ void Network::deliver() {
         for (std::uint32_t e = begin; e < end; ++e) {
           const NodeId u = adj[e];
           if (bcast_round_[static_cast<std::size_t>(u)] == now) {
+            if (faults_on && dropped(e, ft)) continue;
             detail::PackedIncoming& in = arena[begin + k];
             in.reply_slot = e - begin;
             in.msg = bcast_msg_[static_cast<std::size_t>(u)];
+            if (faults_on) maybe_corrupt(e, in, ft);
             ++k;
           }
         }
@@ -370,16 +482,17 @@ void Network::deliver() {
       }
     };
     if (threads_ == 1) {
-      sweep(0, static_cast<NodeId>(n));
+      sweep(0, static_cast<NodeId>(n), fault_tallies_[0]);
     } else {
       ensure_pool();
       pool_->run([this, &sweep](int t) {
         sweep(bounds_[static_cast<std::size_t>(t)],
-              bounds_[static_cast<std::size_t>(t) + 1]);
+              bounds_[static_cast<std::size_t>(t) + 1],
+              fault_tallies_[static_cast<std::size_t>(t)]);
       });
     }
   } else {
-    auto sweep = [&](NodeId lo, NodeId hi) {
+    auto sweep = [&](NodeId lo, NodeId hi, detail::FaultTally& ft) {
       for (auto v = static_cast<std::size_t>(lo);
            v < static_cast<std::size_t>(hi); ++v) {
         const std::uint32_t begin = first_slot_[v];
@@ -393,9 +506,11 @@ void Network::deliver() {
           else if (slot_round_[e] == now)
             m = &unicast_msg(e);
           if (m != nullptr) {
+            if (faults_on && dropped(e, ft)) continue;
             detail::PackedIncoming& in = arena[begin + k];
             in.reply_slot = e - begin;
             in.msg = *m;
+            if (faults_on) maybe_corrupt(e, in, ft);
             ++k;
           }
         }
@@ -403,12 +518,13 @@ void Network::deliver() {
       }
     };
     if (threads_ == 1) {
-      sweep(0, static_cast<NodeId>(n));
+      sweep(0, static_cast<NodeId>(n), fault_tallies_[0]);
     } else {
       ensure_pool();
       pool_->run([this, &sweep](int t) {
         sweep(bounds_[static_cast<std::size_t>(t)],
-              bounds_[static_cast<std::size_t>(t) + 1]);
+              bounds_[static_cast<std::size_t>(t) + 1],
+              fault_tallies_[static_cast<std::size_t>(t)]);
       });
     }
   }
@@ -419,6 +535,16 @@ void Network::deliver() {
   round_slots_.clear();
   round_bcasters_.clear();
   round_unicasts_ = 0;
+  if (faults_enabled_) {
+    // Fold the per-worker drop/corrupt counts (sums — order-free) and
+    // count the completed round as survived.
+    for (detail::FaultTally& ft : fault_tallies_) {
+      stats_.faults.messages_dropped += ft.dropped;
+      stats_.faults.messages_corrupted += ft.corrupted;
+      ft = {};
+    }
+    ++stats_.faults.rounds_survived;
+  }
   ++stats_.rounds;
 }
 
@@ -439,6 +565,10 @@ void Network::reset() {
   std::fill(inbox_count_.begin(), inbox_count_.end(), 0);
   wide_send_.clear();
   wide_inbox_.clear();
+  // The fault model itself survives reset() (entry points reset the
+  // network they are handed; the adversary must not die with it), but the
+  // per-run crash flags, schedule cursor, and round budget start over.
+  arm_faults();
 }
 
 }  // namespace pg::congest

@@ -70,6 +70,7 @@
 #include <span>
 #include <vector>
 
+#include "congest/fault.hpp"
 #include "congest/message.hpp"
 #include "graph/graph.hpp"
 #include "util/cancel.hpp"
@@ -117,6 +118,11 @@ struct RoundStats {
   std::int64_t rounds = 0;
   std::int64_t messages = 0;
   std::int64_t total_bits = 0;
+  /// Fault accounting (all zero when no fault model is active).  `messages`
+  /// and `total_bits` above count *sent* traffic — a dropped message still
+  /// charges its sender, so quiescence detection and bandwidth accounting
+  /// are adversary-independent.
+  FaultStats faults;
 
   friend bool operator==(const RoundStats&, const RoundStats&) = default;
 };
@@ -150,6 +156,13 @@ struct alignas(64) SendTally {
     bcasters.clear();
     messages = bits = 0;
   }
+};
+
+/// Per-worker fault counters for the delivery sweep (summed serially after
+/// the sweep, so FaultStats totals are thread-count invariant).
+struct alignas(64) FaultTally {
+  std::int64_t dropped = 0;
+  std::int64_t corrupted = 0;
 };
 
 }  // namespace detail
@@ -212,6 +225,29 @@ class Network {
   /// path.
   std::size_t buffer_bytes() const;
 
+  /// Installs a deterministic network-fault model (see congest/fault.hpp).
+  /// A disabled model (all rates zero, empty schedule) is byte-invisible.
+  /// The model survives `reset()` — entry points reset the network they are
+  /// handed, and the adversary must outlive that — but is cleared by
+  /// construction and `reset(topology)` (a rebind means a new cell).
+  /// Installing a model re-arms crash state and the default round budget.
+  void set_fault_model(const FaultModel& model);
+  void clear_fault_model();
+  /// True iff an enabled fault model is installed.  Algorithms may consult
+  /// this to relax *self*-checks whose failure under an adversary is the
+  /// expected outcome (the sweep's --certify pass re-checks independently);
+  /// they must never branch on it in fault-free runs' message logic.
+  bool faults_active() const { return faults_enabled_; }
+  const FaultModel& fault_model() const { return fault_model_; }
+
+  /// Caps the round counter: the next `round()` call at or past the limit
+  /// throws instead of executing — divergence detection for quiescence
+  /// loops an adversary can starve forever.  `reset()` re-arms the default
+  /// (64·n + 16384 when a fault model is active, unlimited otherwise);
+  /// -1 means unlimited.
+  void set_round_limit(std::int64_t limit) { round_limit_ = limit; }
+  std::int64_t round_limit() const { return round_limit_; }
+
   /// Executes one synchronous round.  `step(NodeView&)` is called for every
   /// node; messages sent become visible in inboxes next round.  The step
   /// callable is invoked directly (no type erasure), so lambdas inline.
@@ -228,11 +264,18 @@ class Network {
     // Round stamps are 32-bit (4 bytes × 2m slots matter at 10⁶ nodes).
     PG_REQUIRE(stats_.rounds < std::numeric_limits<std::int32_t>::max(),
                "CONGEST: round counter exceeds 32-bit stamp range");
+    // Crash-stop prologue + round-budget guard, on the driver thread so
+    // crash decisions are made exactly once regardless of worker count.
+    // `crashed_` is read-only for the rest of the round, so the skip in
+    // the (possibly parallel) step loops below is race-free.
+    if (faults_enabled_ || round_limit_ >= 0) begin_faulty_round();
     if (threads_ == 1) {
       const auto num_nodes = static_cast<NodeId>(n());
       detail::SendTally& tally = tallies_[0];
       detail::InboxScratch& scratch = scratch_[0];
       for (NodeId v = 0; v < num_nodes; ++v) {
+        if (faults_enabled_ && crashed_[static_cast<std::size_t>(v)] != 0)
+          continue;
         NodeView view(this, v, &tally, &scratch);
         step(view);
       }
@@ -242,6 +285,8 @@ class Network {
         detail::InboxScratch& scratch = scratch_[static_cast<std::size_t>(t)];
         const NodeId hi = bounds_[static_cast<std::size_t>(t) + 1];
         for (NodeId v = bounds_[static_cast<std::size_t>(t)]; v < hi; ++v) {
+          if (faults_enabled_ && crashed_[static_cast<std::size_t>(v)] != 0)
+            continue;
           NodeView view(this, v, &tally, &scratch);
           step(view);
         }
@@ -395,6 +440,15 @@ class Network {
     return {scratch.items.data(), scratch.items.size()};
   }
 
+  /// Round prologue when a fault model or round limit is armed: enforces
+  /// the round budget, then applies scheduled and hazard-rate crash-stops
+  /// for the round about to execute.  Driver thread only.
+  void begin_faulty_round();
+
+  /// Re-arms per-run fault state (crash flags, schedule cursor, default
+  /// round budget, worker counters) for the current model.
+  void arm_faults();
+
   /// Recomputes the adjacency-mass-balanced worker ranges for the current
   /// (topology, threads) pair.
   void compute_bounds();
@@ -471,6 +525,21 @@ class Network {
   std::vector<detail::InboxScratch> scratch_;
   std::vector<std::exception_ptr> step_errors_;
   std::unique_ptr<util::WorkerPool> pool_;
+
+  // Fault-injection state.  Thresholds are the precomputed hash cutoffs
+  // (0 = stream disabled); crashed_ is written only in the driver-thread
+  // prologue and read by the step/delivery phases; fault_tallies_ hold the
+  // per-worker drop/corrupt counts folded (in any order — they are sums)
+  // into stats_.faults after each delivery sweep.
+  FaultModel fault_model_;
+  bool faults_enabled_ = false;
+  std::uint64_t drop_threshold_ = 0;
+  std::uint64_t corrupt_threshold_ = 0;
+  std::uint64_t crash_threshold_ = 0;
+  std::vector<char> crashed_;
+  std::size_t crash_cursor_ = 0;
+  std::int64_t round_limit_ = -1;
+  std::vector<detail::FaultTally> fault_tallies_;
 };
 
 inline std::size_t NodeView::n() const { return net_->n(); }

@@ -37,7 +37,11 @@ NodeId elect_min_id_leader(Network& net) {
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       for (const Incoming& in : node.inbox())
-        if (in.msg.kind == kMinId)
+        // The field-count guard makes adversarial traffic (a corrupted
+        // field-less message whose kind now collides with kMinId) a no-op
+        // instead of an out-of-range field read; fault-free messages
+        // always carry their declared fields.
+        if (in.msg.kind == kMinId && in.msg.num_fields >= 1)
           best[me] = std::min(best[me], static_cast<NodeId>(in.msg.at(0)));
       if (best[me] != last_broadcast[me]) {
         node.broadcast(Message{kMinId, {best[me]}});
@@ -78,7 +82,7 @@ BfsTree build_bfs_tree(Network& net, NodeId root) {
       if (tree.depth[me] == -1) {
         const Incoming* best = nullptr;
         for (const Incoming& in : node.inbox()) {
-          if (in.msg.kind != kBfsJoin) continue;
+          if (in.msg.kind != kBfsJoin || in.msg.num_fields < 1) continue;
           if (best == nullptr || in.from < best->from) best = &in;
         }
         if (best != nullptr) {
@@ -140,7 +144,7 @@ std::vector<std::uint64_t> upcast_tokens(
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       for (const Incoming& in : node.inbox()) {
-        if (in.msg.kind != kToken) continue;
+        if (in.msg.kind != kToken || in.msg.num_fields < 1) continue;
         const auto token = static_cast<std::uint64_t>(in.msg.at(0));
         if (node.id() == tree.root) {
           collected.push_back(token);
@@ -156,6 +160,15 @@ std::vector<std::uint64_t> upcast_tokens(
                        Message{kToken, {static_cast<std::int64_t>(token)}});
       }
     });
+    // Divergence guard: a quiet round with tokens still pending means no
+    // token is in flight and no live node holds one to forward — under
+    // fault injection (a dropped kToken, a crashed relay) this loop would
+    // otherwise spin quiet rounds forever.  Unreachable fault-free: any
+    // undelivered token sits in some non-root queue, whose owner sends
+    // every round.
+    PG_CHECK(pending == 0 || net.last_round_sent_messages(),
+             "upcast stalled: tokens lost in transit (dropped message or "
+             "crashed relay?)");
   }
   return collected;
 }
@@ -186,7 +199,7 @@ std::vector<std::vector<std::uint64_t>> downcast_tokens(
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       for (const Incoming& in : node.inbox()) {
-        if (in.msg.kind != kToken) continue;
+        if (in.msg.kind != kToken || in.msg.num_fields < 1) continue;
         const auto token = static_cast<std::uint64_t>(in.msg.at(0));
         received[me].push_back(token);
         queue[me].push_back(token);

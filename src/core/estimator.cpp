@@ -86,8 +86,14 @@ EstimateResult estimate_two_hop_counts(Network& net,
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       std::int64_t best = my_draw[me];
+      // Field-count guard + value clamp: adversarial corruption can forge
+      // the kind byte of a field-less message or flip payload bits; both
+      // the guard and the clamp are identities on fault-free traffic
+      // (legal samples are in [1, infinity]).
       for (const Incoming& in : node.inbox())
-        if (in.msg.kind == kSample) best = std::min(best, in.msg.at(0));
+        if (in.msg.kind == kSample && in.msg.num_fields >= 1)
+          best = std::min(best, std::clamp(in.msg.at(0), std::int64_t{0},
+                                           quant.infinity));
       one_hop_min[me] = static_cast<std::uint32_t>(best);
       node.broadcast(Message{kOneHop, {best}});
     });
@@ -98,7 +104,9 @@ EstimateResult estimate_two_hop_counts(Network& net,
       const auto me = static_cast<std::size_t>(node.id());
       std::int64_t best = one_hop_min[me];
       for (const Incoming& in : node.inbox())
-        if (in.msg.kind == kOneHop) best = std::min(best, in.msg.at(0));
+        if (in.msg.kind == kOneHop && in.msg.num_fields >= 1)
+          best = std::min(best, std::clamp(in.msg.at(0), std::int64_t{0},
+                                           quant.infinity));
       if (best < quant.infinity) {
         saw_member[me] = 1;
         sum_of_mins[me] += quant.decode(best);

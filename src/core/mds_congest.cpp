@@ -78,6 +78,16 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
       config.max_phases > 0 ? config.max_phases : 40 * (log_n + 1);
   const std::uint64_t r_range = static_cast<std::uint64_t>(n) * n * n * n;
 
+  // Defensive caps for adversarial traffic: corrupted payloads are clamped
+  // back into the legal domain so relayed values still pass the bandwidth
+  // check at small n and density codes cannot shift past 2^62.  Both caps
+  // are identities on fault-free traffic.
+  const bool adversarial = net.faults_active();
+  const std::int64_t max_draw = static_cast<std::int64_t>(
+      std::min<std::uint64_t>(r_range - 1, std::uint64_t{1} << 62));
+  const auto rho_code_cap =
+      static_cast<std::uint8_t>(std::min(62, net.bandwidth() - 9));
+
   // Byte flags, not vector<bool>: nodes write their own entry from inside
   // (possibly parallel) rounds, and vector<bool> packs 64 nodes per word.
   std::vector<char> covered(n, 0);
@@ -148,20 +158,22 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
 
     // --- step 2: candidates = 4-hop maxima of ρ ---------------------------
     best_rho.assign(rho.begin(), rho.end());
+    auto fold_rho = [&](std::size_t me, const Incoming& in) {
+      if (in.msg.kind != kRho || in.msg.num_fields < 1) return;
+      std::uint8_t code = density_code(in.msg.at(0));
+      if (adversarial) code = std::min(code, rho_code_cap);
+      best_rho[me] = std::max(best_rho[me], code);
+    };
     for (int hop = 0; hop < 4; ++hop) {
       net.round([&](NodeView& node) {
         const auto me = static_cast<std::size_t>(node.id());
-        for (const Incoming& in : node.inbox())
-          if (in.msg.kind == kRho)
-            best_rho[me] = std::max(best_rho[me], density_code(in.msg.at(0)));
+        for (const Incoming& in : node.inbox()) fold_rho(me, in);
         node.broadcast(Message{kRho, {density_value(best_rho[me])}});
       });
     }
     net.round([&](NodeView& node) {  // absorb the last hop
       const auto me = static_cast<std::size_t>(node.id());
-      for (const Incoming& in : node.inbox())
-        if (in.msg.kind == kRho)
-          best_rho[me] = std::max(best_rho[me], density_code(in.msg.at(0)));
+      for (const Incoming& in : node.inbox()) fold_rho(me, in);
     });
     for (std::size_t v = 0; v < n; ++v)
       is_candidate[v] = rho[v] >= 1 && rho[v] >= best_rho[v];
@@ -188,9 +200,11 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
       auto& best = best1[me];
       if (is_candidate[me]) best = {draw[me], node.id()};
       for (const Incoming& in : node.inbox())
-        if (in.msg.kind == kCandDraw) {
+        if (in.msg.kind == kCandDraw && in.msg.num_fields >= 1) {
           candidate_neighbors[me].push_back({in.from, in.reply_slot, 0});
-          best = std::min(best, {in.msg.at(0), in.from});
+          std::int64_t r = in.msg.at(0);
+          if (adversarial) r = std::clamp<std::int64_t>(r, 0, max_draw);
+          best = std::min(best, {r, in.from});
         }
       if (best.second != -1)
         node.broadcast(Message{kMinCand, {best.first, best.second}});
@@ -199,9 +213,12 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
       const auto me = static_cast<std::size_t>(node.id());
       auto best = best1[me];
       for (const Incoming& in : node.inbox())
-        if (in.msg.kind == kMinCand)
-          best = std::min(best, {in.msg.at(0),
-                                 static_cast<NodeId>(in.msg.at(1))});
+        if (in.msg.kind == kMinCand && in.msg.num_fields >= 2)
+          best = std::min(
+              best,
+              {in.msg.at(0), static_cast<NodeId>(std::clamp<std::int64_t>(
+                                 in.msg.at(1), -1,
+                                 static_cast<std::int64_t>(n) - 1))});
       vote_of[me] = covered[me] != 0 ? -1 : best.second;
     });
 
@@ -237,9 +254,10 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
             vote_of[me] != -1)
           direct = std::min<std::int64_t>(direct, voter_draw[me]);
         for (const Incoming& in : node.inbox()) {
-          if (in.msg.kind != kVoteW) continue;
+          if (in.msg.kind != kVoteW || in.msg.num_fields < 2) continue;
           const auto cand = static_cast<NodeId>(in.msg.at(0));
-          const std::int64_t q = in.msg.at(1);
+          const std::int64_t q =
+              std::clamp(in.msg.at(1), std::int64_t{1}, qinf);
           if (cand == node.id()) {
             direct = std::min(direct, q);
             continue;
@@ -265,7 +283,9 @@ MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
         if (!is_candidate[me]) return;
         std::int64_t best = direct_min[me];
         for (const Incoming& in : node.inbox())
-          if (in.msg.kind == kVoteMin) best = std::min(best, in.msg.at(0));
+          if (in.msg.kind == kVoteMin && in.msg.num_fields >= 1)
+            best = std::min(best,
+                            std::clamp(in.msg.at(0), std::int64_t{1}, qinf));
         if (best < qinf) {
           vote_sum[me] += qdecode(best);
           ++vote_samples_seen[me];

@@ -100,7 +100,9 @@ void deterministic_phase1(Network& net, int l, std::vector<char>& in_r,
       const auto me = static_cast<std::size_t>(node.id());
       int count = 0;
       for (const Incoming& in : node.inbox())
-        if (in.msg.kind == kStatus && in.msg.at(0) == 1) ++count;
+        if (in.msg.kind == kStatus && in.msg.num_fields >= 1 &&
+            in.msg.at(0) == 1)
+          ++count;
       is_candidate[me] = in_c[me] != 0 && count > l ? 1 : 0;
       if (is_candidate[me] != 0) node.broadcast(Message{kCandidate, {0}});
     });
@@ -125,9 +127,15 @@ void deterministic_phase1(Network& net, int l, std::vector<char>& in_r,
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       NodeId best = max1[me];
+      // Field-count guard + id clamp: adversarial corruption can flip
+      // payload bits (an out-of-range id re-broadcast below would blow the
+      // bandwidth check at small n) or forge the kind of a field-less
+      // message.  Both are identities on fault-free traffic.
       for (const Incoming& in : node.inbox())
-        if (in.msg.kind == kMaxCand)
-          best = std::max(best, static_cast<NodeId>(in.msg.at(0)));
+        if (in.msg.kind == kMaxCand && in.msg.num_fields >= 1)
+          best = std::max(best, static_cast<NodeId>(std::clamp<std::int64_t>(
+                                    in.msg.at(0), -1,
+                                    static_cast<std::int64_t>(n) - 1)));
       if (is_candidate[me] != 0 && best == node.id()) {
         // Selected: N(me) ∩ R joins the cover (learned next round 1).
         in_c[me] = 0;
@@ -197,7 +205,9 @@ void randomized_phase1(Network& net, double epsilon, Rng& rng,
       const auto me = static_cast<std::size_t>(node.id());
       int count = 0;
       for (const Incoming& in : node.inbox())
-        if (in.msg.kind == kStatus && in.msg.at(0) == 1) ++count;
+        if (in.msg.kind == kStatus && in.msg.num_fields >= 1 &&
+            in.msg.at(0) == 1)
+          ++count;
       r_deg[me] = count;
       if (in_c[me] != 0 && count <= threshold) in_c[me] = 0;
       is_candidate[me] = in_c[me];
@@ -217,7 +227,7 @@ void randomized_phase1(Network& net, double epsilon, Rng& rng,
       std::int64_t chosen_draw = -1;
       std::vector<std::uint32_t> candidate_slots;
       for (const Incoming& in : node.inbox()) {
-        if (in.msg.kind != kCandidate) continue;
+        if (in.msg.kind != kCandidate || in.msg.num_fields < 1) continue;
         candidate_slots.push_back(in.reply_slot);
         if (in.msg.at(0) > chosen_draw ||
             (in.msg.at(0) == chosen_draw && in.from > chosen)) {
@@ -235,7 +245,9 @@ void randomized_phase1(Network& net, double epsilon, Rng& rng,
       if (is_candidate[me] == 0) return;
       int votes = 0;
       for (const Incoming& in : node.inbox())
-        if (in.msg.kind == kVote && in.msg.at(0) == node.id()) ++votes;
+        if (in.msg.kind == kVote && in.msg.num_fields >= 1 &&
+            in.msg.at(0) == node.id())
+          ++votes;
       if (8 * votes >= r_deg[me] && votes > 0) {
         in_c[me] = 0;
         node.broadcast(Message{kSelect, {}});
@@ -276,7 +288,7 @@ void run_phase2(Network& net, const std::vector<char>& in_u,
   net.round([&](NodeView& node) {
     const auto me = static_cast<std::size_t>(node.id());
     for (const Incoming& in : node.inbox()) {
-      if (in.msg.kind != kUStatus) continue;
+      if (in.msg.kind != kUStatus || in.msg.num_fields < 1) continue;
       const bool nbr_in_u = in.msg.at(0) == 1;
       if (nbr_in_u)  // v is responsible for its edges into U (Lemma 2)
         tokens[me].push_back(
@@ -293,7 +305,16 @@ void run_phase2(Network& net, const std::vector<char>& in_u,
   std::set<std::pair<VertexId, VertexId>> f_edges;
   std::vector<bool> known_in_u(n, false);
   std::map<VertexId, std::vector<VertexId>> u_neighbors;  // w -> N(w) ∩ U
+  const bool adversarial = net.faults_active();
   for (std::uint64_t token : raw) {
+    // A corrupted kToken payload decodes to arbitrary ids; indexing the
+    // leader's tables with them would be out of bounds, so out-of-range
+    // tokens are rejected — an invariant violation unless an adversary is
+    // active, in which case the degraded cover goes to the certifier.
+    if ((token >> 2) / n >= n) {
+      PG_CHECK(adversarial, "F-edge token out of range");
+      continue;
+    }
     const FEdge e = decode_f_edge(n, token);
     const auto key = std::minmax(e.u, e.v);
     f_edges.insert({key.first, key.second});

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <set>
 
@@ -93,7 +94,7 @@ MwvcCongestResult solve_g2_mwvc_congest(Network& net, const VertexWeights& w,
     const auto me = static_cast<std::size_t>(node.id());
     Weight lowest = 0;
     for (const Incoming& in : node.inbox()) {
-      if (in.msg.kind != kWeight) continue;
+      if (in.msg.kind != kWeight || in.msg.num_fields < 1) continue;
       const Weight wt = in.msg.at(0);
       nbr_weight[me][in.from] = wt;
       if (wt > 0 && (lowest == 0 || wt < lowest)) lowest = wt;
@@ -112,9 +113,17 @@ MwvcCongestResult solve_g2_mwvc_congest(Network& net, const VertexWeights& w,
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       for (const Incoming& in : node.inbox()) {
-        if (in.msg.kind != kSelect || in_r[me] == 0) continue;
+        if (in.msg.kind != kSelect || in.msg.num_fields < 2 || in_r[me] == 0)
+          continue;
         const int cls = static_cast<int>(in.msg.at(0));
         const Weight wmin = in.msg.at(1);
+        // Corrupted payloads can carry any (class, w_min) pair; reject
+        // combinations whose shifted class bounds would overflow.  Identity
+        // for legal announcements, whose w_min·2^{cls+1} stays within the
+        // weight cap enforced on entry.
+        if (cls < 0 || cls > 62 || wmin <= 0 ||
+            wmin > (std::numeric_limits<Weight>::max() >> (cls + 1)))
+          continue;
         const Weight low = wmin << cls;
         if (w[node.id()] >= low && w[node.id()] < low * 2) {
           in_r[me] = 0;
@@ -129,7 +138,8 @@ MwvcCongestResult solve_g2_mwvc_congest(Network& net, const VertexWeights& w,
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       for (const Incoming& in : node.inbox())
-        if (in.msg.kind == kStatus) nbr_in_r[me][in.from] = in.msg.at(0) == 1;
+        if (in.msg.kind == kStatus && in.msg.num_fields >= 1)
+          nbr_in_r[me][in.from] = in.msg.at(0) == 1;
 
       is_candidate[me] = 0;
       chosen_class[me] = -1;
@@ -177,9 +187,13 @@ MwvcCongestResult solve_g2_mwvc_congest(Network& net, const VertexWeights& w,
     net.round([&](NodeView& node) {
       const auto me = static_cast<std::size_t>(node.id());
       NodeId best = max1[me];
+      // Guard + clamp: a corrupted out-of-range id re-broadcast below would
+      // blow the bandwidth check at small n.  Identity fault-free.
       for (const Incoming& in : node.inbox())
-        if (in.msg.kind == kMaxCand)
-          best = std::max(best, static_cast<NodeId>(in.msg.at(0)));
+        if (in.msg.kind == kMaxCand && in.msg.num_fields >= 1)
+          best = std::max(best, static_cast<NodeId>(std::clamp<std::int64_t>(
+                                    in.msg.at(0), -1,
+                                    static_cast<std::int64_t>(n) - 1)));
       if (is_candidate[me] != 0 && best == node.id())
         node.broadcast(Message{
             kSelect, {chosen_class[me], w_min[me]}});
@@ -212,7 +226,9 @@ MwvcCongestResult solve_g2_mwvc_congest(Network& net, const VertexWeights& w,
   net.round([&](NodeView& node) {
     const auto me = static_cast<std::size_t>(node.id());
     for (const Incoming& in : node.inbox()) {
-      if (in.msg.kind != kUStatus || in.msg.at(0) != 1) continue;
+      if (in.msg.kind != kUStatus || in.msg.num_fields < 1 ||
+          in.msg.at(0) != 1)
+        continue;
       // F-edge token: 1 | u | v | u_in_u | v_in_u   (edge into U).
       const auto a = static_cast<std::uint64_t>(node.id());
       const auto b = static_cast<std::uint64_t>(in.from);
@@ -237,10 +253,18 @@ MwvcCongestResult solve_g2_mwvc_congest(Network& net, const VertexWeights& w,
   std::set<std::pair<VertexId, VertexId>> f_edges;
   std::map<VertexId, Weight> u_weight;
   std::map<VertexId, std::vector<VertexId>> u_neighbors;
+  const bool adversarial = net.faults_active();
   for (std::uint64_t token : raw) {
     if (token & 1u) {  // edge token
       std::uint64_t packed = token >> 1;
-      PG_CHECK((packed & 1u) == 1u, "malformed edge token");
+      // Corrupted kToken payloads decode arbitrarily; malformed or
+      // out-of-range tokens would index the leader's tables out of bounds,
+      // so they are rejected — a hard invariant unless an adversary is
+      // active, in which case the degraded cover goes to the certifier.
+      if ((packed & 1u) != 1u || (packed >> 2) / n >= n) {
+        PG_CHECK(adversarial, "malformed edge token");
+        continue;
+      }
       packed >>= 1;
       const bool sender_in_u = (packed & 1u) != 0;
       packed >>= 1;
@@ -252,6 +276,10 @@ MwvcCongestResult solve_g2_mwvc_congest(Network& net, const VertexWeights& w,
       if (sender_in_u) u_neighbors[nbr].push_back(sender);
     } else {
       const std::uint64_t packed = token >> 1;
+      if (packed / weight_base >= n) {
+        PG_CHECK(adversarial, "weight token out of range");
+        continue;
+      }
       u_weight[static_cast<VertexId>(packed / weight_base)] =
           static_cast<Weight>(packed % weight_base);
     }

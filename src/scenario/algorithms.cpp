@@ -37,6 +37,7 @@ RunOutcome from_congest(VertexSet solution, const congest::RoundStats& stats,
   out.rounds = stats.rounds;
   out.messages = stats.messages;
   out.total_bits = stats.total_bits;
+  out.faults = stats.faults;
   out.exact = exact;
   return out;
 }
@@ -261,6 +262,21 @@ bool supports_power(const Algorithm& alg, int r) {
 int comm_power(const Algorithm& alg, int r) {
   PG_REQUIRE(supports_power(alg, r), "algorithm cannot target this power");
   return alg.native_power == 0 ? 1 : r / alg.native_power;
+}
+
+double published_ratio_bound(const Algorithm& alg, double epsilon) {
+  // Mirror of the conformance suite's pinned table — the certifier must
+  // hold sweeps to the same constants the tests enforce.
+  const double one_plus_eps =
+      1.0 + 1.0 / std::ceil(1.0 / std::max(epsilon, 1e-9));
+  if (alg.name == "mvc" || alg.name == "mvc-rand" || alg.name == "gr-mvc" ||
+      alg.name == "clique-mvc")
+    return one_plus_eps;
+  if (alg.name == "mvc53") return 5.0 / 3.0;
+  if (alg.name == "mwvc" || alg.name == "gr-mwvc") return one_plus_eps;
+  if (alg.name == "matching") return 2.0;
+  if (alg.name == "naive-mvc" || alg.name == "naive-mds") return 1.0;
+  return 0.0;  // mds & everything else: feasibility-only
 }
 
 }  // namespace pg::scenario

@@ -45,6 +45,9 @@ struct RunOutcome {
   std::int64_t messages = 0;
   std::int64_t total_bits = 0;
   bool exact = false;           // the algorithm claims optimality
+  // Adversarial-network accounting (all zero when no fault model is
+  // installed on the cell's simulator).
+  congest::FaultStats faults;
 };
 
 struct Algorithm {
@@ -85,5 +88,13 @@ bool supports_power(const Algorithm& alg, int r);
 /// The comm-graph power k with native target (G^k)^native = G^r; 1 for
 /// centralized algorithms (which receive G itself).  Requires support.
 int comm_power(const Algorithm& alg, int r);
+
+/// The sharpest published approximation-ratio bound for the algorithm at
+/// this epsilon, used by the sweep's --certify pass (unit weights only; the
+/// weighted variants publish the same bound but the certifier restricts
+/// itself to weightings with a pinned conformance table).  0 means
+/// "feasibility-only": no sharp constant is published (mds's bound is the
+/// asymptotic O(log Δ)).
+double published_ratio_bound(const Algorithm& alg, double epsilon);
 
 }  // namespace pg::scenario

@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "graph/io.hpp"
+#include "scenario/fault.hpp"
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
@@ -175,6 +176,29 @@ void print_usage(std::ostream& out) {
          "                              not the sweep (POSIX only)\n"
          "      [--retries K]           re-run a crashed isolated group up\n"
          "                              to K extra times with backoff\n"
+         "      [--fault-plan PLAN]     deterministic fault injection; PLAN\n"
+         "                              mixes runner directives (throw|\n"
+         "                              stall|abort@CELL[:K], build@gG[:K])\n"
+         "                              with adversarial network faults for\n"
+         "                              every CONGEST cell: drop=R,\n"
+         "                              corrupt=R, crash=R (rates in [0,1]),\n"
+         "                              crash@NODE:ROUND schedule entries,\n"
+         "                              net-seed=S; also read from the\n"
+         "                              PG_FAULT_PLAN environment variable.\n"
+         "                              Fault decisions are a pure function\n"
+         "                              of (seed, cell, round, edge slot) —\n"
+         "                              reports are byte-identical across\n"
+         "                              --threads/--congest-threads/--spawn/\n"
+         "                              --resume; network faults add\n"
+         "                              msgs_dropped/msgs_corrupted/\n"
+         "                              nodes_crashed/rounds_survived report\n"
+         "                              columns\n"
+         "      [--certify]             re-check every ok row independently\n"
+         "                              (implicit power-graph feasibility,\n"
+         "                              published ratio bound, exactness\n"
+         "                              claims); violations become\n"
+         "                              status=unverified rows and reports\n"
+         "                              gain a certified column\n"
          "  merge (--csv|--json) OUT|- [--allow-partial] FILE...\n"
          "                              merge K per-shard reports into the\n"
          "                              byte-identical single-process report\n"
@@ -435,6 +459,9 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
   bool spawn_progress = false;
   bool allow_partial = false;
   ExecOptions exec;
+  // Owns the parsed --fault-plan for the duration of the sweep (exec
+  // holds a pointer; spawn children inherit it across fork).
+  std::optional<FaultPlan> fault_plan_storage;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
@@ -544,6 +571,13 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
         throw UsageError("retries must be in [0, 100] (got " +
                          std::to_string(k) + ")");
       exec.retries = static_cast<int>(k);
+    } else if (flag == "--fault-plan") {
+      // FaultPlan::parse throws PreconditionViolation naming the bad
+      // token; run_cli maps that to exit 2 like every other usage error.
+      fault_plan_storage = FaultPlan::parse(take_value(args, i));
+      exec.fault_plan = &*fault_plan_storage;
+    } else if (flag == "--certify") {
+      exec.certify = true;
     } else {
       throw UsageError("unknown flag '" + flag + "' for sweep");
     }
@@ -629,14 +663,23 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
     if (!file) throw UsageError("cannot open output file '" + path + "'");
     return file;
   };
+  // Network-fault accounting columns appear whenever a plan with net
+  // directives is active (flag or environment); the certified column
+  // whenever --certify is.  Defaults keep the historic byte-stable shape.
+  const FaultPlan* active_faults =
+      exec.fault_plan != nullptr ? exec.fault_plan : FaultPlan::from_env();
+  const bool fault_columns =
+      active_faults != nullptr && active_faults->has_net_faults();
   std::optional<CsvWriter> csv;
   std::optional<JsonWriter> json;
-  if (csv_path) csv.emplace(open_or_stdout(*csv_path, csv_file), timing);
+  if (csv_path)
+    csv.emplace(open_or_stdout(*csv_path, csv_file), timing, exec.certify,
+                fault_columns);
   if (json_path)
     json.emplace(shared_target
                      ? static_cast<std::ostream&>(json_buffer)
                      : open_or_stdout(*json_path, json_file),
-                 timing);
+                 timing, exec.certify, fault_columns);
   if (csv) csv->begin(spec, total_cells);
   if (json) json->begin(spec, total_cells);
 
@@ -682,10 +725,12 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
   err << ", " << summary.ok << " ok, " << summary.infeasible
       << " infeasible, " << summary.failed << " failed, " << summary.timeout
       << " timeout";
+  if (exec.certify || summary.unverified > 0)
+    err << ", " << summary.unverified << " unverified";
   if (summary.replayed > 0) err << ", " << summary.replayed << " replayed";
   err << ", " << wall << " ms, " << spec.threads << " thread(s)\n";
   return summary.failed == 0 && summary.timeout == 0 &&
-                 summary.infeasible == 0
+                 summary.infeasible == 0 && summary.unverified == 0
              ? 0
              : 1;
 }

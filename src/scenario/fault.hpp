@@ -14,7 +14,22 @@
 //   build@g3      topology group 3 (shard-global group index) fails to
 //                 build, exercising the generator-failure containment path
 //
-// Every directive takes an optional attempt bound `:k` (e.g. "abort@5:1"):
+// Network-level (adversarial CONGEST) directives configure a
+// congest::FaultModel installed on every cell's simulator instead of
+// scripting the runner itself:
+//
+//   drop=0.01     each delivered message is dropped i.i.d. with rate R
+//   corrupt=0.001 each delivered message has one payload bit flipped
+//   crash=1e-6    per-(node,round) crash-stop hazard rate
+//   crash@7:12    node 7 crash-stops at the start of round 12 (schedule
+//                 entry; repeatable)
+//   net-seed=42   base seed for the per-cell fault streams (default 0)
+//
+// The per-cell model derives its seed from (net-seed, global cell index),
+// so fault decisions are identical across thread counts, --spawn shard
+// partitions, and --resume.
+//
+// Every runner directive takes an optional attempt bound `:k` (e.g. "abort@5:1"):
 // the fault fires only while the runner's retry attempt counter is < k,
 // so retry tests can crash a child once and succeed on the retry.  The
 // plan is consulted by the runner itself (not the adapters), keyed by the
@@ -33,6 +48,8 @@
 #include <string>
 #include <string_view>
 
+#include "congest/fault.hpp"
+
 namespace pg::scenario {
 
 enum class FaultAction { kNone, kThrow, kStall, kAbort, kBuildFail };
@@ -48,13 +65,28 @@ class FaultPlan {
   /// use (loudly, instead of silently not injecting).
   static const FaultPlan* from_env();
 
-  bool empty() const { return cells_.empty() && groups_.empty(); }
+  bool empty() const {
+    return cells_.empty() && groups_.empty() && !has_net_faults();
+  }
 
   /// The scripted action for a cell on a given retry attempt (0-based).
   FaultAction cell_action(std::uint64_t cell_index, int attempt) const;
 
   /// True iff the topology build of this group is scripted to fail.
   bool build_fails(std::uint64_t group_index, int attempt) const;
+
+  /// True iff the plan configures network-level faults (drop/corrupt/crash).
+  bool has_net_faults() const { return net_.enabled(); }
+
+  /// The network fault model for one cell: the plan's rates and schedule
+  /// with the seed mixed from (net-seed, global cell index), so decisions
+  /// are invariant across threads, shard partitions, and resume.
+  congest::FaultModel net_model(std::uint64_t cell_index) const;
+
+  /// Canonical rendering of the network-fault configuration (empty when
+  /// none) — stamped into journal headers so --resume refuses to mix runs
+  /// with different adversaries.
+  std::string net_canonical() const;
 
  private:
   struct Directive {
@@ -64,6 +96,7 @@ class FaultPlan {
   };
   std::map<std::uint64_t, Directive> cells_;
   std::map<std::uint64_t, Directive> groups_;
+  congest::FaultModel net_;
 };
 
 /// Executes a scripted cell fault (throw/stall/abort).  kStall polls the

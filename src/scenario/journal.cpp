@@ -160,6 +160,7 @@ bool decode_status(int value, CellStatus& status) {
     case 1: status = CellStatus::kFailed; return true;
     case 2: status = CellStatus::kTimeout; return true;
     case 3: status = CellStatus::kMissing; return true;
+    case 4: status = CellStatus::kUnverified; return true;
   }
   return false;
 }
@@ -238,6 +239,14 @@ std::string encode_cell_record(const CellResult& row) {
   p += '\t';
   append_double(p, row.ratio_weight);
   p += '\t';
+  append_int(p, row.msgs_dropped);
+  p += '\t';
+  append_int(p, row.msgs_corrupted);
+  p += '\t';
+  append_int(p, row.nodes_crashed);
+  p += '\t';
+  append_int(p, row.rounds_survived);
+  p += '\t';
   append_double(p, row.wall_ms);
   return with_checksum(std::move(p));
 }
@@ -273,13 +282,18 @@ bool decode_cell_record(std::string_view line, CellResult& row) {
       fields.next_int(weight_baseline) &&
       fields.next_int(row.baseline_weight) &&
       fields.next_double(row.ratio_weight) &&
+      fields.next_int(row.msgs_dropped) &&
+      fields.next_int(row.msgs_corrupted) &&
+      fields.next_int(row.nodes_crashed) &&
+      fields.next_int(row.rounds_survived) &&
       fields.next_double(row.wall_ms) && fields.exhausted();
   return ok && decode_status(status, row.status) &&
          decode_baseline(baseline, row.baseline) &&
          decode_baseline(weight_baseline, row.weight_baseline);
 }
 
-std::string journal_header(const SweepSpec& spec, std::size_t total_cells) {
+std::string journal_header(const SweepSpec& spec, std::size_t total_cells,
+                           std::string_view mode) {
   std::string p;
   p += kHeaderTag;
   p += '\t';
@@ -290,6 +304,10 @@ std::string journal_header(const SweepSpec& spec, std::size_t total_cells) {
   append_int(p, spec.shard_count);
   p += '\t';
   append_int(p, total_cells);
+  if (!mode.empty()) {
+    p += '\t';
+    append_escaped(p, mode);
+  }
   return with_checksum(std::move(p));
 }
 
@@ -303,7 +321,7 @@ std::string journal_path(const std::string& dir, const SweepSpec& spec) {
 }
 
 JournalContents read_journal(const std::string& path, const SweepSpec& spec,
-                             std::size_t total_cells) {
+                             std::size_t total_cells, std::string_view mode) {
   JournalContents contents;
   std::ifstream file(path, std::ios::binary);
   if (!file) return contents;  // no journal yet: empty, not an error
@@ -311,11 +329,12 @@ JournalContents read_journal(const std::string& path, const SweepSpec& spec,
 
   std::string line;
   if (!std::getline(file, line)) return contents;  // torn header: empty
-  const std::string expected_header = journal_header(spec, total_cells);
+  const std::string expected_header = journal_header(spec, total_cells, mode);
   PG_REQUIRE(line == expected_header,
              "journal '" + path +
                  "' belongs to a different sweep (spec fingerprint, shard "
-                 "coordinates, or grid size mismatch) — refusing to resume");
+                 "coordinates, grid size, or certify/fault-plan mode "
+                 "mismatch) — refusing to resume");
   contents.valid_bytes = line.size() + 1;
 
   while (std::getline(file, line)) {
@@ -333,7 +352,8 @@ JournalContents read_journal(const std::string& path, const SweepSpec& spec,
 
 JournalWriter::JournalWriter(const std::string& path, const SweepSpec& spec,
                              std::size_t total_cells,
-                             std::uint64_t resume_from_bytes) {
+                             std::uint64_t resume_from_bytes,
+                             std::string_view mode) {
   std::error_code ec;
   std::filesystem::create_directories(
       std::filesystem::path(path).parent_path(), ec);
@@ -345,8 +365,9 @@ JournalWriter::JournalWriter(const std::string& path, const SweepSpec& spec,
                  "': " + std::strerror(errno));
   PG_REQUIRE(::lseek(fd_, 0, SEEK_END) >= 0,
              "cannot seek journal '" + path + "'");
+  durable_bytes_ = resume_from_bytes;
   if (resume_from_bytes == 0) {
-    buffer_ = journal_header(spec, total_cells);
+    buffer_ = journal_header(spec, total_cells, mode);
     buffer_ += '\n';
     commit();
   }
@@ -362,19 +383,37 @@ void JournalWriter::append(const CellResult& row) {
 }
 
 void JournalWriter::commit() {
+  // A failed or short append (ENOSPC, quota, I/O error) must not leave a
+  // torn record on disk: roll the file back to the last durable commit,
+  // then fail the shard loudly.  Resume would detect and truncate a torn
+  // tail anyway, but a clean tail means the journal is trustworthy even
+  // for tools that read it without the full recovery pass.
+  const auto fail = [this](const char* what) {
+    const int saved_errno = errno;
+    (void)::ftruncate(fd_, static_cast<off_t>(durable_bytes_));
+    (void)::fsync(fd_);
+    PG_REQUIRE(false, std::string(what) + " (partial append rolled back to " +
+                          std::to_string(durable_bytes_) +
+                          " durable bytes): " + std::strerror(saved_errno));
+  };
   const char* data = buffer_.data();
   std::size_t left = buffer_.size();
   while (left > 0) {
     const ssize_t wrote = ::write(fd_, data, left);
-    PG_REQUIRE(wrote >= 0 || errno == EINTR,
-               std::string("journal write failed: ") + std::strerror(errno));
-    if (wrote > 0) {
-      data += wrote;
-      left -= static_cast<std::size_t>(wrote);
+    if (wrote < 0 && errno == EINTR) continue;
+    if (wrote < 0) fail("journal write failed");
+    if (wrote == 0) {
+      // write(2) never returns 0 for a non-empty count on a regular
+      // file unless the device is out of space in a way that did not
+      // set errno; treat it as ENOSPC rather than spinning.
+      errno = ENOSPC;
+      fail("journal write made no progress");
     }
+    data += wrote;
+    left -= static_cast<std::size_t>(wrote);
   }
-  PG_REQUIRE(::fsync(fd_) == 0,
-             std::string("journal fsync failed: ") + std::strerror(errno));
+  if (::fsync(fd_) != 0) fail("journal fsync failed");
+  durable_bytes_ += buffer_.size();
   buffer_.clear();
 }
 

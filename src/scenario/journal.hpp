@@ -40,8 +40,12 @@ std::string encode_cell_record(const CellResult& row);
 /// field count, malformed numbers.
 bool decode_cell_record(std::string_view line, CellResult& row);
 
-/// The journal header line for a sweep (also checksummed).
-std::string journal_header(const SweepSpec& spec, std::size_t total_cells);
+/// The journal header line for a sweep (also checksummed).  `mode` pins
+/// row-semantics toggles that the spec fingerprint cannot see — the
+/// certify pass and the canonical network-fault plan — so resume refuses
+/// to splice rows produced under a different adversary.
+std::string journal_header(const SweepSpec& spec, std::size_t total_cells,
+                           std::string_view mode = {});
 
 /// This shard's journal path inside a journal directory.
 std::string journal_path(const std::string& dir, const SweepSpec& spec);
@@ -62,7 +66,8 @@ struct JournalContents {
 /// different sweep (fingerprint/shard/grid mismatch) — a missing file is
 /// simply an empty journal, so `--resume` is safe on a fresh directory.
 JournalContents read_journal(const std::string& path, const SweepSpec& spec,
-                             std::size_t total_cells);
+                             std::size_t total_cells,
+                             std::string_view mode = {});
 
 /// Append-only, fsync'd journal writer over a POSIX fd.
 class JournalWriter {
@@ -71,7 +76,8 @@ class JournalWriter {
   /// offset (truncating any torn tail past it).  Creates the directory.
   /// Writes the header iff starting from zero.  Throws on I/O errors.
   JournalWriter(const std::string& path, const SweepSpec& spec,
-                std::size_t total_cells, std::uint64_t resume_from_bytes);
+                std::size_t total_cells, std::uint64_t resume_from_bytes,
+                std::string_view mode = {});
   ~JournalWriter();
   JournalWriter(const JournalWriter&) = delete;
   JournalWriter& operator=(const JournalWriter&) = delete;
@@ -80,10 +86,15 @@ class JournalWriter {
   void append(const CellResult& row);
 
   /// Writes buffered records and fsyncs.  Called once per emitted group.
+  /// On ENOSPC, a short write, or an fsync failure the partial append is
+  /// truncated away first — the on-disk tail ends at the last durable
+  /// commit, never inside a torn record — and the shard fails with a
+  /// PreconditionViolation naming the cause.
   void commit();
 
  private:
   int fd_ = -1;
+  std::uint64_t durable_bytes_ = 0;  // file size as of the last commit
   std::string buffer_;
 };
 

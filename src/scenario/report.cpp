@@ -140,6 +140,9 @@ void CsvWriter::begin(const SweepSpec& spec, std::size_t total_cells) {
           "solution_weight,feasible,exact,rounds,messages,total_bits,"
           "baseline,baseline_size,ratio,weight_baseline,baseline_weight,"
           "ratio_weight";
+  if (certify_) out_ << ",certified";
+  if (faults_)
+    out_ << ",msgs_dropped,msgs_corrupted,nodes_crashed,rounds_survived";
   if (timing_) out_ << ",wall_ms";
   out_ << ",error\n";
 }
@@ -172,6 +175,17 @@ void CsvWriter::row(const CellResult& cell) {
        << (cell.weight_baseline == BaselineKind::kNone
                ? "-"
                : fmt_fixed(cell.ratio_weight, 4));
+  // "yes" only for rows that passed the independent re-check, "no" for
+  // rows it demoted; failed/timeout/missing rows never reached it.
+  if (certify_)
+    out_ << ','
+         << (cell.status == CellStatus::kOk
+                 ? "yes"
+                 : cell.status == CellStatus::kUnverified ? "no" : "-");
+  if (faults_)
+    out_ << ',' << fmt_int(cell.msgs_dropped) << ','
+         << fmt_int(cell.msgs_corrupted) << ',' << fmt_int(cell.nodes_crashed)
+         << ',' << fmt_int(cell.rounds_survived);
   if (timing_) out_ << ',' << fmt_fixed(cell.wall_ms, 3);
   out_ << ',' << csv_sanitize(cell.error) << '\n';
 }
@@ -189,12 +203,18 @@ void write_csv(std::ostream& out, const SweepResult& result,
 void JsonWriter::begin(const SweepSpec& spec, std::size_t total_cells) {
   out_ << "{\n  \"spec\": {";
   write_spec_dims_json(out_, spec);
-  if (spec.shard_count > 1)
+  if (spec.shard_count > 1) {
     out_ << ", \"shard_index\": " << fmt_int(spec.shard_index)
          << ", \"shard_count\": " << fmt_int(spec.shard_count)
          << ", \"total_cells\": " << fmt_int(total_cells) << ", \"timing\": "
-         << (timing_ ? "true" : "false") << ", \"spec_fingerprint\": \""
-         << spec_fingerprint(spec) << '"';
+         << (timing_ ? "true" : "false");
+    // Stamped only when set, so reports written before these modes
+    // existed keep their bytes; the merger folds them into the shard
+    // identity either way.
+    if (certify_) out_ << ", \"certify\": true";
+    if (faults_) out_ << ", \"faults\": true";
+    out_ << ", \"spec_fingerprint\": \"" << spec_fingerprint(spec) << '"';
+  }
   out_ << "},\n  \"cells\": [";
   first_row_ = true;
 }
@@ -244,6 +264,16 @@ void JsonWriter::row(const CellResult& cell) {
     out_ << "null";
   else
     out_ << fmt_fixed(cell.ratio_weight, 4);
+  if (certify_)
+    out_ << ", \"certified\": "
+         << (cell.status == CellStatus::kOk
+                 ? "true"
+                 : cell.status == CellStatus::kUnverified ? "false" : "null");
+  if (faults_)
+    out_ << ", \"msgs_dropped\": " << fmt_int(cell.msgs_dropped)
+         << ", \"msgs_corrupted\": " << fmt_int(cell.msgs_corrupted)
+         << ", \"nodes_crashed\": " << fmt_int(cell.nodes_crashed)
+         << ", \"rounds_survived\": " << fmt_int(cell.rounds_survived);
   if (timing_)
     out_ << ", \"wall_ms\": " << fmt_fixed(cell.wall_ms, 3);
   if (cell.status != CellStatus::kOk)
@@ -474,13 +504,15 @@ std::string merge_csv(const std::vector<std::string>& shard_reports,
     shards.push_back(std::move(shard));
   }
 
-  // The shards' shared header says whether rows carry a wall_ms column;
+  // The shards' shared header says which optional columns rows carry;
   // synthesized placeholders must match its shape.
   const bool timing = header.find(",wall_ms") != std::string::npos;
+  const bool certify = header.find(",certified") != std::string::npos;
+  const bool faults = header.find(",msgs_dropped") != std::string::npos;
   const auto rows = validate_and_sort(
       std::move(shards), allow_partial, [&](std::uint64_t index) {
         std::ostringstream row;
-        CsvWriter writer(row, timing);
+        CsvWriter writer(row, timing, certify, faults);
         writer.row(missing_cell(index));
         std::string text = row.str();
         if (!text.empty() && text.back() == '\n') text.pop_back();
@@ -519,6 +551,8 @@ std::string merge_json(const std::vector<std::string>& shard_reports,
   std::vector<ShardRows> shards;
   std::string spec_dims;  // the spec body minus the shard stamp fields
   bool merged_timing = false;
+  bool merged_certify = false;
+  bool merged_faults = false;
   for (const std::string& report : shard_reports) {
     if (report.substr(0, kJsonSpecOpen.size()) != kJsonSpecOpen)
       merge_fail("input is not a sweep JSON report");
@@ -564,6 +598,17 @@ std::string merge_json(const std::vector<std::string>& shard_reports,
       merge_fail("shard stamp lacks \"timing\"");
     shard.stamp.fingerprint += timing ? "+t" : "";
     merged_timing = timing;  // all shards agree (the fingerprint folds it)
+    // Certify/faults reshape rows the same way timing does, so they fold
+    // into the shard identity too: shards written under different modes
+    // refuse to merge instead of producing a ragged cells array.
+    const bool certify =
+        stamp_text.find("\"certify\": true") != std::string_view::npos;
+    const bool faults =
+        stamp_text.find("\"faults\": true") != std::string_view::npos;
+    shard.stamp.fingerprint += certify ? "+c" : "";
+    shard.stamp.fingerprint += faults ? "+f" : "";
+    merged_certify = certify;
+    merged_faults = faults;
 
     // The cells array closes with "\n  ]"; after it comes either the
     // document tail or an optional (timing-mode) ",\n  \"meta\": {…}"
@@ -604,7 +649,7 @@ std::string merge_json(const std::vector<std::string>& shard_reports,
   const auto rows = validate_and_sort(
       std::move(shards), allow_partial, [&](std::uint64_t index) {
         std::ostringstream row;
-        JsonWriter writer(row, merged_timing);
+        JsonWriter writer(row, merged_timing, merged_certify, merged_faults);
         writer.row(missing_cell(index));  // leading "\n" from first_row_
         std::string text = row.str();
         if (!text.empty() && text.front() == '\n') text.erase(0, 1);

@@ -38,9 +38,15 @@ std::string spec_fingerprint(const SweepSpec& spec);
 /// weighting,seed,status,base_edges,comm_power,comm_edges,target_edges,
 /// solution_size,solution_weight,feasible,exact,rounds,messages,
 /// total_bits,baseline,baseline_size,ratio,weight_baseline,
-/// baseline_weight,ratio_weight[,wall_ms],error.  The two oracles report
-/// their kinds separately (baseline vs weight_baseline) because they
-/// succeed or downgrade independently.
+/// baseline_weight,ratio_weight[,certified][,msgs_dropped,msgs_corrupted,
+/// nodes_crashed,rounds_survived][,wall_ms],error.  The two oracles
+/// report their kinds separately (baseline vs weight_baseline) because
+/// they succeed or downgrade independently.
+/// The optional blocks are opt-in so default reports keep their historic
+/// bytes: `certify` adds the certified verdict column (yes for a row that
+/// survived the independent re-check, no for one demoted to unverified,
+/// "-" for rows that never reached certification), `faults` adds the
+/// adversarial-network accounting columns.
 /// epsilon (resp. weighting) is "-" for algorithms that ignore it; ratio
 /// and ratio_weight are "-" when the corresponding baseline was not
 /// computed; feasible/exact are 0/1; error is empty on success
@@ -50,8 +56,10 @@ std::string spec_fingerprint(const SweepSpec& spec);
 /// LC_NUMERIC.
 class CsvWriter {
  public:
-  explicit CsvWriter(std::ostream& out, bool include_timing = false)
-      : out_(out), timing_(include_timing) {}
+  explicit CsvWriter(std::ostream& out, bool include_timing = false,
+                     bool certify = false, bool faults = false)
+      : out_(out), timing_(include_timing), certify_(certify),
+        faults_(faults) {}
 
   /// Shard stamp (`# shard i/k cells N spec H`, only when spec.shard_count
   /// > 1) followed by the header row.  `total_cells` is the full grid's
@@ -62,6 +70,8 @@ class CsvWriter {
  private:
   std::ostream& out_;
   bool timing_;
+  bool certify_;
+  bool faults_;
 };
 
 /// {"spec": {...}, "cells": [...]} with the same fields as the CSV;
@@ -69,8 +79,10 @@ class CsvWriter {
 /// shard_index/shard_count/total_cells/timing/spec_fingerprint to "spec".
 class JsonWriter {
  public:
-  explicit JsonWriter(std::ostream& out, bool include_timing = false)
-      : out_(out), timing_(include_timing) {}
+  explicit JsonWriter(std::ostream& out, bool include_timing = false,
+                      bool certify = false, bool faults = false)
+      : out_(out), timing_(include_timing), certify_(certify),
+        faults_(faults) {}
 
   void begin(const SweepSpec& spec, std::size_t total_cells);
   void row(const CellResult& cell);
@@ -84,6 +96,8 @@ class JsonWriter {
  private:
   std::ostream& out_;
   bool timing_;
+  bool certify_;
+  bool faults_;
   bool first_row_ = true;
 };
 

@@ -52,6 +52,7 @@ std::string_view cell_status_name(CellStatus s) {
     case CellStatus::kFailed: return "failed";
     case CellStatus::kTimeout: return "timeout";
     case CellStatus::kMissing: return "missing";
+    case CellStatus::kUnverified: return "unverified";
   }
   return "failed";
 }
@@ -513,6 +514,15 @@ void execute_cell(const CellSpec& spec, GroupContext& group,
     ctx.base = &group.base();
     ctx.comm = &comm;
     ctx.net = alg.needs_network ? &group.net_of(k) : nullptr;
+    // Install the cell's adversarial network model (seed mixed from the
+    // global cell index, so fault decisions are invariant across thread
+    // counts, shard partitions, and resume).  Installed per cell: the
+    // group's pooled simulator serves many cells, and the entry points'
+    // reset() keeps the model by design (rebinding a pooled simulator to
+    // a new topology clears it).
+    if (ctx.net != nullptr && env.faults != nullptr &&
+        env.faults->has_net_faults())
+      ctx.net->set_fault_model(env.faults->net_model(cell_index));
     ctx.r = spec.r;
     ctx.epsilon = spec.epsilon;
     ctx.weights = alg.uses_weights ? weights : nullptr;
@@ -533,6 +543,10 @@ void execute_cell(const CellSpec& spec, GroupContext& group,
     out.messages = outcome.messages;
     out.total_bits = outcome.total_bits;
     out.exact = outcome.exact;
+    out.msgs_dropped = outcome.faults.messages_dropped;
+    out.msgs_corrupted = outcome.faults.messages_corrupted;
+    out.nodes_crashed = outcome.faults.nodes_crashed;
+    out.rounds_survived = outcome.faults.rounds_survived;
     out.feasible =
         group.feasible_on_target(alg.problem, spec.r, out.solution);
     out.solution_weight =
@@ -558,6 +572,43 @@ void execute_cell(const CellSpec& spec, GroupContext& group,
                              ? (out.solution_weight == 0 ? 1.0 : 0.0)
                              : static_cast<double>(out.solution_weight) /
                                    static_cast<double>(weighted.weight);
+    }
+
+    if (env.opts != nullptr && env.opts->certify) {
+      // Self-certification: re-derive feasibility through the implicit
+      // PowerView checkers — never the algorithm's own claims, never a
+      // materialized power another cell happened to build — and hold the
+      // row to the published ratio bound when an exact baseline pins the
+      // optimum.  A violation demotes the row to status=unverified but
+      // keeps its metrics, so reports show what the adversary (or a bug)
+      // actually cost.
+      const bool cert_feasible =
+          alg.problem == Problem::kVertexCover
+              ? (spec.r == 1
+                     ? graph::is_vertex_cover(group.base(), out.solution)
+                     : graph::is_vertex_cover_power(group.base(), spec.r,
+                                                    out.solution))
+              : (spec.r == 1
+                     ? graph::is_dominating_set(group.base(), out.solution)
+                     : graph::is_dominating_set_power(group.base(), spec.r,
+                                                      out.solution));
+      std::string verdict;
+      if (!cert_feasible) {
+        verdict = "certify: solution is not feasible on G^r";
+      } else if (out.baseline == BaselineKind::kExact && unit_weighting) {
+        const double bound = published_ratio_bound(alg, spec.epsilon);
+        if (out.exact && out.solution_size != out.baseline_size)
+          verdict = "certify: exactness claim contradicted (got " +
+                    std::to_string(out.solution_size) + ", optimum " +
+                    std::to_string(out.baseline_size) + ")";
+        else if (bound > 0.0 && out.ratio > bound + 1e-9)
+          verdict = "certify: ratio " + std::to_string(out.ratio) +
+                    " exceeds published bound " + std::to_string(bound);
+      }
+      if (!verdict.empty()) {
+        out.status = CellStatus::kUnverified;
+        out.error = std::move(verdict);
+      }
     }
   } catch (const cancel::Cancelled& cancelled) {
     // The watchdog expired this cell — a budget verdict, not a defect.
@@ -953,6 +1004,13 @@ SweepSummary run_sweep_stream(const SweepSpec& spec, const RowSink& sink,
   const FaultPlan* faults =
       opts.fault_plan != nullptr ? opts.fault_plan : FaultPlan::from_env();
 
+  // Pins certify/adversary row semantics into the journal header, so a
+  // resume under a different mode refuses instead of splicing rows whose
+  // statuses mean different things.
+  std::string journal_mode;
+  if (opts.certify) journal_mode += "certify;";
+  if (faults != nullptr) journal_mode += faults->net_canonical();
+
   // Only the pattern is materialized up front; each group's cell list is
   // stamped on demand by the worker that claims it, so a shard's memory
   // never scales with the full grid.
@@ -992,6 +1050,9 @@ SweepSummary run_sweep_stream(const SweepSpec& spec, const RowSink& sink,
       case CellStatus::kTimeout:
         ++summary.timeout;
         break;
+      case CellStatus::kUnverified:
+        ++summary.unverified;
+        break;
       default:
         ++summary.failed;
         break;
@@ -1011,7 +1072,7 @@ SweepSummary run_sweep_stream(const SweepSpec& spec, const RowSink& sink,
     std::vector<CellResult> replayed;
     if (opts.resume) {
       JournalContents contents =
-          read_journal(path, spec, summary.total_cells);
+          read_journal(path, spec, summary.total_cells, journal_mode);
       // Execution restarts on a group boundary, so a torn partial-group
       // tail (possible when the kernel flushed part of an interrupted
       // commit) is truncated and re-run rather than resumed mid-group.
@@ -1033,7 +1094,7 @@ SweepSummary run_sweep_stream(const SweepSpec& spec, const RowSink& sink,
       replayed = std::move(contents.rows);
     }
     journal = std::make_unique<JournalWriter>(
-        path, spec, summary.total_cells, resume_bytes);
+        path, spec, summary.total_cells, resume_bytes, journal_mode);
     summary.replayed = replayed.size();
     for (const CellResult& row : replayed) {
       count_row(row);

@@ -104,7 +104,11 @@ struct CellSpec {
 //            cooperative cancellation token unwound it mid-run.
 // kMissing — synthesized by `merge --allow-partial` for grid cells no
 //            surviving shard report covered; the runner never emits it.
-enum class CellStatus { kOk, kFailed, kTimeout, kMissing };
+// kUnverified — the --certify pass re-checked a kOk cell's emitted solution
+//            against the implicit G^r view and the published ratio bound,
+//            independently of the algorithm's own claims, and it did not
+//            hold up; `error` names the violated property.
+enum class CellStatus { kOk, kFailed, kTimeout, kMissing, kUnverified };
 enum class BaselineKind { kNone, kExact, kGreedy };
 
 std::string_view cell_status_name(CellStatus s);
@@ -150,6 +154,14 @@ struct CellResult {
   graph::Weight baseline_weight = 0;
   double ratio_weight = 0.0;  // solution_weight / baseline_weight
 
+  // Adversarial-network accounting, filled from the simulator's FaultStats
+  // when the sweep's fault plan installs a network fault model (all zero
+  // otherwise; reports only emit the columns when faults are configured).
+  std::int64_t msgs_dropped = 0;
+  std::int64_t msgs_corrupted = 0;
+  std::int64_t nodes_crashed = 0;
+  std::int64_t rounds_survived = 0;
+
   double wall_ms = 0.0;  // nondeterministic; reports omit it by default
 };
 
@@ -168,6 +180,7 @@ struct SweepSummary {
   std::size_t infeasible = 0;
   std::size_t failed = 0;    // status=failed rows (exceptions, crashes)
   std::size_t timeout = 0;   // status=timeout rows (watchdog expiries)
+  std::size_t unverified = 0;  // status=unverified rows (--certify demotions)
   std::size_t replayed = 0;  // rows restored from the journal by --resume
   std::size_t total_cells = 0;  // full-grid cell count (all shards)
   double wall_ms_total = 0.0;
@@ -211,8 +224,17 @@ struct ExecOptions {
   double retry_backoff_ms = 50.0;
 
   /// Scripted faults for tests/CI; when null the $PG_FAULT_PLAN
-  /// environment hook applies (see scenario/fault.hpp).
+  /// environment hook applies (see scenario/fault.hpp).  Plans may also
+  /// configure a network-level fault model (drop/corrupt/crash) that the
+  /// runner installs on every cell's simulator.
   const FaultPlan* fault_plan = nullptr;
+
+  /// Self-certifying verification: after each kOk cell, re-check its
+  /// emitted solution with the implicit PowerView feasibility checkers and
+  /// hold it to the published ratio bound (exact baselines and unit
+  /// weights only), independently of the algorithm's internal claims.
+  /// Violations demote the row to status=unverified.
+  bool certify = false;
 };
 
 /// Expands the grid in deterministic order (scenario, size, seed outermost

@@ -21,6 +21,7 @@
 #define PG_HAS_SPAWN 0
 #endif
 
+#include "scenario/fault.hpp"
 #include "scenario/report.hpp"
 #include "util/check.hpp"
 #include "util/rss.hpp"
@@ -84,7 +85,8 @@ namespace {
 
 /// Wire lines a child sends up its progress pipe:
 ///   p <done> <total>                              progress tick
-///   s <cells> <ok> <inf> <fail> <to> <replay> <rss_mb> <wall_ms>  summary
+///   s <cells> <ok> <inf> <fail> <to> <unver> <replay> <rss_mb> <wall_ms>
+///                                                 summary
 ///   e <message>                                   fatal error text
 /// At most ~50 `p` lines per child, so a slow parent never backs the
 /// pipe up past its buffer and children never block on reporting.
@@ -122,8 +124,14 @@ std::string shard_file_stem(int index, int count) {
     std::ofstream json(json_file, std::ios::binary);
     if (!csv || !json)
       throw PreconditionViolation("cannot open shard report file");
-    CsvWriter csv_writer(csv, timing);
-    JsonWriter json_writer(json, timing);
+    // Children inherit the parent's certify/fault modes through the
+    // forked ExecOptions; their shard reports must carry the matching
+    // optional columns or the merge would produce ragged rows.
+    const FaultPlan* faults =
+        exec.fault_plan != nullptr ? exec.fault_plan : FaultPlan::from_env();
+    const bool fault_columns = faults != nullptr && faults->has_net_faults();
+    CsvWriter csv_writer(csv, timing, exec.certify, fault_columns);
+    JsonWriter json_writer(json, timing, exec.certify, fault_columns);
     const std::size_t mine = shard_cell_indices(spec).size();
     const std::size_t total = count_grid_cells(spec);
     csv_writer.begin(spec, total);
@@ -158,14 +166,15 @@ std::string shard_file_stem(int index, int count) {
     std::ostringstream s;
     s << "s " << summary.cells << ' ' << summary.ok << ' '
       << summary.infeasible << ' ' << summary.failed << ' '
-      << summary.timeout << ' ' << summary.replayed << ' ';
+      << summary.timeout << ' ' << summary.unverified << ' '
+      << summary.replayed << ' ';
     char buffer[64];
     std::snprintf(buffer, sizeof(buffer), "%.1f %.0f", rss,
                   summary.wall_ms_total);
     s << buffer;
     pipe_line(pipe_fd, s.str());
     code = summary.failed == 0 && summary.timeout == 0 &&
-                   summary.infeasible == 0
+                   summary.infeasible == 0 && summary.unverified == 0
                ? 0
                : 1;
   } catch (const std::exception& error) {
@@ -206,7 +215,8 @@ std::string consume_line(Child& child, const std::string& line,
   if (tag == "s") {
     in >> child.summary.cells >> child.summary.ok >>
         child.summary.infeasible >> child.summary.failed >>
-        child.summary.timeout >> child.summary.replayed >> child.rss_mb >>
+        child.summary.timeout >> child.summary.unverified >>
+        child.summary.replayed >> child.rss_mb >>
         child.summary.wall_ms_total;
     child.summarized = !in.fail();
     if (!progress) return "";
@@ -473,6 +483,7 @@ int run_spawned_sweep(const SweepSpec& spec, const SpawnOptions& opts,
     total.infeasible += child.summary.infeasible;
     total.failed += child.summary.failed;
     total.timeout += child.summary.timeout;
+    total.unverified += child.summary.unverified;
     total.replayed += child.summary.replayed;
     total.wall_ms_total =
         std::max(total.wall_ms_total, child.summary.wall_ms_total);
@@ -487,11 +498,13 @@ int run_spawned_sweep(const SweepSpec& spec, const SpawnOptions& opts,
       << grid << " cells, " << total.ok << " ok, " << total.infeasible
       << " infeasible, " << total.failed << " failed, " << total.timeout
       << " timeout";
+  if (total.unverified > 0) err << ", " << total.unverified << " unverified";
   if (total.replayed > 0) err << ", " << total.replayed << " replayed";
   if (missing > 0) err << ", " << missing << " missing";
   err << ", " << wall << " ms, peak child rss " << rss << " MB\n";
   return total.failed == 0 && total.timeout == 0 &&
-                 total.infeasible == 0 && missing == 0
+                 total.infeasible == 0 && total.unverified == 0 &&
+                 missing == 0
              ? 0
              : 1;
 }
