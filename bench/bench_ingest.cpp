@@ -1,0 +1,98 @@
+// Real-graph ingestion benchmarks: SNAP-text import (parse + remap +
+// dedup + CSR build), `.pgcsr` serialization, and the cost the mmap path
+// actually saves — map-and-validate versus a full deserialize-to-owned
+// copy.  BM_MapFileCold re-opens the file every iteration, so it measures
+// the whole open/validate pipeline (checksums included); page-cache
+// effects are real but identical across comparisons on one host.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/storage.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pg;
+using graph::Graph;
+
+/// SNAP-style text for a BA graph: shuffled-id directed edges with a
+/// comment header, like a real download.
+std::string snap_text(graph::VertexId n) {
+  Rng rng(42);
+  const Graph g = graph::barabasi_albert(n, 4, rng);
+  std::ostringstream out;
+  out << "# synthetic snap-style edge list\n";
+  for (graph::VertexId u = 0; u < g.num_vertices(); ++u)
+    for (graph::VertexId v : g.neighbors(u))
+      if (u < v) out << (u + 1) << '\t' << (v + 1) << '\n';
+  return out.str();
+}
+
+std::string scratch_pgcsr(graph::VertexId n) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("pg_bench_ingest_" + std::to_string(n) + ".pgcsr"))
+          .string();
+  Rng rng(42);
+  graph::write_pgcsr_file(graph::barabasi_albert(n, 4, rng), path);
+  return path;
+}
+
+void BM_ImportEdgeList(benchmark::State& state) {
+  const std::string text = snap_text(static_cast<graph::VertexId>(state.range(0)));
+  for (auto _ : state) {
+    std::istringstream in(text);
+    benchmark::DoNotOptimize(graph::import_edge_list(in));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(text.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ImportEdgeList)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 17);
+
+void BM_WritePgcsr(benchmark::State& state) {
+  Rng rng(42);
+  const Graph g = graph::barabasi_albert(
+      static_cast<graph::VertexId>(state.range(0)), 4, rng);
+  for (auto _ : state) {
+    std::ostringstream out;
+    graph::write_pgcsr(g, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_WritePgcsr)->Arg(1 << 15)->Arg(1 << 17);
+
+void BM_MapFileCold(benchmark::State& state) {
+  const std::string path =
+      scratch_pgcsr(static_cast<graph::VertexId>(state.range(0)));
+  std::size_t edges = 0;
+  for (auto _ : state) {
+    const graph::MappedGraph mapped = graph::MappedGraph::open(path);
+    edges = mapped.num_edges();
+    benchmark::DoNotOptimize(edges);
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_MapFileCold)->Arg(1 << 15)->Arg(1 << 17)->Arg(1 << 19);
+
+void BM_MapFileToOwnedCopy(benchmark::State& state) {
+  // The alternative the view layer removes: materializing an owned Graph
+  // from the file every time someone wants to run on it.
+  const std::string path =
+      scratch_pgcsr(static_cast<graph::VertexId>(state.range(0)));
+  for (auto _ : state) {
+    const graph::MappedGraph mapped = graph::MappedGraph::open(path);
+    benchmark::DoNotOptimize(Graph::copy_of(mapped.view()));
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_MapFileToOwnedCopy)->Arg(1 << 15)->Arg(1 << 17);
+
+}  // namespace
+
+BENCHMARK_MAIN();

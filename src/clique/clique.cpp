@@ -4,8 +4,8 @@
 
 namespace pg::clique {
 
-CliqueNetwork::CliqueNetwork(graph::Graph input_graph)
-    : graph_(std::move(input_graph)),
+CliqueNetwork::CliqueNetwork(graph::GraphView input_graph)
+    : graph_(graph::Graph::copy_of(input_graph)),
       bandwidth_(congest::bandwidth_bits(
           static_cast<std::size_t>(graph_.num_vertices()))) {
   const std::size_t n = this->n();

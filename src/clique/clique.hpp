@@ -56,8 +56,8 @@ class NodeView {
 class CliqueNetwork {
  public:
   /// The input graph is copied: the network owns it, so callers may pass
-  /// temporaries safely.
-  explicit CliqueNetwork(graph::Graph input_graph);
+  /// temporaries or file-backed views safely.
+  explicit CliqueNetwork(graph::GraphView input_graph);
 
   const graph::Graph& input_graph() const { return graph_; }
   std::size_t n() const { return static_cast<std::size_t>(graph_.num_vertices()); }

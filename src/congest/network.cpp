@@ -30,22 +30,32 @@ void fit_capacity(std::vector<T>& v, std::size_t needed) {
 
 }  // namespace
 
-Network::Network(graph::Graph topology) : graph_(std::move(topology)) {
+Network::Network(graph::Graph topology) : owned_(std::move(topology)) {
+  graph_ = owned_;
   rebuild();
 }
+
+Network::Network(graph::GraphView topology) : graph_(topology) { rebuild(); }
 
 void Network::reset(const graph::Graph& topology) {
   // Copy-assign reuses the owned CSR arrays' capacity — the point of the
   // rebind path.  But when the new topology is a fraction of the old one,
   // reusing would pin the old footprint, so rebuild from a fresh copy.
-  const std::size_t old_edges = graph_.adjacency_array().size();
+  const std::size_t old_edges = owned_.adjacency_array().size();
   const std::size_t new_edges = topology.adjacency_array().size();
   if (old_edges > 2 * std::max<std::size_t>(new_edges, 1024)) {
     graph::Graph fresh(topology);
-    graph_ = std::move(fresh);
+    owned_ = std::move(fresh);
   } else {
-    graph_ = topology;
+    owned_ = topology;
   }
+  graph_ = owned_;
+  rebuild();
+}
+
+void Network::reset(graph::GraphView topology) {
+  owned_ = graph::Graph{};  // release the owned copy: the view's storage rules
+  graph_ = topology;
   rebuild();
 }
 

@@ -206,7 +206,13 @@ class Network {
   /// pass temporaries safely.
   explicit Network(graph::Graph topology);
 
-  const graph::Graph& topology() const { return graph_; }
+  /// Non-owning variant: the network simulates over `topology`'s storage
+  /// in place (no copy).  The caller must keep that storage alive for the
+  /// network's lifetime — this is the path file-backed (mmap'd) graphs
+  /// take, so a million-node cell never duplicates its CSR arrays.
+  explicit Network(graph::GraphView topology);
+
+  graph::GraphView topology() const { return graph_; }
   std::size_t n() const { return static_cast<std::size_t>(graph_.num_vertices()); }
   int bandwidth() const { return bandwidth_; }
   const RoundStats& stats() const { return stats_; }
@@ -315,6 +321,13 @@ class Network {
   /// sweeps stop paying per-group allocation churn).  Equivalent to
   /// `*this = Network(topology)` minus the frees.
   void reset(const graph::Graph& topology);
+
+  /// Rebind to externally-owned storage (same contract as the GraphView
+  /// constructor): simulator buffers are reused, the graph is not copied,
+  /// and the caller keeps `topology`'s storage alive.  Frees any
+  /// previously owned copy — a view rebind means the pool serves a
+  /// file-backed cell and must not pin the old resident topology.
+  void reset(graph::GraphView topology);
 
  private:
   friend class NodeView;
@@ -460,7 +473,11 @@ class Network {
   /// construction and reset(topology).  Existing capacity is reused.
   void rebuild();
 
-  graph::Graph graph_;
+  // The active topology is always queried through the view; owned_ holds
+  // the backing storage on the owning paths and stays empty when the
+  // caller's storage (e.g. a MappedGraph) backs the view directly.
+  graph::Graph owned_;
+  graph::GraphView graph_;
   int bandwidth_;
   RoundStats stats_;
   std::int64_t last_round_messages_ = 0;

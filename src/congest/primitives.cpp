@@ -15,7 +15,7 @@ constexpr std::uint8_t kToken = 204;     // field 0: token payload
 
 // Adjacency slot of `target` within `v`'s neighbor list.  Resolved once per
 // tree edge so the pipelined per-round sends below are O(1) slot sends.
-std::size_t slot_of(const graph::Graph& g, NodeId v, NodeId target) {
+std::size_t slot_of(graph::GraphView g, NodeId v, NodeId target) {
   const std::size_t slot = g.neighbor_index(v, target);
   PG_CHECK(slot != graph::Graph::npos, "tree edge missing from graph");
   return slot;

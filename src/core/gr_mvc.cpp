@@ -11,6 +11,7 @@
 namespace pg::core {
 
 using graph::Graph;
+using graph::GraphView;
 using graph::VertexId;
 using graph::VertexSet;
 
@@ -19,7 +20,7 @@ namespace {
 /// Solves MVC on one remainder component (a subgraph of the induced power
 /// graph), exactly when small enough and within budget, by local ratio
 /// otherwise.  Returns the component's cover in component-local ids.
-VertexSet solve_component(const Graph& comp, VertexId max_exact,
+VertexSet solve_component(GraphView comp, VertexId max_exact,
                           std::int64_t& budget, bool& optimal) {
   if (comp.num_vertices() > max_exact || budget <= 0) {
     optimal = false;
@@ -35,7 +36,7 @@ VertexSet solve_component(const Graph& comp, VertexId max_exact,
 
 }  // namespace
 
-GrMvcResult solve_gr_mvc(const Graph& g, int r, double epsilon,
+GrMvcResult solve_gr_mvc(GraphView g, int r, double epsilon,
                          std::int64_t exact_node_budget,
                          VertexId max_exact_component) {
   PG_REQUIRE(r >= 2, "the ball structure needs r >= 2");

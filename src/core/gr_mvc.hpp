@@ -46,7 +46,7 @@ struct GrMvcResult {
 /// than all of it.  Both downgrades — and a plain budget abort — are
 /// reported through `remainder_optimal`; callers that need the (1+ε)
 /// guarantee at any cost can raise both knobs.
-GrMvcResult solve_gr_mvc(const graph::Graph& g, int r, double epsilon,
+GrMvcResult solve_gr_mvc(graph::GraphView g, int r, double epsilon,
                          std::int64_t exact_node_budget = 50'000'000,
                          graph::VertexId max_exact_component = 1024);
 

@@ -15,6 +15,7 @@
 namespace pg::core {
 
 using graph::Graph;
+using graph::GraphView;
 using graph::VertexId;
 using graph::VertexSet;
 using graph::VertexWeights;
@@ -22,7 +23,7 @@ using graph::Weight;
 
 namespace {
 
-VertexSet solve_component_weighted(const Graph& comp, const VertexWeights& cw,
+VertexSet solve_component_weighted(GraphView comp, const VertexWeights& cw,
                                    VertexId max_exact, std::int64_t& budget,
                                    bool& optimal) {
   if (comp.num_vertices() > max_exact || budget <= 0) {
@@ -38,7 +39,7 @@ VertexSet solve_component_weighted(const Graph& comp, const VertexWeights& cw,
 
 }  // namespace
 
-GrMwvcResult solve_gr_mwvc(const Graph& g, int r, const VertexWeights& w,
+GrMwvcResult solve_gr_mwvc(GraphView g, int r, const VertexWeights& w,
                            double epsilon, std::int64_t exact_node_budget,
                            VertexId max_exact_component,
                            std::size_t max_remainder_materialize) {

@@ -52,7 +52,7 @@ struct GrMwvcResult {
 /// materialized only when it is small enough
 /// (<= max_remainder_materialize vertices) to hand to the per-component
 /// exact solver.
-GrMwvcResult solve_gr_mwvc(const graph::Graph& g, int r,
+GrMwvcResult solve_gr_mwvc(graph::GraphView g, int r,
                            const graph::VertexWeights& w, double epsilon,
                            std::int64_t exact_node_budget = 50'000'000,
                            graph::VertexId max_exact_component = 1024,

@@ -11,6 +11,7 @@ using congest::Network;
 using congest::NodeId;
 using congest::NodeView;
 using graph::Graph;
+using graph::GraphView;
 using graph::VertexId;
 using graph::VertexSet;
 
@@ -19,14 +20,14 @@ constexpr std::uint8_t kPropose = 51;
 constexpr std::uint8_t kMatched = 52;
 }  // namespace
 
-MatchingCongestResult solve_maximal_matching_congest(const Graph& g) {
+MatchingCongestResult solve_maximal_matching_congest(GraphView g) {
   Network net(g);
   return solve_maximal_matching_congest(net);
 }
 
 MatchingCongestResult solve_maximal_matching_congest(Network& net) {
   net.reset();
-  const Graph& g = net.topology();
+  GraphView g = net.topology();
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   MatchingCongestResult result;
   result.cover = VertexSet(g.num_vertices());

@@ -26,7 +26,7 @@ struct MatchingCongestResult {
   int proposal_rounds = 0;
 };
 
-MatchingCongestResult solve_maximal_matching_congest(const graph::Graph& g);
+MatchingCongestResult solve_maximal_matching_congest(graph::GraphView g);
 
 /// Caller-owned-simulator overload: rewinds `net` via Network::reset() and
 /// runs on its topology, so batch drivers reuse one simulator per worker.

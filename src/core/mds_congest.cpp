@@ -16,6 +16,7 @@ using congest::Network;
 using congest::NodeId;
 using congest::NodeView;
 using graph::Graph;
+using graph::GraphView;
 using graph::VertexId;
 using graph::VertexSet;
 
@@ -52,7 +53,7 @@ std::int64_t density_value(std::uint8_t code) {
 
 }  // namespace
 
-MdsCongestResult solve_g2_mds_congest(const Graph& g, Rng& rng,
+MdsCongestResult solve_g2_mds_congest(GraphView g, Rng& rng,
                                       const MdsCongestConfig& config) {
   Network net(g);
   return solve_g2_mds_congest(net, rng, config);
@@ -61,7 +62,7 @@ MdsCongestResult solve_g2_mds_congest(const Graph& g, Rng& rng,
 MdsCongestResult solve_g2_mds_congest(Network& net, Rng& rng,
                                       const MdsCongestConfig& config) {
   net.reset();
-  const Graph& g = net.topology();
+  GraphView g = net.topology();
   PG_REQUIRE(graph::is_connected(g), "Theorem 28 assumes a connected network");
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   MdsCongestResult result;

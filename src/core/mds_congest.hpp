@@ -39,7 +39,7 @@ struct MdsCongestResult {
   bool used_fallback = false;  // some vertices self-joined at the cap
 };
 
-MdsCongestResult solve_g2_mds_congest(const graph::Graph& g, Rng& rng,
+MdsCongestResult solve_g2_mds_congest(graph::GraphView g, Rng& rng,
                                       const MdsCongestConfig& config = {});
 
 /// Caller-owned-simulator overload: rewinds `net` via Network::reset() and

@@ -9,6 +9,7 @@
 namespace pg::core {
 
 using graph::Graph;
+using graph::GraphView;
 using graph::VertexId;
 using graph::VertexSet;
 
@@ -17,7 +18,7 @@ namespace {
 /// Mutable working copy of the graph with vertex/edge deletion.
 class WorkGraph {
  public:
-  explicit WorkGraph(const Graph& g)
+  explicit WorkGraph(GraphView g)
       : adj_(static_cast<std::size_t>(g.num_vertices())),
         alive_(static_cast<std::size_t>(g.num_vertices()), true) {
     g.for_each_edge([&](VertexId u, VertexId v) {
@@ -88,7 +89,7 @@ VertexId find_low_degree_vertex(WorkGraph& g) {
 
 }  // namespace
 
-VertexSet five_thirds_cover(const Graph& h, LocalRatioParts* parts) {
+VertexSet five_thirds_cover(GraphView h, LocalRatioParts* parts) {
   WorkGraph work(h);
   VertexSet cover(h.num_vertices());
   LocalRatioParts sizes;
@@ -168,7 +169,7 @@ VertexSet five_thirds_cover(const Graph& h, LocalRatioParts* parts) {
   return cover;
 }
 
-VertexSet five_thirds_mvc_of_square(const Graph& g, LocalRatioParts* parts) {
+VertexSet five_thirds_mvc_of_square(GraphView g, LocalRatioParts* parts) {
   return five_thirds_cover(graph::square(g), parts);
 }
 

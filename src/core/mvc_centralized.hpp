@@ -27,12 +27,12 @@ struct LocalRatioParts {
 /// 5/3 guarantee of Theorem 12 is proven when `h` is the square of some
 /// graph; the algorithm itself is well-defined (and a valid <=2-approx) on
 /// any graph.
-graph::VertexSet five_thirds_cover(const graph::Graph& h,
+graph::VertexSet five_thirds_cover(graph::GraphView h,
                                    LocalRatioParts* parts = nullptr);
 
 /// Convenience wrapper: squares `g` and covers the square (the Theorem 12
 /// setting; the returned set is a vertex cover of G^2).
-graph::VertexSet five_thirds_mvc_of_square(const graph::Graph& g,
+graph::VertexSet five_thirds_mvc_of_square(graph::GraphView g,
                                            LocalRatioParts* parts = nullptr);
 
 }  // namespace pg::core

@@ -19,6 +19,7 @@ using clique::Message;
 using clique::NodeId;
 using clique::NodeView;
 using graph::Graph;
+using graph::GraphView;
 using graph::VertexId;
 using graph::VertexSet;
 
@@ -232,7 +233,7 @@ int deterministic_phase1(CliqueNetwork& net, int l, std::vector<bool>& in_r,
 }  // namespace
 
 MvcCliqueResult solve_g2_mvc_clique_deterministic(
-    const Graph& g, const MvcCliqueConfig& config) {
+    GraphView g, const MvcCliqueConfig& config) {
   PG_REQUIRE(config.epsilon > 0, "epsilon must be positive");
   MvcCliqueResult result;
   result.cover = VertexSet(g.num_vertices());
@@ -252,7 +253,7 @@ MvcCliqueResult solve_g2_mvc_clique_deterministic(
   return result;
 }
 
-MvcCliqueResult solve_g2_mvc_clique_randomized(const Graph& g, Rng& rng,
+MvcCliqueResult solve_g2_mvc_clique_randomized(GraphView g, Rng& rng,
                                                const MvcCliqueConfig& config) {
   PG_REQUIRE(config.epsilon > 0, "epsilon must be positive");
   MvcCliqueResult result;

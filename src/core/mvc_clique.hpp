@@ -40,10 +40,10 @@ struct MvcCliqueResult {
 
 /// Corollary 10: deterministic, O(εn + 1/ε) rounds.
 MvcCliqueResult solve_g2_mvc_clique_deterministic(
-    const graph::Graph& g, const MvcCliqueConfig& config = {});
+    graph::GraphView g, const MvcCliqueConfig& config = {});
 
 /// Theorem 11: randomized voting, O(log n + 1/ε) rounds w.h.p.
 MvcCliqueResult solve_g2_mvc_clique_randomized(
-    const graph::Graph& g, Rng& rng, const MvcCliqueConfig& config = {});
+    graph::GraphView g, Rng& rng, const MvcCliqueConfig& config = {});
 
 }  // namespace pg::core

@@ -20,6 +20,7 @@ using congest::Network;
 using congest::NodeId;
 using congest::NodeView;
 using graph::Graph;
+using graph::GraphView;
 using graph::VertexId;
 using graph::VertexSet;
 
@@ -393,7 +394,7 @@ template <typename Phase1>
 MvcCongestResult run_algorithm1(Network& net, const MvcCongestConfig& config,
                                 Phase1&& phase1) {
   net.reset();
-  const Graph& g = net.topology();
+  GraphView g = net.topology();
   PG_REQUIRE(config.epsilon > 0, "epsilon must be positive");
   PG_REQUIRE(graph::is_connected(g), "Theorem 1 assumes a connected network");
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
@@ -433,7 +434,7 @@ MvcCongestResult solve_g2_mvc_congest(Network& net,
       });
 }
 
-MvcCongestResult solve_g2_mvc_congest(const Graph& g,
+MvcCongestResult solve_g2_mvc_congest(GraphView g,
                                       const MvcCongestConfig& config) {
   Network net(g);
   return solve_g2_mvc_congest(net, config);
@@ -449,7 +450,7 @@ MvcCongestResult solve_g2_mvc_congest_randomized(
 }
 
 MvcCongestResult solve_g2_mvc_congest_randomized(
-    const Graph& g, Rng& rng, const MvcCongestConfig& config) {
+    GraphView g, Rng& rng, const MvcCongestConfig& config) {
   Network net(g);
   return solve_g2_mvc_congest_randomized(net, rng, config);
 }

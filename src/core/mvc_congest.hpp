@@ -51,7 +51,7 @@ struct MvcCongestResult {
 
 /// Runs Algorithm 1 on a connected input graph.  For ε >= 1, returns the
 /// trivial all-vertices cover (a 0-round 2-approximation; see Lemma 6).
-MvcCongestResult solve_g2_mvc_congest(const graph::Graph& g,
+MvcCongestResult solve_g2_mvc_congest(graph::GraphView g,
                                       const MvcCongestConfig& config = {});
 
 /// Same, on a caller-owned simulator (rewound via Network::reset() first),
@@ -67,7 +67,7 @@ MvcCongestResult solve_g2_mvc_congest(congest::Network& net,
 /// notes, the total CONGEST complexity does not improve.  Exposed so the
 /// phase-count speedup is measurable on its own.
 MvcCongestResult solve_g2_mvc_congest_randomized(
-    const graph::Graph& g, Rng& rng, const MvcCongestConfig& config = {});
+    graph::GraphView g, Rng& rng, const MvcCongestConfig& config = {});
 
 /// Caller-owned-simulator overload (see solve_g2_mvc_congest above).
 MvcCongestResult solve_g2_mvc_congest_randomized(

@@ -21,6 +21,7 @@ using congest::Network;
 using congest::NodeId;
 using congest::NodeView;
 using graph::Graph;
+using graph::GraphView;
 using graph::VertexId;
 using graph::VertexSet;
 using graph::VertexWeights;
@@ -37,7 +38,7 @@ constexpr std::uint8_t kUStatus = 16;  // field 0: 1 iff in U
 
 }  // namespace
 
-MwvcCongestResult solve_g2_mwvc_congest(const Graph& g, const VertexWeights& w,
+MwvcCongestResult solve_g2_mwvc_congest(GraphView g, const VertexWeights& w,
                                         const MwvcCongestConfig& config) {
   Network net(g);
   return solve_g2_mwvc_congest(net, w, config);
@@ -46,7 +47,7 @@ MwvcCongestResult solve_g2_mwvc_congest(const Graph& g, const VertexWeights& w,
 MwvcCongestResult solve_g2_mwvc_congest(Network& net, const VertexWeights& w,
                                         const MwvcCongestConfig& config) {
   net.reset();
-  const Graph& g = net.topology();
+  GraphView g = net.topology();
   PG_REQUIRE(config.epsilon > 0, "epsilon must be positive");
   PG_REQUIRE(w.size() == g.num_vertices(), "weights/graph size mismatch");
   PG_REQUIRE(graph::is_connected(g), "Theorem 7 assumes a connected network");

@@ -40,7 +40,7 @@ struct MwvcCongestResult {
   bool leader_solution_optimal = true;
 };
 
-MwvcCongestResult solve_g2_mwvc_congest(const graph::Graph& g,
+MwvcCongestResult solve_g2_mwvc_congest(graph::GraphView g,
                                         const graph::VertexWeights& w,
                                         const MwvcCongestConfig& config = {});
 

@@ -10,10 +10,11 @@ namespace pg::core {
 
 using congest::Network;
 using graph::Graph;
+using graph::GraphView;
 using graph::VertexId;
 using graph::VertexSet;
 
-NaiveResult solve_naively_in_congest(const Graph& g, NaiveProblem problem,
+NaiveResult solve_naively_in_congest(GraphView g, NaiveProblem problem,
                                      std::int64_t exact_node_budget) {
   Network net(g);
   return solve_naively_in_congest(net, problem, exact_node_budget);
@@ -22,7 +23,7 @@ NaiveResult solve_naively_in_congest(const Graph& g, NaiveProblem problem,
 NaiveResult solve_naively_in_congest(Network& net, NaiveProblem problem,
                                      std::int64_t exact_node_budget) {
   net.reset();
-  const Graph& g = net.topology();
+  GraphView g = net.topology();
   PG_REQUIRE(graph::is_connected(g), "the baseline assumes a connected graph");
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   NaiveResult result;

@@ -27,7 +27,7 @@ struct NaiveResult {
 /// Gathers G at a leader, solves `problem` on G^2 exactly, and broadcasts
 /// the answer; every round is simulated and counted.
 NaiveResult solve_naively_in_congest(
-    const graph::Graph& g, NaiveProblem problem,
+    graph::GraphView g, NaiveProblem problem,
     std::int64_t exact_node_budget = 50'000'000);
 
 /// Caller-owned-simulator overload: rewinds `net` via Network::reset() and

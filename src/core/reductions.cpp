@@ -12,12 +12,13 @@
 namespace pg::core {
 
 using graph::Graph;
+using graph::GraphView;
 using graph::GraphBuilder;
 using graph::VertexId;
 using graph::VertexSet;
 using graph::Weight;
 
-SquareReduction reduce_mvc_to_square(const Graph& g) {
+SquareReduction reduce_mvc_to_square(GraphView g) {
   SquareReduction reduction;
   reduction.original_vertices = g.num_vertices();
   GraphBuilder b(g.num_vertices());
@@ -35,7 +36,7 @@ SquareReduction reduce_mvc_to_square(const Graph& g) {
   return reduction;
 }
 
-SquareReduction reduce_mds_to_square(const Graph& g) {
+SquareReduction reduce_mds_to_square(GraphView g) {
   PG_REQUIRE(g.num_edges() >= 1,
              "the MDS reduction needs at least one edge to hang DP_E on");
   SquareReduction reduction;
@@ -69,7 +70,7 @@ VertexSet restrict_cover_to_original(const SquareReduction& reduction,
   return cover;
 }
 
-ConditionalResult conditional_mvc_approx(const Graph& g, double delta,
+ConditionalResult conditional_mvc_approx(GraphView g, double delta,
                                          double alpha) {
   PG_REQUIRE(delta > 0 && delta < 1, "delta must lie in (0,1)");
   PG_REQUIRE(alpha > 0 && alpha <= 1, "alpha must lie in (0,1]");
@@ -123,7 +124,7 @@ ConditionalResult conditional_mvc_approx(const Graph& g, double delta,
   return result;
 }
 
-VertexSet exact_mvc_via_g2_fptas(const Graph& g) {
+VertexSet exact_mvc_via_g2_fptas(GraphView g) {
   PG_REQUIRE(g.num_edges() >= 1, "need at least one edge");
   const SquareReduction reduction = reduce_mvc_to_square(g);
   MvcCongestConfig config;

@@ -32,11 +32,11 @@ struct SquareReduction {
 };
 
 /// Theorem 26/44 gadget graph: VC(H^2) = VC(G) + 2|E(G)|.
-SquareReduction reduce_mvc_to_square(const graph::Graph& g);
+SquareReduction reduce_mvc_to_square(graph::GraphView g);
 
 /// Theorem 45 gadget graph (merged tail): MDS(H^2) = MDS(G) + 1.
 /// Requires |E(G)| >= 1.
-SquareReduction reduce_mds_to_square(const graph::Graph& g);
+SquareReduction reduce_mds_to_square(graph::GraphView g);
 
 /// Restricts a vertex cover of H^2 to the original vertices; the result is
 /// always a vertex cover of G (every G-edge is an H^2-edge between
@@ -57,12 +57,12 @@ struct ConditionalResult {
 /// The Theorem 26 pipeline with our Theorem 1 algorithm playing ALG.
 /// `alpha` is the exponent assumed for ALG's O(n^α/ε) running time (ours
 /// is 1); δ ∈ (0,1) is the target approximation slack for G.
-ConditionalResult conditional_mvc_approx(const graph::Graph& g, double delta,
+ConditionalResult conditional_mvc_approx(graph::GraphView g, double delta,
                                          double alpha = 1.0);
 
 /// Theorem 44's FPTAS-refutation experiment: runs the (1+ε) G^2 algorithm
 /// on the gadget graph with ε = 1/(3|E|); the restricted cover is an
 /// *exact* minimum vertex cover of G.
-graph::VertexSet exact_mvc_via_g2_fptas(const graph::Graph& g);
+graph::VertexSet exact_mvc_via_g2_fptas(graph::GraphView g);
 
 }  // namespace pg::core

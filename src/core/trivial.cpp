@@ -2,7 +2,7 @@
 
 namespace pg::core {
 
-graph::VertexSet trivial_power_cover(const graph::Graph& g) {
+graph::VertexSet trivial_power_cover(graph::GraphView g) {
   graph::VertexSet cover(g.num_vertices());
   for (graph::VertexId v = 0; v < g.num_vertices(); ++v) cover.insert(v);
   return cover;

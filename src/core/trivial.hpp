@@ -9,7 +9,7 @@
 namespace pg::core {
 
 /// The all-vertices cover (the "0-round algorithm").
-graph::VertexSet trivial_power_cover(const graph::Graph& g);
+graph::VertexSet trivial_power_cover(graph::GraphView g);
 
 /// Lemma 6's lower bound on |OPT(G^r)|: n - n/(⌊r/2⌋+1), rounded the safe
 /// way (this is a bound on an integer quantity).

@@ -1,0 +1,87 @@
+#include "graph/classify.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace pg::graph {
+
+std::string_view regime_name(DegreeRegime regime) {
+  switch (regime) {
+    case DegreeRegime::kPowerLaw: return "powerlaw";
+    case DegreeRegime::kBounded: return "bounded";
+    case DegreeRegime::kOther: return "other";
+  }
+  return "other";
+}
+
+DegreeClassification classify_degree_distribution(GraphView g) {
+  DegreeClassification out;
+  const VertexId n = g.num_vertices();
+  if (n == 0 || g.num_edges() == 0) {
+    out.regime = DegreeRegime::kBounded;  // degenerate: every degree is 0
+    return out;
+  }
+
+  std::size_t max_deg = 0;
+  for (VertexId v = 0; v < n; ++v) max_deg = std::max(max_deg, g.degree(v));
+  const double mean_deg =
+      2.0 * static_cast<double>(g.num_edges()) / static_cast<double>(n);
+
+  // Power-of-two degree buckets: bucket b counts vertices with degree in
+  // [2^b, 2^(b+1)).  Bucketing smooths the sparse tail a raw histogram
+  // would hand the regression as noise.
+  std::vector<std::size_t> buckets;
+  for (VertexId v = 0; v < n; ++v) {
+    const std::size_t d = g.degree(v);
+    if (d == 0) continue;
+    std::size_t b = 0;
+    for (std::size_t t = d; t > 1; t >>= 1) ++b;
+    if (b >= buckets.size()) buckets.resize(b + 1, 0);
+    ++buckets[b];
+  }
+
+  // Least-squares fit of log2(count) against bucket index (= log2 degree).
+  // count(d) ~ d^-alpha shows up as slope -alpha; r² measures how much of
+  // the variance the line explains.
+  std::size_t occupied = 0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    ++occupied;
+    const double x = static_cast<double>(b);
+    const double y = std::log2(static_cast<double>(buckets[b]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    syy += y * y;
+  }
+  if (occupied >= 4) {
+    const double k = static_cast<double>(occupied);
+    const double det = k * sxx - sx * sx;
+    const double slope = (k * sxy - sx * sy) / det;
+    const double ss_tot = syy - sy * sy / k;
+    const double ss_res =
+        ss_tot - slope * slope * det / k;  // = Σ(y-ŷ)² for the LS line
+    out.alpha = -slope;
+    out.r_squared = ss_tot > 1e-12 ? 1.0 - ss_res / ss_tot : 0.0;
+    // A heavy tail: counts fall at least ~2× per degree doubling
+    // (alpha ≥ 1), not absurdly fast (alpha ≤ 5 — faster decays are
+    // degree-concentrated, not scale-free), and the line actually fits.
+    if (out.alpha >= 1.0 && out.alpha <= 5.0 && out.r_squared >= 0.75) {
+      out.regime = DegreeRegime::kPowerLaw;
+      return out;
+    }
+  }
+
+  // Bounded regime: the maximum degree stays within a small factor of the
+  // mean, as in lattices, rings, and random regular-ish graphs.  The +8
+  // keeps tiny sparse graphs (mean < 1) from flapping.
+  if (static_cast<double>(max_deg) <= 4.0 * mean_deg + 8.0)
+    out.regime = DegreeRegime::kBounded;
+  else
+    out.regime = DegreeRegime::kOther;
+  return out;
+}
+
+}  // namespace pg::graph

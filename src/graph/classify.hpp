@@ -1,0 +1,43 @@
+// Degree-distribution regime classifier.
+//
+// The paper's power-graph bounds are regime-dependent: the
+// Gast–Hauptmann–Karpinski line of work makes different
+// approximability predictions on power-law graphs than on
+// bounded-degree ones, so every report row carries the regime of the
+// topology it ran on.  The classifier is deterministic and cheap —
+// O(n + Δ) over the degree histogram — in the spirit of Katana's
+// IsApproximateDegreeDistributionPowerLaw: bucket degrees by powers of
+// two, least-squares fit a line in log-log space, and call the
+// distribution a power law when the fit is both steep and tight.
+#pragma once
+
+#include <string_view>
+
+#include "graph/graph.hpp"
+
+namespace pg::graph {
+
+enum class DegreeRegime {
+  kPowerLaw,  ///< heavy-tailed: count(d) ~ d^-alpha with a good log-log fit
+  kBounded,   ///< max degree within a small factor of the mean
+  kOther,     ///< neither (or too little signal to decide)
+};
+
+/// Stable lowercase tag for reports: "powerlaw" / "bounded" / "other".
+std::string_view regime_name(DegreeRegime regime);
+
+struct DegreeClassification {
+  DegreeRegime regime = DegreeRegime::kOther;
+  /// Fitted exponent alpha of count(d) ~ d^-alpha over power-of-two degree
+  /// buckets (0 when there were too few occupied buckets to fit).
+  double alpha = 0.0;
+  /// Coefficient of determination of that fit (0 when not fitted).
+  double r_squared = 0.0;
+};
+
+/// Classifies g's degree distribution.  Deterministic: depends only on
+/// the degree histogram, so equal topologies classify equally on every
+/// host, thread count, and storage backend (owned or mmap'd).
+DegreeClassification classify_degree_distribution(GraphView g);
+
+}  // namespace pg::graph

@@ -20,7 +20,7 @@ Weight VertexSet::weight(const VertexWeights& w) const {
   return sum;
 }
 
-bool is_vertex_cover(const Graph& g, const VertexSet& s) {
+bool is_vertex_cover(GraphView g, const VertexSet& s) {
   PG_REQUIRE(s.universe_size() == g.num_vertices(), "set/graph size mismatch");
   bool ok = true;
   g.for_each_edge([&](VertexId u, VertexId v) {
@@ -29,7 +29,7 @@ bool is_vertex_cover(const Graph& g, const VertexSet& s) {
   return ok;
 }
 
-bool is_independent_set(const Graph& g, const VertexSet& s) {
+bool is_independent_set(GraphView g, const VertexSet& s) {
   PG_REQUIRE(s.universe_size() == g.num_vertices(), "set/graph size mismatch");
   bool ok = true;
   g.for_each_edge([&](VertexId u, VertexId v) {
@@ -38,7 +38,7 @@ bool is_independent_set(const Graph& g, const VertexSet& s) {
   return ok;
 }
 
-bool is_dominating_set(const Graph& g, const VertexSet& s) {
+bool is_dominating_set(GraphView g, const VertexSet& s) {
   PG_REQUIRE(s.universe_size() == g.num_vertices(), "set/graph size mismatch");
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     if (s.contains(v)) continue;
@@ -53,13 +53,13 @@ bool is_dominating_set(const Graph& g, const VertexSet& s) {
   return true;
 }
 
-bool is_vertex_cover_of_square(const Graph& g, const VertexSet& s) {
+bool is_vertex_cover_of_square(GraphView g, const VertexSet& s) {
   // The r = 2 case of the implicit power check: O(n + m) multi-source BFS
   // instead of the old O(sum deg^2) two-hop enumeration.
   return is_vertex_cover_power(g, 2, s);
 }
 
-bool is_dominating_set_of_square(const Graph& g, const VertexSet& s) {
+bool is_dominating_set_of_square(GraphView g, const VertexSet& s) {
   return is_dominating_set_power(g, 2, s);
 }
 

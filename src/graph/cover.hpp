@@ -45,14 +45,14 @@ class VertexSet {
   std::size_t size_ = 0;
 };
 
-bool is_vertex_cover(const Graph& g, const VertexSet& s);
-bool is_independent_set(const Graph& g, const VertexSet& s);
-bool is_dominating_set(const Graph& g, const VertexSet& s);
+bool is_vertex_cover(GraphView g, const VertexSet& s);
+bool is_independent_set(GraphView g, const VertexSet& s);
+bool is_dominating_set(GraphView g, const VertexSet& s);
 
 /// Checks that `s` covers every edge of G^2 without materializing G^2.
-bool is_vertex_cover_of_square(const Graph& g, const VertexSet& s);
+bool is_vertex_cover_of_square(GraphView g, const VertexSet& s);
 
 /// Checks that every vertex is within distance 2 (in G) of a member of `s`.
-bool is_dominating_set_of_square(const Graph& g, const VertexSet& s);
+bool is_dominating_set_of_square(GraphView g, const VertexSet& s);
 
 }  // namespace pg::graph

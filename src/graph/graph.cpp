@@ -13,27 +13,32 @@ void GraphBuilder::add_edge(VertexId u, VertexId v) {
 Graph GraphBuilder::build() && {
   std::sort(edges_.begin(), edges_.end());
   edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  PG_REQUIRE(edges_.size() <= kMaxAdjacencySlots / 2,
+             "graph has more edges than the int32-addressable adjacency "
+             "slot space (2m must fit in int32)");
 
-  Graph g;
   const auto n = static_cast<std::size_t>(n_);
   std::vector<std::size_t> degree(n, 0);
   for (const Edge& e : edges_) {
     ++degree[static_cast<std::size_t>(e.u)];
     ++degree[static_cast<std::size_t>(e.v)];
   }
-  g.offsets_.assign(n + 1, 0);
+  std::vector<std::size_t> offsets(n + 1, 0);
   for (std::size_t v = 0; v < n; ++v)
-    g.offsets_[v + 1] = g.offsets_[v] + degree[v];
-  g.adjacency_.resize(g.offsets_[n]);
+    offsets[v + 1] = offsets[v] + degree[v];
+  std::vector<VertexId> adjacency(offsets[n]);
 
-  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
   for (const Edge& e : edges_) {
-    g.adjacency_[cursor[static_cast<std::size_t>(e.u)]++] = e.v;
-    g.adjacency_[cursor[static_cast<std::size_t>(e.v)]++] = e.u;
+    adjacency[cursor[static_cast<std::size_t>(e.u)]++] = e.v;
+    adjacency[cursor[static_cast<std::size_t>(e.v)]++] = e.u;
   }
   for (std::size_t v = 0; v < n; ++v)
-    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
-              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+    std::sort(adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+
+  Graph g;
+  g.adopt(std::move(offsets), std::move(adjacency));
   return g;
 }
 
@@ -42,6 +47,8 @@ Graph Graph::from_csr(std::vector<std::size_t> offsets,
   PG_REQUIRE(!offsets.empty() && offsets.front() == 0 &&
                  offsets.back() == adjacency.size(),
              "CSR offsets must span the adjacency array");
+  PG_REQUIRE(adjacency.size() <= kMaxAdjacencySlots,
+             "CSR adjacency exceeds the int32-addressable slot space");
   const auto n = static_cast<VertexId>(offsets.size() - 1);
   for (std::size_t v = 0; v + 1 < offsets.size(); ++v) {
     PG_REQUIRE(offsets[v] <= offsets[v + 1], "CSR offsets must be ascending");
@@ -54,26 +61,34 @@ Graph Graph::from_csr(std::vector<std::size_t> offsets,
     }
   }
   Graph g;
-  g.offsets_ = std::move(offsets);
-  g.adjacency_ = std::move(adjacency);
+  g.adopt(std::move(offsets), std::move(adjacency));
   return g;
 }
 
-std::size_t Graph::max_degree() const {
+Graph Graph::copy_of(GraphView v) {
+  const auto offsets = v.adjacency_offsets();
+  const auto adjacency = v.adjacency_array();
+  Graph g;
+  g.adopt(std::vector<std::size_t>(offsets.begin(), offsets.end()),
+          std::vector<VertexId>(adjacency.begin(), adjacency.end()));
+  return g;
+}
+
+std::size_t GraphView::max_degree() const {
   std::size_t best = 0;
   for (VertexId v = 0; v < num_vertices(); ++v)
     best = std::max(best, degree(v));
   return best;
 }
 
-bool Graph::has_edge(VertexId u, VertexId v) const {
+bool GraphView::has_edge(VertexId u, VertexId v) const {
   check_vertex(u);
   check_vertex(v);
   if (u == v) return false;
   return neighbor_index(u, v) != npos;
 }
 
-std::vector<Edge> Graph::edges() const {
+std::vector<Edge> GraphView::edges() const {
   std::vector<Edge> out;
   out.reserve(num_edges());
   for_each_edge([&](VertexId u, VertexId v) { out.emplace_back(u, v); });

@@ -1,13 +1,18 @@
 // Simple undirected graph with dense vertex ids 0..n-1.
 //
-// The representation is an immutable sorted adjacency list built through
-// `GraphBuilder`; algorithms that mutate graphs (the centralized solvers)
-// keep their own mutable working copies, so the shared representation can
-// stay cheap to query and safe to share.
+// The representation is an immutable sorted adjacency list in CSR form.
+// Storage is ownership-agnostic: `GraphView` is the non-owning core — two
+// spans (offsets, adjacency) plus every query method — and `Graph` is the
+// owned specialization built through `GraphBuilder` (or `from_csr`, or a
+// mapped `.pgcsr` file via `MappedGraph`).  Algorithms that only *read*
+// topology take a `GraphView` by value, so the same code path serves
+// heap-resident and mmap'd file-backed graphs; algorithms that mutate
+// graphs (the centralized solvers) keep their own mutable working copies.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -31,44 +36,25 @@ struct Edge {
   friend auto operator<=>(const Edge&, const Edge&) = default;
 };
 
-class Graph;
-
-/// Incrementally collects edges, then freezes into a Graph.  Duplicate edges
-/// are tolerated and deduplicated.
-class GraphBuilder {
+/// Non-owning CSR view: all query methods live here.  A view is two spans
+/// (16 bytes each), so pass it by value.  The referenced arrays must
+/// outlive the view — `Graph` (owning vectors) and `MappedGraph` (an
+/// mmap'd `.pgcsr` file) are the two storage providers.
+class GraphView {
  public:
-  explicit GraphBuilder(VertexId n) : n_(n) {
-    PG_REQUIRE(n >= 0, "vertex count must be non-negative");
+  GraphView() = default;
+
+  /// Wraps raw CSR arrays without validating them; the caller promises
+  /// the Graph invariants (monotone offsets, per-row strictly sorted,
+  /// symmetric, no self-loops).  Validated entry points: GraphBuilder,
+  /// Graph::from_csr, map_pgcsr.
+  GraphView(std::span<const std::size_t> offsets,
+            std::span<const VertexId> adjacency)
+      : offsets_(offsets), adjacency_(adjacency) {}
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
   }
-
-  VertexId num_vertices() const { return n_; }
-
-  /// Adds a fresh vertex and returns its id.
-  VertexId add_vertex() { return n_++; }
-
-  void add_edge(VertexId u, VertexId v);
-  bool has_vertex(VertexId v) const { return v >= 0 && v < n_; }
-
-  Graph build() &&;
-
- private:
-  VertexId n_;
-  std::vector<Edge> edges_;
-};
-
-class Graph {
- public:
-  Graph() = default;
-
-  /// Constructs a graph directly from a CSR pair, bypassing GraphBuilder's
-  /// edge-list sort.  Validates cheap invariants (offset monotonicity,
-  /// per-row strict sortedness, no self-loops, ids in range); the caller
-  /// promises symmetry.  Used by performance-critical builders
-  /// (graph::power); prefer GraphBuilder elsewhere.
-  static Graph from_csr(std::vector<std::size_t> offsets,
-                        std::vector<VertexId> adjacency);
-
-  VertexId num_vertices() const { return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1); }
   std::size_t num_edges() const { return adjacency_.size() / 2; }
 
   std::span<const VertexId> neighbors(VertexId v) const {
@@ -119,12 +105,100 @@ class Graph {
     PG_REQUIRE(v >= 0 && v < num_vertices(), "vertex id out of range");
   }
 
+ protected:
+  std::span<const std::size_t> offsets_;  // n+1 entries
+  std::span<const VertexId> adjacency_;   // sorted within each vertex range
+};
+
+class Graph;
+class MappedGraph;
+
+/// Incrementally collects edges, then freezes into a Graph.  Duplicate edges
+/// are tolerated and deduplicated.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId n) : n_(n) {
+    PG_REQUIRE(n >= 0, "vertex count must be non-negative");
+  }
+
+  VertexId num_vertices() const { return n_; }
+
+  /// Adds a fresh vertex and returns its id.
+  VertexId add_vertex() { return n_++; }
+
+  void add_edge(VertexId u, VertexId v);
+  bool has_vertex(VertexId v) const { return v >= 0 && v < n_; }
+
+  Graph build() &&;
+
+ private:
+  VertexId n_;
+  std::vector<Edge> edges_;
+};
+
+/// The owned CSR specialization: keeps the arrays in vectors and rebinds
+/// the inherited view spans whenever the storage moves (copy, move,
+/// assignment), so a Graph is always a valid GraphView of itself and
+/// slices safely into `GraphView` parameters.
+class Graph : public GraphView {
+ public:
+  Graph() = default;
+  Graph(const Graph& other) { adopt(other.offsets_store_, other.adjacency_store_); }
+  Graph(Graph&& other) noexcept { adopt(std::move(other.offsets_store_), std::move(other.adjacency_store_)); }
+  Graph& operator=(const Graph& other) {
+    if (this != &other) adopt(other.offsets_store_, other.adjacency_store_);
+    return *this;
+  }
+  Graph& operator=(Graph&& other) noexcept {
+    if (this != &other)
+      adopt(std::move(other.offsets_store_), std::move(other.adjacency_store_));
+    return *this;
+  }
+
+  /// Constructs a graph directly from a CSR pair, bypassing GraphBuilder's
+  /// edge-list sort.  Validates cheap invariants (offset monotonicity,
+  /// per-row strict sortedness, no self-loops, ids in range); the caller
+  /// promises symmetry.  Used by performance-critical builders
+  /// (graph::power); prefer GraphBuilder elsewhere.
+  static Graph from_csr(std::vector<std::size_t> offsets,
+                        std::vector<VertexId> adjacency);
+
+  /// Maps a `.pgcsr` file (see graph/storage.hpp) and returns the
+  /// file-backed view holder.  Defined in storage.cpp.
+  static MappedGraph map_file(const std::string& path);
+
+  /// Deep-copies a view's arrays into owned storage (the one sanctioned
+  /// way to turn a file-backed view into a resident Graph).
+  static Graph copy_of(GraphView v);
+
+  /// The non-owning view of this graph's storage, valid as long as the
+  /// graph is alive and not reassigned.  (Implicit via the base class:
+  /// a Graph *is a* GraphView; this spelling exists for call sites that
+  /// want the conversion explicit.)
+  GraphView view() const { return *this; }
+
  private:
   friend class GraphBuilder;
 
-  std::vector<std::size_t> offsets_;  // n+1 entries
-  std::vector<VertexId> adjacency_;   // sorted within each vertex range
+  template <typename Offsets, typename Adjacency>
+  void adopt(Offsets&& offsets, Adjacency&& adjacency) {
+    offsets_store_ = std::forward<Offsets>(offsets);
+    adjacency_store_ = std::forward<Adjacency>(adjacency);
+    offsets_ = offsets_store_;
+    adjacency_ = adjacency_store_;
+  }
+
+  std::vector<std::size_t> offsets_store_;
+  std::vector<VertexId> adjacency_store_;
 };
+
+/// Largest adjacency-array length (2m directed edge slots) the rest of the
+/// system can address: the CONGEST simulator stamps slots with int32
+/// rounds and indexes them with uint32, and `.pgcsr` stores adjacency as
+/// int32.  Builders and the importer reject anything larger loudly
+/// instead of wrapping.
+inline constexpr std::size_t kMaxAdjacencySlots =
+    static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max());
 
 /// Vertex weights for the weighted problem variants.  Kept separate from
 /// Graph so the same topology can carry different weightings.

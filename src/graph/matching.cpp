@@ -2,7 +2,7 @@
 
 namespace pg::graph {
 
-std::vector<Edge> maximal_matching(const Graph& g) {
+std::vector<Edge> maximal_matching(GraphView g) {
   std::vector<bool> matched(static_cast<std::size_t>(g.num_vertices()), false);
   std::vector<Edge> matching;
   g.for_each_edge([&](VertexId u, VertexId v) {
@@ -16,7 +16,7 @@ std::vector<Edge> maximal_matching(const Graph& g) {
   return matching;
 }
 
-VertexSet matching_vertex_cover(const Graph& g) {
+VertexSet matching_vertex_cover(GraphView g) {
   VertexSet cover(g.num_vertices());
   for (const Edge& e : maximal_matching(g)) {
     cover.insert(e.u);
@@ -25,7 +25,7 @@ VertexSet matching_vertex_cover(const Graph& g) {
   return cover;
 }
 
-Weight matching_weighted_vc_lower_bound(const Graph& g,
+Weight matching_weighted_vc_lower_bound(GraphView g,
                                         const VertexWeights& w) {
   PG_REQUIRE(w.size() == g.num_vertices(), "weights/graph size mismatch");
   std::vector<bool> used(static_cast<std::size_t>(g.num_vertices()), false);

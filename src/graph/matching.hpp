@@ -10,15 +10,15 @@
 namespace pg::graph {
 
 /// Greedy maximal matching (first-fit over edges in id order).
-std::vector<Edge> maximal_matching(const Graph& g);
+std::vector<Edge> maximal_matching(GraphView g);
 
 /// Both endpoints of a maximal matching: the classic 2-approximation for
 /// minimum vertex cover.
-VertexSet matching_vertex_cover(const Graph& g);
+VertexSet matching_vertex_cover(GraphView g);
 
 /// Lower bound on MWVC: greedily picks vertex-disjoint edges, each
 /// contributing min(w(u), w(v)); any cover must pay at least that per edge.
-Weight matching_weighted_vc_lower_bound(const Graph& g,
+Weight matching_weighted_vc_lower_bound(GraphView g,
                                         const VertexWeights& w);
 
 }  // namespace pg::graph

@@ -5,7 +5,7 @@
 
 namespace pg::graph {
 
-std::vector<int> bfs_distances(const Graph& g, VertexId source) {
+std::vector<int> bfs_distances(GraphView g, VertexId source) {
   g.check_vertex(source);
   std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), -1);
   std::deque<VertexId> queue;
@@ -23,7 +23,7 @@ std::vector<int> bfs_distances(const Graph& g, VertexId source) {
   return dist;
 }
 
-Components connected_components(const Graph& g) {
+Components connected_components(GraphView g) {
   Components result;
   result.component.assign(static_cast<std::size_t>(g.num_vertices()), -1);
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
@@ -44,12 +44,12 @@ Components connected_components(const Graph& g) {
   return result;
 }
 
-bool is_connected(const Graph& g) {
+bool is_connected(GraphView g) {
   if (g.num_vertices() == 0) return true;
   return connected_components(g).count == 1;
 }
 
-int diameter(const Graph& g) {
+int diameter(GraphView g) {
   if (g.num_vertices() == 0 || !is_connected(g)) return -1;
   int best = 0;
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
@@ -59,7 +59,7 @@ int diameter(const Graph& g) {
   return best;
 }
 
-InducedSubgraph induced_subgraph(const Graph& g,
+InducedSubgraph induced_subgraph(GraphView g,
                                  std::span<const VertexId> vertices) {
   InducedSubgraph out;
   out.to_new.assign(static_cast<std::size_t>(g.num_vertices()), -1);
@@ -82,7 +82,7 @@ InducedSubgraph induced_subgraph(const Graph& g,
   return out;
 }
 
-int degeneracy(const Graph& g) {
+int degeneracy(GraphView g) {
   const auto n = static_cast<std::size_t>(g.num_vertices());
   std::vector<int> deg(n);
   std::size_t max_deg = 0;

@@ -8,18 +8,18 @@
 namespace pg::graph {
 
 /// BFS distances from `source`; unreachable vertices get -1.
-std::vector<int> bfs_distances(const Graph& g, VertexId source);
+std::vector<int> bfs_distances(GraphView g, VertexId source);
 
 struct Components {
   int count = 0;
   std::vector<int> component;  // component id per vertex
 };
-Components connected_components(const Graph& g);
+Components connected_components(GraphView g);
 
-bool is_connected(const Graph& g);
+bool is_connected(GraphView g);
 
 /// Exact diameter via BFS from every vertex; -1 if disconnected or empty.
-int diameter(const Graph& g);
+int diameter(GraphView g);
 
 struct InducedSubgraph {
   Graph graph;
@@ -28,10 +28,10 @@ struct InducedSubgraph {
 };
 
 /// Subgraph induced by `vertices` (need not be sorted; must be distinct).
-InducedSubgraph induced_subgraph(const Graph& g,
+InducedSubgraph induced_subgraph(GraphView g,
                                  std::span<const VertexId> vertices);
 
 /// Degeneracy (max over the degeneracy ordering of min remaining degree).
-int degeneracy(const Graph& g);
+int degeneracy(GraphView g);
 
 }  // namespace pg::graph

@@ -9,7 +9,7 @@
 
 namespace pg::graph {
 
-Graph square(const Graph& g) { return power(g, 2); }
+Graph square(GraphView g) { return power(g, 2); }
 
 namespace detail {
 
@@ -21,7 +21,7 @@ namespace {
 // (run_end[s - lo + 1] = end of source s's run).  Both the serial and the
 // sharded-parallel transpose consume these runs, so the traversal exists
 // exactly once.
-void reach_runs(const Graph& g, int r, VertexId lo, VertexId hi,
+void reach_runs(GraphView g, int r, VertexId lo, VertexId hi,
                 std::vector<VertexId>& hits,
                 std::vector<std::size_t>& run_end) {
   const std::size_t un = static_cast<std::size_t>(g.num_vertices());
@@ -59,7 +59,7 @@ void reach_runs(const Graph& g, int r, VertexId lo, VertexId hi,
 // ascending order, a counting transpose (row w = the sources whose reach
 // contained w, in scan order) emits every CSR row already sorted — no
 // per-run sort, no global sort, no dedup pass.
-Graph power_sparse(const Graph& g, int r) {
+Graph power_sparse(GraphView g, int r) {
   const VertexId n = g.num_vertices();
   const std::size_t un = static_cast<std::size_t>(n);
 
@@ -86,7 +86,7 @@ Graph power_sparse(const Graph& g, int r) {
 // Dense path: one adjacency-matrix bitset row per vertex; the truncated BFS
 // becomes r rounds of word-parallel row unions.  Wins when rows are well
 // populated (high average degree) and n² bits fit comfortably in cache.
-Graph power_bitset(const Graph& g, int r) {
+Graph power_bitset(GraphView g, int r) {
   const VertexId n = g.num_vertices();
   const std::size_t un = static_cast<std::size_t>(n);
 
@@ -122,7 +122,7 @@ Graph power_bitset(const Graph& g, int r) {
   return Graph::from_csr(std::move(offsets), std::move(adjacency));
 }
 
-Graph power_sparse_parallel(const Graph& g, int r, int threads) {
+Graph power_sparse_parallel(GraphView g, int r, int threads) {
   const VertexId n = g.num_vertices();
   const std::size_t un = static_cast<std::size_t>(n);
   const std::size_t workers = std::min<std::size_t>(
@@ -208,9 +208,9 @@ Graph power_sparse_parallel(const Graph& g, int r, int threads) {
 
 }  // namespace detail
 
-Graph power(const Graph& g, int r, int threads) {
+Graph power(GraphView g, int r, int threads) {
   PG_REQUIRE(r >= 1, "graph power exponent must be >= 1");
-  if (r == 1) return g;
+  if (r == 1) return Graph::copy_of(g);
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   const std::size_t directed_edges = 2 * g.num_edges();
   // The bitset sweep pays ~n/64 word ops per row union regardless of row
@@ -235,7 +235,7 @@ Graph power(const Graph& g, int r, int threads) {
   return detail::power_sparse_parallel(g, r, threads);
 }
 
-std::vector<VertexId> two_hop_neighbors(const Graph& g, VertexId v) {
+std::vector<VertexId> two_hop_neighbors(GraphView g, VertexId v) {
   g.check_vertex(v);
   // Same stamp-marked reach computation as power_sparse / PowerView: the
   // marks deduplicate, so the old sort+unique pass collapses to the one
@@ -244,7 +244,7 @@ std::vector<VertexId> two_hop_neighbors(const Graph& g, VertexId v) {
   return view.neighbors(v);
 }
 
-bool within_two_hops(const Graph& g, VertexId u, VertexId v) {
+bool within_two_hops(GraphView g, VertexId u, VertexId v) {
   if (u == v) return false;
   if (g.has_edge(u, v)) return true;
   // Iterate over the smaller neighborhood and test adjacency to the other.

@@ -10,7 +10,7 @@
 namespace pg::graph {
 
 /// Materializes G^2.  Equivalent to power(g, 2).
-Graph square(const Graph& g);
+Graph square(GraphView g);
 
 /// Materializes G^r (r >= 1).  Chooses between a sparse frontier-array BFS
 /// that emits per-source sorted runs straight into CSR form, and a dense
@@ -23,29 +23,29 @@ Graph square(const Graph& g);
 /// what callers that are themselves a thread pool (the sweep runner's
 /// workers) pass to avoid oversubscription.  The output is identical for
 /// every value.
-Graph power(const Graph& g, int r, int threads = 0);
+Graph power(GraphView g, int r, int threads = 0);
 
 /// The distinct vertices at distance exactly 1 or 2 from v in G
 /// (non-inclusive two-hop neighborhood), without materializing G^2.
 /// Allocates O(n) scratch per call — for bulk queries over many vertices,
 /// hold a graph::PowerView and reuse its scratch instead.
-std::vector<VertexId> two_hop_neighbors(const Graph& g, VertexId v);
+std::vector<VertexId> two_hop_neighbors(GraphView g, VertexId v);
 
 /// True iff dist_G(u, v) <= 2 and u != v.
-bool within_two_hops(const Graph& g, VertexId u, VertexId v);
+bool within_two_hops(GraphView g, VertexId u, VertexId v);
 
 namespace detail {
 /// The two power(g, r) strategies, exposed so property tests can pin each
 /// against a reference implementation regardless of the dispatch heuristic.
-Graph power_sparse(const Graph& g, int r);
-Graph power_bitset(const Graph& g, int r);
+Graph power_sparse(GraphView g, int r);
+Graph power_bitset(GraphView g, int r);
 
 /// power_sparse with pass 1 (the per-source truncated BFS) split over
 /// `threads` contiguous source ranges balanced by adjacency mass, and the
 /// counting transpose parallelized with per-thread cursors.  The output is
 /// byte-identical to power_sparse for every thread count; threads <= 1
 /// falls through to the serial code.
-Graph power_sparse_parallel(const Graph& g, int r, int threads);
+Graph power_sparse_parallel(GraphView g, int r, int threads);
 }  // namespace detail
 
 }  // namespace pg::graph

@@ -22,18 +22,18 @@ std::size_t PowerView::degree(VertexId center) {
 std::size_t PowerView::num_edges() {
   if (cached_edges_ != kNoCache) return cached_edges_;
   std::size_t reach = 0;
-  for (VertexId v = 0; v < g_->num_vertices(); ++v) reach += degree(v);
+  for (VertexId v = 0; v < g_.num_vertices(); ++v) reach += degree(v);
   cached_edges_ = reach / 2;  // G^r is symmetric
   return cached_edges_;
 }
 
 bool PowerView::adjacent(VertexId u, VertexId v) {
-  g_->check_vertex(u);
-  g_->check_vertex(v);
+  g_.check_vertex(u);
+  g_.check_vertex(v);
   if (u == v) return false;
   // BFS from the lower-degree endpoint, returning as soon as the other
   // appears (the common case — a direct neighbor — costs one row scan).
-  const VertexId source = g_->degree(u) <= g_->degree(v) ? u : v;
+  const VertexId source = g_.degree(u) <= g_.degree(v) ? u : v;
   const VertexId target = source == u ? v : u;
   const std::uint64_t stamp = ++stamp_;
   mark_[static_cast<std::size_t>(source)] = stamp;
@@ -42,7 +42,7 @@ bool PowerView::adjacent(VertexId u, VertexId v) {
   for (int d = 0; d < r_ && !frontier_.empty(); ++d) {
     next_.clear();
     for (VertexId x : frontier_) {
-      for (VertexId w : g_->neighbors(x)) {
+      for (VertexId w : g_.neighbors(x)) {
         auto& m = mark_[static_cast<std::size_t>(w)];
         if (m == stamp) continue;
         m = stamp;
@@ -55,7 +55,7 @@ bool PowerView::adjacent(VertexId u, VertexId v) {
   return false;
 }
 
-InducedSubgraph induced_power_subgraph(const Graph& g, int r,
+InducedSubgraph induced_power_subgraph(GraphView g, int r,
                                        std::span<const VertexId> vertices) {
   PG_REQUIRE(r >= 1, "graph power exponent must be >= 1");
   const std::size_t un = static_cast<std::size_t>(g.num_vertices());
@@ -110,7 +110,7 @@ struct MultiSourceBfs {
   std::vector<int> dist;
   std::vector<VertexId> label;
 
-  MultiSourceBfs(const Graph& g, const std::vector<VertexId>& sources,
+  MultiSourceBfs(GraphView g, const std::vector<VertexId>& sources,
                  int depth)
       : dist(static_cast<std::size_t>(g.num_vertices()), -1),
         label(static_cast<std::size_t>(g.num_vertices()), -1) {
@@ -140,7 +140,7 @@ struct MultiSourceBfs {
 
 }  // namespace
 
-bool is_vertex_cover_power(const Graph& g, int r, const VertexSet& s) {
+bool is_vertex_cover_power(GraphView g, int r, const VertexSet& s) {
   PG_REQUIRE(r >= 1, "graph power exponent must be >= 1");
   PG_REQUIRE(s.universe_size() == g.num_vertices(), "set/graph size mismatch");
   // s covers G^r iff the non-members are pairwise farther than r apart.
@@ -169,7 +169,7 @@ bool is_vertex_cover_power(const Graph& g, int r, const VertexSet& s) {
   return covered;
 }
 
-bool is_dominating_set_power(const Graph& g, int r, const VertexSet& s) {
+bool is_dominating_set_power(GraphView g, int r, const VertexSet& s) {
   PG_REQUIRE(r >= 1, "graph power exponent must be >= 1");
   PG_REQUIRE(s.universe_size() == g.num_vertices(), "set/graph size mismatch");
   std::vector<VertexId> sources;

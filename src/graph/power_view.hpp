@@ -30,15 +30,15 @@ namespace pg::graph {
 /// the scratch: a PowerView is not thread-safe; give each worker its own.
 class PowerView {
  public:
-  PowerView(const Graph& g, int r)
-      : g_(&g), r_(r),
+  PowerView(GraphView g, int r)
+      : g_(g), r_(r),
         mark_(static_cast<std::size_t>(g.num_vertices()), 0) {
     PG_REQUIRE(r >= 1, "graph power exponent must be >= 1");
     frontier_.reserve(mark_.size());
     next_.reserve(mark_.size());
   }
 
-  const Graph& base() const { return *g_; }
+  GraphView base() const { return g_; }
   int power() const { return r_; }
 
   /// Calls fn(v) once for every v != center with dist_G(center, v) in
@@ -49,7 +49,7 @@ class PowerView {
     // unit of work, so over-budget implicit-power cells unwind between
     // balls without a check in the per-edge inner loop.
     pg::cancel::poll();
-    g_->check_vertex(center);
+    g_.check_vertex(center);
     const std::uint64_t stamp = ++stamp_;
     mark_[static_cast<std::size_t>(center)] = stamp;
     frontier_.clear();
@@ -57,7 +57,7 @@ class PowerView {
     for (int d = 0; d < depth && !frontier_.empty(); ++d) {
       next_.clear();
       for (VertexId u : frontier_) {
-        for (VertexId w : g_->neighbors(u)) {
+        for (VertexId w : g_.neighbors(u)) {
           auto& m = mark_[static_cast<std::size_t>(w)];
           if (m == stamp) continue;
           m = stamp;
@@ -89,7 +89,7 @@ class PowerView {
   bool adjacent(VertexId u, VertexId v);
 
  private:
-  const Graph* g_;
+  GraphView g_;
   int r_;
   std::uint64_t stamp_ = 0;
   std::vector<std::uint64_t> mark_;   // mark_[v] == stamp_ iff reached
@@ -103,16 +103,16 @@ class PowerView {
 /// equal (ids, CSR rows, mappings) to
 /// `induced_subgraph(power(g, r), vertices)`, but costs
 /// O(sum of subset ball sizes) instead of |E(G^r)|.
-InducedSubgraph induced_power_subgraph(const Graph& g, int r,
+InducedSubgraph induced_power_subgraph(GraphView g, int r,
                                        std::span<const VertexId> vertices);
 
 /// True iff `s` covers every edge of G^r, i.e. the non-members are
 /// pairwise at distance > r in G.  One truncated multi-source BFS from
 /// the non-members (depth r/2) plus an edge scan: O(n + m), no G^r.
-bool is_vertex_cover_power(const Graph& g, int r, const VertexSet& s);
+bool is_vertex_cover_power(GraphView g, int r, const VertexSet& s);
 
 /// True iff every vertex is within distance r (in G) of a member of `s`.
 /// One truncated multi-source BFS from the members: O(n + m), no G^r.
-bool is_dominating_set_power(const Graph& g, int r, const VertexSet& s);
+bool is_dominating_set_power(GraphView g, int r, const VertexSet& s);
 
 }  // namespace pg::graph

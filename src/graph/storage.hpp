@@ -1,0 +1,78 @@
+// Versioned binary CSR on-disk format (`.pgcsr`) and its mmap'd reader.
+//
+// Layout (little-endian, 64-byte header):
+//
+//   offset  size  field
+//        0     8  magic "PGCSRBIN"
+//        8     4  format version (u32, currently 1)
+//       12     4  endianness sentinel (u32, 0x01020304 as written)
+//       16     8  n — vertex count (u64)
+//       24     8  m — undirected edge count (u64)
+//       32     8  FNV-1a64 over the offsets section bytes
+//       40     8  FNV-1a64 over the adjacency section bytes
+//       48    16  reserved, zero
+//       64        offsets section: (n+1) × u64   (8-byte aligned)
+//        …        adjacency section: 2m × i32    (4-byte aligned, since
+//                                                 the offsets section is a
+//                                                 multiple of 8 bytes)
+//
+// The file ends exactly after the adjacency section — trailing bytes are
+// rejected, as are truncated files, wrong magic/version/endianness, bad
+// checksums, and CSR arrays that violate the Graph invariants (monotone
+// offsets, strictly sorted rows, ids in range, no self-loops, symmetry).
+// Rejection is a PreconditionViolation, which the CLI maps to exit 2.
+//
+// `MappedGraph` keeps the file mapped read-only and exposes it as a
+// `GraphView`; the OS page cache shares the clean pages across every
+// process mapping the same file, which is what lets `sweep --spawn`
+// children serve one imported graph without per-child regeneration.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "util/file_view.hpp"
+
+namespace pg::graph {
+
+/// Magic + version of the current `.pgcsr` format.
+inline constexpr char kPgcsrMagic[8] = {'P', 'G', 'C', 'S', 'R', 'B', 'I', 'N'};
+inline constexpr std::uint32_t kPgcsrVersion = 1;
+inline constexpr std::uint32_t kPgcsrEndianSentinel = 0x01020304u;
+inline constexpr std::size_t kPgcsrHeaderBytes = 64;
+
+/// Serializes a graph to the `.pgcsr` format.  Throws on write failure.
+void write_pgcsr(GraphView g, std::ostream& out);
+void write_pgcsr_file(GraphView g, const std::string& path);
+
+/// A `.pgcsr` file mapped read-only, serving its CSR arrays in place.
+/// Movable, not copyable; the view() spans stay valid while the object
+/// lives.  All validation happens at open time — a MappedGraph that
+/// exists is structurally as trustworthy as a GraphBuilder product.
+class MappedGraph {
+ public:
+  MappedGraph() = default;
+  MappedGraph(MappedGraph&&) noexcept = default;
+  MappedGraph& operator=(MappedGraph&&) noexcept = default;
+  MappedGraph(const MappedGraph&) = delete;
+  MappedGraph& operator=(const MappedGraph&) = delete;
+
+  /// Maps and fully validates `path`.  Throws PreconditionViolation on any
+  /// structural problem (see the format comment above).
+  static MappedGraph open(const std::string& path);
+
+  GraphView view() const { return view_; }
+  operator GraphView() const { return view_; }
+  VertexId num_vertices() const { return view_.num_vertices(); }
+  std::size_t num_edges() const { return view_.num_edges(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  util::FileView file_;
+  GraphView view_;
+  std::string path_;
+};
+
+}  // namespace pg::graph

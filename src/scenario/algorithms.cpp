@@ -22,6 +22,7 @@
 namespace pg::scenario {
 
 using graph::Graph;
+using graph::GraphView;
 using graph::VertexSet;
 
 std::string_view problem_name(Problem p) {
@@ -89,8 +90,8 @@ std::vector<Algorithm> make_registry() {
          // local-ratio leader keeps cells inside the (2+eps) Theorem 7
          // bound at a bounded wall clock.  The rule depends only on n,
          // so cells stay deterministic.
-         config.leader_exact = ctx.comm->num_vertices() <= 256;
-         const graph::VertexWeights unit(ctx.comm->num_vertices(), 1);
+         config.leader_exact = ctx.comm.num_vertices() <= 256;
+         const graph::VertexWeights unit(ctx.comm.num_vertices(), 1);
          const graph::VertexWeights& w =
              ctx.weights != nullptr ? *ctx.weights : unit;
          const auto result = core::solve_g2_mwvc_congest(*ctx.net, w, config);
@@ -101,11 +102,11 @@ std::vector<Algorithm> make_registry() {
                   "G^r (any r >= 2)",
        Problem::kVertexCover, 0, true, false, false, /*weights*/ true,
        [](const AlgorithmContext& ctx) {
-         const graph::VertexWeights unit(ctx.base->num_vertices(), 1);
+         const graph::VertexWeights unit(ctx.base.num_vertices(), 1);
          const graph::VertexWeights& w =
              ctx.weights != nullptr ? *ctx.weights : unit;
          const auto result =
-             core::solve_gr_mwvc(*ctx.base, ctx.r, w, ctx.epsilon);
+             core::solve_gr_mwvc(ctx.base, ctx.r, w, ctx.epsilon);
          RunOutcome out;
          out.solution = result.cover;
          return out;
@@ -126,7 +127,7 @@ std::vector<Algorithm> make_registry() {
          config.epsilon = ctx.epsilon;
          Rng rng(mix_seed(ctx.seed, "clique-mvc"));
          const auto result =
-             core::solve_g2_mvc_clique_randomized(*ctx.comm, rng, config);
+             core::solve_g2_mvc_clique_randomized(ctx.comm, rng, config);
          RunOutcome out;
          out.solution = result.cover;
          out.rounds = result.stats.rounds;
@@ -162,7 +163,7 @@ std::vector<Algorithm> make_registry() {
        Problem::kVertexCover, 0, true, false, false, false,
        [](const AlgorithmContext& ctx) {
          const auto result =
-             core::solve_gr_mvc(*ctx.base, ctx.r, ctx.epsilon);
+             core::solve_gr_mvc(ctx.base, ctx.r, ctx.epsilon);
          RunOutcome out;
          out.solution = result.cover;
          return out;

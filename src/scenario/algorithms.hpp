@@ -27,9 +27,12 @@ enum class Problem { kVertexCover, kDominatingSet };
 std::string_view problem_name(Problem p);
 
 struct AlgorithmContext {
-  const graph::Graph* base = nullptr;  // scenario graph G
-  const graph::Graph* comm = nullptr;  // communication graph G^{comm_power}
-  congest::Network* net = nullptr;     // simulator over *comm; reset() by the callee
+  // Topology views (16-byte spans, not owners): the runner's group keeps
+  // the storage alive — owned vectors for generated scenarios, an mmap'd
+  // .pgcsr file for file:-backed ones — for the duration of the cell.
+  graph::GraphView base;            // scenario graph G
+  graph::GraphView comm;            // communication graph G^{comm_power}
+  congest::Network* net = nullptr;  // simulator over comm; reset() by the callee
   int r = 2;                           // the problem's power
   double epsilon = 0.25;
   std::uint64_t seed = 1;              // stream for the algorithm's coins

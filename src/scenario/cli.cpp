@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "graph/io.hpp"
+#include "graph/storage.hpp"
 #include "scenario/fault.hpp"
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
@@ -117,18 +118,25 @@ void print_usage(std::ostream& out) {
          "\n"
          "subcommands:\n"
          "  run <algorithm> [epsilon]   run one algorithm; the graph comes\n"
-         "      [--scenario S --n N]    from the scenario registry, or an\n"
-         "      [--r R] [--epsilon E]   edge list on stdin (\"n m\" then m\n"
-         "      [--seed X]              lines \"u v\"); --epsilon/--weighting\n"
-         "      [--weighting W]         require an algorithm that uses them\n"
-         "      [--exact-max-n M]\n"
+         "      [--scenario S --n N]    from the scenario registry, a\n"
+         "      [--r R] [--epsilon E]   .pgcsr file (--scenario file:G.pgcsr,\n"
+         "      [--seed X]              mmap'd read-only; --n optional but\n"
+         "      [--weighting W]         must match), or an edge list on\n"
+         "      [--exact-max-n M]       stdin (\"n m\" then m lines \"u v\");\n"
+         "                              --epsilon/--weighting require an\n"
+         "                              algorithm that uses them\n"
          "      [--congest-threads T]   parallelize the CONGEST simulator's\n"
          "                              rounds over T worker threads (output\n"
          "                              is byte-identical for any T)\n"
          "  sweep --sizes N,...         run a (scenario x algorithm x n x r\n"
          "      [--scenarios a,b,...]   x epsilon x weighting x seed) grid;\n"
          "      [--algorithms a,b,...]  defaults to every scenario and\n"
-         "                              algorithm\n"
+         "                              algorithm; a scenario may also be\n"
+         "                              file:G.pgcsr — an imported graph\n"
+         "                              mmap'd read-only (and shared across\n"
+         "                              --spawn children via the page\n"
+         "                              cache); its size must appear in\n"
+         "                              --sizes\n"
          "      [--powers r,...] [--epsilons e,...] [--seeds s,...]\n"
          "      [--weights w,...]       node-weight distributions (see\n"
          "                              list-weightings; uniform[lo:hi] and\n"
@@ -199,6 +207,18 @@ void print_usage(std::ostream& out) {
          "                              claims); violations become\n"
          "                              status=unverified rows and reports\n"
          "                              gain a certified column\n"
+         "      [--classify]            add the degree-distribution regime\n"
+         "                              columns (regime,regime_alpha) to the\n"
+         "                              reports; automatic when any scenario\n"
+         "                              is file:-backed\n"
+         "  import INPUT OUTPUT         parse SNAP-style edge-list text\n"
+         "                              (INPUT, - = stdin; '#'/'%' comments,\n"
+         "                              sparse/1-based ids remapped dense,\n"
+         "                              self-loops and duplicates dropped)\n"
+         "                              and write a versioned binary CSR\n"
+         "                              (.pgcsr; OUTPUT, - = stdout); import\n"
+         "                              stats go to stderr; malformed input\n"
+         "                              exits 2 naming the offending line\n"
          "  merge (--csv|--json) OUT|- [--allow-partial] FILE...\n"
          "                              merge K per-shard reports into the\n"
          "                              byte-identical single-process report\n"
@@ -236,6 +256,13 @@ void print_cell_human(const CellResult& cell, const graph::Graph* base,
     std::snprintf(ratio, sizeof(ratio), "%.4f", cell.ratio_weight);
     out << "baseline wt   : " << baseline_kind_name(cell.weight_baseline)
         << " " << cell.baseline_weight << " (ratio " << ratio << ")\n";
+  }
+  // Only file:-backed runs advertise the classifier here: generator
+  // scenarios keep their historic human-output bytes.
+  if (is_file_scenario(cell.spec.scenario) && !cell.regime.empty()) {
+    char alpha[32];
+    std::snprintf(alpha, sizeof(alpha), "%.3f", cell.regime_alpha);
+    out << "degree regime : " << cell.regime << " (alpha " << alpha << ")\n";
   }
   out << "vertices      :";
   for (graph::VertexId v : cell.solution.to_vector()) out << ' ' << v;
@@ -347,7 +374,22 @@ int cmd_run(const std::vector<std::string>& args, std::istream& in,
 
   CellResult result;
   graph::Graph base;
-  if (scenario_name) {
+  if (scenario_name && is_file_scenario(*scenario_name)) {
+    // The mapped file must outlive run_cell_on (the cell borrows its
+    // spans); --n is optional here because the file knows its own size,
+    // but a mismatching explicit --n is an almost-certain wrong-file
+    // error.
+    const graph::MappedGraph mapped =
+        graph::MappedGraph::open(file_scenario_path(*scenario_name));
+    if (n && *n != mapped.num_vertices())
+      throw UsageError("--n " + std::to_string(*n) + " does not match '" +
+                       *scenario_name + "' (n = " +
+                       std::to_string(mapped.num_vertices()) +
+                       "); drop --n or pass the file's vertex count");
+    cell.scenario = *scenario_name;
+    cell.n = mapped.num_vertices();
+    result = run_cell_on(mapped.view(), cell, exact_max_n, congest_threads);
+  } else if (scenario_name) {
     const Scenario& scenario = scenario_or_throw(*scenario_name);
     if (!n) throw UsageError("--scenario requires --n");
     cell.scenario = scenario.name;
@@ -453,6 +495,7 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
   std::optional<std::string> csv_path;
   std::optional<std::string> json_path;
   bool timing = false;
+  bool classify = false;
   bool epsilons_given = false;
   bool weights_given = false;
   int spawn_children = 0;
@@ -550,6 +593,8 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
       json_path = take_value(args, i);
     } else if (flag == "--timing") {
       timing = true;
+    } else if (flag == "--classify") {
+      classify = true;
     } else if (flag == "--journal") {
       exec.journal_dir = take_value(args, i);
     } else if (flag == "--resume") {
@@ -623,6 +668,11 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
     throw UsageError(
         "the grid expands to zero cells: no requested algorithm can express "
         "any requested power r");
+  // File-backed sweeps are about real graphs, where the degree regime is
+  // the point — classify automatically so the column never has to be
+  // remembered; generator sweeps keep their historic bytes unless asked.
+  for (const std::string& s : spec.scenarios)
+    if (is_file_scenario(s)) classify = true;
 
   if (spawn_children > 0) {
     if (!spawn_supported())
@@ -633,6 +683,7 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
     sopts.allow_partial = allow_partial;
     sopts.progress = spawn_progress;
     sopts.timing = timing;
+    sopts.classify = classify;
     sopts.exec = exec;
     return run_spawned_sweep(spec, sopts, csv_path, json_path, out, err);
   }
@@ -674,12 +725,12 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
   std::optional<JsonWriter> json;
   if (csv_path)
     csv.emplace(open_or_stdout(*csv_path, csv_file), timing, exec.certify,
-                fault_columns);
+                fault_columns, classify);
   if (json_path)
     json.emplace(shared_target
                      ? static_cast<std::ostream&>(json_buffer)
                      : open_or_stdout(*json_path, json_file),
-                 timing, exec.certify, fault_columns);
+                 timing, exec.certify, fault_columns, classify);
   if (csv) csv->begin(spec, total_cells);
   if (json) json->begin(spec, total_cells);
 
@@ -733,6 +784,48 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
                  summary.infeasible == 0 && summary.unverified == 0
              ? 0
              : 1;
+}
+
+/// `import INPUT OUTPUT`: SNAP-style edge-list text in, validated .pgcsr
+/// out.  Import statistics go to the diagnostic stream so `import - -`
+/// pipelines stay clean.  Malformed input throws PreconditionViolation
+/// (naming the offending line), which run_cli maps to exit 2.
+int cmd_import(const std::vector<std::string>& args, std::istream& in,
+               std::ostream& out, std::ostream& err) {
+  std::vector<std::string> positional;
+  for (const std::string& arg : args) {
+    if (!arg.empty() && arg[0] == '-' && arg != "-")
+      throw UsageError("unknown flag '" + arg + "' for import");
+    positional.push_back(arg);
+  }
+  if (positional.size() != 2)
+    throw UsageError(
+        "import needs exactly INPUT (edge-list text, - for stdin) and "
+        "OUTPUT (.pgcsr path, - for stdout)");
+  const std::string& input = positional[0];
+  const std::string& output = positional[1];
+
+  graph::ImportResult imported;
+  if (input == "-") {
+    imported = graph::import_edge_list(in);
+  } else {
+    std::ifstream file(input, std::ios::binary);
+    if (!file) throw UsageError("cannot read input file '" + input + "'");
+    imported = graph::import_edge_list(file);
+  }
+  if (output == "-")
+    graph::write_pgcsr(imported.graph, out);
+  else
+    graph::write_pgcsr_file(imported.graph, output);
+
+  const graph::ImportStats& s = imported.stats;
+  err << "import: n = " << imported.graph.num_vertices()
+      << ", m = " << imported.graph.num_edges() << " (" << s.edge_lines
+      << " edge line(s), " << s.comment_lines << " comment/blank line(s), "
+      << s.self_loops << " self-loop(s) dropped, " << s.duplicates
+      << " duplicate(s) dropped"
+      << (s.remapped ? ", ids remapped to 0..n-1" : "") << ")\n";
+  return 0;
 }
 
 int cmd_merge(const std::vector<std::string>& args, std::ostream& out) {
@@ -808,6 +901,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
     if (command == "list-weightings") return cmd_list_weightings(out);
     if (command == "run") return cmd_run(rest, in, out, err);
     if (command == "sweep") return cmd_sweep(rest, out, err);
+    if (command == "import") return cmd_import(rest, in, out, err);
     if (command == "merge") return cmd_merge(rest, out);
     // Legacy spelling: `powergraph_cli mvc [epsilon] < edges.txt`.
     if (find_algorithm(command)) {

@@ -152,7 +152,10 @@ class FieldReader {
 };
 
 constexpr std::string_view kRecordTag = "C";
-constexpr std::string_view kHeaderTag = "pgj1";
+// Bumped pgj1 -> pgj2 when the record gained the degree-regime fields: a
+// journal written by an older binary fails the header check and resume
+// refuses it outright instead of mixing wire formats.
+constexpr std::string_view kHeaderTag = "pgj2";
 
 bool decode_status(int value, CellStatus& status) {
   switch (value) {
@@ -248,6 +251,10 @@ std::string encode_cell_record(const CellResult& row) {
   append_int(p, row.rounds_survived);
   p += '\t';
   append_double(p, row.wall_ms);
+  p += '\t';
+  append_escaped(p, row.regime);
+  p += '\t';
+  append_double(p, row.regime_alpha);
   return with_checksum(std::move(p));
 }
 
@@ -286,7 +293,8 @@ bool decode_cell_record(std::string_view line, CellResult& row) {
       fields.next_int(row.msgs_corrupted) &&
       fields.next_int(row.nodes_crashed) &&
       fields.next_int(row.rounds_survived) &&
-      fields.next_double(row.wall_ms) && fields.exhausted();
+      fields.next_double(row.wall_ms) && fields.next_string(row.regime) &&
+      fields.next_double(row.regime_alpha) && fields.exhausted();
   return ok && decode_status(status, row.status) &&
          decode_baseline(baseline, row.baseline) &&
          decode_baseline(weight_baseline, row.weight_baseline);

@@ -140,6 +140,7 @@ void CsvWriter::begin(const SweepSpec& spec, std::size_t total_cells) {
           "solution_weight,feasible,exact,rounds,messages,total_bits,"
           "baseline,baseline_size,ratio,weight_baseline,baseline_weight,"
           "ratio_weight";
+  if (classify_) out_ << ",regime,regime_alpha";
   if (certify_) out_ << ",certified";
   if (faults_)
     out_ << ",msgs_dropped,msgs_corrupted,nodes_crashed,rounds_survived";
@@ -175,6 +176,16 @@ void CsvWriter::row(const CellResult& cell) {
        << (cell.weight_baseline == BaselineKind::kNone
                ? "-"
                : fmt_fixed(cell.ratio_weight, 4));
+  // "-" on rows that never built a topology (failed/missing before the
+  // group opened); the classification itself is a pure function of the
+  // topology, so the bytes stay deterministic.
+  if (classify_) {
+    if (cell.regime.empty())
+      out_ << ",-,-";
+    else
+      out_ << ',' << csv_sanitize(cell.regime) << ','
+           << fmt_fixed(cell.regime_alpha, 3);
+  }
   // "yes" only for rows that passed the independent re-check, "no" for
   // rows it demoted; failed/timeout/missing rows never reached it.
   if (certify_)
@@ -213,6 +224,7 @@ void JsonWriter::begin(const SweepSpec& spec, std::size_t total_cells) {
     // identity either way.
     if (certify_) out_ << ", \"certify\": true";
     if (faults_) out_ << ", \"faults\": true";
+    if (classify_) out_ << ", \"classify\": true";
     out_ << ", \"spec_fingerprint\": \"" << spec_fingerprint(spec) << '"';
   }
   out_ << "},\n  \"cells\": [";
@@ -264,6 +276,13 @@ void JsonWriter::row(const CellResult& cell) {
     out_ << "null";
   else
     out_ << fmt_fixed(cell.ratio_weight, 4);
+  if (classify_) {
+    if (cell.regime.empty())
+      out_ << ", \"regime\": null, \"regime_alpha\": null";
+    else
+      out_ << ", \"regime\": \"" << json_escape(cell.regime)
+           << "\", \"regime_alpha\": " << fmt_fixed(cell.regime_alpha, 3);
+  }
   if (certify_)
     out_ << ", \"certified\": "
          << (cell.status == CellStatus::kOk
@@ -509,10 +528,11 @@ std::string merge_csv(const std::vector<std::string>& shard_reports,
   const bool timing = header.find(",wall_ms") != std::string::npos;
   const bool certify = header.find(",certified") != std::string::npos;
   const bool faults = header.find(",msgs_dropped") != std::string::npos;
+  const bool classify = header.find(",regime") != std::string::npos;
   const auto rows = validate_and_sort(
       std::move(shards), allow_partial, [&](std::uint64_t index) {
         std::ostringstream row;
-        CsvWriter writer(row, timing, certify, faults);
+        CsvWriter writer(row, timing, certify, faults, classify);
         writer.row(missing_cell(index));
         std::string text = row.str();
         if (!text.empty() && text.back() == '\n') text.pop_back();
@@ -553,6 +573,7 @@ std::string merge_json(const std::vector<std::string>& shard_reports,
   bool merged_timing = false;
   bool merged_certify = false;
   bool merged_faults = false;
+  bool merged_classify = false;
   for (const std::string& report : shard_reports) {
     if (report.substr(0, kJsonSpecOpen.size()) != kJsonSpecOpen)
       merge_fail("input is not a sweep JSON report");
@@ -605,10 +626,14 @@ std::string merge_json(const std::vector<std::string>& shard_reports,
         stamp_text.find("\"certify\": true") != std::string_view::npos;
     const bool faults =
         stamp_text.find("\"faults\": true") != std::string_view::npos;
+    const bool classify =
+        stamp_text.find("\"classify\": true") != std::string_view::npos;
     shard.stamp.fingerprint += certify ? "+c" : "";
     shard.stamp.fingerprint += faults ? "+f" : "";
+    shard.stamp.fingerprint += classify ? "+g" : "";
     merged_certify = certify;
     merged_faults = faults;
+    merged_classify = classify;
 
     // The cells array closes with "\n  ]"; after it comes either the
     // document tail or an optional (timing-mode) ",\n  \"meta\": {…}"
@@ -649,7 +674,8 @@ std::string merge_json(const std::vector<std::string>& shard_reports,
   const auto rows = validate_and_sort(
       std::move(shards), allow_partial, [&](std::uint64_t index) {
         std::ostringstream row;
-        JsonWriter writer(row, merged_timing, merged_certify, merged_faults);
+        JsonWriter writer(row, merged_timing, merged_certify, merged_faults,
+                          merged_classify);
         writer.row(missing_cell(index));  // leading "\n" from first_row_
         std::string text = row.str();
         if (!text.empty() && text.front() == '\n') text.erase(0, 1);

@@ -38,15 +38,18 @@ std::string spec_fingerprint(const SweepSpec& spec);
 /// weighting,seed,status,base_edges,comm_power,comm_edges,target_edges,
 /// solution_size,solution_weight,feasible,exact,rounds,messages,
 /// total_bits,baseline,baseline_size,ratio,weight_baseline,
-/// baseline_weight,ratio_weight[,certified][,msgs_dropped,msgs_corrupted,
-/// nodes_crashed,rounds_survived][,wall_ms],error.  The two oracles
+/// baseline_weight,ratio_weight[,regime,regime_alpha][,certified]
+/// [,msgs_dropped,msgs_corrupted,nodes_crashed,rounds_survived]
+/// [,wall_ms],error.  The two oracles
 /// report their kinds separately (baseline vs weight_baseline) because
 /// they succeed or downgrade independently.
 /// The optional blocks are opt-in so default reports keep their historic
 /// bytes: `certify` adds the certified verdict column (yes for a row that
 /// survived the independent re-check, no for one demoted to unverified,
 /// "-" for rows that never reached certification), `faults` adds the
-/// adversarial-network accounting columns.
+/// adversarial-network accounting columns, `classify` adds the
+/// degree-distribution columns (regime,regime_alpha — automatic for
+/// sweeps over file:-backed scenarios, opt-in via --classify otherwise).
 /// epsilon (resp. weighting) is "-" for algorithms that ignore it; ratio
 /// and ratio_weight are "-" when the corresponding baseline was not
 /// computed; feasible/exact are 0/1; error is empty on success
@@ -57,9 +60,10 @@ std::string spec_fingerprint(const SweepSpec& spec);
 class CsvWriter {
  public:
   explicit CsvWriter(std::ostream& out, bool include_timing = false,
-                     bool certify = false, bool faults = false)
+                     bool certify = false, bool faults = false,
+                     bool classify = false)
       : out_(out), timing_(include_timing), certify_(certify),
-        faults_(faults) {}
+        faults_(faults), classify_(classify) {}
 
   /// Shard stamp (`# shard i/k cells N spec H`, only when spec.shard_count
   /// > 1) followed by the header row.  `total_cells` is the full grid's
@@ -72,6 +76,7 @@ class CsvWriter {
   bool timing_;
   bool certify_;
   bool faults_;
+  bool classify_;
 };
 
 /// {"spec": {...}, "cells": [...]} with the same fields as the CSV;
@@ -80,9 +85,10 @@ class CsvWriter {
 class JsonWriter {
  public:
   explicit JsonWriter(std::ostream& out, bool include_timing = false,
-                      bool certify = false, bool faults = false)
+                      bool certify = false, bool faults = false,
+                      bool classify = false)
       : out_(out), timing_(include_timing), certify_(certify),
-        faults_(faults) {}
+        faults_(faults), classify_(classify) {}
 
   void begin(const SweepSpec& spec, std::size_t total_cells);
   void row(const CellResult& cell);
@@ -98,6 +104,7 @@ class JsonWriter {
   bool timing_;
   bool certify_;
   bool faults_;
+  bool classify_;
   bool first_row_ = true;
 };
 

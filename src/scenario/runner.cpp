@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <tuple>
 #include <utility>
@@ -26,9 +27,11 @@
 #endif
 
 #include "congest/network.hpp"
+#include "graph/classify.hpp"
 #include "graph/cover.hpp"
 #include "graph/power.hpp"
 #include "graph/power_view.hpp"
+#include "graph/storage.hpp"
 #include "scenario/fault.hpp"
 #include "scenario/journal.hpp"
 #include "scenario/scenario.hpp"
@@ -41,6 +44,7 @@
 namespace pg::scenario {
 
 using graph::Graph;
+using graph::GraphView;
 using graph::VertexId;
 using graph::VertexSet;
 using graph::VertexWeights;
@@ -206,7 +210,14 @@ struct GroupEnv {
 /// worker, so no locking.
 class NetworkPool {
  public:
-  std::unique_ptr<congest::Network> acquire(const Graph& topology) {
+  /// Acquires a simulator *viewing* `topology` — the caller's group owns
+  /// the storage (a materialized power, the base vectors, or an mmap'd
+  /// file) and must keep it alive until the network is released.  A
+  /// pooled network's old view dangles once its previous group dies;
+  /// that is fine because the only operations ever applied to a pooled
+  /// entry are this reset-rebind (which never reads the stale view) and
+  /// destruction (spans are trivially destructible).
+  std::unique_ptr<congest::Network> acquire(GraphView topology) {
     auto it = by_n_.find(topology.num_vertices());
     if (it != by_n_.end() && !it->second.empty()) {
       std::unique_ptr<congest::Network> net = std::move(it->second.back());
@@ -254,23 +265,60 @@ class GroupContext {
   /// `congest_threads` is applied to every simulator this group hands
   /// out (Network::set_threads) — a speed knob only, results are
   /// byte-identical for any value.
+  /// Owned-topology group: the generated scenario graph moves in and the
+  /// context keeps it alive for every cell.
   GroupContext(Graph base, NetworkPool* pool, int power_threads = 0,
                int congest_threads = 1)
-      : base_(std::move(base)),
+      : base_owned_(std::move(base)),
+        base_(base_owned_),
+        pool_(pool),
+        power_threads_(power_threads),
+        congest_threads_(congest_threads) {}
+
+  /// File-backed group: the base topology stays in the mmap'd `.pgcsr`
+  /// file for its whole lifetime — never copied into the heap, so every
+  /// --spawn child shares the same clean page-cache pages.  Powers,
+  /// weights, and simulators layer on top exactly as in the owned case.
+  GroupContext(graph::MappedGraph mapped, NetworkPool* pool,
+               int power_threads = 0, int congest_threads = 1)
+      : mapped_(std::move(mapped)),
+        base_(mapped_->view()),
+        pool_(pool),
+        power_threads_(power_threads),
+        congest_threads_(congest_threads) {}
+
+  /// Borrowed-topology group (single-cell run_cell_on): the caller's
+  /// storage outlives the context.
+  GroupContext(GraphView base, NetworkPool* pool, int power_threads = 0,
+               int congest_threads = 1)
+      : base_(base),
         pool_(pool),
         power_threads_(power_threads),
         congest_threads_(congest_threads) {}
 
   ~GroupContext() {
+    // Released while this group's storage is still alive (member
+    // destruction follows the destructor body), so release() may still
+    // query the networks' topology views.
     if (pool_ == nullptr) return;
     for (auto& [power, net] : nets_) pool_->release(std::move(net));
   }
 
-  const Graph& base() const { return base_; }
+  GraphView base() const { return base_; }
+
+  /// Degree-distribution classification of the base topology, computed
+  /// once per group (O(n) against the group's O(n + m) build).
+  const graph::DegreeClassification& classification() {
+    if (!classified_) {
+      classification_ = graph::classify_degree_distribution(base_);
+      classified_ = true;
+    }
+    return classification_;
+  }
 
   /// Materializes G^k.  Only the simulator topologies should come through
   /// here; everything else uses the implicit paths below.
-  const Graph& power_of(int k) {
+  GraphView power_of(int k) {
     PG_REQUIRE(k >= 1, "graph power must be positive");
     if (k == 1) return base_;
     auto it = powers_.find(k);
@@ -280,9 +328,9 @@ class GroupContext {
   }
 
   /// G^r if a communication graph already materialized it, else nullptr
-  /// (the caller answers its query implicitly).
+  /// (the caller answers its query implicitly).  r == 1 is handled by
+  /// the callers directly — the base is always on hand.
   const Graph* materialized(int r) const {
-    if (r == 1) return &base_;
     const auto it = powers_.find(r);
     return it == powers_.end() ? nullptr : &it->second;
   }
@@ -290,6 +338,7 @@ class GroupContext {
   /// |E(G^r)| — from the materialized graph when one exists, by a
   /// PowerView reach count otherwise (identical value, no CSR).
   std::size_t target_edges(int r) {
+    if (r == 1) return base_.num_edges();
     if (const Graph* target = materialized(r)) return target->num_edges();
     auto [it, fresh] = edge_counts_.try_emplace(r, 0);
     if (fresh) it->second = graph::PowerView(base_, r).num_edges();
@@ -300,6 +349,11 @@ class GroupContext {
   /// already on hand as a communication graph.
   bool feasible_on_target(Problem problem, int r,
                           const graph::VertexSet& solution) const {
+    if (r == 1) {
+      return problem == Problem::kVertexCover
+                 ? graph::is_vertex_cover(base_, solution)
+                 : graph::is_dominating_set(base_, solution);
+    }
     if (const Graph* target = materialized(r)) {
       return problem == Problem::kVertexCover
                  ? graph::is_vertex_cover(*target, solution)
@@ -313,7 +367,7 @@ class GroupContext {
   congest::Network& net_of(int k) {
     auto it = nets_.find(k);
     if (it == nets_.end()) {
-      const Graph& topology = power_of(k);
+      const GraphView topology = power_of(k);
       std::unique_ptr<congest::Network> net =
           pool_ != nullptr ? pool_->acquire(topology)
                            : std::make_unique<congest::Network>(topology);
@@ -366,7 +420,7 @@ class GroupContext {
       if (n <= exact_max_n) {
         const Graph local_power =
             r == 1 ? Graph() : graph::power(base_, r);
-        const Graph& target = r == 1 ? base_ : local_power;
+        const GraphView target = r == 1 ? base_ : GraphView(local_power);
         const auto exact = problem == Problem::kVertexCover
                                ? solvers::solve_mvc(target)
                                : solvers::solve_mds(target);
@@ -421,7 +475,7 @@ class GroupContext {
       bool solved = false;
       if (n <= exact_max_n) {
         const Graph local_power = r == 1 ? Graph() : graph::power(base_, r);
-        const Graph& target = r == 1 ? base_ : local_power;
+        const GraphView target = r == 1 ? base_ : GraphView(local_power);
         const auto exact = problem == Problem::kVertexCover
                                ? solvers::solve_mwvc(target, w)
                                : solvers::solve_mwds(target, w);
@@ -448,10 +502,16 @@ class GroupContext {
   }
 
  private:
-  Graph base_;
+  // Storage providers (at most one engaged), declared before the view
+  // they back so member-init order keeps base_ valid.
+  Graph base_owned_;
+  std::optional<graph::MappedGraph> mapped_;
+  GraphView base_;
   NetworkPool* pool_;
   int power_threads_;
   int congest_threads_;
+  bool classified_ = false;
+  graph::DegreeClassification classification_;
   std::map<int, Graph> powers_;
   std::map<int, std::size_t> edge_counts_;
   std::map<int, std::unique_ptr<congest::Network>> nets_;
@@ -491,13 +551,18 @@ void execute_cell(const CellSpec& spec, GroupContext& group,
     out.spec.weights_used = alg.uses_weights;
     if (!alg.uses_weights) out.spec.weighting = "unit";
     const int k = comm_power(alg, spec.r);
-    const Graph& comm = group.power_of(k);
+    const GraphView comm = group.power_of(k);
     out.base_edges = group.base().num_edges();
     out.comm_power = k;
     out.comm_edges = comm.num_edges();
     // The target G^r is only queried implicitly from here on; it gets
     // materialized solely when it doubles as a communication graph.
     out.target_edges = group.target_edges(spec.r);
+    // The group's degree-distribution regime (cached after the first
+    // cell); rows carry it always, reports print it only when asked.
+    const graph::DegreeClassification& regime = group.classification();
+    out.regime = graph::regime_name(regime.regime);
+    out.regime_alpha = regime.alpha;
 
     // The cell's weights: derived once per (group, weighting), handed to
     // the algorithm only when it consumes them, and used for the
@@ -511,8 +576,8 @@ void execute_cell(const CellSpec& spec, GroupContext& group,
         unit_weighting ? nullptr : &group.weights_of(weighting, spec.seed);
 
     AlgorithmContext ctx;
-    ctx.base = &group.base();
-    ctx.comm = &comm;
+    ctx.base = group.base();
+    ctx.comm = comm;
     ctx.net = alg.needs_network ? &group.net_of(k) : nullptr;
     // Install the cell's adversarial network model (seed mixed from the
     // global cell index, so fault decisions are invariant across thread
@@ -716,27 +781,49 @@ void run_group(const std::vector<CellSpec>& cells,
       if (env.on_cell) env.on_cell(results[i]);
     }
   };
-  try {
-    if (env.faults != nullptr &&
-        env.faults->build_fails(env.group_index, env.attempt))
-      throw std::runtime_error("injected fault: build@g" +
-                               std::to_string(env.group_index));
-    const Scenario& scenario = scenario_or_throw(head.scenario);
-    GroupContext context(scenario.build(head.n, head.seed), pool,
-                         power_threads, congest_threads);
-#if defined(__GLIBC__)
-    // The generator's scratch (edge lists, degree sequences) is freed by
-    // now, but glibc retains it in the arena; hand it back to the OS so
-    // the group's resident peak reflects live data, not allocator
-    // history — several MB per million-node topology.
-    ::malloc_trim(0);
-#endif
+  auto run_cells = [&](GroupContext& context) {
     for (std::size_t i = 0; i < cells.size(); ++i) {
       CellResult& out = results[i];
       execute_cell(cells[i], context, exact_baseline_max_n,
                    first_global_index + i, env, out);
       if (!keep_solutions) out.solution = VertexSet();
       if (env.on_cell) env.on_cell(out);
+    }
+  };
+  try {
+    if (env.faults != nullptr &&
+        env.faults->build_fails(env.group_index, env.attempt))
+      throw std::runtime_error("injected fault: build@g" +
+                               std::to_string(env.group_index));
+    if (is_file_scenario(head.scenario)) {
+      // File-backed group: mmap the pre-built topology instead of
+      // generating.  The grid's n must name the file's vertex count —
+      // a file cannot be "resized" by the size dimension, and silently
+      // running a different n than the row claims would poison every
+      // downstream metric.
+      graph::MappedGraph mapped =
+          graph::MappedGraph::open(file_scenario_path(head.scenario));
+      PG_REQUIRE(static_cast<VertexId>(mapped.num_vertices()) == head.n,
+                 "scenario '" + head.scenario + "' has n=" +
+                     std::to_string(mapped.num_vertices()) +
+                     " but the grid cell requests n=" +
+                     std::to_string(head.n) +
+                     " — size the grid to the file's vertex count");
+      GroupContext context(std::move(mapped), pool, power_threads,
+                           congest_threads);
+      run_cells(context);
+    } else {
+      const Scenario& scenario = scenario_or_throw(head.scenario);
+      GroupContext context(scenario.build(head.n, head.seed), pool,
+                           power_threads, congest_threads);
+#if defined(__GLIBC__)
+      // The generator's scratch (edge lists, degree sequences) is freed
+      // by now, but glibc retains it in the arena; hand it back to the
+      // OS so the group's resident peak reflects live data, not
+      // allocator history — several MB per million-node topology.
+      ::malloc_trim(0);
+#endif
+      run_cells(context);
     }
   } catch (const std::exception& error) {
     fail_group("topology build failed: " + std::string(error.what()));
@@ -910,7 +997,15 @@ void validate_spec(const SweepSpec& spec) {
                  "shard group indices must be strictly ascending");
     }
   }
-  for (const std::string& s : spec.scenarios) scenario_or_throw(s);
+  for (const std::string& s : spec.scenarios) {
+    // file: scenarios bypass the registry; their path syntax is checked
+    // here, the file itself when the group opens it (validation must stay
+    // I/O-free — it runs on every grid expansion).
+    if (is_file_scenario(s))
+      file_scenario_path(s);
+    else
+      scenario_or_throw(s);
+  }
   for (const std::string& a : spec.algorithms) algorithm_or_throw(a);
   for (VertexId n : spec.sizes)
     PG_REQUIRE(n >= 1, "scenario size must be >= 1");
@@ -986,7 +1081,7 @@ CellResult run_cell(const CellSpec& cell, VertexId exact_baseline_max_n,
   return std::move(results[0]);
 }
 
-CellResult run_cell_on(const Graph& base, const CellSpec& cell,
+CellResult run_cell_on(GraphView base, const CellSpec& cell,
                        VertexId exact_baseline_max_n, int congest_threads) {
   CellResult result;
   GroupContext context(base, /*pool=*/nullptr, /*power_threads=*/0,

@@ -163,6 +163,16 @@ struct CellResult {
   std::int64_t rounds_survived = 0;
 
   double wall_ms = 0.0;  // nondeterministic; reports omit it by default
+
+  // Degree-distribution classification of the base topology (see
+  // graph/classify.hpp), stamped once per topology group: the regime tag
+  // ("powerlaw"/"bounded"/"other", empty on rows that never built a
+  // topology) and the fitted power-law exponent (0 unless fitted).  A
+  // pure function of the topology, so rows stay deterministic; reports
+  // emit the columns only when their classify flag is on (automatic for
+  // file:-backed scenarios), keeping legacy report bytes untouched.
+  std::string regime;
+  double regime_alpha = 0.0;
 };
 
 struct SweepResult {
@@ -278,9 +288,11 @@ void validate_spec(const SweepSpec& spec);
 CellResult run_cell(const CellSpec& cell, graph::VertexId exact_baseline_max_n,
                     int congest_threads = 1);
 
-/// Runs one cell on a caller-supplied base graph instead of a registered
-/// scenario (cell.scenario is recorded verbatim, e.g. "stdin").
-CellResult run_cell_on(const graph::Graph& base, const CellSpec& cell,
+/// Runs one cell on a caller-supplied base topology instead of a
+/// registered scenario (cell.scenario is recorded verbatim, e.g. "stdin"
+/// or "file:PATH").  Takes a view: the caller's storage — an owned Graph
+/// or an mmap'd MappedGraph — must outlive the call, and is never copied.
+CellResult run_cell_on(graph::GraphView base, const CellSpec& cell,
                        graph::VertexId exact_baseline_max_n,
                        int congest_threads = 1);
 

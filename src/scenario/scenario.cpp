@@ -12,6 +12,7 @@
 namespace pg::scenario {
 
 using graph::Graph;
+using graph::GraphView;
 using graph::VertexId;
 
 std::uint64_t mix_seed(std::uint64_t seed, std::string_view label) {
@@ -174,6 +175,19 @@ std::vector<std::string> scenario_names() {
   std::vector<std::string> names;
   for (const Scenario& s : all_scenarios()) names.push_back(s.name);
   return names;
+}
+
+bool is_file_scenario(std::string_view name) {
+  return name.rfind("file:", 0) == 0;
+}
+
+std::string file_scenario_path(std::string_view name) {
+  PG_REQUIRE(is_file_scenario(name),
+             "'" + std::string(name) + "' is not a file: scenario");
+  const std::string_view path = name.substr(5);
+  PG_REQUIRE(!path.empty(),
+             "file: scenario needs a path (file:graph.pgcsr)");
+  return std::string(path);
 }
 
 }  // namespace pg::scenario

@@ -44,6 +44,16 @@ const Scenario& scenario_or_throw(std::string_view name);
 
 std::vector<std::string> scenario_names();
 
+/// Beyond the registry, a scenario name of the form "file:PATH" denotes a
+/// pre-built topology stored as a `.pgcsr` file (see graph/storage.hpp).
+/// The runner mmaps it read-only instead of generating — the seed still
+/// seeds weights and algorithm coins, but the topology is the file's, so
+/// every (file:PATH, n, seed) group must request exactly the file's vertex
+/// count.  `is_file_scenario` recognizes the prefix; `file_scenario_path`
+/// strips it (requires a non-empty path).
+bool is_file_scenario(std::string_view name);
+std::string file_scenario_path(std::string_view name);
+
 /// Splitmix-style mix of a seed with a label, used to give every
 /// (scenario, cell) its own decorrelated random stream.  Exposed so the
 /// runner and tests derive streams the same way.

@@ -116,7 +116,8 @@ std::string shard_file_stem(int index, int count) {
 /// skips atexit and stdio flushing on purpose — the parent owns those
 /// buffers).
 [[noreturn]] void run_child(const SweepSpec& spec, const ExecOptions& exec,
-                            bool timing, const std::string& csv_file,
+                            bool timing, bool classify,
+                            const std::string& csv_file,
                             const std::string& json_file, int pipe_fd) {
   int code = 2;
   try {
@@ -130,8 +131,9 @@ std::string shard_file_stem(int index, int count) {
     const FaultPlan* faults =
         exec.fault_plan != nullptr ? exec.fault_plan : FaultPlan::from_env();
     const bool fault_columns = faults != nullptr && faults->has_net_faults();
-    CsvWriter csv_writer(csv, timing, exec.certify, fault_columns);
-    JsonWriter json_writer(json, timing, exec.certify, fault_columns);
+    CsvWriter csv_writer(csv, timing, exec.certify, fault_columns, classify);
+    JsonWriter json_writer(json, timing, exec.certify, fault_columns,
+                           classify);
     const std::size_t mine = shard_cell_indices(spec).size();
     const std::size_t total = count_grid_cells(spec);
     csv_writer.begin(spec, total);
@@ -360,7 +362,7 @@ int run_spawned_sweep(const SweepSpec& spec, const SpawnOptions& opts,
       ExecOptions child_exec = opts.exec;
       if (resume && !child_exec.journal_dir.empty())
         child_exec.resume = true;
-      run_child(child_spec, child_exec, opts.timing,
+      run_child(child_spec, child_exec, opts.timing, opts.classify,
                 csv_file(child.index), json_file(child.index), fds[1]);
     }
     ::close(fds[1]);

@@ -71,6 +71,9 @@ struct SpawnOptions {
   bool progress = false;
   /// Include wall-clock fields in the reports (forwarded to the writers).
   bool timing = false;
+  /// Emit the degree-regime columns (forwarded to the writers; the CLI
+  /// turns this on automatically when any scenario is file:-backed).
+  bool classify = false;
   /// Forwarded to every child's ExecOptions (journal_dir/resume give each
   /// child its own journal file inside the shared directory).
   ExecOptions exec;

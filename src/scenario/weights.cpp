@@ -13,6 +13,7 @@
 namespace pg::scenario {
 
 using graph::Graph;
+using graph::GraphView;
 using graph::VertexId;
 using graph::VertexWeights;
 using graph::Weight;
@@ -34,7 +35,7 @@ std::atomic<std::uint64_t> build_count{0};
 /// and to parametrized spellings, so no build escapes accounting.
 Weighting counted(Weighting w) {
   auto inner = std::move(w.build);
-  w.build = [inner = std::move(inner)](const Graph& g, std::uint64_t seed) {
+  w.build = [inner = std::move(inner)](GraphView g, std::uint64_t seed) {
     build_count.fetch_add(1, std::memory_order_relaxed);
     return inner(g, seed);
   };
@@ -42,7 +43,7 @@ Weighting counted(Weighting w) {
 }
 
 VertexWeights build_uniform(const std::string& name, Weight lo, Weight hi,
-                            const Graph& g, std::uint64_t seed) {
+                            GraphView g, std::uint64_t seed) {
   Rng rng = weighting_rng(name, seed);
   VertexWeights w(g.num_vertices());
   for (VertexId v = 0; v < g.num_vertices(); ++v)
@@ -77,7 +78,7 @@ double pow_negative_reproducible(double k, double s) {
   return 1.0 / result;
 }
 
-VertexWeights build_zipf(const std::string& name, double s, const Graph& g,
+VertexWeights build_zipf(const std::string& name, double s, GraphView g,
                          std::uint64_t seed) {
   std::vector<double> cdf(static_cast<std::size_t>(kZipfSupport));
   double total = 0.0;
@@ -97,7 +98,7 @@ VertexWeights build_zipf(const std::string& name, double s, const Graph& g,
 
 Weighting make_unit() {
   return {"unit", "all-ones weights (the unweighted problems)",
-          [](const Graph& g, std::uint64_t) {
+          [](GraphView g, std::uint64_t) {
             return VertexWeights(g.num_vertices(), 1);
           }};
 }
@@ -106,7 +107,7 @@ Weighting make_uniform(std::string name, Weight lo, Weight hi) {
   std::string desc = "i.i.d. uniform integer weights in [" +
                      std::to_string(lo) + ", " + std::to_string(hi) + "]";
   return {name, std::move(desc),
-          [name, lo, hi](const Graph& g, std::uint64_t seed) {
+          [name, lo, hi](GraphView g, std::uint64_t seed) {
             return build_uniform(name, lo, hi, g, seed);
           }};
 }
@@ -114,7 +115,7 @@ Weighting make_uniform(std::string name, Weight lo, Weight hi) {
 Weighting make_degree_proportional() {
   return {"degree-proportional",
           "w(v) = 1 + deg_G(v): hubs are expensive (seed-independent)",
-          [](const Graph& g, std::uint64_t) {
+          [](GraphView g, std::uint64_t) {
             VertexWeights w(g.num_vertices());
             for (VertexId v = 0; v < g.num_vertices(); ++v)
               w.set(v, 1 + static_cast<Weight>(g.degree(v)));
@@ -126,7 +127,7 @@ Weighting make_inverse_degree() {
   return {"inverse-degree",
           "w(v) = 1 + maxdeg/(1 + deg_G(v)): hubs are cheap "
           "(seed-independent)",
-          [](const Graph& g, std::uint64_t) {
+          [](GraphView g, std::uint64_t) {
             const auto max_degree = static_cast<Weight>(g.max_degree());
             VertexWeights w(g.num_vertices());
             for (VertexId v = 0; v < g.num_vertices(); ++v)
@@ -139,7 +140,7 @@ Weighting make_zipf(std::string name, double s) {
   std::ostringstream desc;
   desc << "i.i.d. Zipf(s=" << s << ") weights on {1.." << kZipfSupport
        << "}: heavy-tailed costs";
-  return {name, desc.str(), [name, s](const Graph& g, std::uint64_t seed) {
+  return {name, desc.str(), [name, s](GraphView g, std::uint64_t seed) {
             return build_zipf(name, s, g, seed);
           }};
 }

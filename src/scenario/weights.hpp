@@ -36,7 +36,7 @@ namespace pg::scenario {
 struct Weighting {
   std::string name;         // canonical CLI-visible spelling, e.g. "zipf"
   std::string description;  // one line for list-weightings
-  std::function<graph::VertexWeights(const graph::Graph& g,
+  std::function<graph::VertexWeights(graph::GraphView g,
                                      std::uint64_t seed)>
       build;
 };

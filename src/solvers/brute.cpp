@@ -6,6 +6,7 @@
 namespace pg::solvers {
 
 using graph::Graph;
+using graph::GraphView;
 using graph::VertexId;
 using graph::VertexWeights;
 using graph::Weight;
@@ -14,7 +15,7 @@ namespace {
 
 constexpr int kMaxBruteVertices = 24;
 
-std::vector<std::uint32_t> adjacency_masks(const Graph& g) {
+std::vector<std::uint32_t> adjacency_masks(GraphView g) {
   PG_REQUIRE(g.num_vertices() <= kMaxBruteVertices,
              "brute-force solvers are limited to 24 vertices");
   std::vector<std::uint32_t> adj(static_cast<std::size_t>(g.num_vertices()), 0);
@@ -34,7 +35,7 @@ Weight subset_weight(std::uint32_t subset, const VertexWeights* w, int n) {
   return total;
 }
 
-Weight brute_vc(const Graph& g, const VertexWeights* w) {
+Weight brute_vc(GraphView g, const VertexWeights* w) {
   const int n = g.num_vertices();
   const auto adj = adjacency_masks(g);
   Weight best = std::numeric_limits<Weight>::max() / 4;
@@ -49,7 +50,7 @@ Weight brute_vc(const Graph& g, const VertexWeights* w) {
   return best;
 }
 
-Weight brute_ds(const Graph& g, const VertexWeights* w) {
+Weight brute_ds(GraphView g, const VertexWeights* w) {
   const int n = g.num_vertices();
   const auto adj = adjacency_masks(g);
   std::vector<std::uint32_t> closed(adj);
@@ -67,16 +68,16 @@ Weight brute_ds(const Graph& g, const VertexWeights* w) {
 
 }  // namespace
 
-Weight brute_force_mvc_size(const Graph& g) { return brute_vc(g, nullptr); }
+Weight brute_force_mvc_size(GraphView g) { return brute_vc(g, nullptr); }
 
-Weight brute_force_mwvc_weight(const Graph& g, const VertexWeights& w) {
+Weight brute_force_mwvc_weight(GraphView g, const VertexWeights& w) {
   PG_REQUIRE(w.size() == g.num_vertices(), "weights/graph size mismatch");
   return brute_vc(g, &w);
 }
 
-Weight brute_force_mds_size(const Graph& g) { return brute_ds(g, nullptr); }
+Weight brute_force_mds_size(GraphView g) { return brute_ds(g, nullptr); }
 
-Weight brute_force_mwds_weight(const Graph& g, const VertexWeights& w) {
+Weight brute_force_mwds_weight(GraphView g, const VertexWeights& w) {
   PG_REQUIRE(w.size() == g.num_vertices(), "weights/graph size mismatch");
   return brute_ds(g, &w);
 }

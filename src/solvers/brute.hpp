@@ -8,17 +8,17 @@
 namespace pg::solvers {
 
 /// Minimum vertex cover size by subset enumeration.  Requires n <= 24.
-graph::Weight brute_force_mvc_size(const graph::Graph& g);
+graph::Weight brute_force_mvc_size(graph::GraphView g);
 
 /// Minimum weighted vertex cover weight by subset enumeration.
-graph::Weight brute_force_mwvc_weight(const graph::Graph& g,
+graph::Weight brute_force_mwvc_weight(graph::GraphView g,
                                       const graph::VertexWeights& w);
 
 /// Minimum dominating set size by subset enumeration.  Requires n <= 24.
-graph::Weight brute_force_mds_size(const graph::Graph& g);
+graph::Weight brute_force_mds_size(graph::GraphView g);
 
 /// Minimum weighted dominating set weight by subset enumeration.
-graph::Weight brute_force_mwds_weight(const graph::Graph& g,
+graph::Weight brute_force_mwds_weight(graph::GraphView g,
                                       const graph::VertexWeights& w);
 
 }  // namespace pg::solvers

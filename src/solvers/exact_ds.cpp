@@ -8,6 +8,7 @@
 namespace pg::solvers {
 
 using graph::Graph;
+using graph::GraphView;
 using graph::VertexId;
 using graph::VertexSet;
 using graph::VertexWeights;
@@ -281,7 +282,7 @@ ExactResult solve_set_cover(const SetCoverInstance& instance,
   return SetCoverSolver(instance, node_budget, decision_target).run();
 }
 
-SetCoverInstance domination_instance(const Graph& g, const VertexWeights* w) {
+SetCoverInstance domination_instance(GraphView g, const VertexWeights* w) {
   const auto n = static_cast<std::size_t>(g.num_vertices());
   SetCoverInstance instance;
   instance.num_elements = n;
@@ -296,17 +297,17 @@ SetCoverInstance domination_instance(const Graph& g, const VertexWeights* w) {
   return instance;
 }
 
-ExactResult solve_mds(const Graph& g, std::int64_t node_budget) {
+ExactResult solve_mds(GraphView g, std::int64_t node_budget) {
   return solve_set_cover(domination_instance(g, nullptr), node_budget);
 }
 
-ExactResult solve_mwds(const Graph& g, const VertexWeights& w,
+ExactResult solve_mwds(GraphView g, const VertexWeights& w,
                        std::int64_t node_budget) {
   PG_REQUIRE(w.size() == g.num_vertices(), "weights/graph size mismatch");
   return solve_set_cover(domination_instance(g, &w), node_budget);
 }
 
-std::optional<bool> has_ds_of_weight_at_most(const Graph& g,
+std::optional<bool> has_ds_of_weight_at_most(GraphView g,
                                              const VertexWeights* w, Weight k,
                                              std::int64_t node_budget) {
   if (k < 0) return false;

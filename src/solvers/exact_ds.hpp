@@ -34,22 +34,22 @@ ExactResult solve_set_cover(const SetCoverInstance& instance,
 
 /// Minimum dominating set of `g` (candidates = vertices, coverage = closed
 /// neighborhoods).
-ExactResult solve_mds(const graph::Graph& g,
+ExactResult solve_mds(graph::GraphView g,
                       std::int64_t node_budget = kDefaultNodeBudget);
 
 /// Minimum weighted dominating set of `g`.
-ExactResult solve_mwds(const graph::Graph& g, const graph::VertexWeights& w,
+ExactResult solve_mwds(graph::GraphView g, const graph::VertexWeights& w,
                        std::int64_t node_budget = kDefaultNodeBudget);
 
 /// Decision: does `g` have a dominating set of weight <= k?
 /// Pass w == nullptr for the unweighted question.  nullopt if the budget
 /// ran out before the question was settled.
 std::optional<bool> has_ds_of_weight_at_most(
-    const graph::Graph& g, const graph::VertexWeights* w, graph::Weight k,
+    graph::GraphView g, const graph::VertexWeights* w, graph::Weight k,
     std::int64_t node_budget = kDefaultNodeBudget);
 
 /// Builds the domination set-cover instance of a graph (exposed for tests).
-SetCoverInstance domination_instance(const graph::Graph& g,
+SetCoverInstance domination_instance(graph::GraphView g,
                                      const graph::VertexWeights* w);
 
 }  // namespace pg::solvers

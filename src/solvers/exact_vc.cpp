@@ -10,6 +10,7 @@
 namespace pg::solvers {
 
 using graph::Graph;
+using graph::GraphView;
 using graph::VertexId;
 using graph::VertexSet;
 using graph::VertexWeights;
@@ -25,7 +26,7 @@ namespace {
 /// vertex-disjoint edges, each costing min of its endpoint weights.
 class VcSolver {
  public:
-  VcSolver(const Graph& g, const VertexWeights* w, std::int64_t budget,
+  VcSolver(GraphView g, const VertexWeights* w, std::int64_t budget,
            std::optional<Weight> decision_target)
       : g_(g), budget_(budget), target_(decision_target) {
     const auto n = static_cast<std::size_t>(g.num_vertices());
@@ -213,7 +214,7 @@ class VcSolver {
     }
   }
 
-  const Graph& g_;
+  const GraphView g_;
   std::vector<Bitset> adj_;
   std::vector<Weight> weight_;
   std::vector<bool> best_cover_;
@@ -226,17 +227,17 @@ class VcSolver {
 
 }  // namespace
 
-ExactResult solve_mvc(const Graph& g, std::int64_t node_budget) {
+ExactResult solve_mvc(GraphView g, std::int64_t node_budget) {
   return VcSolver(g, nullptr, node_budget, std::nullopt).run();
 }
 
-ExactResult solve_mwvc(const Graph& g, const VertexWeights& w,
+ExactResult solve_mwvc(GraphView g, const VertexWeights& w,
                        std::int64_t node_budget) {
   PG_REQUIRE(w.size() == g.num_vertices(), "weights/graph size mismatch");
   return VcSolver(g, &w, node_budget, std::nullopt).run();
 }
 
-std::optional<bool> has_vc_of_size_at_most(const Graph& g, Weight k,
+std::optional<bool> has_vc_of_size_at_most(GraphView g, Weight k,
                                            std::int64_t node_budget) {
   if (k < 0) return false;
   const ExactResult result = VcSolver(g, nullptr, node_budget, k).run();

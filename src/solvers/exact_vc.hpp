@@ -24,17 +24,17 @@ struct ExactResult {
 inline constexpr std::int64_t kDefaultNodeBudget = 50'000'000;
 
 /// Minimum vertex cover (unweighted).
-ExactResult solve_mvc(const graph::Graph& g,
+ExactResult solve_mvc(graph::GraphView g,
                       std::int64_t node_budget = kDefaultNodeBudget);
 
 /// Minimum weighted vertex cover.  Weights must be non-negative.
-ExactResult solve_mwvc(const graph::Graph& g, const graph::VertexWeights& w,
+ExactResult solve_mwvc(graph::GraphView g, const graph::VertexWeights& w,
                        std::int64_t node_budget = kDefaultNodeBudget);
 
 /// Decision variant: does G have a vertex cover of size <= k?
 /// nullopt if the budget ran out before the question was settled.
 std::optional<bool> has_vc_of_size_at_most(
-    const graph::Graph& g, graph::Weight k,
+    graph::GraphView g, graph::Weight k,
     std::int64_t node_budget = kDefaultNodeBudget);
 
 }  // namespace pg::solvers

@@ -6,6 +6,7 @@
 namespace pg::solvers {
 
 using graph::Graph;
+using graph::GraphView;
 using graph::VertexId;
 using graph::VertexSet;
 using graph::Weight;
@@ -17,7 +18,7 @@ struct SearchState {
   std::vector<bool> alive;
   std::vector<bool> in_cover;
 
-  explicit SearchState(const Graph& g)
+  explicit SearchState(GraphView g)
       : adj(static_cast<std::size_t>(g.num_vertices())),
         alive(static_cast<std::size_t>(g.num_vertices()), true),
         in_cover(static_cast<std::size_t>(g.num_vertices()), false) {
@@ -117,7 +118,7 @@ fail:
 
 }  // namespace
 
-std::optional<VertexSet> fpt_vertex_cover(const Graph& g, Weight k) {
+std::optional<VertexSet> fpt_vertex_cover(GraphView g, Weight k) {
   if (k < 0) return std::nullopt;
   SearchState state(g);
   if (!search(state, k)) return std::nullopt;

@@ -12,7 +12,7 @@
 namespace pg::solvers {
 
 /// Returns a vertex cover of size <= k if one exists, nullopt otherwise.
-std::optional<graph::VertexSet> fpt_vertex_cover(const graph::Graph& g,
+std::optional<graph::VertexSet> fpt_vertex_cover(graph::GraphView g,
                                                  graph::Weight k);
 
 }  // namespace pg::solvers

@@ -8,12 +8,13 @@
 namespace pg::solvers {
 
 using graph::Graph;
+using graph::GraphView;
 using graph::VertexId;
 using graph::VertexSet;
 using graph::VertexWeights;
 using graph::Weight;
 
-VertexSet local_ratio_mwvc(const Graph& g, const VertexWeights& w) {
+VertexSet local_ratio_mwvc(GraphView g, const VertexWeights& w) {
   PG_REQUIRE(w.size() == g.num_vertices(), "weights/graph size mismatch");
   std::vector<Weight> residual(static_cast<std::size_t>(g.num_vertices()));
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
@@ -37,7 +38,7 @@ VertexSet local_ratio_mwvc(const Graph& g, const VertexWeights& w) {
 
 namespace {
 
-VertexSet greedy_ds_impl(const Graph& g, const VertexWeights* w) {
+VertexSet greedy_ds_impl(GraphView g, const VertexWeights* w) {
   const auto n = static_cast<std::size_t>(g.num_vertices());
   std::vector<bool> dominated(n, false);
   std::size_t num_dominated = 0;
@@ -81,14 +82,14 @@ VertexSet greedy_ds_impl(const Graph& g, const VertexWeights* w) {
 
 }  // namespace
 
-VertexSet greedy_mds(const Graph& g) { return greedy_ds_impl(g, nullptr); }
+VertexSet greedy_mds(GraphView g) { return greedy_ds_impl(g, nullptr); }
 
-VertexSet greedy_mwds(const Graph& g, const VertexWeights& w) {
+VertexSet greedy_mwds(GraphView g, const VertexWeights& w) {
   PG_REQUIRE(w.size() == g.num_vertices(), "weights/graph size mismatch");
   return greedy_ds_impl(g, &w);
 }
 
-VertexSet local_ratio_mvc_power(const Graph& g, int r) {
+VertexSet local_ratio_mvc_power(GraphView g, int r) {
   // Unit-weight local ratio over for_each_edge order degenerates to the
   // lexicographic greedy matching: scanning rows u ascending, an unmatched
   // u pairs with its smallest unmatched G^r-neighbor v > u (a row's edges
@@ -128,7 +129,7 @@ namespace {
 /// empties — the skips below change nothing observable.  The single
 /// definition is load-bearing: local_ratio_mwvc_power's equivalence
 /// proofs and solve_gr_mwvc's remainder scoring must stay in lockstep.
-std::vector<Weight> power_residual_transfer(const Graph& g, int r,
+std::vector<Weight> power_residual_transfer(GraphView g, int r,
                                             const VertexWeights& w,
                                             const std::vector<bool>* active) {
   const VertexId n = g.num_vertices();
@@ -160,7 +161,7 @@ std::vector<Weight> power_residual_transfer(const Graph& g, int r,
 
 }  // namespace
 
-VertexSet local_ratio_mwvc_power(const Graph& g, int r,
+VertexSet local_ratio_mwvc_power(GraphView g, int r,
                                  const VertexWeights& w) {
   PG_REQUIRE(w.size() == g.num_vertices(), "weights/graph size mismatch");
   const VertexId n = g.num_vertices();
@@ -175,7 +176,7 @@ VertexSet local_ratio_mwvc_power(const Graph& g, int r,
   return cover;
 }
 
-VertexSet local_ratio_mwvc_power_on(const Graph& g, int r,
+VertexSet local_ratio_mwvc_power_on(GraphView g, int r,
                                     const VertexWeights& w,
                                     const std::vector<bool>& active) {
   PG_REQUIRE(w.size() == g.num_vertices(), "weights/graph size mismatch");
@@ -198,7 +199,7 @@ VertexSet local_ratio_mwvc_power_on(const Graph& g, int r,
   return cover;
 }
 
-VertexSet greedy_mds_power(const Graph& g, int r) {
+VertexSet greedy_mds_power(GraphView g, int r) {
   // Lazy greedy: stored heap gains are upper bounds (gains only decrease),
   // so a popped entry is re-evaluated with one ball BFS and selected only
   // when its fresh gain still beats — or ties at a lower id than — the
@@ -259,7 +260,7 @@ VertexSet greedy_mds_power(const Graph& g, int r) {
   return ds;
 }
 
-VertexSet greedy_mwds_power(const Graph& g, int r, const VertexWeights& w) {
+VertexSet greedy_mwds_power(GraphView g, int r, const VertexWeights& w) {
   PG_REQUIRE(w.size() == g.num_vertices(), "weights/graph size mismatch");
   // The weighted twin of greedy_mds_power: scores are gain/cost with the
   // cost fixed per candidate, so stored scores are still upper bounds

@@ -12,15 +12,15 @@
 namespace pg::solvers {
 
 /// Local-ratio 2-approximation for minimum weighted vertex cover [BE83].
-graph::VertexSet local_ratio_mwvc(const graph::Graph& g,
+graph::VertexSet local_ratio_mwvc(graph::GraphView g,
                                   const graph::VertexWeights& w);
 
 /// Greedy minimum dominating set: repeatedly picks the vertex covering the
 /// most uncovered vertices.  (1 + ln(Δ+1))-approximate.
-graph::VertexSet greedy_mds(const graph::Graph& g);
+graph::VertexSet greedy_mds(graph::GraphView g);
 
 /// Greedy weighted dominating set (max coverage per unit weight).
-graph::VertexSet greedy_mwds(const graph::Graph& g,
+graph::VertexSet greedy_mwds(graph::GraphView g,
                              const graph::VertexWeights& w);
 
 // Implicit power-graph baselines: the same covers/sets the materialized
@@ -33,13 +33,13 @@ graph::VertexSet greedy_mwds(const graph::Graph& g,
 /// Exactly local_ratio_mwvc(power(g, r), unit weights): the lexicographic
 /// greedy matching of G^r, simulated edge-order-faithfully with one
 /// truncated BFS per unmatched vertex.  2-approximate MVC of G^r.
-graph::VertexSet local_ratio_mvc_power(const graph::Graph& g, int r);
+graph::VertexSet local_ratio_mvc_power(graph::GraphView g, int r);
 
 /// Exactly greedy_mds(power(g, r)): max-coverage greedy dominating set of
 /// G^r via lazy gain re-evaluation over PowerView balls (gains only
 /// decrease, so a stale max-heap entry re-checks in one BFS).
 /// (1 + ln(Delta_r + 1))-approximate MDS of G^r.
-graph::VertexSet greedy_mds_power(const graph::Graph& g, int r);
+graph::VertexSet greedy_mds_power(graph::GraphView g, int r);
 
 /// Exactly local_ratio_mwvc(power(g, r), w): the Bar-Yehuda–Even local
 /// ratio over G^r's edges in for_each_edge order, simulated row by row
@@ -48,7 +48,7 @@ graph::VertexSet greedy_mds_power(const graph::Graph& g, int r);
 /// and a row stops early once its own residual empties.  2-approximate
 /// weighted MVC of G^r; with unit weights this is vertex-for-vertex
 /// local_ratio_mvc_power.
-graph::VertexSet local_ratio_mwvc_power(const graph::Graph& g, int r,
+graph::VertexSet local_ratio_mwvc_power(graph::GraphView g, int r,
                                         const graph::VertexWeights& w);
 
 /// local_ratio_mwvc restricted to the subgraph of G^r induced by
@@ -59,7 +59,7 @@ graph::VertexSet local_ratio_mwvc_power(const graph::Graph& g, int r,
 /// induced-degree probe to reproduce the materialized membership rule).
 /// `local_ratio_mwvc_power` is the all-active case; core::solve_gr_mwvc
 /// scores unmaterializably large remainders through this.
-graph::VertexSet local_ratio_mwvc_power_on(const graph::Graph& g, int r,
+graph::VertexSet local_ratio_mwvc_power_on(graph::GraphView g, int r,
                                            const graph::VertexWeights& w,
                                            const std::vector<bool>& active);
 
@@ -68,7 +68,7 @@ graph::VertexSet local_ratio_mwvc_power_on(const graph::Graph& g, int r,
 /// greedy_mds_power, with scores gain/max(w, 1) (costs are fixed, so
 /// stored scores remain upper bounds).  With unit weights this is
 /// vertex-for-vertex greedy_mds_power.
-graph::VertexSet greedy_mwds_power(const graph::Graph& g, int r,
+graph::VertexSet greedy_mwds_power(graph::GraphView g, int r,
                                    const graph::VertexWeights& w);
 
 }  // namespace pg::solvers

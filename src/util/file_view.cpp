@@ -1,0 +1,80 @@
+#include "util/file_view.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "util/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PG_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define PG_HAS_MMAP 0
+#endif
+
+namespace pg::util {
+
+FileView FileView::map(const std::string& path) {
+  FileView fv;
+  fv.path_ = path;
+#if PG_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  PG_REQUIRE(fd >= 0, "cannot open '" + path + "': " + std::strerror(errno));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    PG_REQUIRE(false, "cannot stat '" + path + "': " + std::strerror(err));
+  }
+  PG_REQUIRE(S_ISREG(st.st_mode) || (::close(fd), false),
+             "'" + path + "' is not a regular file");
+  fv.size_ = static_cast<std::size_t>(st.st_size);
+  if (fv.size_ == 0) {
+    ::close(fd);
+    return fv;  // empty file: valid zero-length view, nothing to map
+  }
+  void* addr = ::mmap(nullptr, fv.size_, PROT_READ, MAP_SHARED, fd, 0);
+  const int map_err = errno;
+  ::close(fd);  // the mapping keeps the file alive; the fd is not needed
+  PG_REQUIRE(addr != MAP_FAILED,
+             "cannot mmap '" + path + "': " + std::strerror(map_err));
+  fv.data_ = static_cast<const std::byte*>(addr);
+  fv.is_mmap_ = true;
+#else
+  std::ifstream in(path, std::ios::binary);
+  PG_REQUIRE(static_cast<bool>(in), "cannot open '" + path + "'");
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  PG_REQUIRE(end >= 0, "cannot determine size of '" + path + "'");
+  fv.size_ = static_cast<std::size_t>(end);
+  fv.fallback_.resize(fv.size_);
+  in.seekg(0, std::ios::beg);
+  if (fv.size_ > 0) {
+    in.read(reinterpret_cast<char*>(fv.fallback_.data()),
+            static_cast<std::streamsize>(fv.size_));
+    PG_REQUIRE(static_cast<bool>(in), "short read from '" + path + "'");
+  }
+  fv.data_ = fv.fallback_.data();
+#endif
+  return fv;
+}
+
+void FileView::reset() {
+#if PG_HAS_MMAP
+  if (is_mmap_ && data_ != nullptr)
+    ::munmap(const_cast<std::byte*>(data_), size_);
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  is_mmap_ = false;
+  path_.clear();
+  fallback_.clear();
+  fallback_.shrink_to_fit();
+}
+
+}  // namespace pg::util

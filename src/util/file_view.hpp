@@ -1,0 +1,63 @@
+// Read-only memory-mapped file view.
+//
+// `FileView` maps a whole file with PROT_READ and hands out the bytes as a
+// span.  Clean read-only pages live in the OS page cache, so every process
+// (and every `sweep --spawn` child) mapping the same file shares one
+// physical copy — the property the file-backed scenario kind relies on to
+// keep per-child peak RSS flat.  On platforms without mmap the view falls
+// back to reading the file into an owned buffer; callers see the same
+// interface either way.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pg::util {
+
+class FileView {
+ public:
+  FileView() = default;
+  FileView(const FileView&) = delete;
+  FileView& operator=(const FileView&) = delete;
+  FileView(FileView&& other) noexcept { swap(other); }
+  FileView& operator=(FileView&& other) noexcept {
+    if (this != &other) {
+      reset();
+      swap(other);
+    }
+    return *this;
+  }
+  ~FileView() { reset(); }
+
+  /// Maps `path` read-only.  Throws PreconditionViolation (exit 2 at the
+  /// CLI boundary) when the file cannot be opened, stat'd, or mapped.
+  static FileView map(const std::string& path);
+
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::span<const std::byte> bytes() const { return {data_, size_}; }
+  const std::string& path() const { return path_; }
+  bool mapped() const { return data_ != nullptr || size_ == 0; }
+
+  /// Unmaps (or frees the fallback buffer) and returns to the empty state.
+  void reset();
+
+ private:
+  void swap(FileView& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(path_, other.path_);
+    std::swap(fallback_, other.fallback_);
+    std::swap(is_mmap_, other.is_mmap_);
+  }
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string path_;
+  std::vector<std::byte> fallback_;  // used only when mmap is unavailable
+  bool is_mmap_ = false;
+};
+
+}  // namespace pg::util

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <initializer_list>
 #include <sstream>
 #include <string>
@@ -375,6 +376,123 @@ TEST(Cli, SweepJsonToStdout) {
   EXPECT_EQ(r.exit_code, 0) << r.err;
   EXPECT_NE(r.out.find("\"cells\": ["), std::string::npos);
   EXPECT_NE(r.out.find("\"feasible\": true"), std::string::npos);
+}
+
+// ------------------------------------------------- real-graph ingestion ---
+
+class TempDir {
+ public:
+  TempDir() {
+    static int counter = 0;
+    path_ = std::filesystem::temp_directory_path() /
+            ("pg_cli_ingest_" + std::to_string(counter++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+// A 6-cycle with one chord, sparse ids: enough structure for every
+// algorithm while keeping the pipeline tests instant.
+constexpr const char* kSnapText =
+    "# tiny snap-style input\n"
+    "10 20\n20 30\n30 40\n40 50\n50 60\n60 10\n10 40\n";
+
+TEST(Cli, ImportWritesAnOpenablePgcsrAndReportsStats) {
+  const TempDir dir;
+  const std::string out_path = dir.file("g.pgcsr");
+  const CliRun r = cli({"import", "-", out_path}, kSnapText);
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.err.find("import: n = 6, m = 7"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("ids remapped"), std::string::npos) << r.err;
+
+  // The artifact feeds straight into `run` as a file: scenario and the
+  // human output advertises the degree regime for file-backed graphs.
+  const CliRun run = cli({"run", "gr-mvc", "--scenario",
+                          "file:" + out_path});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("n = 6"), std::string::npos) << run.out;
+  EXPECT_NE(run.out.find("degree regime : "), std::string::npos) << run.out;
+}
+
+TEST(Cli, ImportRejectsMalformedInputWithExitTwo) {
+  const TempDir dir;
+  const CliRun r =
+      cli({"import", "-", dir.file("g.pgcsr")}, "1 2\nbroken line\n");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("line 2"), std::string::npos) << r.err;
+}
+
+TEST(Cli, ImportValidatesItsArguments) {
+  EXPECT_EQ(cli({"import"}).exit_code, 2);
+  EXPECT_EQ(cli({"import", "-"}).exit_code, 2);
+  EXPECT_EQ(cli({"import", "-", "out", "extra"}).exit_code, 2);
+  EXPECT_EQ(cli({"import", "--bogus", "out"}).exit_code, 2);
+  EXPECT_EQ(cli({"import", "/nonexistent/in.txt", "out"}).exit_code, 2);
+}
+
+TEST(Cli, RunRejectsMismatchedExplicitNForFileScenarios) {
+  const TempDir dir;
+  const std::string out_path = dir.file("g.pgcsr");
+  ASSERT_EQ(cli({"import", "-", out_path}, kSnapText).exit_code, 0);
+  const CliRun r = cli({"run", "gr-mvc", "--scenario", "file:" + out_path,
+                        "--n", "7"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("does not match"), std::string::npos) << r.err;
+  // The matching --n is accepted.
+  EXPECT_EQ(cli({"run", "gr-mvc", "--scenario", "file:" + out_path, "--n",
+                 "6"})
+                .exit_code,
+            0);
+}
+
+TEST(Cli, RunRejectsCorruptedPgcsrWithExitTwo) {
+  const TempDir dir;
+  const std::string out_path = dir.file("g.pgcsr");
+  ASSERT_EQ(cli({"import", "-", out_path}, kSnapText).exit_code, 0);
+  // Truncate the tail: strict rejection, CLI exit 2.
+  std::error_code ec;
+  std::filesystem::resize_file(out_path,
+                               std::filesystem::file_size(out_path) - 3, ec);
+  ASSERT_FALSE(ec);
+  const CliRun r = cli({"run", "gr-mvc", "--scenario", "file:" + out_path});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find(".pgcsr"), std::string::npos) << r.err;
+}
+
+TEST(Cli, FileScenarioSweepAutoClassifiesAndGeneratedSweepsStayUnchanged) {
+  const TempDir dir;
+  const std::string out_path = dir.file("g.pgcsr");
+  ASSERT_EQ(cli({"import", "-", out_path}, kSnapText).exit_code, 0);
+
+  const CliRun file_sweep =
+      cli({"sweep", "--scenarios", "file:" + out_path, "--algorithms",
+           "gr-mvc", "--sizes", "6", "--csv", "-"});
+  EXPECT_EQ(file_sweep.exit_code, 0) << file_sweep.err;
+  EXPECT_NE(file_sweep.out.find(",regime,regime_alpha"), std::string::npos)
+      << file_sweep.out;
+
+  // Generator sweeps keep their historic header unless --classify asks.
+  const CliRun plain = cli({"sweep", "--scenarios", "path", "--algorithms",
+                            "gr-mvc", "--sizes", "6", "--csv", "-"});
+  EXPECT_EQ(plain.exit_code, 0) << plain.err;
+  EXPECT_EQ(plain.out.find(",regime"), std::string::npos) << plain.out;
+
+  const CliRun opted = cli({"sweep", "--scenarios", "path", "--algorithms",
+                            "gr-mvc", "--sizes", "6", "--classify", "--csv",
+                            "-"});
+  EXPECT_EQ(opted.exit_code, 0) << opted.err;
+  EXPECT_NE(opted.out.find(",regime,regime_alpha"), std::string::npos)
+      << opted.out;
+  EXPECT_NE(opted.out.find(",bounded,"), std::string::npos) << opted.out;
 }
 
 }  // namespace
